@@ -1,0 +1,66 @@
+//! Micro-benchmark of the executor primitives: gather and scatter-add of
+//! ghost data through a communication schedule (the per-iteration cost every
+//! sweep pays, Table 3's "Executor" row).
+
+use chaos_bench::workload::mesh_workload;
+use chaos_dmsim::{Machine, MachineConfig};
+use chaos_geocol::{Partitioner, RcbPartitioner};
+use chaos_runtime::iterpart::partition_iterations;
+use chaos_runtime::{
+    gather, scatter_add, AccessPattern, DistArray, Distribution, Inspector, IterPartitionPolicy,
+};
+use chaos_workloads::MeshConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_executor(c: &mut Criterion) {
+    let w = mesh_workload(MeshConfig::tiny(3000));
+    let nprocs = 16;
+    let geocol = chaos_geocol::GeoColBuilder::new(w.nnodes)
+        .geometry(vec![w.coords[0].clone(), w.coords[1].clone(), w.coords[2].clone()])
+        .build()
+        .unwrap();
+    let dist = Distribution::irregular_from_map(
+        RcbPartitioner.partition(&geocol, nprocs).owners(),
+        nprocs,
+    );
+    let x = DistArray::from_global("x", dist.clone(), &w.input);
+    let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; w.nnodes]);
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let iter_part = partition_iterations(
+        &mut machine,
+        &dist,
+        &w.iteration_refs(),
+        IterPartitionPolicy::AlmostOwnerComputes,
+    );
+    let mut pattern = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for &it in iter_part.iters(p) {
+            pattern.refs[p].push(w.e1[it as usize]);
+            pattern.refs[p].push(w.e2[it as usize]);
+        }
+    }
+    let inspect = Inspector.localize(&mut machine, "bench", &dist, &pattern);
+    let contributions: Vec<Vec<f64>> = (0..nprocs)
+        .map(|p| vec![1.0; inspect.ghost_counts[p]])
+        .collect();
+
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(30);
+    group.bench_function("gather", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+            gather(&mut machine, "bench", &inspect.schedule, &x)
+        })
+    });
+    group.bench_function("scatter_add", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+            scatter_add(&mut machine, "bench", &inspect.schedule, &mut y, &contributions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

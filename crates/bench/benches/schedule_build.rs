@@ -1,0 +1,36 @@
+//! Micro-benchmark of inspector schedule construction: index translation,
+//! deduplication of off-processor references and communication-schedule
+//! build (the ablation called out in DESIGN.md: hash-based dedup vs the
+//! work the executor then saves).
+
+use chaos_dmsim::{Machine, MachineConfig};
+use chaos_runtime::{AccessPattern, Distribution, Inspector};
+use chaos_workloads::{MeshConfig, UnstructuredMesh};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mesh = UnstructuredMesh::generate(MeshConfig::tiny(4000));
+    let mut group = c.benchmark_group("schedule_build");
+    group.sample_size(20);
+    for &nprocs in &[4usize, 16] {
+        let dist = Distribution::block(mesh.nnodes(), nprocs);
+        // Block-partition the edge iterations and build the access pattern.
+        let mut pattern = AccessPattern::new(nprocs);
+        let per = mesh.nedges().div_ceil(nprocs);
+        for (i, (&a, &b)) in mesh.end_pt1.iter().zip(&mesh.end_pt2).enumerate() {
+            let p = (i / per).min(nprocs - 1);
+            pattern.refs[p].push(a);
+            pattern.refs[p].push(b);
+        }
+        group.bench_with_input(BenchmarkId::new("localize", nprocs), &nprocs, |bch, _| {
+            bch.iter(|| {
+                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                Inspector.localize(&mut machine, "bench", &dist, &pattern)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_build);
+criterion_main!(benches);

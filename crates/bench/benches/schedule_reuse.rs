@@ -1,0 +1,31 @@
+//! Criterion micro-benchmark behind Table 1: the wall-clock cost of one
+//! executor sweep with a reused schedule vs one sweep that re-runs the full
+//! inspector first. (The paper's table reports modeled machine time; this
+//! bench measures the harness itself so regressions in the runtime's own
+//! code are caught.)
+
+use chaos_bench::experiment::{ExperimentConfig, Method};
+use chaos_bench::handcoded::run_handcoded;
+use chaos_bench::workload::mesh_workload;
+use chaos_workloads::MeshConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_schedule_reuse(c: &mut Criterion) {
+    let workload = mesh_workload(MeshConfig::tiny(2000));
+    let mut group = c.benchmark_group("schedule_reuse");
+    group.sample_size(10);
+    for (label, reuse) in [("reuse", true), ("no_reuse", false)] {
+        group.bench_with_input(BenchmarkId::new("10_sweeps", label), &reuse, |b, &reuse| {
+            b.iter(|| {
+                let cfg = ExperimentConfig::paper(8, Method::Rcb)
+                    .with_reuse(reuse)
+                    .with_iterations(10);
+                run_handcoded(&workload, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_reuse);
+criterion_main!(benches);

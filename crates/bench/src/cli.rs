@@ -1,0 +1,136 @@
+//! Tiny command-line option handling shared by the table binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick`          — scale the workloads down 8× and run 20 executor
+//!   iterations instead of 100 (useful for smoke tests; the table *shapes*
+//!   are preserved),
+//! * `--scale <N>`      — explicit workload scale divisor,
+//! * `--iters <N>`      — explicit executor iteration count,
+//! * `--json <path>`    — also write the results as JSON.
+
+use crate::workload::WorkloadKind;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Workload scale divisor (1 = paper size).
+    pub scale: usize,
+    /// Executor iterations per experiment (paper: 100).
+    pub iterations: usize,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 1,
+            iterations: 100,
+            json: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parse options from an argument iterator (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.scale = 8;
+                    opts.iterations = 20;
+                }
+                "--scale" => {
+                    let v = it.next().ok_or("--scale requires a value")?;
+                    opts.scale = v.parse().map_err(|_| format!("bad --scale value '{v}'"))?;
+                }
+                "--iters" => {
+                    let v = it.next().ok_or("--iters requires a value")?;
+                    opts.iterations = v.parse().map_err(|_| format!("bad --iters value '{v}'"))?;
+                }
+                "--json" => {
+                    opts.json = Some(it.next().ok_or("--json requires a path")?);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--quick] [--scale N] [--iters N] [--json PATH]".to_string())
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        if opts.scale == 0 || opts.iterations == 0 {
+            return Err("--scale and --iters must be positive".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The paper's experiment grid: each workload with the processor counts its
+/// tables use (Tables 1, 3 and 4 all share this grid).
+pub fn standard_grid() -> Vec<(WorkloadKind, Vec<usize>)> {
+    vec![
+        (WorkloadKind::Mesh10k, vec![4, 8, 16]),
+        (WorkloadKind::Mesh53k, vec![16, 32, 64]),
+        (WorkloadKind::Md648, vec![4, 8, 16]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_is_paper_size() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, 1);
+        assert_eq!(o.iterations, 100);
+        assert_eq!(o.json, None);
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let o = parse(&["--quick"]).unwrap();
+        assert_eq!(o.scale, 8);
+        assert_eq!(o.iterations, 20);
+    }
+
+    #[test]
+    fn explicit_values_and_json() {
+        let o = parse(&["--scale", "4", "--iters", "10", "--json", "out.json"]).unwrap();
+        assert_eq!(o.scale, 4);
+        assert_eq!(o.iterations, 10);
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+    }
+
+    #[test]
+    fn grid_matches_paper() {
+        let g = standard_grid();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[1].1, vec![16, 32, 64]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment configuration and the phase-time record the tables report.
+
+use serde::{Deserialize, Serialize};
+
+/// Data-mapping method used by an experiment (the columns of Table 2 and the
+/// row groups of Tables 3 / 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Naive HPF BLOCK distribution of the node arrays (Table 4).
+    Block,
+    /// Compiler-linked recursive (binary) coordinate bisection (Table 3).
+    Rcb,
+    /// Recursive spectral bisection (Table 2, "Spectral Bisection").
+    Rsb,
+    /// Recursive inertial bisection (extension; not in the paper's tables).
+    Inertial,
+}
+
+impl Method {
+    /// Printable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Block => "Block Partition",
+            Method::Rcb => "Binary Coordinate Bisection",
+            Method::Rsb => "Spectral Bisection",
+            Method::Inertial => "Inertial Bisection",
+        }
+    }
+
+    /// The partitioner registry name (`None` for BLOCK, which keeps the
+    /// default distribution).
+    pub fn partitioner_name(self) -> Option<&'static str> {
+        match self {
+            Method::Block => None,
+            Method::Rcb => Some("RCB"),
+            Method::Rsb => Some("RSB"),
+            Method::Inertial => Some("INERTIAL"),
+        }
+    }
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Data-mapping method.
+    pub method: Method,
+    /// Whether the schedule-reuse mechanism is enabled.
+    pub reuse: bool,
+    /// Number of executor sweeps (the paper uses 100).
+    pub executor_iterations: usize,
+    /// Workload scale divisor (1 = paper-size).
+    pub scale: usize,
+}
+
+impl ExperimentConfig {
+    /// Paper-style configuration: given processors and method, 100 executor
+    /// iterations with schedule reuse on, full-size workload.
+    pub fn paper(nprocs: usize, method: Method) -> Self {
+        ExperimentConfig {
+            nprocs,
+            method,
+            reuse: true,
+            executor_iterations: 100,
+            scale: 1,
+        }
+    }
+
+    /// Builder-style: disable or enable schedule reuse.
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// Builder-style: set the executor iteration count.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.executor_iterations = iterations;
+        self
+    }
+
+    /// Builder-style: scale the workload down by a divisor.
+    pub fn with_scale(mut self, scale: usize) -> Self {
+        self.scale = scale;
+        self
+    }
+}
+
+/// Modeled time (seconds) spent in each phase, plus bookkeeping counters.
+/// These are the rows of the paper's tables.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// GeoCoL graph generation time.
+    pub graph_generation: f64,
+    /// Partitioner execution time.
+    pub partitioner: f64,
+    /// Inspector time (accumulated over re-runs when reuse is off).
+    pub inspector: f64,
+    /// Array / iteration remap time.
+    pub remap: f64,
+    /// Executor time summed over all sweeps.
+    pub executor: f64,
+    /// End-to-end modeled time.
+    pub total: f64,
+    /// Number of inspector executions.
+    pub inspector_runs: usize,
+    /// Number of executor sweeps.
+    pub executor_sweeps: usize,
+    /// Total point-to-point messages.
+    pub messages: usize,
+    /// Total bytes moved.
+    pub bytes: usize,
+    /// Fraction of loop references that stayed on-processor.
+    pub local_fraction: f64,
+    /// Wall-clock seconds the experiment took to simulate (not a modeled
+    /// quantity; reported for transparency).
+    pub wall_seconds: f64,
+}
+
+impl PhaseTimes {
+    /// Executor time per sweep.
+    pub fn executor_per_iteration(&self) -> f64 {
+        if self.executor_sweeps == 0 {
+            0.0
+        } else {
+            self.executor / self.executor_sweeps as f64
+        }
+    }
+
+    /// Sum of the phase rows (may differ slightly from `total`, which also
+    /// includes barrier idle time outside the tagged phases).
+    pub fn phase_sum(&self) -> f64 {
+        self.graph_generation + self.partitioner + self.inspector + self.remap + self.executor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = ExperimentConfig::paper(32, Method::Rcb);
+        assert_eq!(c.nprocs, 32);
+        assert!(c.reuse);
+        assert_eq!(c.executor_iterations, 100);
+        assert_eq!(c.scale, 1);
+        let c = c.with_reuse(false).with_iterations(10).with_scale(4);
+        assert!(!c.reuse);
+        assert_eq!(c.executor_iterations, 10);
+        assert_eq!(c.scale, 4);
+    }
+
+    #[test]
+    fn method_labels_and_partitioners() {
+        assert_eq!(Method::Block.partitioner_name(), None);
+        assert_eq!(Method::Rcb.partitioner_name(), Some("RCB"));
+        assert_eq!(Method::Rsb.partitioner_name(), Some("RSB"));
+        assert!(Method::Rsb.label().contains("Spectral"));
+    }
+
+    #[test]
+    fn phase_times_helpers() {
+        let t = PhaseTimes {
+            executor: 10.0,
+            executor_sweeps: 4,
+            inspector: 1.0,
+            remap: 0.5,
+            ..Default::default()
+        };
+        assert_eq!(t.executor_per_iteration(), 2.5);
+        assert_eq!(t.phase_sum(), 11.5);
+        assert_eq!(PhaseTimes::default().executor_per_iteration(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # chaos-bench — the experiment harness behind the paper's tables
+//!
+//! This crate contains everything needed to regenerate the evaluation
+//! section of the SC'93 paper on the simulated machine:
+//!
+//! * [`workload`] — adapters turning the synthetic mesh / molecular-dynamics
+//!   generators into the "pair loop" form every experiment uses,
+//! * [`experiment`] — experiment configuration and the phase-by-phase
+//!   timing record the tables report (graph generation, partitioner,
+//!   inspector, remap, executor, total),
+//! * [`handcoded`] — the hand-embedded runtime version of the edge / force
+//!   loop (calls `chaos-runtime` directly, as the paper's authors did when
+//!   they "embedded our runtime support by hand"),
+//! * [`compilergen`] — the compiler-generated version (the same template
+//!   expressed in the Fortran-D-like mini-language and executed through
+//!   `chaos-lang`),
+//! * [`tables`] — plain-text table formatting shared by the `table1` ..
+//!   `table4` and `all_tables` binaries.
+//!
+//! Each binary prints one of the paper's tables; `all_tables` also writes a
+//! JSON record next to the text so EXPERIMENTS.md numbers are reproducible.
+
+pub mod cli;
+pub mod compilergen;
+pub mod experiment;
+pub mod handcoded;
+pub mod tables;
+pub mod workload;
+
+pub use cli::{standard_grid, Options};
+pub use experiment::{ExperimentConfig, Method, PhaseTimes};
+pub use workload::{md_workload, mesh_workload, PairLoopWorkload, WorkloadKind};

@@ -1,0 +1,189 @@
+//! Distributed arrays: the runtime representation of a Fortran D array
+//! `ALIGN`ed to a distribution.
+//!
+//! A `DistArray<T>` owns one local segment per processor (the simulator
+//! shares an address space, so "per processor" is an index into a `Vec` of
+//! segments). Elements are addressed either *globally* (for convenience,
+//! tests and workload generation) or by `(processor, local offset)` — the
+//! form the executor uses after the inspector has translated indices.
+
+use crate::dad::Dad;
+use crate::dist::Distribution;
+
+/// A distributed array of `T`.
+#[derive(Debug, Clone)]
+pub struct DistArray<T> {
+    name: String,
+    dist: Distribution,
+    local: Vec<Vec<T>>,
+}
+
+impl<T: Clone + Default> DistArray<T> {
+    /// Create an array filled with `T::default()`.
+    pub fn new(name: &str, dist: Distribution) -> Self {
+        let local = (0..dist.nprocs())
+            .map(|p| vec![T::default(); dist.local_size(p)])
+            .collect();
+        DistArray {
+            name: name.to_string(),
+            dist,
+            local,
+        }
+    }
+
+    /// Create an array by scattering a global vector according to `dist`.
+    ///
+    /// # Panics
+    /// Panics if `global.len() != dist.len()`.
+    pub fn from_global(name: &str, dist: Distribution, global: &[T]) -> Self {
+        assert_eq!(
+            global.len(),
+            dist.len(),
+            "global data length does not match the distribution"
+        );
+        let mut arr = Self::new(name, dist);
+        for (g, v) in global.iter().enumerate() {
+            let (p, off) = arr.dist.locate(g);
+            arr.local[p][off] = v.clone();
+        }
+        arr
+    }
+
+    /// Gather the array back into a single global vector (test / verification
+    /// helper; a real application would never do this).
+    pub fn to_global(&self) -> Vec<T> {
+        let mut out = vec![T::default(); self.dist.len()];
+        for (g, slot) in out.iter_mut().enumerate() {
+            let (p, off) = self.dist.locate(g);
+            *slot = self.local[p][off].clone();
+        }
+        out
+    }
+}
+
+impl<T> DistArray<T> {
+    /// The array's name (used in diagnostics and the language front end).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Global length.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// True when the global length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// The distribution the array is aligned to.
+    pub fn dist(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// The array's current data access descriptor.
+    pub fn dad(&self) -> Dad {
+        Dad::of(&self.dist)
+    }
+
+    /// Local segment of processor `proc`.
+    pub fn local(&self, proc: usize) -> &[T] {
+        &self.local[proc]
+    }
+
+    /// Mutable local segment of processor `proc`.
+    pub fn local_mut(&mut self, proc: usize) -> &mut [T] {
+        &mut self.local[proc]
+    }
+
+    /// Borrow every processor's local segment at once.
+    pub fn locals(&self) -> &[Vec<T>] {
+        &self.local
+    }
+
+    /// Mutable access to every processor's local segment at once (used by
+    /// the executor which updates all processors within one simulated phase).
+    pub fn locals_mut(&mut self) -> &mut [Vec<T>] {
+        &mut self.local
+    }
+
+    /// Read the element at global index `g`.
+    pub fn get_global(&self, g: usize) -> &T {
+        let (p, off) = self.dist.locate(g);
+        &self.local[p][off]
+    }
+
+    /// Write the element at global index `g`.
+    pub fn set_global(&mut self, g: usize, value: T) {
+        let (p, off) = self.dist.locate(g);
+        self.local[p][off] = value;
+    }
+
+    /// Replace the distribution and local segments wholesale (used by
+    /// [`crate::remap::remap`]); the two must be consistent.
+    pub(crate) fn replace_storage(&mut self, dist: Distribution, local: Vec<Vec<T>>) {
+        debug_assert_eq!(dist.nprocs(), local.len());
+        debug_assert_eq!(
+            (0..dist.nprocs()).map(|p| dist.local_size(p)).collect::<Vec<_>>(),
+            local.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+        self.dist = dist;
+        self.local = local;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_and_gather_roundtrip_block() {
+        let data: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let a = DistArray::from_global("x", Distribution::block(17, 4), &data);
+        assert_eq!(a.to_global(), data);
+        assert_eq!(a.local(0).len(), 5);
+        assert_eq!(a.local(0), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn scatter_and_gather_roundtrip_irregular() {
+        let map: Vec<u32> = (0..10).map(|i| (i % 3) as u32).collect();
+        let data: Vec<i64> = (0..10).map(|i| 100 + i as i64).collect();
+        let a = DistArray::from_global("y", Distribution::irregular_from_map(&map, 3), &data);
+        assert_eq!(a.to_global(), data);
+        assert_eq!(a.local(1), &[101, 104, 107]);
+    }
+
+    #[test]
+    fn global_get_set() {
+        let mut a: DistArray<f64> = DistArray::new("z", Distribution::cyclic(8, 2));
+        a.set_global(5, 2.5);
+        assert_eq!(*a.get_global(5), 2.5);
+        assert_eq!(*a.get_global(0), 0.0);
+        assert_eq!(a.local(1)[2], 2.5); // global 5 = cyclic (1, 2)
+    }
+
+    #[test]
+    fn dad_reflects_distribution() {
+        let a: DistArray<f64> = DistArray::new("x", Distribution::block(10, 2));
+        let b: DistArray<f64> = DistArray::new("y", Distribution::block(10, 2));
+        assert_eq!(a.dad().signature(), b.dad().signature());
+        assert_eq!(a.dad().dist_kind, "BLOCK");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the distribution")]
+    fn from_global_length_mismatch_panics() {
+        let _ = DistArray::from_global("x", Distribution::block(4, 2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn locals_cover_whole_array() {
+        let a: DistArray<u32> = DistArray::new("x", Distribution::block(11, 4));
+        let total: usize = a.locals().iter().map(Vec::len).sum();
+        assert_eq!(total, 11);
+        assert_eq!(a.len(), 11);
+        assert!(!a.is_empty());
+    }
+}

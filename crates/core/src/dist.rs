@@ -1,0 +1,300 @@
+//! Distributions: how a global index space is split across processors.
+//!
+//! Fortran D / HPF give the user `BLOCK` and `CYCLIC` regular distributions;
+//! the paper's whole point is supporting *irregular* distributions described
+//! by a map array (`DISTRIBUTE irreg(map)`), which in CHAOS are implemented
+//! with a translation table. A [`Distribution`] answers two questions for
+//! every global index: which processor owns it, and at which local offset it
+//! lives there.
+
+use crate::ttable::TranslationTable;
+use std::sync::Arc;
+
+/// A distribution of `n` global indices over `p` processors.
+#[derive(Debug, Clone)]
+pub enum Distribution {
+    /// Contiguous blocks of `ceil(n/p)` elements (HPF `BLOCK`).
+    Block {
+        /// Global array size.
+        n: usize,
+        /// Processor count.
+        p: usize,
+    },
+    /// Round-robin assignment (HPF `CYCLIC`).
+    Cyclic {
+        /// Global array size.
+        n: usize,
+        /// Processor count.
+        p: usize,
+    },
+    /// Arbitrary assignment described by a translation table (the paper's
+    /// `DISTRIBUTE irreg(map)`).
+    Irregular {
+        /// Shared translation table.
+        table: Arc<TranslationTable>,
+    },
+}
+
+impl Distribution {
+    /// A block distribution of `n` elements over `p` processors.
+    pub fn block(n: usize, p: usize) -> Self {
+        assert!(p > 0, "distribution needs at least one processor");
+        Distribution::Block { n, p }
+    }
+
+    /// A cyclic distribution of `n` elements over `p` processors.
+    pub fn cyclic(n: usize, p: usize) -> Self {
+        assert!(p > 0, "distribution needs at least one processor");
+        Distribution::Cyclic { n, p }
+    }
+
+    /// An irregular distribution backed by a translation table.
+    pub fn irregular(table: Arc<TranslationTable>) -> Self {
+        Distribution::Irregular { table }
+    }
+
+    /// An irregular distribution built directly from a map array
+    /// (`map[i]` = owning processor of global element `i`), using a
+    /// replicated translation table.
+    pub fn irregular_from_map(map: &[u32], p: usize) -> Self {
+        Distribution::Irregular {
+            table: Arc::new(TranslationTable::from_map(map, p)),
+        }
+    }
+
+    /// An irregular distribution with an explicit translation-table layout
+    /// policy. The CHAOS default (and the mapper coupler's choice) is the
+    /// distributed, paged table: lookups for other processors' pages cost a
+    /// request/response message pair, which is the dominant inspector cost
+    /// the paper's tables show.
+    pub fn irregular_from_map_with_policy(
+        map: &[u32],
+        p: usize,
+        policy: crate::ttable::TTablePolicy,
+    ) -> Self {
+        Distribution::Irregular {
+            table: Arc::new(TranslationTable::from_map_with_policy(map, p, policy)),
+        }
+    }
+
+    /// Global array size.
+    pub fn len(&self) -> usize {
+        match self {
+            Distribution::Block { n, .. } | Distribution::Cyclic { n, .. } => *n,
+            Distribution::Irregular { table } => table.len(),
+        }
+    }
+
+    /// True if the global size is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Processor count.
+    pub fn nprocs(&self) -> usize {
+        match self {
+            Distribution::Block { p, .. } | Distribution::Cyclic { p, .. } => *p,
+            Distribution::Irregular { table } => table.nprocs(),
+        }
+    }
+
+    /// Short name of the distribution kind (as printed in tables).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Distribution::Block { .. } => "BLOCK",
+            Distribution::Cyclic { .. } => "CYCLIC",
+            Distribution::Irregular { .. } => "IRREGULAR",
+        }
+    }
+
+    /// Block size used by the block distribution for this size/proc count.
+    pub fn block_size(n: usize, p: usize) -> usize {
+        n.div_ceil(p).max(1)
+    }
+
+    /// Owning processor of `global`.
+    #[inline]
+    pub fn owner(&self, global: usize) -> usize {
+        debug_assert!(global < self.len(), "global index {global} out of range");
+        match self {
+            Distribution::Block { n, p } => {
+                (global / Self::block_size(*n, *p)).min(p - 1)
+            }
+            Distribution::Cyclic { p, .. } => global % p,
+            Distribution::Irregular { table } => table.owner(global),
+        }
+    }
+
+    /// Local offset of `global` on its owning processor.
+    #[inline]
+    pub fn local_offset(&self, global: usize) -> usize {
+        match self {
+            Distribution::Block { n, p } => global - self.owner(global) * Self::block_size(*n, *p),
+            Distribution::Cyclic { p, .. } => global / p,
+            Distribution::Irregular { table } => table.local_offset(global),
+        }
+    }
+
+    /// `(owner, local_offset)` of `global`.
+    #[inline]
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        (self.owner(global), self.local_offset(global))
+    }
+
+    /// Number of elements owned by processor `proc`.
+    pub fn local_size(&self, proc: usize) -> usize {
+        match self {
+            Distribution::Block { n, p } => {
+                let b = Self::block_size(*n, *p);
+                let start = proc * b;
+                if start >= *n {
+                    0
+                } else {
+                    (*n - start).min(b)
+                }
+            }
+            Distribution::Cyclic { n, p } => {
+                let full = n / p;
+                full + usize::from(proc < n % p)
+            }
+            Distribution::Irregular { table } => table.local_size(proc),
+        }
+    }
+
+    /// Global indices owned by `proc`, in ascending local-offset order.
+    pub fn owned_globals(&self, proc: usize) -> Vec<usize> {
+        match self {
+            Distribution::Block { n, p } => {
+                let b = Self::block_size(*n, *p);
+                let start = (proc * b).min(*n);
+                let end = ((proc + 1) * b).min(*n);
+                (start..end).collect()
+            }
+            Distribution::Cyclic { n, p } => (proc..*n).step_by(*p).collect(),
+            Distribution::Irregular { table } => table.owned_globals(proc),
+        }
+    }
+
+    /// A stable signature identifying this distribution for DAD comparison.
+    /// Two block (or cyclic) distributions of the same size over the same
+    /// processor count are identical; irregular distributions are identified
+    /// by their translation table's unique id (a remap always produces a new
+    /// table, hence a new signature — exactly the paper's "if the array is
+    /// remapped, DAD(a) changes").
+    pub fn signature(&self) -> u64 {
+        match self {
+            Distribution::Block { n, p } => 0x1000_0000_0000_0000 | ((*n as u64) << 20) | *p as u64,
+            Distribution::Cyclic { n, p } => 0x2000_0000_0000_0000 | ((*n as u64) << 20) | *p as u64,
+            Distribution::Irregular { table } => 0x3000_0000_0000_0000 | table.id(),
+        }
+    }
+
+    /// True when two distributions are observably identical (same signature).
+    pub fn same_as(&self, other: &Distribution) -> bool {
+        self.signature() == other.signature()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_distribution_layout() {
+        let d = Distribution::block(10, 4);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.nprocs(), 4);
+        // block size = ceil(10/4) = 3 -> sizes 3,3,3,1
+        assert_eq!(
+            (0..4).map(|p| d.local_size(p)).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
+        assert_eq!(d.locate(0), (0, 0));
+        assert_eq!(d.locate(2), (0, 2));
+        assert_eq!(d.locate(3), (1, 0));
+        assert_eq!(d.locate(9), (3, 0));
+        assert_eq!(d.owned_globals(1), vec![3, 4, 5]);
+        assert_eq!(d.owned_globals(3), vec![9]);
+    }
+
+    #[test]
+    fn block_never_exceeds_proc_range_for_tiny_arrays() {
+        let d = Distribution::block(2, 8);
+        assert!(d.owner(0) < 8 && d.owner(1) < 8);
+        let sizes: Vec<usize> = (0..8).map(|p| d.local_size(p)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn cyclic_distribution_layout() {
+        let d = Distribution::cyclic(10, 4);
+        assert_eq!(
+            (0..4).map(|p| d.local_size(p)).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
+        assert_eq!(d.locate(0), (0, 0));
+        assert_eq!(d.locate(4), (0, 1));
+        assert_eq!(d.locate(7), (3, 1));
+        assert_eq!(d.owned_globals(1), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn irregular_distribution_from_map() {
+        let map = vec![2u32, 0, 0, 1, 2, 1];
+        let d = Distribution::irregular_from_map(&map, 3);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.owner(0), 2);
+        assert_eq!(d.owner(3), 1);
+        // local offsets follow ascending global order within each proc
+        assert_eq!(d.locate(1), (0, 0));
+        assert_eq!(d.locate(2), (0, 1));
+        assert_eq!(d.locate(4), (2, 1));
+        assert_eq!(d.local_size(0), 2);
+        assert_eq!(d.local_size(1), 2);
+        assert_eq!(d.local_size(2), 2);
+        assert_eq!(d.owned_globals(2), vec![0, 4]);
+    }
+
+    #[test]
+    fn owned_globals_and_locate_are_consistent() {
+        for d in [
+            Distribution::block(23, 4),
+            Distribution::cyclic(23, 4),
+            Distribution::irregular_from_map(
+                &(0..23).map(|i| (i * 7 % 4) as u32).collect::<Vec<_>>(),
+                4,
+            ),
+        ] {
+            for p in 0..4 {
+                for (off, g) in d.owned_globals(p).iter().enumerate() {
+                    assert_eq!(d.locate(*g), (p, off), "{} idx {g}", d.kind_name());
+                }
+            }
+            let total: usize = (0..4).map(|p| d.local_size(p)).sum();
+            assert_eq!(total, 23);
+        }
+    }
+
+    #[test]
+    fn signatures_distinguish_kinds_and_sizes() {
+        let a = Distribution::block(100, 4);
+        let b = Distribution::block(100, 4);
+        let c = Distribution::block(101, 4);
+        let d = Distribution::cyclic(100, 4);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&c));
+        assert!(!a.same_as(&d));
+        let m = vec![0u32; 100];
+        let i1 = Distribution::irregular_from_map(&m, 4);
+        let i2 = Distribution::irregular_from_map(&m, 4);
+        // Each irregular build is a *new* mapping event and therefore a new DAD.
+        assert!(!i1.same_as(&i2));
+        assert!(i1.same_as(&i1.clone()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_rejected() {
+        let _ = Distribution::block(10, 0);
+    }
+}

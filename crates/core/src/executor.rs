@@ -1,0 +1,274 @@
+//! Executor primitives: the communication that runs *every* loop iteration.
+//!
+//! PARTI's executor phase is two collective operations around the local
+//! computation:
+//!
+//! * [`gather`] — prefetch the off-processor elements named by a
+//!   [`CommSchedule`] into each processor's ghost buffer, and
+//! * [`scatter_add`] / [`scatter_op`] — push ghost-buffer accumulations back
+//!   to the owning processors and combine them into the owned elements
+//!   (the paper's left-hand-side `REDUCE (ADD, ...)` loops).
+//!
+//! The local computation between them belongs to the application (see the
+//! workload crates); [`charge_local_compute`] lets it charge its flops to the
+//! simulated machine so executor rows in the tables include both
+//! communication and computation.
+
+use crate::darray::DistArray;
+use crate::schedule::CommSchedule;
+use chaos_dmsim::{ExchangePlan, Machine};
+
+pub use crate::inspector::LocalRef;
+
+/// Gather the off-processor elements described by `schedule` from `array`
+/// into per-processor ghost buffers.
+///
+/// Returns `ghosts[p][slot]` aligned with the schedule's ghost slots for
+/// processor `p`.
+pub fn gather<T: Clone + Default + Send>(
+    machine: &mut Machine,
+    label: &str,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+) -> Vec<Vec<T>> {
+    let nprocs = machine.nprocs();
+    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
+
+    let mut ghosts: Vec<Vec<T>> = (0..nprocs)
+        .map(|p| vec![T::default(); schedule.ghost_count(p)])
+        .collect();
+
+    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+    for owner in 0..nprocs {
+        let local = array.local(owner);
+        for send in schedule.send_lists(owner) {
+            let payload: Vec<T> = send
+                .offsets
+                .iter()
+                .map(|&off| local[off as usize].clone())
+                .collect();
+            // Packing cost.
+            machine.charge_memory(owner, payload.len() as f64);
+            plan.push(owner, send.to as usize, payload);
+        }
+    }
+    machine.exchange(&format!("{label}:gather"), plan);
+
+    // Unpack: the send order on the owner matches the ghost-slot order we
+    // stored in the schedule.
+    for owner in 0..nprocs {
+        let local = array.local(owner);
+        for send in schedule.send_lists(owner) {
+            let dest = send.to as usize;
+            machine.charge_memory(dest, send.offsets.len() as f64);
+            for (&off, &slot) in send.offsets.iter().zip(&send.ghost_slots) {
+                ghosts[dest][slot as usize] = local[off as usize].clone();
+            }
+        }
+    }
+    ghosts
+}
+
+/// Scatter ghost-buffer contributions back to their owners, adding them into
+/// the owned elements (`y(owner) += contribution`).
+pub fn scatter_add(
+    machine: &mut Machine,
+    label: &str,
+    schedule: &CommSchedule,
+    array: &mut DistArray<f64>,
+    contributions: &[Vec<f64>],
+) {
+    scatter_op(machine, label, schedule, array, contributions, |acc, c| *acc += c);
+}
+
+/// Scatter ghost-buffer contributions back to their owners combining with an
+/// arbitrary reduction operator (`add`, `max`, `min`, ... — the paper allows
+/// any associative reduction on the left-hand side).
+pub fn scatter_op<T, F>(
+    machine: &mut Machine,
+    label: &str,
+    schedule: &CommSchedule,
+    array: &mut DistArray<T>,
+    contributions: &[Vec<T>],
+    mut combine: F,
+) where
+    T: Clone + Default + Send,
+    F: FnMut(&mut T, T),
+{
+    let nprocs = machine.nprocs();
+    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
+    assert_eq!(
+        contributions.len(),
+        nprocs,
+        "contributions must have one ghost buffer per processor"
+    );
+    for p in 0..nprocs {
+        assert_eq!(
+            contributions[p].len(),
+            schedule.ghost_count(p),
+            "processor {p} ghost contribution length mismatch"
+        );
+    }
+
+    // Reverse traffic: requester sends its ghost slots back to the owner.
+    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+    for owner in 0..nprocs {
+        for send in schedule.send_lists(owner) {
+            let requester = send.to as usize;
+            let payload: Vec<T> = send
+                .ghost_slots
+                .iter()
+                .map(|&slot| contributions[requester][slot as usize].clone())
+                .collect();
+            machine.charge_memory(requester, payload.len() as f64);
+            plan.push(requester, owner, payload);
+        }
+    }
+    machine.exchange(&format!("{label}:scatter"), plan);
+
+    // Combine into the owners' local elements.
+    for owner in 0..nprocs {
+        // Collect this owner's incoming updates first to appease the borrow
+        // checker (we need &mut array.local(owner) while reading schedule).
+        let updates: Vec<(u32, T)> = schedule
+            .send_lists(owner)
+            .iter()
+            .flat_map(|send| {
+                let requester = send.to as usize;
+                send.offsets
+                    .iter()
+                    .zip(&send.ghost_slots)
+                    .map(move |(&off, &slot)| (off, contributions[requester][slot as usize].clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        machine.charge_compute(owner, updates.len() as f64);
+        let local = array.local_mut(owner);
+        for (off, value) in updates {
+            combine(&mut local[off as usize], value);
+        }
+    }
+}
+
+/// Charge `ops_per_proc[p]` computation units to each processor — the local
+/// arithmetic of the executor's compute section.
+pub fn charge_local_compute(machine: &mut Machine, ops_per_proc: &[f64]) {
+    for (p, &ops) in ops_per_proc.iter().enumerate() {
+        machine.charge_compute(p, ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::inspector::{AccessPattern, Inspector};
+    use chaos_dmsim::MachineConfig;
+
+    /// Set up: x = [0,10,20,...,70] block-distributed over 2 procs; proc 0
+    /// references globals [4, 5], proc 1 references [0].
+    fn setup() -> (Machine, DistArray<f64>, crate::inspector::InspectorResult) {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let dist = Distribution::block(8, 2);
+        let x = DistArray::from_global(
+            "x",
+            dist.clone(),
+            &(0..8).map(|i| (i * 10) as f64).collect::<Vec<_>>(),
+        );
+        let pattern = AccessPattern {
+            refs: vec![vec![4, 5], vec![0]],
+        };
+        let r = Inspector.localize(&mut m, "L", &dist, &pattern);
+        (m, x, r)
+    }
+
+    #[test]
+    fn gather_fills_ghost_buffers() {
+        let (mut m, x, r) = setup();
+        let ghosts = gather(&mut m, "L", &r.schedule, &x);
+        // Proc 0's ghosts are globals 4 and 5 (owner-local offsets 0 and 1).
+        assert_eq!(ghosts[0], vec![40.0, 50.0]);
+        // Proc 1's ghost is global 0.
+        assert_eq!(ghosts[1], vec![0.0]);
+        // The localized refs resolve to the right values.
+        let v: Vec<f64> = r.localized[0]
+            .iter()
+            .map(|lr| *lr.resolve(x.local(0), &ghosts[0]))
+            .collect();
+        assert_eq!(v, vec![40.0, 50.0]);
+    }
+
+    #[test]
+    fn gather_charges_messages() {
+        let (mut m, x, r) = setup();
+        let before = m.stats().grand_totals().messages;
+        let _ = gather(&mut m, "L", &r.schedule, &x);
+        assert_eq!(m.stats().grand_totals().messages - before, 2);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_at_owners() {
+        let (mut m, _x, r) = setup();
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![1.0; 8]);
+        // Proc 0 contributes 5.0 to each of its ghost slots (globals 4, 5);
+        // proc 1 contributes 7.0 to its ghost (global 0).
+        let contributions = vec![vec![5.0, 5.0], vec![7.0]];
+        scatter_add(&mut m, "L", &r.schedule, &mut y, &contributions);
+        let g = y.to_global();
+        assert_eq!(g[0], 8.0);
+        assert_eq!(g[4], 6.0);
+        assert_eq!(g[5], 6.0);
+        assert_eq!(g[1], 1.0, "untouched elements keep their value");
+    }
+
+    #[test]
+    fn scatter_op_supports_max() {
+        let (mut m, _x, r) = setup();
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![3.0; 8]);
+        let contributions = vec![vec![10.0, 1.0], vec![2.0]];
+        scatter_op(&mut m, "L", &r.schedule, &mut y, &contributions, |a, b| {
+            *a = f64::max(*a, b)
+        });
+        let g = y.to_global();
+        assert_eq!(g[4], 10.0);
+        assert_eq!(g[5], 3.0);
+        assert_eq!(g[0], 3.0);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_conserves_sum() {
+        // Property: scatter_add of gathered values doubles exactly the
+        // referenced elements.
+        let (mut m, x, r) = setup();
+        let ghosts = gather(&mut m, "L", &r.schedule, &x);
+        let mut y = x.clone();
+        scatter_add(&mut m, "L", &r.schedule, &mut y, &ghosts);
+        let xg = x.to_global();
+        let yg = y.to_global();
+        for g in 0..8 {
+            let referenced_off_proc = [0usize, 4, 5].contains(&g);
+            if referenced_off_proc {
+                assert_eq!(yg[g], 2.0 * xg[g]);
+            } else {
+                assert_eq!(yg[g], xg[g]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost contribution length mismatch")]
+    fn scatter_rejects_wrong_ghost_shape() {
+        let (mut m, _x, r) = setup();
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![0.0; 8]);
+        scatter_add(&mut m, "L", &r.schedule, &mut y, &[vec![1.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn charge_local_compute_advances_clocks() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        charge_local_compute(&mut m, &[10.0, 20.0]);
+        let e = m.elapsed();
+        assert_eq!(e.compute[0], 10.0);
+        assert_eq!(e.compute[1], 20.0);
+    }
+}

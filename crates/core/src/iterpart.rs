@@ -1,0 +1,229 @@
+//! Loop-iteration partitioning.
+//!
+//! After the *data* has been partitioned (Figure 2, phase A) the loop
+//! iterations must be assigned to processors (phase B). Section 4.3 of the
+//! paper discusses two conventions:
+//!
+//! * **owner-computes** — execute a statement on the owner of its left-hand
+//!   side reference. Simple, but in sparse codes it forces communication
+//!   even for loop-independent dependences.
+//! * **almost-owner-computes** (the paper's default) — assign the *whole
+//!   iteration* to "the processor that is the home of the largest number of
+//!   the iteration's distributed array references".
+//!
+//! Both policies are implemented so the `iter_partition` ablation bench can
+//! compare them.
+
+use crate::dist::Distribution;
+use chaos_dmsim::Machine;
+
+/// The iteration-assignment convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterPartitionPolicy {
+    /// Assign each iteration to the owner of its first (left-hand-side)
+    /// reference.
+    OwnerComputes,
+    /// Assign each iteration to the processor owning the largest number of
+    /// its references (ties go to the lowest processor id). The paper's
+    /// default.
+    AlmostOwnerComputes,
+    /// Assign iteration `i` to the processor that would own index `i` under
+    /// a BLOCK distribution of the iteration space — the naive baseline used
+    /// before any remapping has happened.
+    BlockOfIterations,
+}
+
+/// The result: which iterations each processor executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationPartition {
+    iters: Vec<Vec<u32>>,
+    niters: usize,
+}
+
+impl IterationPartition {
+    /// Build from per-processor iteration lists.
+    pub fn new(iters: Vec<Vec<u32>>) -> Self {
+        let niters = iters.iter().map(Vec::len).sum();
+        IterationPartition { iters, niters }
+    }
+
+    /// Iterations executed by `proc`, in ascending order.
+    pub fn iters(&self, proc: usize) -> &[u32] {
+        &self.iters[proc]
+    }
+
+    /// Per-processor iteration lists.
+    pub fn all(&self) -> &[Vec<u32>] {
+        &self.iters
+    }
+
+    /// Total number of iterations.
+    pub fn total(&self) -> usize {
+        self.niters
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Load imbalance: max iterations per processor / mean.
+    pub fn imbalance(&self) -> f64 {
+        if self.niters == 0 || self.iters.is_empty() {
+            return 1.0;
+        }
+        let max = self.iters.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        let mean = self.niters as f64 / self.iters.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Partition the iterations of a loop.
+///
+/// `iteration_refs[i]` lists the global indices (into arrays aligned with
+/// `data_dist`) referenced by iteration `i`; the first entry is treated as
+/// the left-hand-side reference for the owner-computes policy. The cost of
+/// scanning the references is charged to the simulated machine: in the real
+/// system this scan is distributed (each processor examines the iterations
+/// whose indirection-array entries it owns), so the charge is divided across
+/// processors.
+pub fn partition_iterations(
+    machine: &mut Machine,
+    data_dist: &Distribution,
+    iteration_refs: &[Vec<u32>],
+    policy: IterPartitionPolicy,
+) -> IterationPartition {
+    let nprocs = machine.nprocs();
+    let mut iters: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    let mut counts = vec![0usize; nprocs];
+
+    for (i, refs) in iteration_refs.iter().enumerate() {
+        let target = match policy {
+            IterPartitionPolicy::BlockOfIterations => {
+                let block = iteration_refs.len().div_ceil(nprocs).max(1);
+                (i / block).min(nprocs - 1)
+            }
+            IterPartitionPolicy::OwnerComputes => match refs.first() {
+                Some(&lhs) => data_dist.owner(lhs as usize),
+                None => i % nprocs,
+            },
+            IterPartitionPolicy::AlmostOwnerComputes => {
+                if refs.is_empty() {
+                    i % nprocs
+                } else {
+                    for c in counts.iter_mut() {
+                        *c = 0;
+                    }
+                    for &r in refs {
+                        counts[data_dist.owner(r as usize)] += 1;
+                    }
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(p, &c)| (c, std::cmp::Reverse(p)))
+                        .map(|(p, _)| p)
+                        .unwrap_or(0)
+                }
+            }
+        };
+        iters[target].push(i as u32);
+    }
+
+    // Cost: every reference of every iteration is inspected once; the scan is
+    // parallel over processors.
+    let total_refs: usize = iteration_refs.iter().map(Vec::len).sum();
+    let per_proc = total_refs as f64 / nprocs as f64;
+    for p in 0..nprocs {
+        machine.charge_compute(p, per_proc);
+    }
+
+    IterationPartition::new(iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_dmsim::MachineConfig;
+
+    /// 4 iterations referencing a block(8,2) array:
+    ///   it0 -> [0,1]   both on proc 0
+    ///   it1 -> [4,5]   both on proc 1
+    ///   it2 -> [0,5,6] majority proc 1
+    ///   it3 -> [3,4]   tie -> proc 0 (lowest id)
+    fn refs() -> Vec<Vec<u32>> {
+        vec![vec![0, 1], vec![4, 5], vec![0, 5, 6], vec![3, 4]]
+    }
+
+    #[test]
+    fn almost_owner_computes_majority_and_ties() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let d = Distribution::block(8, 2);
+        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        assert_eq!(p.iters(0), &[0, 3]);
+        assert_eq!(p.iters(1), &[1, 2]);
+        assert_eq!(p.total(), 4);
+        assert_eq!(p.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn owner_computes_uses_first_reference() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let d = Distribution::block(8, 2);
+        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::OwnerComputes);
+        assert_eq!(p.iters(0), &[0, 2, 3]);
+        assert_eq!(p.iters(1), &[1]);
+    }
+
+    #[test]
+    fn block_of_iterations_ignores_data() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let d = Distribution::block(8, 2);
+        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::BlockOfIterations);
+        assert_eq!(p.iters(0), &[0, 1]);
+        assert_eq!(p.iters(1), &[2, 3]);
+    }
+
+    #[test]
+    fn follows_irregular_distribution() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        // All referenced elements owned by proc 1.
+        let map = vec![1u32; 8];
+        let d = Distribution::irregular_from_map(&map, 2);
+        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        assert!(p.iters(0).is_empty());
+        assert_eq!(p.iters(1).len(), 4);
+        assert_eq!(p.imbalance(), 2.0);
+    }
+
+    #[test]
+    fn empty_iterations_round_robin() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let d = Distribution::block(8, 2);
+        let p = partition_iterations(
+            &mut m,
+            &d,
+            &[vec![], vec![], vec![]],
+            IterPartitionPolicy::AlmostOwnerComputes,
+        );
+        assert_eq!(p.total(), 3);
+    }
+
+    #[test]
+    fn charges_scan_cost() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let d = Distribution::block(8, 2);
+        let _ = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        assert!(m.elapsed().max_compute_seconds() > 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_empty_partition_is_one() {
+        let p = IterationPartition::new(vec![Vec::new(), Vec::new()]);
+        assert_eq!(p.imbalance(), 1.0);
+        assert_eq!(p.nprocs(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Array remapping: move a distributed array from one distribution to
+//! another (the runtime work behind the `REDISTRIBUTE` directive and
+//! Figure 2's phase C).
+//!
+//! A remap builds a one-shot communication schedule from the old
+//! distribution to the new one, ships every element whose owner changes, and
+//! rebuilds the array's local segments in the new layout. The paper's
+//! "Remap" table rows are exactly this cost (for the data arrays plus the
+//! indirection arrays that follow the loop iterations).
+
+use crate::darray::DistArray;
+use crate::dist::Distribution;
+use chaos_dmsim::{ExchangePlan, Machine};
+
+/// Remap `array` in place to `new_dist`, charging the data movement to
+/// `machine`. Returns the number of elements that changed owner.
+///
+/// # Panics
+/// Panics if the new distribution has a different global length or processor
+/// count than the old one.
+pub fn remap<T: Clone + Default + Send>(
+    machine: &mut Machine,
+    label: &str,
+    array: &mut DistArray<T>,
+    new_dist: Distribution,
+) -> usize {
+    let old_dist = array.dist().clone();
+    assert_eq!(
+        old_dist.len(),
+        new_dist.len(),
+        "remap cannot change the global array length"
+    );
+    assert_eq!(
+        old_dist.nprocs(),
+        new_dist.nprocs(),
+        "remap cannot change the processor count"
+    );
+    let nprocs = old_dist.nprocs();
+
+    // New local storage.
+    let mut new_local: Vec<Vec<T>> = (0..nprocs)
+        .map(|p| vec![T::default(); new_dist.local_size(p)])
+        .collect();
+
+    // Build the transfer plan and move data. Elements that stay on the same
+    // processor are local copies (memory cost only).
+    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+    let mut moved = 0usize;
+    let mut payloads: Vec<Vec<Vec<T>>> = vec![vec![Vec::new(); nprocs]; nprocs];
+    for g in 0..old_dist.len() {
+        let (old_p, old_off) = old_dist.locate(g);
+        let (new_p, new_off) = new_dist.locate(g);
+        let value = array.local(old_p)[old_off].clone();
+        if old_p == new_p {
+            machine.charge_memory(old_p, 1.0);
+        } else {
+            moved += 1;
+            payloads[old_p][new_p].push(value.clone());
+        }
+        new_local[new_p][new_off] = value;
+    }
+    for (src, row) in payloads.into_iter().enumerate() {
+        for (dst, payload) in row.into_iter().enumerate() {
+            if !payload.is_empty() {
+                machine.charge_memory(src, payload.len() as f64);
+                machine.charge_memory(dst, payload.len() as f64);
+                plan.push(src, dst, payload);
+            }
+        }
+    }
+    machine.exchange(&format!("{label}:remap"), plan);
+
+    array.replace_storage(new_dist, new_local);
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_dmsim::MachineConfig;
+
+    #[test]
+    fn remap_block_to_irregular_preserves_values() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let data: Vec<f64> = (0..16).map(|i| i as f64 * 1.5).collect();
+        let mut a = DistArray::from_global("x", Distribution::block(16, 4), &data);
+        let map: Vec<u32> = (0..16).map(|i| ((i * 7) % 4) as u32).collect();
+        let new_dist = Distribution::irregular_from_map(&map, 4);
+        let moved = remap(&mut m, "test", &mut a, new_dist);
+        assert_eq!(a.to_global(), data, "values survive the remap");
+        assert_eq!(a.dad().dist_kind, "IRREGULAR");
+        assert!(moved > 0);
+        assert!(m.stats().grand_totals().messages > 0);
+    }
+
+    #[test]
+    fn identity_remap_moves_nothing() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut a = DistArray::from_global("x", Distribution::block(16, 4), &data);
+        let moved = remap(&mut m, "test", &mut a, Distribution::block(16, 4));
+        assert_eq!(moved, 0);
+        assert_eq!(m.stats().grand_totals().messages, 0);
+        assert_eq!(a.to_global(), data);
+    }
+
+    #[test]
+    fn remap_back_and_forth_roundtrips() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let data: Vec<i64> = (0..9).map(|i| i as i64 * 3).collect();
+        let mut a = DistArray::from_global("x", Distribution::block(9, 2), &data);
+        remap(&mut m, "to-cyclic", &mut a, Distribution::cyclic(9, 2));
+        assert_eq!(a.to_global(), data);
+        assert_eq!(a.local(0).len(), 5);
+        remap(&mut m, "back", &mut a, Distribution::block(9, 2));
+        assert_eq!(a.to_global(), data);
+        assert_eq!(a.local(0), &[0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn remap_changes_the_dad() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let mut a = DistArray::from_global(
+            "x",
+            Distribution::block(8, 2),
+            &(0..8).map(|i| i as f64).collect::<Vec<_>>(),
+        );
+        let before = a.dad().signature();
+        let map: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
+        remap(&mut m, "test", &mut a, Distribution::irregular_from_map(&map, 2));
+        assert_ne!(a.dad().signature(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "global array length")]
+    fn remap_rejects_length_change() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let mut a: DistArray<f64> = DistArray::new("x", Distribution::block(8, 2));
+        remap(&mut m, "bad", &mut a, Distribution::block(9, 2));
+    }
+}

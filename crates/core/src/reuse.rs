@@ -1,0 +1,395 @@
+//! Conservative inspector / communication-schedule reuse (Section 3 of the
+//! paper).
+//!
+//! The registry maintains the paper's runtime record:
+//!
+//! * `nmod` — a global counter of how many loops / array intrinsics /
+//!   statements have modified *any* distributed array ("a global time
+//!   stamp"; note it counts executed writing blocks, not individual element
+//!   assignments),
+//! * `last_mod(DAD)` — for each data access descriptor, the value of `nmod`
+//!   when an array with that DAD was last (possibly) written,
+//! * per-loop records of the DADs of the loop's data arrays, the DADs of its
+//!   indirection arrays, and the `last_mod` stamps of the indirection arrays
+//!   at the time the loop's inspector last ran.
+//!
+//! Before re-executing a loop the generated code asks [`ReuseRegistry::check`];
+//! the saved inspector results (schedules, iteration partitions, ghost-buffer
+//! bindings) may be reused only when every data-array DAD and every
+//! indirection-array DAD is unchanged **and** no indirection array may have
+//! been written since the last inspector. Anything else conservatively
+//! triggers a fresh inspector.
+
+use crate::dad::{Dad, DadSignature};
+use chaos_dmsim::{collectives, Machine, ReduceOp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of an irregular loop (one per source-level FORALL).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoopId(pub String);
+
+impl LoopId {
+    /// Convenience constructor.
+    pub fn new(name: &str) -> Self {
+        LoopId(name.to_string())
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What a loop's inspector recorded the last time it ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopRecord {
+    /// `L.DAD(x_i)` for each data array.
+    pub data_dads: Vec<Dad>,
+    /// `L.DAD(ind_j)` for each indirection array.
+    pub ind_dads: Vec<Dad>,
+    /// `L.last_mod(DAD(ind_j))` for each indirection array.
+    pub ind_stamps: Vec<u64>,
+}
+
+/// Why an inspector had to be re-run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RerunReason {
+    /// The loop has never run an inspector.
+    FirstExecution,
+    /// The number of data or indirection arrays changed (conservative
+    /// structural mismatch).
+    ShapeChanged,
+    /// Data array `index` now has a different DAD (e.g. it was remapped).
+    DataDadChanged {
+        /// Position of the array in the loop's data-array list.
+        index: usize,
+    },
+    /// Indirection array `index` now has a different DAD.
+    IndirectionDadChanged {
+        /// Position of the array in the loop's indirection-array list.
+        index: usize,
+    },
+    /// Indirection array `index` may have been written since the last
+    /// inspector ran.
+    IndirectionModified {
+        /// Position of the array in the loop's indirection-array list.
+        index: usize,
+    },
+}
+
+/// The outcome of a reuse check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// Every condition holds: reuse the saved inspector results.
+    Reuse,
+    /// At least one condition failed: re-run the inspector. The reasons are
+    /// reported for diagnostics and for the benches' bookkeeping.
+    Rerun(Vec<RerunReason>),
+}
+
+impl ReuseDecision {
+    /// True when the saved results may be reused.
+    pub fn can_reuse(&self) -> bool {
+        matches!(self, ReuseDecision::Reuse)
+    }
+}
+
+/// The global runtime record (`nmod`, `last_mod`, per-loop records).
+#[derive(Debug, Clone, Default)]
+pub struct ReuseRegistry {
+    nmod: u64,
+    last_mod: HashMap<DadSignature, u64>,
+    records: HashMap<LoopId, LoopRecord>,
+    /// Counters for reporting: how many checks reused vs re-ran.
+    reuse_hits: u64,
+    reuse_misses: u64,
+}
+
+impl ReuseRegistry {
+    /// Fresh registry (program start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of the global modification stamp.
+    pub fn nmod(&self) -> u64 {
+        self.nmod
+    }
+
+    /// `last_mod` for a DAD (0 when never written).
+    pub fn last_mod(&self, dad: &Dad) -> u64 {
+        self.last_mod.get(&dad.signature()).copied().unwrap_or(0)
+    }
+
+    /// Record that one block of code (a loop, an array intrinsic or a
+    /// statement) has possibly written the arrays with the given DADs.
+    /// Increments `nmod` once for the block, then stamps every DAD — this is
+    /// the "once per loop or array intrinsic call" bookkeeping the paper
+    /// argues keeps the overhead low.
+    pub fn record_write_block(&mut self, dads: &[&Dad]) {
+        if dads.is_empty() {
+            return;
+        }
+        self.nmod += 1;
+        for dad in dads {
+            self.last_mod.insert(dad.signature(), self.nmod);
+        }
+    }
+
+    /// Record a write to a single distributed array.
+    pub fn record_write(&mut self, dad: &Dad) {
+        self.record_write_block(&[dad]);
+    }
+
+    /// Record that an array was remapped: its DAD changed from `old` to
+    /// `new`. The paper: "If the array a is remapped, it means that DAD(a)
+    /// changes. In this case, we increment nmod and then set
+    /// last_mod(DAD(a)) = nmod."
+    pub fn record_remap(&mut self, old: &Dad, new: &Dad) {
+        self.nmod += 1;
+        self.last_mod.insert(old.signature(), self.nmod);
+        self.last_mod.insert(new.signature(), self.nmod);
+    }
+
+    /// Store what loop `id`'s inspector saw (call right after running the
+    /// inspector).
+    pub fn save_inspector(&mut self, id: LoopId, data_dads: Vec<Dad>, ind_dads: Vec<Dad>) {
+        let ind_stamps = ind_dads.iter().map(|d| self.last_mod(d)).collect();
+        self.records.insert(
+            id,
+            LoopRecord {
+                data_dads,
+                ind_dads,
+                ind_stamps,
+            },
+        );
+    }
+
+    /// The saved record for a loop, if any.
+    pub fn record(&self, id: &LoopId) -> Option<&LoopRecord> {
+        self.records.get(id)
+    }
+
+    /// Perform the reuse check for loop `id` given the arrays' *current*
+    /// DADs. Does not mutate the registry except for the hit/miss counters.
+    pub fn check(&mut self, id: &LoopId, data_dads: &[Dad], ind_dads: &[Dad]) -> ReuseDecision {
+        let decision = self.check_inner(id, data_dads, ind_dads);
+        match &decision {
+            ReuseDecision::Reuse => self.reuse_hits += 1,
+            ReuseDecision::Rerun(_) => self.reuse_misses += 1,
+        }
+        decision
+    }
+
+    fn check_inner(&self, id: &LoopId, data_dads: &[Dad], ind_dads: &[Dad]) -> ReuseDecision {
+        let Some(record) = self.records.get(id) else {
+            return ReuseDecision::Rerun(vec![RerunReason::FirstExecution]);
+        };
+        let mut reasons = Vec::new();
+        if record.data_dads.len() != data_dads.len() || record.ind_dads.len() != ind_dads.len() {
+            return ReuseDecision::Rerun(vec![RerunReason::ShapeChanged]);
+        }
+        // Condition 1: DAD(x_i) == L.DAD(x_i)
+        for (i, (cur, saved)) in data_dads.iter().zip(&record.data_dads).enumerate() {
+            if cur.signature() != saved.signature() {
+                reasons.push(RerunReason::DataDadChanged { index: i });
+            }
+        }
+        // Condition 2: DAD(ind_j) == L.DAD(ind_j)
+        for (j, (cur, saved)) in ind_dads.iter().zip(&record.ind_dads).enumerate() {
+            if cur.signature() != saved.signature() {
+                reasons.push(RerunReason::IndirectionDadChanged { index: j });
+            }
+        }
+        // Condition 3: last_mod(DAD(ind_j)) == L.last_mod(DAD(ind_j))
+        for (j, (cur, &saved_stamp)) in ind_dads.iter().zip(&record.ind_stamps).enumerate() {
+            if self.last_mod(cur) != saved_stamp {
+                reasons.push(RerunReason::IndirectionModified { index: j });
+            }
+        }
+        if reasons.is_empty() {
+            ReuseDecision::Reuse
+        } else {
+            ReuseDecision::Rerun(reasons)
+        }
+    }
+
+    /// Perform the reuse check *on the simulated machine*, charging the small
+    /// global agreement it costs: every processor evaluates its local view of
+    /// the conditions and the results are combined with a single-word
+    /// all-reduce (all processors must agree before anyone may skip its
+    /// inspector). Returns the same decision as [`check`].
+    pub fn check_on_machine(
+        &mut self,
+        machine: &mut Machine,
+        label: &str,
+        id: &LoopId,
+        data_dads: &[Dad],
+        ind_dads: &[Dad],
+    ) -> ReuseDecision {
+        // Local evaluation: a handful of comparisons per array per processor.
+        let narrays = (data_dads.len() + 2 * ind_dads.len()) as f64;
+        machine.charge_compute_all(narrays);
+        let decision = self.check(id, data_dads, ind_dads);
+        let flag = u64::from(!decision.can_reuse());
+        let votes = vec![flag; machine.nprocs()];
+        let combined =
+            collectives::all_reduce_scalar_u64(machine, &format!("{label}:reuse-check"), ReduceOp::Max, &votes);
+        debug_assert_eq!(combined, flag, "simulated processors always agree");
+        decision
+    }
+
+    /// `(hits, misses)` counters for reporting.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.reuse_hits, self.reuse_misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use chaos_dmsim::MachineConfig;
+
+    fn block_dad(n: usize) -> Dad {
+        Dad::of(&Distribution::block(n, 4))
+    }
+
+    #[test]
+    fn first_execution_requires_inspector() {
+        let mut reg = ReuseRegistry::new();
+        let d = block_dad(100);
+        let decision = reg.check(&LoopId::new("L2"), &[d.clone()], &[d]);
+        assert_eq!(
+            decision,
+            ReuseDecision::Rerun(vec![RerunReason::FirstExecution])
+        );
+    }
+
+    #[test]
+    fn unchanged_arrays_reuse() {
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        let d = reg.check(&LoopId::new("L"), &[data], &[ind]);
+        assert!(d.can_reuse());
+        assert_eq!(reg.hit_miss(), (1, 0));
+    }
+
+    #[test]
+    fn writing_an_indirection_array_invalidates() {
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        // Some loop writes an array with the indirection array's DAD.
+        reg.record_write(&ind);
+        let d = reg.check(&LoopId::new("L"), &[data], &[ind]);
+        assert_eq!(
+            d,
+            ReuseDecision::Rerun(vec![RerunReason::IndirectionModified { index: 0 }])
+        );
+    }
+
+    #[test]
+    fn writing_only_data_arrays_does_not_invalidate() {
+        // The executor writes y every iteration; as long as y is not used as
+        // an indirection array the schedule stays valid. (Conservatively,
+        // arrays sharing y's DAD are also stamped — but the indirection
+        // array here has a different DAD.)
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        reg.record_write(&data);
+        reg.record_write(&data);
+        assert!(reg.check(&LoopId::new("L"), &[data], &[ind]).can_reuse());
+    }
+
+    #[test]
+    fn conservative_false_sharing_of_dads_invalidates() {
+        // Two different arrays with the *same* DAD (same size, same block
+        // distribution): writing one conservatively invalidates loops whose
+        // indirection array shares that DAD. This is exactly the
+        // over-approximation the paper accepts.
+        let mut reg = ReuseRegistry::new();
+        let ind = block_dad(300);
+        let same_dad_other_array = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![block_dad(100)], vec![ind.clone()]);
+        reg.record_write(&same_dad_other_array);
+        assert!(!reg.check(&LoopId::new("L"), &[block_dad(100)], &[ind]).can_reuse());
+    }
+
+    #[test]
+    fn remap_of_data_array_invalidates_via_dad_change() {
+        let mut reg = ReuseRegistry::new();
+        let data_old = Dad::of(&Distribution::block(100, 4));
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data_old.clone()], vec![ind.clone()]);
+        // Remap: the data array now has an irregular distribution.
+        let map: Vec<u32> = (0..100).map(|i| (i % 4) as u32).collect();
+        let data_new = Dad::of(&Distribution::irregular_from_map(&map, 4));
+        reg.record_remap(&data_old, &data_new);
+        let d = reg.check(&LoopId::new("L"), &[data_new], &[ind]);
+        assert_eq!(
+            d,
+            ReuseDecision::Rerun(vec![RerunReason::DataDadChanged { index: 0 }])
+        );
+    }
+
+    #[test]
+    fn rerunning_inspector_restores_reuse() {
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        reg.record_write(&ind);
+        assert!(!reg.check(&LoopId::new("L"), &[data.clone()], &[ind.clone()]).can_reuse());
+        // Re-run the inspector (records the new stamp).
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        assert!(reg.check(&LoopId::new("L"), &[data], &[ind]).can_reuse());
+        assert_eq!(reg.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn shape_change_is_conservative() {
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        let d = reg.check(&LoopId::new("L"), &[data.clone(), data.clone()], &[ind]);
+        assert_eq!(d, ReuseDecision::Rerun(vec![RerunReason::ShapeChanged]));
+    }
+
+    #[test]
+    fn nmod_counts_blocks_not_elements() {
+        let mut reg = ReuseRegistry::new();
+        let a = block_dad(10);
+        let b = block_dad(20);
+        reg.record_write_block(&[&a, &b]);
+        assert_eq!(reg.nmod(), 1);
+        assert_eq!(reg.last_mod(&a), 1);
+        assert_eq!(reg.last_mod(&b), 1);
+        reg.record_write_block(&[]);
+        assert_eq!(reg.nmod(), 1, "empty blocks do not advance nmod");
+        reg.record_write(&a);
+        assert_eq!(reg.nmod(), 2);
+        assert_eq!(reg.last_mod(&b), 1);
+    }
+
+    #[test]
+    fn check_on_machine_charges_an_allreduce() {
+        let mut reg = ReuseRegistry::new();
+        let data = block_dad(100);
+        let ind = block_dad(300);
+        reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let d = reg.check_on_machine(&mut m, "L", &LoopId::new("L"), &[data], &[ind]);
+        assert!(d.can_reuse());
+        assert!(m.stats().grand_totals().messages > 0);
+        assert!(m.elapsed().max_seconds() > 0.0);
+    }
+}

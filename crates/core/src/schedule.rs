@@ -1,0 +1,348 @@
+//! Communication schedules.
+//!
+//! A schedule records, once, everything needed to move the off-processor
+//! data a loop references: which elements each owner must send to which
+//! requester (the *send lists*), and into which ghost-buffer slot each
+//! incoming value lands (the *receive slots*). Building a schedule requires
+//! one request exchange (an inspector cost); using it — with
+//! [`crate::executor::gather`] / [`crate::executor::scatter_add`] — is an
+//! executor cost paid every iteration. Amortizing the former over many of
+//! the latter is exactly what the paper's schedule-reuse mechanism is for.
+
+use chaos_dmsim::{ExchangePlan, Machine};
+
+/// A reusable communication schedule for one loop / one distributed-array
+/// distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommSchedule {
+    nprocs: usize,
+    /// For requester `p`: the `(owner, owner_local_offset)` of each ghost
+    /// slot, in slot order (sorted by owner then offset — deterministic).
+    ghost_sources: Vec<Vec<(u32, u32)>>,
+    /// For owner `o`: `(requester, local offsets to pack, ghost slots at the
+    /// requester matching that packing order)`.
+    send_lists: Vec<Vec<SendList>>,
+}
+
+/// One owner→requester send list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendList {
+    /// The processor the data is sent to.
+    pub to: u32,
+    /// Local offsets (on the owner) to pack, in order.
+    pub offsets: Vec<u32>,
+    /// Ghost slots (on the requester) the packed values land in, same order.
+    pub ghost_slots: Vec<u32>,
+}
+
+impl CommSchedule {
+    /// Build a schedule from each requester's deduplicated off-processor
+    /// reference list.
+    ///
+    /// `ghost_sources[p]` must list, for every ghost slot of processor `p`,
+    /// the owning processor and the element's local offset there. Slots must
+    /// not reference elements owned by `p` itself (those are local accesses,
+    /// not ghosts).
+    ///
+    /// Building the schedule performs the request exchange (each requester
+    /// tells each owner which offsets it needs) and charges it to `machine` —
+    /// this is part of the inspector cost in the paper's tables.
+    pub fn build(
+        machine: &mut Machine,
+        label: &str,
+        ghost_sources: Vec<Vec<(u32, u32)>>,
+    ) -> Self {
+        let nprocs = machine.nprocs();
+        assert_eq!(
+            ghost_sources.len(),
+            nprocs,
+            "ghost_sources must have one entry per processor"
+        );
+
+        // Group each requester's slots by owner.
+        // grouped[owner][requester] -> (offsets, slots)
+        let mut grouped: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
+            vec![vec![(Vec::new(), Vec::new()); nprocs]; nprocs];
+        for (requester, sources) in ghost_sources.iter().enumerate() {
+            for (slot, &(owner, offset)) in sources.iter().enumerate() {
+                assert!(
+                    (owner as usize) < nprocs,
+                    "ghost slot references processor {owner} out of range"
+                );
+                assert_ne!(
+                    owner as usize, requester,
+                    "ghost slot on processor {requester} references itself"
+                );
+                let cell = &mut grouped[owner as usize][requester];
+                cell.0.push(offset);
+                cell.1.push(slot as u32);
+            }
+        }
+
+        // The request exchange: requester -> owner, one word per requested
+        // element.
+        let mut plan: ExchangePlan<u32> = ExchangePlan::new(nprocs);
+        for (owner, row) in grouped.iter().enumerate() {
+            for (requester, (offsets, _)) in row.iter().enumerate() {
+                if !offsets.is_empty() {
+                    plan.push(requester, owner, offsets.clone());
+                }
+            }
+        }
+        machine.exchange(&format!("{label}:schedule-build"), plan);
+
+        let send_lists: Vec<Vec<SendList>> = grouped
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .filter(|(_, (offsets, _))| !offsets.is_empty())
+                    .map(|(requester, (offsets, ghost_slots))| SendList {
+                        to: requester as u32,
+                        offsets,
+                        ghost_slots,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        CommSchedule {
+            nprocs,
+            ghost_sources,
+            send_lists,
+        }
+    }
+
+    /// Processor count the schedule was built for.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of ghost slots (off-processor copies) held by `proc`.
+    pub fn ghost_count(&self, proc: usize) -> usize {
+        self.ghost_sources[proc].len()
+    }
+
+    /// Total ghost slots over all processors — the communication volume (in
+    /// elements) of one gather.
+    pub fn total_ghosts(&self) -> usize {
+        self.ghost_sources.iter().map(Vec::len).sum()
+    }
+
+    /// Number of point-to-point messages one gather (or scatter) performs.
+    pub fn message_count(&self) -> usize {
+        self.send_lists.iter().map(Vec::len).sum()
+    }
+
+    /// The `(owner, offset)` sources of processor `proc`'s ghost slots.
+    pub fn ghost_sources(&self, proc: usize) -> &[(u32, u32)] {
+        &self.ghost_sources[proc]
+    }
+
+    /// The send lists of owner `proc`.
+    pub fn send_lists(&self, proc: usize) -> &[SendList] {
+        &self.send_lists[proc]
+    }
+
+    /// Maximum ghost count over processors (bounds per-processor buffer
+    /// space).
+    pub fn max_ghosts(&self) -> usize {
+        self.ghost_sources.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Merge two schedules built against the *same* distribution into one,
+    /// so that a single gather/scatter serves both loops (PARTI's schedule
+    /// merging: amortizing per-message start-up across loops that reference
+    /// overlapping ghost sets).
+    ///
+    /// Returns the merged schedule plus, for each input schedule, a
+    /// per-processor mapping from its old ghost-slot numbers to slots in the
+    /// merged schedule, so previously localized references remain usable.
+    ///
+    /// Merging is a purely local operation (no communication is charged):
+    /// both inputs already carry the owner-side information needed to
+    /// rebuild the send lists.
+    pub fn merge(&self, other: &CommSchedule) -> (CommSchedule, Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        assert_eq!(
+            self.nprocs, other.nprocs,
+            "cannot merge schedules built for different machine sizes"
+        );
+        let nprocs = self.nprocs;
+        let mut merged_sources: Vec<Vec<(u32, u32)>> = Vec::with_capacity(nprocs);
+        let mut map_a: Vec<Vec<u32>> = Vec::with_capacity(nprocs);
+        let mut map_b: Vec<Vec<u32>> = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let mut union: Vec<(u32, u32)> = self.ghost_sources[p]
+                .iter()
+                .chain(other.ghost_sources[p].iter())
+                .copied()
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            let slot_of = |src: &(u32, u32)| union.binary_search(src).expect("present") as u32;
+            map_a.push(self.ghost_sources[p].iter().map(slot_of).collect());
+            map_b.push(other.ghost_sources[p].iter().map(slot_of).collect());
+            merged_sources.push(union);
+        }
+
+        // Rebuild send lists locally from the merged ghost sources.
+        let mut grouped: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
+            vec![vec![(Vec::new(), Vec::new()); nprocs]; nprocs];
+        for (requester, sources) in merged_sources.iter().enumerate() {
+            for (slot, &(owner, offset)) in sources.iter().enumerate() {
+                let cell = &mut grouped[owner as usize][requester];
+                cell.0.push(offset);
+                cell.1.push(slot as u32);
+            }
+        }
+        let send_lists: Vec<Vec<SendList>> = grouped
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .enumerate()
+                    .filter(|(_, (offsets, _))| !offsets.is_empty())
+                    .map(|(requester, (offsets, ghost_slots))| SendList {
+                        to: requester as u32,
+                        offsets,
+                        ghost_slots,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        (
+            CommSchedule {
+                nprocs,
+                ghost_sources: merged_sources,
+                send_lists,
+            },
+            map_a,
+            map_b,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_dmsim::MachineConfig;
+
+    /// 2 procs; proc 0 needs elements at offsets 3 and 5 of proc 1, proc 1
+    /// needs offset 0 of proc 0.
+    fn simple_schedule(machine: &mut Machine) -> CommSchedule {
+        CommSchedule::build(
+            machine,
+            "test",
+            vec![vec![(1, 3), (1, 5)], vec![(0, 0)]],
+        )
+    }
+
+    #[test]
+    fn build_produces_matching_send_lists() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let s = simple_schedule(&mut m);
+        assert_eq!(s.nprocs(), 2);
+        assert_eq!(s.ghost_count(0), 2);
+        assert_eq!(s.ghost_count(1), 1);
+        assert_eq!(s.total_ghosts(), 3);
+        assert_eq!(s.message_count(), 2);
+        assert_eq!(s.max_ghosts(), 2);
+
+        let from1 = s.send_lists(1);
+        assert_eq!(from1.len(), 1);
+        assert_eq!(from1[0].to, 0);
+        assert_eq!(from1[0].offsets, vec![3, 5]);
+        assert_eq!(from1[0].ghost_slots, vec![0, 1]);
+
+        let from0 = s.send_lists(0);
+        assert_eq!(from0[0].to, 1);
+        assert_eq!(from0[0].offsets, vec![0]);
+    }
+
+    #[test]
+    fn build_charges_request_exchange() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let _ = simple_schedule(&mut m);
+        let t = m.stats().grand_totals();
+        assert_eq!(t.messages, 2);
+        assert!(m.elapsed().max_seconds() > 0.0);
+    }
+
+    #[test]
+    fn empty_schedule_is_free_of_messages() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let s = CommSchedule::build(&mut m, "empty", vec![Vec::new(); 4]);
+        assert_eq!(s.total_ghosts(), 0);
+        assert_eq!(s.message_count(), 0);
+        assert_eq!(m.stats().grand_totals().messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references itself")]
+    fn self_reference_rejected() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let _ = CommSchedule::build(&mut m, "bad", vec![vec![(0, 1)], Vec::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per processor")]
+    fn wrong_shape_rejected() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let _ = CommSchedule::build(&mut m, "bad", vec![Vec::new(); 2]);
+    }
+
+    #[test]
+    fn merge_unions_ghosts_and_remaps_slots() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        // Loop A needs offsets 3 and 5 of proc 1; loop B needs 5 and 7.
+        let a = CommSchedule::build(&mut m, "a", vec![vec![(1, 3), (1, 5)], vec![]]);
+        let b = CommSchedule::build(&mut m, "b", vec![vec![(1, 5), (1, 7)], vec![(0, 2)]]);
+        let messages_before = m.stats().grand_totals().messages;
+        let (merged, map_a, map_b) = a.merge(&b);
+        // Merging is local: no new messages were charged.
+        assert_eq!(m.stats().grand_totals().messages, messages_before);
+        // Union on proc 0: offsets 3, 5, 7 of proc 1 (deduplicated).
+        assert_eq!(merged.ghost_count(0), 3);
+        assert_eq!(merged.ghost_count(1), 1);
+        assert_eq!(merged.ghost_sources(0), &[(1, 3), (1, 5), (1, 7)]);
+        // Old slots still address the same elements in the merged schedule.
+        for (old_slot, &(owner, off)) in a.ghost_sources(0).iter().enumerate() {
+            assert_eq!(merged.ghost_sources(0)[map_a[0][old_slot] as usize], (owner, off));
+        }
+        for (old_slot, &(owner, off)) in b.ghost_sources(0).iter().enumerate() {
+            assert_eq!(merged.ghost_sources(0)[map_b[0][old_slot] as usize], (owner, off));
+        }
+        // One message per (owner, requester) pair with data: 1->0 and 0->1.
+        assert_eq!(merged.message_count(), 2);
+    }
+
+    #[test]
+    fn merged_schedule_gathers_the_union_correctly() {
+        use crate::darray::DistArray;
+        use crate::dist::Distribution;
+        use crate::executor::gather;
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let x = DistArray::from_global(
+            "x",
+            Distribution::block(8, 2),
+            &(0..8).map(|i| i as f64 * 10.0).collect::<Vec<_>>(),
+        );
+        let a = CommSchedule::build(&mut m, "a", vec![vec![(1, 0)], vec![]]); // global 4
+        let b = CommSchedule::build(&mut m, "b", vec![vec![(1, 2)], vec![(0, 1)]]); // globals 6, 1
+        let (merged, map_a, map_b) = a.merge(&b);
+        let ghosts = gather(&mut m, "merged", &merged, &x);
+        assert_eq!(ghosts[0][map_a[0][0] as usize], 40.0);
+        assert_eq!(ghosts[0][map_b[0][0] as usize], 60.0);
+        assert_eq!(ghosts[1][map_b[1][0] as usize], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine sizes")]
+    fn merge_rejects_mismatched_schedules() {
+        let mut m2 = Machine::new(MachineConfig::unit(2));
+        let mut m4 = Machine::new(MachineConfig::unit(4));
+        let a = CommSchedule::build(&mut m2, "a", vec![Vec::new(); 2]);
+        let b = CommSchedule::build(&mut m4, "b", vec![Vec::new(); 4]);
+        let _ = a.merge(&b);
+    }
+}

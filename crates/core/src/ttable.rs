@@ -1,0 +1,317 @@
+//! The translation table: the CHAOS/PARTI data structure that records, for
+//! every global index of an irregularly distributed array, the owning
+//! processor and the local offset there.
+//!
+//! PARTI supports two physical layouts:
+//!
+//! * **replicated** — every processor holds the whole table; lookups are
+//!   local but the memory cost is `O(n)` per processor, and building it
+//!   requires an all-gather of the map array;
+//! * **distributed (paged)** — processor `p` holds the table entries for the
+//!   block of global indices `p` would own under a BLOCK distribution
+//!   ("pages"); lookups for other processors' pages require a
+//!   request/response message pair (the *dereference* step of the
+//!   inspector).
+//!
+//! Both layouts answer lookups identically; they differ only in the
+//! communication charged by [`TranslationTable::dereference`]. The
+//! `translation` ablation bench compares them.
+
+use chaos_dmsim::{ExchangePlan, Machine};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Physical layout policy for the translation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TTablePolicy {
+    /// Whole table replicated on every processor.
+    Replicated,
+    /// Table pages distributed block-wise over processors.
+    Distributed,
+}
+
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Translation table for one irregular distribution.
+#[derive(Debug)]
+pub struct TranslationTable {
+    id: u64,
+    nprocs: usize,
+    owners: Vec<u32>,
+    local_offsets: Vec<u32>,
+    local_sizes: Vec<usize>,
+    policy: TTablePolicy,
+}
+
+impl TranslationTable {
+    /// Build a table from a map array (`map[i]` = owner of global index `i`)
+    /// with the replicated policy.
+    ///
+    /// Local offsets are assigned in ascending global-index order within each
+    /// processor, the same convention PARTI uses.
+    pub fn from_map(map: &[u32], nprocs: usize) -> Self {
+        Self::from_map_with_policy(map, nprocs, TTablePolicy::Replicated)
+    }
+
+    /// Build a table from a map array with an explicit layout policy.
+    pub fn from_map_with_policy(map: &[u32], nprocs: usize, policy: TTablePolicy) -> Self {
+        assert!(nprocs > 0, "translation table needs at least one processor");
+        let mut local_sizes = vec![0usize; nprocs];
+        let mut local_offsets = vec![0u32; map.len()];
+        for (g, &o) in map.iter().enumerate() {
+            let o = o as usize;
+            assert!(o < nprocs, "map[{g}] = {o} exceeds processor count {nprocs}");
+            local_offsets[g] = local_sizes[o] as u32;
+            local_sizes[o] += 1;
+        }
+        TranslationTable {
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
+            nprocs,
+            owners: map.to_vec(),
+            local_offsets,
+            local_sizes,
+            policy,
+        }
+    }
+
+    /// Unique id of this table (used in DAD signatures).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Global array size covered by the table.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// True when the table covers no elements.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Processor count.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The layout policy.
+    pub fn policy(&self) -> TTablePolicy {
+        self.policy
+    }
+
+    /// Owner of `global`.
+    #[inline]
+    pub fn owner(&self, global: usize) -> usize {
+        self.owners[global] as usize
+    }
+
+    /// Local offset of `global` on its owner.
+    #[inline]
+    pub fn local_offset(&self, global: usize) -> usize {
+        self.local_offsets[global] as usize
+    }
+
+    /// Number of elements owned by `proc`.
+    pub fn local_size(&self, proc: usize) -> usize {
+        self.local_sizes[proc]
+    }
+
+    /// Global indices owned by `proc` in ascending local-offset order.
+    pub fn owned_globals(&self, proc: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.local_sizes[proc]);
+        for (g, &o) in self.owners.iter().enumerate() {
+            if o as usize == proc {
+                out.push(g);
+            }
+        }
+        out
+    }
+
+    /// Which processor holds the table *page* for `global` under the
+    /// distributed layout (a BLOCK distribution of the index space).
+    pub fn page_owner(&self, global: usize) -> usize {
+        let block = self.len().div_ceil(self.nprocs).max(1);
+        (global / block).min(self.nprocs - 1)
+    }
+
+    /// Dereference a batch of global indices on behalf of each requesting
+    /// processor, charging the machine for any table-page traffic.
+    ///
+    /// `requests[p]` is the list of global indices processor `p` needs to
+    /// translate; the result mirrors that shape with `(owner, local_offset)`
+    /// pairs. With the replicated policy the lookups are free of
+    /// communication (only local table-probe compute is charged); with the
+    /// distributed policy each off-page request incurs a request/response
+    /// message pair to the page owner, which is the dominant inspector cost
+    /// the paper measures.
+    pub fn dereference(
+        &self,
+        machine: &mut Machine,
+        label: &str,
+        requests: &[Vec<u32>],
+    ) -> Vec<Vec<(u32, u32)>> {
+        assert_eq!(requests.len(), self.nprocs);
+        match self.policy {
+            TTablePolicy::Replicated => {
+                for (p, reqs) in requests.iter().enumerate() {
+                    // One table probe per request.
+                    machine.charge_compute(p, reqs.len() as f64);
+                }
+            }
+            TTablePolicy::Distributed => {
+                // Round 1: ship requests to page owners.
+                let mut plan: ExchangePlan<u32> = ExchangePlan::new(self.nprocs);
+                let mut counts = vec![vec![0usize; self.nprocs]; self.nprocs];
+                for (p, reqs) in requests.iter().enumerate() {
+                    let mut per_dest: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
+                    for &g in reqs {
+                        let page = self.page_owner(g as usize);
+                        per_dest[page].push(g);
+                        counts[p][page] += 1;
+                    }
+                    for (dest, payload) in per_dest.into_iter().enumerate() {
+                        plan.push(p, dest, payload);
+                    }
+                }
+                machine.exchange(&format!("{label}:deref-request"), plan);
+                // Round 2: page owners answer with (owner, offset) pairs —
+                // twice the volume of the request.
+                let mut reply: ExchangePlan<u32> = ExchangePlan::new(self.nprocs);
+                for (p, row) in counts.iter().enumerate() {
+                    for (page, &cnt) in row.iter().enumerate() {
+                        if cnt > 0 {
+                            // Page owner does cnt probes...
+                            machine.charge_compute(page, cnt as f64);
+                            // ...and replies with 2 words per probe.
+                            reply.push(page, p, vec![0u32; 2 * cnt]);
+                        }
+                    }
+                }
+                machine.exchange(&format!("{label}:deref-reply"), reply);
+            }
+        }
+        // The actual answers (exact, independent of the cost policy).
+        requests
+            .iter()
+            .map(|reqs| {
+                reqs.iter()
+                    .map(|&g| (self.owners[g as usize], self.local_offsets[g as usize]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Words of table state stored on processor `proc`, used to charge the
+    /// cost of building / shipping the table.
+    pub fn storage_words(&self, proc: usize) -> usize {
+        match self.policy {
+            TTablePolicy::Replicated => 2 * self.len(),
+            TTablePolicy::Distributed => {
+                let block = self.len().div_ceil(self.nprocs).max(1);
+                let start = (proc * block).min(self.len());
+                let end = ((proc + 1) * block).min(self.len());
+                2 * (end - start)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chaos_dmsim::MachineConfig;
+
+    fn sample_map() -> Vec<u32> {
+        vec![2, 0, 0, 1, 2, 1, 0, 3]
+    }
+
+    #[test]
+    fn offsets_follow_ascending_global_order() {
+        let t = TranslationTable::from_map(&sample_map(), 4);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.owner(0), 2);
+        assert_eq!(t.local_offset(0), 0);
+        assert_eq!(t.local_offset(4), 1); // second element owned by proc 2
+        assert_eq!(t.local_offset(6), 2); // third element owned by proc 0
+        assert_eq!(t.local_size(0), 3);
+        assert_eq!(t.local_size(3), 1);
+        assert_eq!(t.owned_globals(1), vec![3, 5]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TranslationTable::from_map(&sample_map(), 4);
+        let b = TranslationTable::from_map(&sample_map(), 4);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds processor count")]
+    fn rejects_out_of_range_owner() {
+        let _ = TranslationTable::from_map(&[0, 9], 4);
+    }
+
+    #[test]
+    fn replicated_dereference_is_comm_free() {
+        let t = TranslationTable::from_map(&sample_map(), 4);
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let answers = t.dereference(&mut m, "test", &[vec![0, 3], vec![], vec![7], vec![]]);
+        assert_eq!(answers[0], vec![(2, 0), (1, 0)]);
+        assert_eq!(answers[2], vec![(3, 0)]);
+        assert_eq!(m.stats().grand_totals().messages, 0);
+    }
+
+    #[test]
+    fn distributed_dereference_charges_messages() {
+        let t = TranslationTable::from_map_with_policy(&sample_map(), 4, TTablePolicy::Distributed);
+        let mut m = Machine::new(MachineConfig::unit(4));
+        // proc 0 asks about global 7 whose page (block size 2) lives on proc 3.
+        let answers = t.dereference(&mut m, "test", &[vec![7], vec![], vec![], vec![]]);
+        assert_eq!(answers[0], vec![(3, 0)]);
+        assert!(m.stats().grand_totals().messages >= 2, "request + reply expected");
+    }
+
+    #[test]
+    fn distributed_dereference_local_page_is_message_free() {
+        let t = TranslationTable::from_map_with_policy(&sample_map(), 4, TTablePolicy::Distributed);
+        let mut m = Machine::new(MachineConfig::unit(4));
+        // proc 0 asks about globals 0 and 1: page owner of both is proc 0.
+        let answers = t.dereference(&mut m, "test", &[vec![0, 1], vec![], vec![], vec![]]);
+        assert_eq!(answers[0], vec![(2, 0), (0, 0)]);
+        assert_eq!(m.stats().grand_totals().messages, 0);
+    }
+
+    #[test]
+    fn page_owner_covers_whole_range() {
+        let t = TranslationTable::from_map(&vec![0; 10], 4);
+        for g in 0..10 {
+            assert!(t.page_owner(g) < 4);
+        }
+        assert_eq!(t.page_owner(0), 0);
+        assert_eq!(t.page_owner(9), 3);
+    }
+
+    #[test]
+    fn storage_words_reflect_policy() {
+        let rep = TranslationTable::from_map(&sample_map(), 4);
+        let dist =
+            TranslationTable::from_map_with_policy(&sample_map(), 4, TTablePolicy::Distributed);
+        assert_eq!(rep.storage_words(0), 16);
+        assert_eq!(dist.storage_words(0), 4);
+        let total: usize = (0..4).map(|p| dist.storage_words(p)).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn answers_identical_across_policies() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let rep = TranslationTable::from_map(&sample_map(), 4);
+        let dist =
+            TranslationTable::from_map_with_policy(&sample_map(), 4, TTablePolicy::Distributed);
+        let reqs = vec![vec![0, 1, 2], vec![3], vec![4, 5], vec![6, 7]];
+        assert_eq!(
+            rep.dereference(&mut m, "a", &reqs),
+            dist.dereference(&mut m, "b", &reqs)
+        );
+    }
+}

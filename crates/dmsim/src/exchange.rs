@@ -1,0 +1,168 @@
+//! All-to-all personalized exchange: the only way data moves between the
+//! simulated processors.
+//!
+//! An [`ExchangePlan`] collects typed messages (`Vec<T>` payloads) from each
+//! source processor to each destination. [`crate::Machine::exchange`]
+//! consumes the plan, charges the cost model, and returns a [`Delivered`]
+//! structure from which each destination processor can read exactly the
+//! messages addressed to it, in a deterministic order (sorted by source).
+
+use serde::{Deserialize, Serialize};
+
+/// A single point-to-point message carrying `len` payload items.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message<T> {
+    /// Source processor.
+    pub from: usize,
+    /// Destination processor.
+    pub to: usize,
+    /// Payload items.
+    pub payload: Vec<T>,
+}
+
+/// A set of messages to be exchanged in one communication phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangePlan<T> {
+    nprocs: usize,
+    messages: Vec<Message<T>>,
+}
+
+impl<T> ExchangePlan<T> {
+    /// New empty plan for a machine with `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        ExchangePlan {
+            nprocs,
+            messages: Vec::new(),
+        }
+    }
+
+    /// Number of processors this plan was built for.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Add a message. Empty payloads are dropped (no message is sent), which
+    /// mirrors real inspector-generated schedules that skip empty slots.
+    ///
+    /// # Panics
+    /// Panics if `from` or `to` is out of range.
+    pub fn push(&mut self, from: usize, to: usize, payload: Vec<T>) {
+        assert!(
+            from < self.nprocs && to < self.nprocs,
+            "processor id out of range: {from}->{to} with {} procs",
+            self.nprocs
+        );
+        if payload.is_empty() {
+            return;
+        }
+        self.messages.push(Message { from, to, payload });
+    }
+
+    /// Messages in the plan.
+    pub fn messages(&self) -> &[Message<T>] {
+        &self.messages
+    }
+
+    /// Number of messages (excluding local self-sends? no — including; the
+    /// machine decides whether self-sends are free).
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when no messages were added.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total number of payload items across all messages.
+    pub fn total_items(&self) -> usize {
+        self.messages.iter().map(|m| m.payload.len()).sum()
+    }
+
+    /// Consume the plan, returning its messages.
+    pub fn into_messages(self) -> Vec<Message<T>> {
+        self.messages
+    }
+}
+
+/// The result of an exchange: messages grouped by destination processor,
+/// sorted by source processor for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered<T> {
+    per_dest: Vec<Vec<Message<T>>>,
+}
+
+impl<T> Delivered<T> {
+    pub(crate) fn from_messages(nprocs: usize, mut messages: Vec<Message<T>>) -> Self {
+        messages.sort_by_key(|m| (m.to, m.from));
+        let mut per_dest: Vec<Vec<Message<T>>> = (0..nprocs).map(|_| Vec::new()).collect();
+        for m in messages {
+            per_dest[m.to].push(m);
+        }
+        Delivered { per_dest }
+    }
+
+    /// Messages delivered to processor `proc`, ordered by source.
+    pub fn received(&self, proc: usize) -> &[Message<T>] {
+        &self.per_dest[proc]
+    }
+
+    /// Iterate over `(destination, messages)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Message<T>])> {
+        self.per_dest.iter().enumerate().map(|(p, m)| (p, m.as_slice()))
+    }
+
+    /// Total number of delivered messages.
+    pub fn message_count(&self) -> usize {
+        self.per_dest.iter().map(Vec::len).sum()
+    }
+
+    /// Consume and return the per-destination message lists.
+    pub fn into_per_dest(self) -> Vec<Vec<Message<T>>> {
+        self.per_dest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_drops_empty_payloads() {
+        let mut plan: ExchangePlan<u32> = ExchangePlan::new(2);
+        plan.push(0, 1, vec![]);
+        plan.push(1, 0, vec![7]);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.total_items(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plan_rejects_bad_proc() {
+        let mut plan: ExchangePlan<u32> = ExchangePlan::new(2);
+        plan.push(0, 5, vec![1]);
+    }
+
+    #[test]
+    fn delivery_is_sorted_by_source() {
+        let mut plan = ExchangePlan::new(4);
+        plan.push(3, 0, vec![30u32]);
+        plan.push(1, 0, vec![10u32]);
+        plan.push(2, 0, vec![20u32]);
+        let delivered = Delivered::from_messages(4, plan.into_messages());
+        let sources: Vec<usize> = delivered.received(0).iter().map(|m| m.from).collect();
+        assert_eq!(sources, vec![1, 2, 3]);
+        assert_eq!(delivered.message_count(), 3);
+        assert!(delivered.received(1).is_empty());
+    }
+
+    #[test]
+    fn iter_covers_all_destinations() {
+        let mut plan = ExchangePlan::new(3);
+        plan.push(0, 2, vec![1u8, 2, 3]);
+        let delivered = Delivered::from_messages(3, plan.into_messages());
+        let dests: Vec<usize> = delivered.iter().map(|(d, _)| d).collect();
+        assert_eq!(dests, vec![0, 1, 2]);
+        assert_eq!(delivered.received(2)[0].payload, vec![1, 2, 3]);
+    }
+}

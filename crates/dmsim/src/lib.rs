@@ -1,0 +1,55 @@
+//! # chaos-dmsim — a deterministic distributed-memory machine simulator
+//!
+//! The SC'93 CHAOS/PARTI experiments ran on an Intel iPSC/860 hypercube.
+//! This crate provides the substitute substrate used by the reproduction: a
+//! *virtual* distributed-memory machine with
+//!
+//! * `P` virtual processors, each with its own virtual clock,
+//! * an explicit α–β (latency / bandwidth) communication cost model with an
+//!   optional per-hop term for the hypercube topology,
+//! * deterministic all-to-all personalized exchange of typed messages,
+//! * the usual collectives (barrier, broadcast, reduce, all-gather,
+//!   all-to-all) with `log P` tree costs, and
+//! * per-phase statistics (message counts, volumes, modeled times) that the
+//!   benchmark harness turns into the rows of the paper's tables.
+//!
+//! The simulator separates **what data moves** (done with ordinary `Vec`s in
+//! one address space, so results are exact and deterministic) from **what it
+//! costs** (charged to per-processor [`ProcClock`]s according to
+//! [`MachineConfig`]). Processor-local compute phases may optionally be run
+//! on real threads via [`Machine::run_spmd`], but the *modeled* time never
+//! depends on thread scheduling, so every experiment is reproducible
+//! bit-for-bit.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use chaos_dmsim::{Machine, MachineConfig, ExchangePlan};
+//!
+//! let mut machine = Machine::new(MachineConfig::ipsc860(4));
+//! // every processor sends its rank to processor 0
+//! let mut plan = ExchangePlan::new(4);
+//! for p in 1..4 {
+//!     plan.push(p, 0, vec![p as u64]);
+//! }
+//! let delivered = machine.exchange("gather-ranks", plan);
+//! assert_eq!(delivered.received(0).len(), 3);
+//! assert!(machine.elapsed().max_seconds() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod config;
+pub mod exchange;
+pub mod machine;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use collectives::ReduceOp;
+pub use config::{CostModel, MachineConfig, SyncModel, Topology};
+pub use exchange::{Delivered, ExchangePlan, Message};
+pub use machine::{Machine, ProcId};
+pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry};
+pub use time::{ElapsedReport, ProcClock, SimTime};

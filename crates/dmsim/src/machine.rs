@@ -1,0 +1,392 @@
+//! The [`Machine`]: processor clocks + cost model + statistics, and the
+//! primitive operations the CHAOS runtime is built on.
+
+use crate::config::{MachineConfig, SyncModel};
+use crate::exchange::{Delivered, ExchangePlan};
+use crate::stats::{CommStats, PhaseKind, StatsRegistry};
+use crate::time::{ElapsedReport, ProcClock};
+use crate::topology::hops;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Identifier of a virtual processor (`0 .. nprocs`).
+pub type ProcId = usize;
+
+/// A simulated distributed-memory machine.
+///
+/// The machine does not own any application data; the CHAOS runtime keeps
+/// distributed arrays in its own per-processor structures and uses the
+/// machine only to (a) move message payloads between processors and (b)
+/// charge modeled time for communication and local computation.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    clocks: Vec<ProcClock>,
+    stats: StatsRegistry,
+    /// Critical-path modeled seconds attributed to each phase kind (see
+    /// [`Machine::set_phase_kind`]).
+    phase_elapsed: BTreeMap<PhaseKind, f64>,
+    /// Clock reading at the last phase-kind change.
+    last_phase_sample: f64,
+}
+
+impl Machine {
+    /// Create a machine from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`MachineConfig::validate`]).
+    pub fn new(cfg: MachineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
+        let clocks = vec![ProcClock::default(); cfg.nprocs];
+        Machine {
+            cfg,
+            clocks,
+            stats: StatsRegistry::new(),
+            phase_elapsed: BTreeMap::new(),
+            last_phase_sample: 0.0,
+        }
+    }
+
+    /// Change the phase kind attributed to subsequent work.
+    ///
+    /// The critical-path time (max over processors) accrued since the last
+    /// phase change is credited to the *outgoing* phase kind, so callers can
+    /// later ask [`Machine::phase_elapsed`] for a per-phase breakdown —
+    /// exactly the rows of the paper's tables. Returns the previous kind so
+    /// nested regions can restore it.
+    pub fn set_phase_kind(&mut self, kind: Option<PhaseKind>) -> Option<PhaseKind> {
+        let now = self
+            .clocks
+            .iter()
+            .map(|c| c.total().as_seconds())
+            .fold(0.0, f64::max);
+        let outgoing = self.stats.current_kind();
+        if let Some(k) = outgoing {
+            *self.phase_elapsed.entry(k).or_insert(0.0) += now - self.last_phase_sample;
+        }
+        self.last_phase_sample = now;
+        self.stats.set_current_kind(kind)
+    }
+
+    /// Critical-path modeled seconds attributed to `kind` so far. Work done
+    /// while the current kind is still active is included.
+    pub fn phase_elapsed(&self, kind: PhaseKind) -> f64 {
+        let mut t = self.phase_elapsed.get(&kind).copied().unwrap_or(0.0);
+        if self.stats.current_kind() == Some(kind) {
+            let now = self
+                .clocks
+                .iter()
+                .map(|c| c.total().as_seconds())
+                .fold(0.0, f64::max);
+            t += now - self.last_phase_sample;
+        }
+        t
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.cfg.nprocs
+    }
+
+    /// The machine configuration.
+    #[inline]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Immutable access to the statistics registry.
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics registry (used by the harness to set
+    /// the current phase kind).
+    pub fn stats_mut(&mut self) -> &mut StatsRegistry {
+        &mut self.stats
+    }
+
+    /// Snapshot of the per-processor clocks as an [`ElapsedReport`].
+    pub fn elapsed(&self) -> ElapsedReport {
+        ElapsedReport {
+            per_proc: self.clocks.iter().map(|c| c.total().as_seconds()).collect(),
+            compute: self.clocks.iter().map(|c| c.compute.as_seconds()).collect(),
+            comm: self.clocks.iter().map(|c| c.comm.as_seconds()).collect(),
+            idle: self.clocks.iter().map(|c| c.idle.as_seconds()).collect(),
+        }
+    }
+
+    /// Reset all clocks and statistics to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.clocks {
+            *c = ProcClock::default();
+        }
+        self.stats.clear();
+        self.phase_elapsed.clear();
+        self.last_phase_sample = 0.0;
+    }
+
+    /// Charge `units` of local computation on processor `proc`.
+    #[inline]
+    pub fn charge_compute(&mut self, proc: ProcId, units: f64) {
+        self.clocks[proc].charge_compute(units * self.cfg.cost.compute_unit);
+    }
+
+    /// Charge `words` of local memory traffic (buffer packing / unpacking,
+    /// table copies) on processor `proc`.
+    #[inline]
+    pub fn charge_memory(&mut self, proc: ProcId, words: f64) {
+        self.clocks[proc].charge_compute(words * self.cfg.cost.memory_word);
+    }
+
+    /// Charge the same number of compute units on every processor (used for
+    /// perfectly replicated work).
+    pub fn charge_compute_all(&mut self, units: f64) {
+        for p in 0..self.nprocs() {
+            self.charge_compute(p, units);
+        }
+    }
+
+    /// Execute one message exchange phase described by `plan`.
+    ///
+    /// Costs charged per processor `p`:
+    /// * for every message sent by `p`: `alpha + beta*bytes + per_hop*hops`
+    ///   plus `memory_word` per payload word for packing;
+    /// * for every message received by `p`: the same transfer cost (the
+    ///   receive side of a blocking `csend`/`crecv` pair) plus unpacking.
+    ///
+    /// Self-sends (messages with `from == to`) move data but are charged only
+    /// the memory-copy cost, no α/β.
+    ///
+    /// When the sync model is [`SyncModel::BarrierPerPhase`] every clock is
+    /// advanced to the phase maximum afterwards.
+    pub fn exchange<T: Clone + Send>(&mut self, label: &str, plan: ExchangePlan<T>) -> Delivered<T> {
+        assert_eq!(
+            plan.nprocs(),
+            self.nprocs(),
+            "exchange plan built for a different machine size"
+        );
+        let word_bytes = self.cfg.word_bytes;
+        let cost = self.cfg.cost;
+        let topology = self.cfg.topology;
+        let nprocs = self.nprocs();
+
+        let mut stats = CommStats {
+            phases: 1,
+            ..CommStats::default()
+        };
+
+        for m in plan.messages() {
+            let words = m.payload.len();
+            let bytes = words * word_bytes;
+            if m.from == m.to {
+                // Local copy only.
+                let t = 2.0 * words as f64 * cost.memory_word;
+                self.clocks[m.from].charge_compute(t);
+                continue;
+            }
+            let h = hops(topology, nprocs, m.from, m.to);
+            let transfer = cost.message_cost(bytes, h);
+            let pack = words as f64 * cost.memory_word;
+            self.clocks[m.from].charge_comm(transfer + pack);
+            self.clocks[m.to].charge_comm(transfer + pack);
+            stats.messages += 1;
+            stats.bytes += bytes;
+            stats.comm_seconds += 2.0 * (transfer + pack);
+        }
+
+        self.stats.record(label, stats);
+        if self.cfg.sync == SyncModel::BarrierPerPhase {
+            self.synchronize_clocks();
+        }
+        Delivered::from_messages(nprocs, plan.into_messages())
+    }
+
+    /// Explicit barrier: charge a `log P` tree of latency-only messages and
+    /// advance every clock to the maximum.
+    pub fn barrier(&mut self, label: &str) {
+        let p = self.nprocs();
+        if p > 1 {
+            let rounds = (usize::BITS - (p - 1).leading_zeros()) as f64;
+            let t = 2.0 * rounds * self.cfg.cost.alpha; // up-sweep + down-sweep
+            for c in &mut self.clocks {
+                c.charge_comm(t);
+            }
+            self.stats.record(
+                label,
+                CommStats {
+                    messages: 2 * (p - 1),
+                    bytes: 0,
+                    phases: 1,
+                    comm_seconds: t * p as f64,
+                },
+            );
+        }
+        self.synchronize_clocks();
+    }
+
+    /// Advance every clock to the current maximum total, charging the
+    /// difference as idle time.
+    pub fn synchronize_clocks(&mut self) {
+        let max_total = self
+            .clocks
+            .iter()
+            .map(|c| c.total().as_seconds())
+            .fold(0.0, f64::max);
+        for c in &mut self.clocks {
+            let gap = max_total - c.total().as_seconds();
+            if gap > 0.0 {
+                c.charge_idle(gap);
+            }
+        }
+    }
+
+    /// Run an SPMD region: call `f(p)` for every processor id `p` and collect
+    /// the results in processor order. The closures run on real threads via
+    /// Rayon; they must not touch the machine (the machine is borrowed
+    /// mutably by the caller to charge costs afterwards), which keeps the
+    /// modeled time independent of the real schedule.
+    pub fn run_spmd<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ProcId) -> T + Sync + Send,
+    {
+        (0..self.nprocs()).into_par_iter().map(f).collect()
+    }
+
+    /// Run an SPMD region sequentially (deterministic order, useful in tests
+    /// and tiny phases where thread spawn overhead would dominate).
+    pub fn run_spmd_seq<T, F>(&self, mut f: F) -> Vec<T>
+    where
+        F: FnMut(ProcId) -> T,
+    {
+        (0..self.nprocs()).map(&mut f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, SyncModel};
+
+    #[test]
+    fn exchange_charges_both_ends() {
+        let mut m = Machine::new(MachineConfig::unit(2).with_sync(SyncModel::NoImplicitBarrier));
+        let mut plan = ExchangePlan::new(2);
+        plan.push(0, 1, vec![1u64, 2, 3]);
+        let d = m.exchange("test", plan);
+        assert_eq!(d.received(1)[0].payload, vec![1, 2, 3]);
+        let e = m.elapsed();
+        // unit cost: alpha=1, beta=1/byte (3 words * 8 bytes = 24), hop=1,
+        // memory=1/word*3 -> transfer=1+24+1=26, pack=3 -> 29 per side.
+        assert!((e.comm[0] - 29.0).abs() < 1e-9, "{}", e.comm[0]);
+        assert!((e.comm[1] - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_send_is_memory_only() {
+        let mut m = Machine::new(MachineConfig::unit(2).with_sync(SyncModel::NoImplicitBarrier));
+        let mut plan = ExchangePlan::new(2);
+        plan.push(0, 0, vec![1u64, 2]);
+        let d = m.exchange("local", plan);
+        assert_eq!(d.received(0)[0].payload, vec![1, 2]);
+        let e = m.elapsed();
+        assert_eq!(e.comm[0], 0.0);
+        assert!((e.compute[0] - 4.0).abs() < 1e-9); // 2 words in + out
+        assert_eq!(m.stats().grand_totals().messages, 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        m.charge_compute(2, 100.0);
+        m.barrier("sync");
+        let e = m.elapsed();
+        let max = e.max_seconds();
+        for p in 0..4 {
+            assert!((e.per_proc[p] - max).abs() < 1e-9, "proc {p} not synced");
+        }
+        assert!(e.idle.iter().any(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn barrier_per_phase_syncs_after_exchange() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let mut plan = ExchangePlan::new(4);
+        plan.push(0, 1, vec![9u8]);
+        m.exchange("x", plan);
+        let e = m.elapsed();
+        let max = e.max_seconds();
+        assert!(max > 0.0);
+        for p in 0..4 {
+            assert!((e.per_proc[p] - max).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_messages_and_bytes() {
+        let mut m = Machine::new(MachineConfig::ipsc860(4));
+        let mut plan = ExchangePlan::new(4);
+        plan.push(0, 1, vec![1u64; 10]);
+        plan.push(2, 3, vec![1u64; 5]);
+        m.exchange("phase", plan);
+        let t = m.stats().grand_totals();
+        assert_eq!(t.messages, 2);
+        assert_eq!(t.bytes, 15 * 8);
+        assert_eq!(t.phases, 1);
+    }
+
+    #[test]
+    fn run_spmd_returns_in_proc_order() {
+        let m = Machine::new(MachineConfig::unit(8));
+        let out = m.run_spmd(|p| p * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        let out = m.run_spmd_seq(|p| p + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn reset_clears_clocks_and_stats() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        m.charge_compute(0, 5.0);
+        let mut plan = ExchangePlan::new(2);
+        plan.push(0, 1, vec![1u8]);
+        m.exchange("x", plan);
+        m.reset();
+        assert_eq!(m.elapsed().max_seconds(), 0.0);
+        assert!(m.stats().is_empty());
+    }
+
+    #[test]
+    fn phase_kind_accrues_critical_path_time() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        m.set_phase_kind(Some(crate::stats::PhaseKind::Inspector));
+        m.charge_compute(0, 10.0);
+        m.set_phase_kind(Some(crate::stats::PhaseKind::Executor));
+        m.charge_compute(0, 5.0);
+        // Executor phase still open: phase_elapsed includes work so far.
+        assert!((m.phase_elapsed(crate::stats::PhaseKind::Inspector) - 10.0).abs() < 1e-9);
+        assert!((m.phase_elapsed(crate::stats::PhaseKind::Executor) - 5.0).abs() < 1e-9);
+        m.set_phase_kind(None);
+        assert!((m.phase_elapsed(crate::stats::PhaseKind::Executor) - 5.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.phase_elapsed(crate::stats::PhaseKind::Executor), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn bad_config_panics() {
+        let _ = Machine::new(MachineConfig::ipsc860(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine size")]
+    fn mismatched_plan_panics() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let plan: ExchangePlan<u8> = ExchangePlan::new(4);
+        m.exchange("bad", plan);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-phase statistics: message counts, byte volumes, and modeled times.
+//!
+//! The benchmark harness labels every communication phase ("inspector",
+//! "remap", "executor", …) and later asks the registry for aggregated counts.
+//! The registry is purely observational — removing it would not change any
+//! delivered data or any clock value.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Broad classification of a phase, mirroring the row labels of the paper's
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// GeoCoL graph generation.
+    GraphGeneration,
+    /// Running a data partitioner.
+    Partitioner,
+    /// Inspector preprocessing (schedule building, index translation).
+    Inspector,
+    /// Array / iteration remapping.
+    Remap,
+    /// Executor (communication + computation of the actual loop).
+    Executor,
+    /// Anything else.
+    Other,
+}
+
+impl PhaseKind {
+    /// Human-readable label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::GraphGeneration => "graph generation",
+            PhaseKind::Partitioner => "partitioner",
+            PhaseKind::Inspector => "inspector",
+            PhaseKind::Remap => "remap",
+            PhaseKind::Executor => "executor",
+            PhaseKind::Other => "other",
+        }
+    }
+}
+
+/// Communication statistics aggregated over one or more phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Total number of point-to-point messages.
+    pub messages: usize,
+    /// Total bytes moved.
+    pub bytes: usize,
+    /// Number of communication phases (exchanges / collectives).
+    pub phases: usize,
+    /// Modeled communication seconds summed over processors.
+    pub comm_seconds: f64,
+}
+
+impl CommStats {
+    /// Merge another statistics record into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.phases += other.phases;
+        self.comm_seconds += other.comm_seconds;
+    }
+}
+
+/// Record of a single named phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Free-form label supplied by the caller (e.g. `"executor iter 12"`).
+    pub label: String,
+    /// Classification.
+    pub kind: PhaseKind,
+    /// Statistics for this phase alone.
+    pub stats: CommStats,
+}
+
+/// Registry of phase records plus totals grouped by [`PhaseKind`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsRegistry {
+    records: Vec<PhaseRecord>,
+    by_kind: BTreeMap<PhaseKind, CommStats>,
+    current_kind: Option<PhaseKind>,
+}
+
+impl StatsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the kind attributed to subsequently recorded phases. Returns the
+    /// previous value so callers can restore it.
+    pub fn set_current_kind(&mut self, kind: Option<PhaseKind>) -> Option<PhaseKind> {
+        std::mem::replace(&mut self.current_kind, kind)
+    }
+
+    /// The kind currently attributed to new phases.
+    pub fn current_kind(&self) -> Option<PhaseKind> {
+        self.current_kind
+    }
+
+    /// Record a completed phase.
+    pub fn record(&mut self, label: &str, stats: CommStats) {
+        let kind = self.current_kind.unwrap_or(PhaseKind::Other);
+        self.by_kind.entry(kind).or_default().merge(&stats);
+        self.records.push(PhaseRecord {
+            label: label.to_string(),
+            kind,
+            stats,
+        });
+    }
+
+    /// All phase records in execution order.
+    pub fn records(&self) -> &[PhaseRecord] {
+        &self.records
+    }
+
+    /// Aggregate statistics for a phase kind.
+    pub fn totals_for(&self, kind: PhaseKind) -> CommStats {
+        self.by_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Aggregate statistics over every phase.
+    pub fn grand_totals(&self) -> CommStats {
+        let mut t = CommStats::default();
+        for s in self.by_kind.values() {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drop all records and totals.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.by_kind.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(messages: usize, bytes: usize) -> CommStats {
+        CommStats {
+            messages,
+            bytes,
+            phases: 1,
+            comm_seconds: bytes as f64 * 1e-6,
+        }
+    }
+
+    #[test]
+    fn registry_groups_by_kind() {
+        let mut reg = StatsRegistry::new();
+        reg.set_current_kind(Some(PhaseKind::Inspector));
+        reg.record("build schedule", stats(10, 100));
+        reg.set_current_kind(Some(PhaseKind::Executor));
+        reg.record("gather", stats(5, 50));
+        reg.record("gather", stats(5, 50));
+
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.totals_for(PhaseKind::Inspector).messages, 10);
+        assert_eq!(reg.totals_for(PhaseKind::Executor).messages, 10);
+        assert_eq!(reg.totals_for(PhaseKind::Executor).bytes, 100);
+        assert_eq!(reg.totals_for(PhaseKind::Remap).messages, 0);
+        assert_eq!(reg.grand_totals().messages, 20);
+        assert_eq!(reg.grand_totals().phases, 3);
+    }
+
+    #[test]
+    fn unlabelled_phases_fall_into_other() {
+        let mut reg = StatsRegistry::new();
+        reg.record("misc", stats(1, 8));
+        assert_eq!(reg.totals_for(PhaseKind::Other).messages, 1);
+    }
+
+    #[test]
+    fn set_current_kind_returns_previous() {
+        let mut reg = StatsRegistry::new();
+        assert_eq!(reg.set_current_kind(Some(PhaseKind::Remap)), None);
+        assert_eq!(
+            reg.set_current_kind(Some(PhaseKind::Executor)),
+            Some(PhaseKind::Remap)
+        );
+        assert_eq!(reg.current_kind(), Some(PhaseKind::Executor));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut reg = StatsRegistry::new();
+        reg.record("x", stats(1, 1));
+        reg.clear();
+        assert!(reg.is_empty());
+        assert_eq!(reg.grand_totals().messages, 0);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(PhaseKind::Executor.label(), "executor");
+        assert_eq!(PhaseKind::GraphGeneration.label(), "graph generation");
+    }
+}

@@ -1,0 +1,161 @@
+//! Interconnect topologies and hop-count computation.
+
+use crate::config::Topology;
+
+/// Number of network hops between processors `a` and `b` under `topology`
+/// with `nprocs` total processors.
+///
+/// The hop count feeds the per-hop term of the cost model; it never affects
+/// which data is delivered.
+pub fn hops(topology: Topology, nprocs: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < nprocs && b < nprocs, "processor id out of range");
+    if a == b {
+        return 0;
+    }
+    match topology {
+        Topology::FullyConnected => 1,
+        Topology::Hypercube => (a ^ b).count_ones() as usize,
+        Topology::Ring => {
+            let d = (a as isize - b as isize).unsigned_abs();
+            d.min(nprocs - d)
+        }
+        Topology::Mesh2D => {
+            let cols = mesh_cols(nprocs);
+            let (ar, ac) = (a / cols, a % cols);
+            let (br, bc) = (b / cols, b % cols);
+            ar.abs_diff(br) + ac.abs_diff(bc)
+        }
+    }
+}
+
+/// Number of columns used for the [`Topology::Mesh2D`] layout: the largest
+/// divisor of a square-ish factorization, falling back to a single row when
+/// `nprocs` is prime.
+pub fn mesh_cols(nprocs: usize) -> usize {
+    if nprocs == 0 {
+        return 1;
+    }
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= nprocs {
+        if nprocs % d == 0 {
+            best = d;
+        }
+        d += 1;
+    }
+    nprocs / best
+}
+
+/// Diameter of the network: the maximum hop count over all processor pairs.
+pub fn diameter(topology: Topology, nprocs: usize) -> usize {
+    match topology {
+        Topology::FullyConnected => usize::from(nprocs > 1),
+        Topology::Hypercube => {
+            if nprocs <= 1 {
+                0
+            } else {
+                (usize::BITS - (nprocs - 1).leading_zeros()) as usize
+            }
+        }
+        Topology::Ring => nprocs / 2,
+        Topology::Mesh2D => {
+            let cols = mesh_cols(nprocs);
+            let rows = nprocs.div_ceil(cols);
+            (rows - 1) + (cols - 1)
+        }
+    }
+}
+
+/// The processors a tree-structured collective visits, as (parent, child)
+/// edges of a binomial tree rooted at `root`. Used by the collectives module
+/// both to move data and to charge per-hop costs consistently.
+pub fn binomial_tree_edges(nprocs: usize, root: usize) -> Vec<(usize, usize)> {
+    // Work in a rotated space where the root is 0, then rotate back.
+    let mut edges = Vec::with_capacity(nprocs.saturating_sub(1));
+    if nprocs <= 1 {
+        return edges;
+    }
+    let rotate = |v: usize| (v + root) % nprocs;
+    // Top-down recursive doubling: at each round the set of reached nodes
+    // doubles, so parents always appear in the edge list before their
+    // children.
+    let mut stride = nprocs.next_power_of_two() / 2;
+    while stride >= 1 {
+        for p in (0..nprocs).step_by(stride * 2) {
+            if p + stride < nprocs {
+                edges.push((rotate(p), rotate(p + stride)));
+            }
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_hops_are_hamming_distance() {
+        assert_eq!(hops(Topology::Hypercube, 8, 0b000, 0b111), 3);
+        assert_eq!(hops(Topology::Hypercube, 8, 0b101, 0b100), 1);
+        assert_eq!(hops(Topology::Hypercube, 8, 3, 3), 0);
+    }
+
+    #[test]
+    fn ring_hops_wrap_around() {
+        assert_eq!(hops(Topology::Ring, 8, 0, 7), 1);
+        assert_eq!(hops(Topology::Ring, 8, 0, 4), 4);
+        assert_eq!(hops(Topology::Ring, 8, 2, 5), 3);
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        // 4x4 mesh for 16 procs
+        assert_eq!(mesh_cols(16), 4);
+        assert_eq!(hops(Topology::Mesh2D, 16, 0, 15), 6);
+        assert_eq!(hops(Topology::Mesh2D, 16, 5, 6), 1);
+    }
+
+    #[test]
+    fn fully_connected_is_single_hop() {
+        assert_eq!(hops(Topology::FullyConnected, 64, 3, 60), 1);
+        assert_eq!(hops(Topology::FullyConnected, 64, 3, 3), 0);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(Topology::Hypercube, 16), 4);
+        assert_eq!(diameter(Topology::Hypercube, 1), 0);
+        assert_eq!(diameter(Topology::FullyConnected, 16), 1);
+        assert_eq!(diameter(Topology::Ring, 8), 4);
+    }
+
+    #[test]
+    fn binomial_tree_spans_all_processors() {
+        for &p in &[1usize, 2, 3, 4, 7, 8, 16, 33] {
+            for root in [0, p - 1] {
+                let edges = binomial_tree_edges(p, root);
+                assert_eq!(edges.len(), p - 1, "p={p} root={root}");
+                let mut reached = vec![false; p];
+                reached[root] = true;
+                for &(parent, child) in &edges {
+                    assert!(reached[parent], "parent {parent} visited before child");
+                    assert!(!reached[child], "child {child} reached twice");
+                    reached[child] = true;
+                }
+                assert!(reached.iter().all(|&r| r));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_cols_prime_falls_back_to_row() {
+        assert_eq!(mesh_cols(7), 7);
+        assert_eq!(mesh_cols(12), 4);
+        assert_eq!(mesh_cols(1), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Recursive inertial bisection: like coordinate bisection, but each split is
+//! made perpendicular to the principal axis of the vertex point cloud rather
+//! than a coordinate axis. The paper cites this family of geometric
+//! partitioners (Nour-Omid et al.) as one of the options a user can couple
+//! through the GeoCoL interface.
+
+use crate::geocol::GeoCoL;
+use crate::partition::{Partitioner, Partitioning};
+
+/// Recursive inertial bisection partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct InertialPartitioner {
+    /// Number of power-iteration steps used to find the principal axis.
+    pub power_iterations: usize,
+}
+
+impl Default for InertialPartitioner {
+    fn default() -> Self {
+        InertialPartitioner { power_iterations: 32 }
+    }
+}
+
+impl Partitioner for InertialPartitioner {
+    fn name(&self) -> &'static str {
+        "INERTIAL"
+    }
+
+    fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning {
+        assert!(
+            geocol.has_geometry(),
+            "inertial bisection requires a GEOMETRY section in the GeoCoL structure"
+        );
+        let n = geocol.nvertices();
+        let mut owners = vec![0u32; n];
+        if n == 0 || nparts == 1 {
+            return Partitioning::new(owners, nparts);
+        }
+        let mut vertices: Vec<u32> = (0..n as u32).collect();
+        self.bisect(geocol, &mut vertices, 0, nparts, &mut owners);
+        Partitioning::new(owners, nparts)
+    }
+
+    fn cost_estimate(&self, geocol: &GeoCoL, nparts: usize) -> f64 {
+        let n = geocol.nvertices().max(2) as f64;
+        let levels = (nparts.max(2) as f64).log2().ceil();
+        // Covariance accumulation + power iteration + sort per level.
+        (n * (self.power_iterations as f64 + geocol.geometry_dim() as f64) + n * n.log2()) * levels
+    }
+}
+
+impl InertialPartitioner {
+    fn bisect(
+        &self,
+        geocol: &GeoCoL,
+        vertices: &mut [u32],
+        part_lo: usize,
+        nparts: usize,
+        owners: &mut [u32],
+    ) {
+        if nparts <= 1 || vertices.len() <= 1 {
+            for &v in vertices.iter() {
+                owners[v as usize] = part_lo as u32;
+            }
+            return;
+        }
+
+        let axis = principal_axis(geocol, vertices, self.power_iterations);
+        // Project each vertex onto the principal axis and sort by projection.
+        vertices.sort_unstable_by(|&a, &b| {
+            let pa = project(geocol, a as usize, &axis);
+            let pb = project(geocol, b as usize, &axis);
+            pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
+        });
+
+        let left_parts = nparts / 2;
+        let right_parts = nparts - left_parts;
+        let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+        let target_left = total_load * left_parts as f64 / nparts as f64;
+        let mut acc = 0.0;
+        let mut split = 0usize;
+        for (i, &v) in vertices.iter().enumerate() {
+            acc += geocol.vertex_load(v as usize);
+            split = i + 1;
+            if acc >= target_left {
+                break;
+            }
+        }
+        split = split.clamp(1, vertices.len() - 1);
+
+        let (left, right) = vertices.split_at_mut(split);
+        self.bisect(geocol, left, part_lo, left_parts, owners);
+        self.bisect(geocol, right, part_lo + left_parts, right_parts, owners);
+    }
+}
+
+/// Projection of a vertex's (load-weighted, mean-centred in the caller's
+/// covariance) coordinates onto a direction vector.
+fn project(geocol: &GeoCoL, vertex: usize, direction: &[f64]) -> f64 {
+    direction
+        .iter()
+        .enumerate()
+        .map(|(axis, &d)| geocol.coord(axis, vertex) * d)
+        .sum()
+}
+
+/// Dominant eigenvector of the (load-weighted) coordinate covariance matrix,
+/// found by power iteration. Falls back to the first coordinate axis for
+/// degenerate point clouds.
+fn principal_axis(geocol: &GeoCoL, vertices: &[u32], iterations: usize) -> Vec<f64> {
+    let dim = geocol.geometry_dim();
+    let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+    let mut mean = vec![0.0; dim];
+    for &v in vertices {
+        let w = geocol.vertex_load(v as usize);
+        for (axis, m) in mean.iter_mut().enumerate() {
+            *m += w * geocol.coord(axis, v as usize);
+        }
+    }
+    if total_load > 0.0 {
+        for m in &mut mean {
+            *m /= total_load;
+        }
+    }
+
+    // Covariance (dim x dim, dim is 1..3 in practice).
+    let mut cov = vec![vec![0.0; dim]; dim];
+    for &v in vertices {
+        let w = geocol.vertex_load(v as usize);
+        for i in 0..dim {
+            let di = geocol.coord(i, v as usize) - mean[i];
+            for j in 0..dim {
+                let dj = geocol.coord(j, v as usize) - mean[j];
+                cov[i][j] += w * di * dj;
+            }
+        }
+    }
+
+    let mut vec_ = vec![0.0; dim];
+    // Deterministic, slightly asymmetric starting vector.
+    for (i, x) in vec_.iter_mut().enumerate() {
+        *x = 1.0 + 0.1 * i as f64;
+    }
+    for _ in 0..iterations {
+        let mut next = vec![0.0; dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                next[i] += cov[i][j] * vec_[j];
+            }
+        }
+        let norm: f64 = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-30 {
+            // Degenerate cloud: all points coincide. Use the x axis.
+            let mut fallback = vec![0.0; dim];
+            fallback[0] = 1.0;
+            return fallback;
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        vec_ = next;
+    }
+    vec_
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geocol::GeoColBuilder;
+    use crate::metrics::PartitionQuality;
+
+    /// A long thin diagonal strip of points: the principal axis is the
+    /// diagonal, so inertial bisection should split it crosswise while plain
+    /// coordinate bisection along x or y would produce the same cut only by
+    /// luck.
+    fn diagonal_strip(n: usize) -> GeoCoL {
+        let mut xs = Vec::with_capacity(2 * n);
+        let mut ys = Vec::with_capacity(2 * n);
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        for i in 0..n {
+            // Two rows of points along the diagonal y = x.
+            xs.push(i as f64);
+            ys.push(i as f64);
+            xs.push(i as f64 + 0.3);
+            ys.push(i as f64 - 0.3);
+            let a = (2 * i) as u32;
+            let b = (2 * i + 1) as u32;
+            e1.push(a);
+            e2.push(b);
+            if i + 1 < n {
+                e1.push(a);
+                e2.push(a + 2);
+                e1.push(b);
+                e2.push(b + 2);
+            }
+        }
+        GeoColBuilder::new(2 * n)
+            .geometry(vec![xs, ys])
+            .link(e1, e2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn inertial_splits_along_the_diagonal() {
+        let g = diagonal_strip(64);
+        let p = InertialPartitioner::default().partition(&g, 2);
+        let q = PartitionQuality::evaluate(&g, &p);
+        assert!(q.load_imbalance <= 1.05);
+        // Cutting across the strip severs at most a handful of edges (the
+        // strip is 2 vertices wide), far fewer than cutting along it.
+        assert!(q.edge_cut <= 4, "edge cut {}", q.edge_cut);
+    }
+
+    #[test]
+    fn inertial_balances_multiway() {
+        let g = diagonal_strip(64);
+        for nparts in [4, 8, 5] {
+            let p = InertialPartitioner::default().partition(&g, nparts);
+            let q = PartitionQuality::evaluate(&g, &p);
+            assert!(q.load_imbalance <= 1.25, "nparts={nparts}: {}", q.load_imbalance);
+            assert_eq!(p.part_sizes().iter().sum::<usize>(), g.nvertices());
+        }
+    }
+
+    #[test]
+    fn degenerate_cloud_does_not_panic() {
+        // All points coincide; any balanced split is fine.
+        let g = GeoColBuilder::new(8)
+            .geometry(vec![vec![1.0; 8], vec![2.0; 8]])
+            .build()
+            .unwrap();
+        let p = InertialPartitioner::default().partition(&g, 2);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = diagonal_strip(32);
+        let a = InertialPartitioner::default().partition(&g, 4);
+        let b = InertialPartitioner::default().partition(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEOMETRY")]
+    fn requires_geometry() {
+        let g = GeoColBuilder::new(4).link(vec![0], vec![1]).build().unwrap();
+        let _ = InertialPartitioner::default().partition(&g, 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! # chaos-geocol — the GeoCoL data structure and data partitioners
+//!
+//! The paper's first contribution is a mechanism that lets a compiler couple
+//! *data partitioners* to irregular applications through a standardized
+//! interface data structure called **GeoCoL** (GEOmetry, COnnectivity,
+//! Load). A `CONSTRUCT` directive names the program arrays holding spatial
+//! coordinates (`GEOMETRY`), graph edges (`LINK`) and per-vertex work
+//! estimates (`LOAD`); the runtime assembles a GeoCoL graph from them and
+//! hands it to a user-selected partitioner.
+//!
+//! This crate provides:
+//!
+//! * [`GeoCoL`] and [`GeoColBuilder`] — the interface data structure,
+//! * [`Partitioning`] — the result (an owner per vertex) plus quality
+//!   metrics (edge cut, load imbalance, boundary vertices),
+//! * the partitioner library the paper's users choose from:
+//!   * [`BlockPartitioner`] / [`CyclicPartitioner`] — the regular HPF
+//!     distributions used as baselines (Table 4),
+//!   * [`RcbPartitioner`] — recursive (binary) coordinate bisection
+//!     (Berger & Bokhari), the geometry-based partitioner of Tables 2–3,
+//!   * [`InertialPartitioner`] — recursive inertial bisection,
+//!   * [`RsbPartitioner`] — recursive spectral bisection (Simon), the
+//!     connectivity-based partitioner of Table 2,
+//!   * [`RandomPartitioner`] — a worst-case strawman used in tests and
+//!     ablation benches,
+//! * a string-keyed [`registry`] so the `SET distfmt BY PARTITIONING G
+//!   USING RSB` directive can look partitioners up by name.
+//!
+//! Partitioners here are sequential graph algorithms; the CHAOS runtime
+//! charges their *modeled parallel* cost when it invokes them on the
+//! simulated machine (see `chaos-runtime`'s mapper coupler).
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod geocol;
+pub mod inertial;
+pub mod kl;
+pub mod metrics;
+pub mod partition;
+pub mod rcb;
+pub mod registry;
+pub mod rsb;
+
+pub use block::{BlockPartitioner, CyclicPartitioner, RandomPartitioner};
+pub use geocol::{GeoCoL, GeoColBuilder, GeoColError};
+pub use inertial::InertialPartitioner;
+pub use kl::{refine as kl_refine, KlOptions, KlRefinedPartitioner};
+pub use metrics::PartitionQuality;
+pub use partition::{Partitioner, Partitioning};
+pub use rcb::RcbPartitioner;
+pub use registry::{partitioner_by_name, registered_partitioner_names};
+pub use rsb::RsbPartitioner;

@@ -1,0 +1,286 @@
+//! Recursive (binary) coordinate bisection — the geometry-based partitioner
+//! of Berger & Bokhari used throughout the paper's Tables 2 and 3
+//! ("recursive binary dissection" / "coordinate bisection").
+//!
+//! At each level the current vertex set is split along the coordinate axis
+//! with the largest extent, at the weighted median, so that the two halves
+//! carry (approximately) the target fraction of the computational load.
+//! Recursion continues until every group corresponds to one part. Part counts
+//! that are not powers of two are handled by splitting the target part range
+//! unevenly and weighting the median accordingly.
+
+use crate::geocol::GeoCoL;
+use crate::partition::{Partitioner, Partitioning};
+
+/// Recursive coordinate bisection partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RcbPartitioner;
+
+impl Partitioner for RcbPartitioner {
+    fn name(&self) -> &'static str {
+        "RCB"
+    }
+
+    fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning {
+        assert!(
+            geocol.has_geometry(),
+            "RCB requires a GEOMETRY section in the GeoCoL structure"
+        );
+        let n = geocol.nvertices();
+        let mut owners = vec![0u32; n];
+        if n == 0 || nparts == 1 {
+            return Partitioning::new(owners, nparts);
+        }
+        let mut vertices: Vec<u32> = (0..n as u32).collect();
+        bisect(geocol, &mut vertices, 0, nparts, &mut owners);
+        Partitioning::new(owners, nparts)
+    }
+
+    fn cost_estimate(&self, geocol: &GeoCoL, nparts: usize) -> f64 {
+        // Each level sorts the active set along one axis: O(n log n) per
+        // level, log2(nparts) levels.
+        let n = geocol.nvertices().max(2) as f64;
+        let levels = (nparts.max(2) as f64).log2().ceil();
+        n * n.log2() * levels
+    }
+}
+
+/// Recursively assign `vertices` to parts `part_lo .. part_lo + nparts`.
+fn bisect(geocol: &GeoCoL, vertices: &mut [u32], part_lo: usize, nparts: usize, owners: &mut [u32]) {
+    if nparts <= 1 || vertices.len() <= 1 {
+        for &v in vertices.iter() {
+            owners[v as usize] = part_lo as u32;
+        }
+        // A degenerate split (more parts than vertices) leaves the extra
+        // parts empty, which Partitioning tolerates.
+        if !vertices.is_empty() && nparts > 1 {
+            // keep all on part_lo
+        }
+        return;
+    }
+
+    let axis = widest_axis(geocol, vertices);
+    // Sort the active vertices along the chosen axis (ties broken by vertex
+    // id for determinism).
+    vertices.sort_unstable_by(|&a, &b| {
+        let ca = geocol.coord(axis, a as usize);
+        let cb = geocol.coord(axis, b as usize);
+        ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+    });
+
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+    let target_left = total_load * left_parts as f64 / nparts as f64;
+
+    // Weighted median: find the split point where the prefix load first
+    // reaches the target.
+    let mut acc = 0.0;
+    let mut split = 0usize;
+    for (i, &v) in vertices.iter().enumerate() {
+        acc += geocol.vertex_load(v as usize);
+        if acc >= target_left {
+            split = i + 1;
+            break;
+        }
+        split = i + 1;
+    }
+    // Never produce an empty side unless unavoidable.
+    split = split.clamp(1, vertices.len() - 1).min(vertices.len());
+
+    let (left, right) = vertices.split_at_mut(split);
+    bisect(geocol, left, part_lo, left_parts, owners);
+    bisect(geocol, right, part_lo + left_parts, right_parts, owners);
+}
+
+/// The coordinate axis with the largest extent over the given vertex set.
+fn widest_axis(geocol: &GeoCoL, vertices: &[u32]) -> usize {
+    let dim = geocol.geometry_dim();
+    let mut best_axis = 0;
+    let mut best_extent = f64::NEG_INFINITY;
+    for axis in 0..dim {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in vertices {
+            let c = geocol.coord(axis, v as usize);
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        let extent = hi - lo;
+        if extent > best_extent {
+            best_extent = extent;
+            best_axis = axis;
+        }
+    }
+    best_axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geocol::GeoColBuilder;
+    use crate::metrics::PartitionQuality;
+
+    /// A uniform 2-D grid of `side x side` points with 4-neighbour edges.
+    fn grid_geocol(side: usize) -> GeoCoL {
+        let n = side * side;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                xs.push(c as f64);
+                ys.push(r as f64);
+                let v = (r * side + c) as u32;
+                if c + 1 < side {
+                    e1.push(v);
+                    e2.push(v + 1);
+                }
+                if r + 1 < side {
+                    e1.push(v);
+                    e2.push(v + side as u32);
+                }
+            }
+        }
+        GeoColBuilder::new(n)
+            .geometry(vec![xs, ys])
+            .link(e1, e2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rcb_balances_a_grid() {
+        let g = grid_geocol(16);
+        for nparts in [2, 4, 8, 16] {
+            let p = RcbPartitioner.partition(&g, nparts);
+            let q = PartitionQuality::evaluate(&g, &p);
+            assert!(
+                q.load_imbalance <= 1.05,
+                "nparts={nparts} imbalance={}",
+                q.load_imbalance
+            );
+            // Geometric partitioning of a grid should cut far fewer edges
+            // than a random assignment would (expected ~ (1-1/p) of edges).
+            assert!(
+                q.cut_fraction() < 0.3,
+                "nparts={nparts} cut fraction {}",
+                q.cut_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn rcb_beats_block_on_a_shuffled_grid() {
+        // Renumber the grid vertices pseudo-randomly: BLOCK now cuts a lot,
+        // RCB (which looks at coordinates, not numbering) is unaffected.
+        let side = 12;
+        let g = grid_geocol(side);
+        let n = g.nvertices();
+        // Build a permuted copy.
+        let perm: Vec<usize> = {
+            let mut p: Vec<usize> = (0..n).collect();
+            // Deterministic LCG shuffle.
+            let mut state = 12345u64;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                p.swap(i, j);
+            }
+            p
+        };
+        let mut xs = vec![0.0; n];
+        let mut ys = vec![0.0; n];
+        for v in 0..n {
+            xs[perm[v]] = g.coord(0, v);
+            ys[perm[v]] = g.coord(1, v);
+        }
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|&(a, b)| (perm[a as usize] as u32, perm[b as usize] as u32))
+            .collect();
+        let shuffled = GeoColBuilder::new(n)
+            .geometry(vec![xs, ys])
+            .link_edges(&edges)
+            .build()
+            .unwrap();
+
+        let rcb = PartitionQuality::evaluate(&shuffled, &RcbPartitioner.partition(&shuffled, 8));
+        let block = PartitionQuality::evaluate(
+            &shuffled,
+            &crate::block::BlockPartitioner.partition(&shuffled, 8),
+        );
+        assert!(
+            rcb.edge_cut * 2 < block.edge_cut,
+            "RCB cut {} should be well below BLOCK cut {}",
+            rcb.edge_cut,
+            block.edge_cut
+        );
+    }
+
+    #[test]
+    fn rcb_handles_non_power_of_two_parts() {
+        let g = grid_geocol(10);
+        for nparts in [3, 5, 6, 7] {
+            let p = RcbPartitioner.partition(&g, nparts);
+            let q = PartitionQuality::evaluate(&g, &p);
+            assert_eq!(p.nparts(), nparts);
+            assert!(q.load_imbalance < 1.25, "nparts={nparts}: {}", q.load_imbalance);
+            let sizes = p.part_sizes();
+            assert_eq!(sizes.iter().sum::<usize>(), 100);
+            assert!(sizes.iter().all(|&s| s > 0), "empty part for nparts={nparts}");
+        }
+    }
+
+    #[test]
+    fn rcb_respects_vertex_loads() {
+        // Two clusters on a line; the right cluster is 3x heavier per vertex.
+        let n = 40;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let loads: Vec<f64> = (0..n).map(|i| if i < 20 { 1.0 } else { 3.0 }).collect();
+        let g = GeoColBuilder::new(n)
+            .geometry(vec![xs])
+            .load(loads)
+            .build()
+            .unwrap();
+        let p = RcbPartitioner.partition(&g, 2);
+        let loads = p.part_loads(&g);
+        let imbalance = loads.iter().cloned().fold(0.0, f64::max) / (g.total_load() / 2.0);
+        assert!(imbalance < 1.1, "load-weighted split imbalance {imbalance}");
+        // The heavy side should hold fewer vertices.
+        let sizes = p.part_sizes();
+        assert_ne!(sizes[0], sizes[1]);
+    }
+
+    #[test]
+    fn rcb_single_part_and_tiny_inputs() {
+        let g = grid_geocol(3);
+        let p = RcbPartitioner.partition(&g, 1);
+        assert!(p.owners().iter().all(|&o| o == 0));
+        // More parts than vertices must not panic.
+        let tiny = GeoColBuilder::new(2)
+            .geometry(vec![vec![0.0, 1.0]])
+            .link(vec![0], vec![1])
+            .build()
+            .unwrap();
+        let p = RcbPartitioner.partition(&tiny, 8);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "GEOMETRY")]
+    fn rcb_requires_geometry() {
+        let g = GeoColBuilder::new(4).link(vec![0, 1], vec![1, 2]).build().unwrap();
+        let _ = RcbPartitioner.partition(&g, 2);
+    }
+
+    #[test]
+    fn rcb_is_deterministic() {
+        let g = grid_geocol(9);
+        let a = RcbPartitioner.partition(&g, 4);
+        let b = RcbPartitioner.partition(&g, 4);
+        assert_eq!(a, b);
+    }
+}

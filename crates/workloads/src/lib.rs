@@ -1,0 +1,38 @@
+//! # chaos-workloads — synthetic irregular workloads
+//!
+//! The paper evaluates its runtime techniques on two application templates:
+//!
+//! * a loop over the edges of a **3-D unstructured Euler solver** mesh
+//!   (Mavriplis), at 10K and 53K mesh points, and
+//! * the **electrostatic force loop of a molecular-dynamics code** (CHARMM)
+//!   for a 648-atom water simulation.
+//!
+//! Neither input deck is publicly available, so this crate provides
+//! generators for synthetic equivalents that preserve the properties the
+//! experiments depend on:
+//!
+//! * irregular connectivity with a realistic degree distribution,
+//! * spatial structure that geometric (RCB) and spectral (RSB) partitioners
+//!   can exploit,
+//! * node numberings that are *uncorrelated* with connectivity (the paper's
+//!   motivation for irregular distributions: "the way in which the nodes of
+//!   an irregular computational mesh are numbered frequently does not have a
+//!   useful correspondence to the connectivity pattern"), and
+//! * edge/pair-based reduction loops with exactly the shape of the paper's
+//!   loop `L2` (Figure 1).
+//!
+//! Both workloads expose their data in the form the CHAOS runtime consumes:
+//! coordinate arrays, endpoint (indirection) arrays and per-iteration
+//! reference lists.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod md;
+pub mod mesh;
+pub mod renumber;
+
+pub use kernels::{edge_flux_kernel, pair_force_kernel, EdgeKernelCost};
+pub use md::{MdConfig, WaterBox};
+pub use mesh::{MeshConfig, UnstructuredMesh};
+pub use renumber::{identity_permutation, random_permutation, invert_permutation};

@@ -1,0 +1,80 @@
+//! Vertex renumbering utilities.
+//!
+//! Real unstructured meshes come out of grid generators with node numberings
+//! that bear no relation to spatial locality; the workload generators
+//! reproduce that by shuffling their naturally ordered vertices through a
+//! seeded random permutation.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The identity permutation of length `n`.
+pub fn identity_permutation(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// A seeded uniform random permutation of length `n` (deterministic per
+/// seed).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut perm = identity_permutation(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    perm
+}
+
+/// Invert a permutation: `inv[perm[i]] = i`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..perm.len()`.
+pub fn invert_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![u32::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(
+            (p as usize) < perm.len() && inv[p as usize] == u32::MAX,
+            "input is not a permutation"
+        );
+        inv[p as usize] = i as u32;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(identity_permutation(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let p = random_permutation(100, 7);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity_permutation(100));
+        assert_ne!(p, identity_permutation(100));
+    }
+
+    #[test]
+    fn random_permutation_is_seed_deterministic() {
+        assert_eq!(random_permutation(50, 3), random_permutation(50, 3));
+        assert_ne!(random_permutation(50, 3), random_permutation(50, 4));
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let p = random_permutation(64, 11);
+        let inv = invert_permutation(&p);
+        for i in 0..64 {
+            assert_eq!(inv[p[i] as usize], i as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn inversion_rejects_duplicates() {
+        let _ = invert_permutation(&[0, 0, 1]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests on the core runtime invariants:
+//!
+//! * any map array yields a consistent translation table / distribution
+//!   (owner+offset is a bijection onto the local index spaces),
+//! * remapping between arbitrary distributions never changes array
+//!   contents,
+//! * the inspector's localized references always resolve to the value the
+//!   global index would have produced,
+//! * gather followed by scatter-add applies each off-processor contribution
+//!   exactly once,
+//! * partitioners always produce complete, in-range assignments and the
+//!   schedule-reuse check is sound (a modified indirection array is never
+//!   reported as reusable).
+
+use chaos_repro::prelude::*;
+use chaos_repro::runtime::{gather, scatter_add, Dad, Inspector, LoopId};
+use proptest::prelude::*;
+
+/// Strategy: a processor count and a map array assigning each of `n`
+/// elements to one of the processors.
+fn map_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (2usize..=8).prop_flat_map(|p| {
+        (8usize..200).prop_flat_map(move |n| {
+            (Just(p), proptest::collection::vec(0u32..p as u32, n))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_table_is_a_bijection((p, map) in map_strategy()) {
+        let dist = Distribution::irregular_from_map(&map, p);
+        let mut seen = vec![vec![false; dist.len()]; p];
+        for g in 0..map.len() {
+            let (owner, offset) = dist.locate(g);
+            prop_assert!(owner < p);
+            prop_assert!(offset < dist.local_size(owner));
+            prop_assert!(!seen[owner][offset], "two globals map to the same local slot");
+            seen[owner][offset] = true;
+        }
+        let total: usize = (0..p).map(|q| dist.local_size(q)).sum();
+        prop_assert_eq!(total, map.len());
+    }
+
+    #[test]
+    fn remap_preserves_contents((p, map) in map_strategy()) {
+        let n = map.len();
+        let data: Vec<f64> = (0..n).map(|i| i as f64 * 1.5 - 3.0).collect();
+        let mut machine = Machine::new(MachineConfig::unit(p).with_topology(chaos_repro::dmsim::Topology::FullyConnected));
+        let mut arr = DistArray::from_global("a", Distribution::block(n, p), &data);
+        chaos_repro::runtime::remap(&mut machine, "t", &mut arr, Distribution::irregular_from_map(&map, p));
+        prop_assert_eq!(arr.to_global(), data.clone());
+        // And back to cyclic.
+        chaos_repro::runtime::remap(&mut machine, "t", &mut arr, Distribution::cyclic(n, p));
+        prop_assert_eq!(arr.to_global(), data);
+    }
+
+    #[test]
+    fn localized_references_resolve_to_global_values(
+        (p, map) in map_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let n = map.len();
+        let dist = Distribution::irregular_from_map(&map, p);
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 + 1.0).collect();
+        let arr = DistArray::from_global("x", dist.clone(), &data);
+        // Random access pattern derived from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut pattern = AccessPattern::new(p);
+        for q in 0..p {
+            for _ in 0..10 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                pattern.refs[q].push(((state >> 33) as usize % n) as u32);
+            }
+        }
+        let mut machine = Machine::new(MachineConfig::unit(p).with_topology(chaos_repro::dmsim::Topology::FullyConnected));
+        let result = Inspector.localize(&mut machine, "prop", &dist, &pattern);
+        let ghosts = gather(&mut machine, "prop", &result.schedule, &arr);
+        for q in 0..p {
+            for (k, &g) in pattern.refs[q].iter().enumerate() {
+                let resolved = *result.localized[q][k].resolve(arr.local(q), &ghosts[q]);
+                prop_assert_eq!(resolved, data[g as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_applies_each_contribution_once(
+        (p, map) in map_strategy(),
+    ) {
+        let n = map.len();
+        let dist = Distribution::irregular_from_map(&map, p);
+        // Every processor references every element once -> after
+        // scatter_add of all-ones ghost contributions plus local increments,
+        // each element receives exactly (p) increments in total.
+        let mut pattern = AccessPattern::new(p);
+        for q in 0..p {
+            pattern.refs[q] = (0..n as u32).collect();
+        }
+        let mut machine = Machine::new(MachineConfig::unit(p).with_topology(chaos_repro::dmsim::Topology::FullyConnected));
+        let result = Inspector.localize(&mut machine, "prop", &dist, &pattern);
+        let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; n]);
+        // Local references incremented directly, ghost references through
+        // the contribution buffers.
+        let mut contributions: Vec<Vec<f64>> =
+            (0..p).map(|q| vec![0.0; result.ghost_counts[q]]).collect();
+        for q in 0..p {
+            for r in &result.localized[q] {
+                match r {
+                    chaos_repro::runtime::LocalRef::Owned(off) => y.local_mut(q)[*off as usize] += 1.0,
+                    chaos_repro::runtime::LocalRef::Ghost(slot) => contributions[q][*slot as usize] += 1.0,
+                }
+            }
+        }
+        scatter_add(&mut machine, "prop", &result.schedule, &mut y, &contributions);
+        let got = y.to_global();
+        for (i, v) in got.iter().enumerate() {
+            prop_assert!((v - p as f64).abs() < 1e-9, "element {i} got {v}, expected {p}");
+        }
+    }
+
+    #[test]
+    fn partitioners_always_cover_all_vertices(
+        nvertices in 16usize..300,
+        nparts in 2usize..9,
+        seed in 0u64..500,
+    ) {
+        use chaos_repro::geocol::GeoColBuilder;
+        // Random geometric graph.
+        let mut state = seed.wrapping_add(7);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / u32::MAX as f64).fract().abs()
+        };
+        let xs: Vec<f64> = (0..nvertices).map(|_| next()).collect();
+        let ys: Vec<f64> = (0..nvertices).map(|_| next()).collect();
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        for i in 0..nvertices as u32 {
+            let j = (i + 1) % nvertices as u32;
+            e1.push(i);
+            e2.push(j);
+        }
+        let g = GeoColBuilder::new(nvertices)
+            .geometry(vec![xs, ys])
+            .link(e1, e2)
+            .build()
+            .unwrap();
+        for p in chaos_repro::geocol::registered_partitioner_names() {
+            let partitioner = chaos_repro::geocol::partitioner_by_name(p).unwrap();
+            let part = partitioner.partition(&g, nparts);
+            prop_assert_eq!(part.len(), nvertices);
+            prop_assert_eq!(part.nparts(), nparts);
+            prop_assert_eq!(part.part_sizes().iter().sum::<usize>(), nvertices);
+        }
+    }
+
+    #[test]
+    fn reuse_check_is_conservative(
+        writes in proptest::collection::vec(0usize..3, 0..12),
+    ) {
+        // Apply a random sequence of writes to {data array, indirection
+        // array, unrelated array}; the check may only report "reuse" if no
+        // indirection-array write happened since the last save.
+        let mut registry = ReuseRegistry::new();
+        let data = Dad::of(&Distribution::block(100, 4));
+        let ind = Dad::of(&Distribution::block(333, 4));
+        let unrelated = Dad::of(&Distribution::cyclic(55, 4));
+        let id = LoopId::new("L");
+        registry.save_inspector(id.clone(), vec![data.clone()], vec![ind.clone()]);
+        let mut ind_written = false;
+        for w in writes {
+            match w {
+                0 => registry.record_write(&data),
+                1 => {
+                    registry.record_write(&ind);
+                    ind_written = true;
+                }
+                _ => registry.record_write(&unrelated),
+            }
+        }
+        let decision = registry.check(&id, &[data], &[ind]);
+        if ind_written {
+            prop_assert!(!decision.can_reuse(), "reuse allowed despite indirection write");
+        } else {
+            prop_assert!(decision.can_reuse(), "reuse denied although nothing relevant changed");
+        }
+    }
+}
