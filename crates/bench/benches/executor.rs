@@ -7,7 +7,8 @@ use chaos_dmsim::{Machine, MachineConfig};
 use chaos_geocol::{Partitioner, RcbPartitioner};
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
-    gather, scatter_add, AccessPattern, DistArray, Distribution, Inspector, IterPartitionPolicy,
+    gather, gather_into, scatter_add, AccessPattern, DistArray, Distribution, Inspector,
+    IterPartitionPolicy,
 };
 use chaos_workloads::MeshConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -16,7 +17,11 @@ fn bench_executor(c: &mut Criterion) {
     let w = mesh_workload(MeshConfig::tiny(3000));
     let nprocs = 16;
     let geocol = chaos_geocol::GeoColBuilder::new(w.nnodes)
-        .geometry(vec![w.coords[0].clone(), w.coords[1].clone(), w.coords[2].clone()])
+        .geometry(vec![
+            w.coords[0].clone(),
+            w.coords[1].clone(),
+            w.coords[2].clone(),
+        ])
         .build()
         .unwrap();
     let dist = Distribution::irregular_from_map(
@@ -56,7 +61,24 @@ fn bench_executor(c: &mut Criterion) {
     group.bench_function("scatter_add", |b| {
         b.iter(|| {
             let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
-            scatter_add(&mut machine, "bench", &inspect.schedule, &mut y, &contributions)
+            scatter_add(
+                &mut machine,
+                "bench",
+                &inspect.schedule,
+                &mut y,
+                &contributions,
+            )
+        })
+    });
+    // The allocation-free steady state: a reused machine and reused ghost
+    // buffers, the exact shape of an iteration loop with a reused schedule.
+    group.bench_function("gather_steady", |b| {
+        let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+        let mut ghosts: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
+        b.iter(|| {
+            gather_into(&mut machine, "bench", &inspect.schedule, &x, &mut ghosts);
         })
     });
     group.finish();

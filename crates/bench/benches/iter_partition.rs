@@ -15,7 +15,11 @@ fn bench_iter_partition(c: &mut Criterion) {
     let w = mesh_workload(MeshConfig::tiny(3000));
     let nprocs = 16;
     let geocol = chaos_geocol::GeoColBuilder::new(w.nnodes)
-        .geometry(vec![w.coords[0].clone(), w.coords[1].clone(), w.coords[2].clone()])
+        .geometry(vec![
+            w.coords[0].clone(),
+            w.coords[1].clone(),
+            w.coords[2].clone(),
+        ])
         .build()
         .unwrap();
     let partitioning = RcbPartitioner.partition(&geocol, nprocs);
@@ -26,8 +30,14 @@ fn bench_iter_partition(c: &mut Criterion) {
     group.sample_size(20);
     for (name, policy) in [
         ("owner_computes", IterPartitionPolicy::OwnerComputes),
-        ("almost_owner_computes", IterPartitionPolicy::AlmostOwnerComputes),
-        ("block_of_iterations", IterPartitionPolicy::BlockOfIterations),
+        (
+            "almost_owner_computes",
+            IterPartitionPolicy::AlmostOwnerComputes,
+        ),
+        (
+            "block_of_iterations",
+            IterPartitionPolicy::BlockOfIterations,
+        ),
     ] {
         // Report the locality each policy achieves.
         let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
@@ -47,12 +57,16 @@ fn bench_iter_partition(c: &mut Criterion) {
             part.imbalance()
         );
 
-        group.bench_with_input(BenchmarkId::new("partition", name), &policy, |b, &policy| {
-            b.iter(|| {
-                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
-                partition_iterations(&mut machine, &dist, &refs, policy)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("partition", name),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                    partition_iterations(&mut machine, &dist, &refs, policy)
+                })
+            },
+        );
     }
     group.finish();
 }

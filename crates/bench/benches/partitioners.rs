@@ -13,7 +13,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_partitioners(c: &mut Criterion) {
     let w = mesh_workload(MeshConfig::tiny(3000));
     let geocol = GeoColBuilder::new(w.nnodes)
-        .geometry(vec![w.coords[0].clone(), w.coords[1].clone(), w.coords[2].clone()])
+        .geometry(vec![
+            w.coords[0].clone(),
+            w.coords[1].clone(),
+            w.coords[2].clone(),
+        ])
         .load(w.loads.clone())
         .link(w.e1.clone(), w.e2.clone())
         .build()
@@ -32,7 +36,10 @@ fn bench_partitioners(c: &mut Criterion) {
         ),
         // Ablation: KL/FM boundary refinement on top of the geometric
         // partitioner (the paper's reference [15] style post-pass).
-        ("rcb+kl", Box::new(KlRefinedPartitioner::new(RcbPartitioner))),
+        (
+            "rcb+kl",
+            Box::new(KlRefinedPartitioner::new(RcbPartitioner)),
+        ),
     ];
 
     let mut group = c.benchmark_group("partitioners");

@@ -47,6 +47,18 @@ fn bench_translation(c: &mut Criterion) {
                 table.dereference(&mut machine, "bench", &requests)
             })
         });
+        // The inspector's hot path: packed answers into reused buffers.
+        group.bench_with_input(
+            BenchmarkId::new("dereference_packed", name),
+            &table,
+            |b, table| {
+                let mut out: Vec<Vec<u64>> = Vec::new();
+                b.iter(|| {
+                    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                    table.dereference_packed(&mut machine, "bench", &requests, &mut out);
+                })
+            },
+        );
     }
     group.finish();
 }

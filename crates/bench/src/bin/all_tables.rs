@@ -23,8 +23,15 @@ fn main() {
         let w = kind.build(16.max(opts.scale));
         for method in [Method::Block, Method::Rcb, Method::Rsb] {
             let err = verify_against_sequential(&w, 8, method);
-            println!("  {:<10} {:<28} max |error| = {err:.3e}", kind.label(), method.label());
-            assert!(err < 1e-9, "parallel execution diverged from the sequential reference");
+            println!(
+                "  {:<10} {:<28} max |error| = {err:.3e}",
+                kind.label(),
+                method.label()
+            );
+            assert!(
+                err < 1e-9,
+                "parallel execution diverged from the sequential reference"
+            );
         }
     }
     println!();

@@ -1,0 +1,315 @@
+//! Perf smoke: measure the flat-CSR hot path against the retained naive
+//! reference implementation on a fixed workload and record the repo's
+//! performance trajectory in `BENCH_1.json`.
+//!
+//! Both sides are measured **live in the same process on the same machine**,
+//! so the gate is hardware-independent: `before` runs the seed's
+//! formulation (nested-`Vec` schedules + `HashMap` dedup via
+//! `chaos_runtime::naive`, and the seed's per-index `ExchangePlan`-based
+//! table dereference reproduced below), `after` runs the CSR
+//! implementation. The gate fails (exit 1) if either the executor or the
+//! translation group improves less than 25% — the acceptance bar of the CSR
+//! refactor — so a regression that erodes the win is caught by CI.
+//!
+//! The `recorded_baseline_ns` fields additionally preserve the medians
+//! measured on the original development machine right after PR 1 first made
+//! the seed build, as a historical anchor for the perf trajectory; they are
+//! informational and not part of the gate.
+//!
+//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json]`
+
+use chaos_bench::workload::mesh_workload;
+use chaos_dmsim::{ExchangePlan, Machine, MachineConfig};
+use chaos_geocol::{Partitioner, RcbPartitioner};
+use chaos_runtime::iterpart::partition_iterations;
+use chaos_runtime::{
+    gather, naive, scatter_add, AccessPattern, DistArray, Distribution, Inspector,
+    IterPartitionPolicy, TTablePolicy, TranslationTable,
+};
+use chaos_workloads::{MeshConfig, UnstructuredMesh};
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `samples` runs of `f` (after warm-up).
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u128 {
+    for _ in 0..samples.div_ceil(5).clamp(1, 5) {
+        f();
+    }
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// The seed's `TranslationTable::dereference`: per-index page dispatch into
+/// per-destination payload vectors shipped through real `ExchangePlan`s.
+/// Reproduced here as the measurement baseline (the runtime's batched
+/// implementation replaced it).
+fn seed_dereference(
+    table: &TranslationTable,
+    machine: &mut Machine,
+    label: &str,
+    requests: &[Vec<u32>],
+) -> Vec<Vec<(u32, u32)>> {
+    let nprocs = table.nprocs();
+    match table.policy() {
+        TTablePolicy::Replicated => {
+            for (p, reqs) in requests.iter().enumerate() {
+                machine.charge_compute(p, reqs.len() as f64);
+            }
+        }
+        TTablePolicy::Distributed => {
+            let mut plan: ExchangePlan<u32> = ExchangePlan::new(nprocs);
+            let mut counts = vec![vec![0usize; nprocs]; nprocs];
+            for (p, reqs) in requests.iter().enumerate() {
+                let mut per_dest: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+                for &g in reqs {
+                    let page = table.page_owner(g as usize);
+                    per_dest[page].push(g);
+                    counts[p][page] += 1;
+                }
+                for (dest, payload) in per_dest.into_iter().enumerate() {
+                    plan.push(p, dest, payload);
+                }
+            }
+            machine.exchange(&format!("{label}:deref-request"), plan);
+            let mut reply: ExchangePlan<u32> = ExchangePlan::new(nprocs);
+            for (p, row) in counts.iter().enumerate() {
+                for (page, &cnt) in row.iter().enumerate() {
+                    if cnt > 0 {
+                        machine.charge_compute(page, cnt as f64);
+                        reply.push(page, p, vec![0u32; 2 * cnt]);
+                    }
+                }
+            }
+            machine.exchange(&format!("{label}:deref-reply"), reply);
+        }
+    }
+    requests
+        .iter()
+        .map(|reqs| {
+            reqs.iter()
+                .map(|&g| {
+                    (
+                        table.owner(g as usize) as u32,
+                        table.local_offset(g as usize) as u32,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Row {
+    name: &'static str,
+    group: &'static str,
+    /// Frozen median from the original dev machine (informational).
+    recorded_baseline_ns: u128,
+    /// Naive reference measured live (the gate's `before`).
+    before_ns: u128,
+    /// CSR implementation measured live.
+    after_ns: u128,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- executor group: same workload as benches/executor.rs ---
+    {
+        let w = mesh_workload(MeshConfig::tiny(3000));
+        let nprocs = 16;
+        let geocol = chaos_geocol::GeoColBuilder::new(w.nnodes)
+            .geometry(vec![
+                w.coords[0].clone(),
+                w.coords[1].clone(),
+                w.coords[2].clone(),
+            ])
+            .build()
+            .unwrap();
+        let dist = Distribution::irregular_from_map(
+            RcbPartitioner.partition(&geocol, nprocs).owners(),
+            nprocs,
+        );
+        let x = DistArray::from_global("x", dist.clone(), &w.input);
+        let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; w.nnodes]);
+        let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+        let iter_part = partition_iterations(
+            &mut machine,
+            &dist,
+            &w.iteration_refs(),
+            IterPartitionPolicy::AlmostOwnerComputes,
+        );
+        let mut pattern = AccessPattern::new(nprocs);
+        for p in 0..nprocs {
+            for &it in iter_part.iters(p) {
+                pattern.refs[p].push(w.e1[it as usize]);
+                pattern.refs[p].push(w.e2[it as usize]);
+            }
+        }
+        let inspect = Inspector.localize(&mut machine, "bench", &dist, &pattern);
+        let reference = naive::localize(&mut machine, "bench", &dist, &pattern);
+        let contributions: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![1.0; inspect.ghost_counts[p]])
+            .collect();
+
+        rows.push(Row {
+            name: "executor/gather",
+            group: "executor",
+            recorded_baseline_ns: 8118,
+            before_ns: median_ns(30, || {
+                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                std::hint::black_box(naive::gather(
+                    &mut machine,
+                    "bench",
+                    &reference.schedule,
+                    &x,
+                ));
+            }),
+            after_ns: median_ns(30, || {
+                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                std::hint::black_box(gather(&mut machine, "bench", &inspect.schedule, &x));
+            }),
+        });
+        rows.push(Row {
+            name: "executor/scatter_add",
+            group: "executor",
+            recorded_baseline_ns: 12651,
+            before_ns: median_ns(30, || {
+                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                naive::scatter_add(
+                    &mut machine,
+                    "bench",
+                    &reference.schedule,
+                    &mut y,
+                    &contributions,
+                );
+            }),
+            after_ns: median_ns(30, || {
+                let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                scatter_add(
+                    &mut machine,
+                    "bench",
+                    &inspect.schedule,
+                    &mut y,
+                    &contributions,
+                );
+            }),
+        });
+    }
+
+    // --- translation group: same workload as benches/translation.rs ---
+    {
+        let mesh = UnstructuredMesh::generate(MeshConfig::tiny(4000));
+        let nprocs = 16;
+        let map: Vec<u32> = (0..mesh.nnodes())
+            .map(|i| ((i * 2654435761) % nprocs) as u32)
+            .collect();
+        let mut requests: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+        let per = mesh.nedges().div_ceil(nprocs);
+        for (i, (&a, &b)) in mesh.end_pt1.iter().zip(&mesh.end_pt2).enumerate() {
+            let p = (i / per).min(nprocs - 1);
+            requests[p].push(a);
+            requests[p].push(b);
+        }
+        for (name, policy, recorded_baseline_ns) in [
+            (
+                "translation/dereference/replicated",
+                TTablePolicy::Replicated,
+                65528u128,
+            ),
+            (
+                "translation/dereference/distributed",
+                TTablePolicy::Distributed,
+                278448,
+            ),
+        ] {
+            let table = TranslationTable::from_map_with_policy(&map, nprocs, policy);
+            rows.push(Row {
+                name,
+                group: "translation",
+                recorded_baseline_ns,
+                before_ns: median_ns(20, || {
+                    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                    std::hint::black_box(seed_dereference(
+                        &table,
+                        &mut machine,
+                        "bench",
+                        &requests,
+                    ));
+                }),
+                after_ns: median_ns(20, || {
+                    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+                    std::hint::black_box(table.dereference(&mut machine, "bench", &requests));
+                }),
+            });
+        }
+    }
+
+    // --- report + gate ---
+    let mut records: Vec<serde_json::Value> = Vec::new();
+    let mut failed = false;
+    for group in ["executor", "translation"] {
+        let (mut before, mut after) = (0u128, 0u128);
+        for r in rows.iter().filter(|r| r.group == group) {
+            before += r.before_ns;
+            after += r.after_ns;
+            let improvement = 1.0 - r.after_ns as f64 / r.before_ns as f64;
+            println!(
+                "{:<42} naive {:>9} ns  csr {:>9} ns  improvement {:>5.1}%",
+                r.name,
+                r.before_ns,
+                r.after_ns,
+                100.0 * improvement
+            );
+            records.push(serde_json::json!({
+                "bench": r.name,
+                "group": r.group,
+                "before_median_ns": r.before_ns as u64,
+                "after_median_ns": r.after_ns as u64,
+                "recorded_baseline_ns": r.recorded_baseline_ns as u64,
+                "improvement": improvement,
+            }));
+        }
+        let improvement = 1.0 - after as f64 / before as f64;
+        println!(
+            "{:<42} naive {:>9} ns  csr {:>9} ns  improvement {:>5.1}%  (gate: >= 25%)",
+            format!("GROUP {group}"),
+            before,
+            after,
+            100.0 * improvement
+        );
+        records.push(serde_json::json!({
+            "group_total": group,
+            "before_median_ns": before as u64,
+            "after_median_ns": after as u64,
+            "improvement": improvement,
+            "gate": 0.25,
+            "pass": improvement >= 0.25,
+        }));
+        if improvement < 0.25 {
+            failed = true;
+        }
+    }
+
+    let doc = serde_json::json!({
+        "baseline": "naive reference implementation (seed formulation: nested-Vec schedules, HashMap dedup, per-index ExchangePlan dereference), measured live in the same process; recorded_baseline_ns = frozen post-manifest medians from the original dev machine",
+        "records": records,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).unwrap())
+        .unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if failed {
+        eprintln!(
+            "perf gate FAILED: a benchmark group improved less than 25% over the naive baseline"
+        );
+        std::process::exit(1);
+    }
+}

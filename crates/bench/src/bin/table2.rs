@@ -29,12 +29,42 @@ fn main() {
         reuse: bool,
     }
     let columns = [
-        Column { label: "RCB Compiler (reuse)", method: Method::Rcb, compiler: true, reuse: true },
-        Column { label: "RCB Compiler (no reuse)", method: Method::Rcb, compiler: true, reuse: false },
-        Column { label: "RCB Hand Coded", method: Method::Rcb, compiler: false, reuse: true },
-        Column { label: "Block Hand Coded", method: Method::Block, compiler: false, reuse: true },
-        Column { label: "RSB Hand Coded", method: Method::Rsb, compiler: false, reuse: true },
-        Column { label: "RSB Compiler (reuse)", method: Method::Rsb, compiler: true, reuse: true },
+        Column {
+            label: "RCB Compiler (reuse)",
+            method: Method::Rcb,
+            compiler: true,
+            reuse: true,
+        },
+        Column {
+            label: "RCB Compiler (no reuse)",
+            method: Method::Rcb,
+            compiler: true,
+            reuse: false,
+        },
+        Column {
+            label: "RCB Hand Coded",
+            method: Method::Rcb,
+            compiler: false,
+            reuse: true,
+        },
+        Column {
+            label: "Block Hand Coded",
+            method: Method::Block,
+            compiler: false,
+            reuse: true,
+        },
+        Column {
+            label: "RSB Hand Coded",
+            method: Method::Rsb,
+            compiler: false,
+            reuse: true,
+        },
+        Column {
+            label: "RSB Compiler (reuse)",
+            method: Method::Rsb,
+            compiler: true,
+            reuse: true,
+        },
     ];
 
     let mut results: Vec<(String, PhaseTimes)> = Vec::new();
@@ -91,7 +121,12 @@ fn main() {
 
     // The paper's headline claim: compiler-generated within ~10 % of
     // hand-coded (compare the reuse columns for each partitioner).
-    let get = |label: &str| results.iter().find(|(l, _)| l == label).map(|(_, t)| t.total);
+    let get = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, t)| t.total)
+    };
     if let (Some(c), Some(h)) = (get("RCB Compiler (reuse)"), get("RCB Hand Coded")) {
         println!("RCB  compiler/hand total ratio: {:.3}", c / h);
     }

@@ -30,7 +30,11 @@ C$      REDISTRIBUTE reg(distfmt)\n"
 C$      CONSTRUCT G (nnode, GEOMETRY(3, xc, yc, zc))
 C$      SET distfmt BY PARTITIONING G USING {}
 C$      REDISTRIBUTE reg(distfmt)\n",
-            if method == Method::Rcb { "RCB" } else { "INERTIAL" }
+            if method == Method::Rcb {
+                "RCB"
+            } else {
+                "INERTIAL"
+            }
         ),
     };
     format!(

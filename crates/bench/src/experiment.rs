@@ -117,6 +117,25 @@ pub struct PhaseTimes {
     pub wall_seconds: f64,
 }
 
+impl serde_json::ToValue for PhaseTimes {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "graph_generation": self.graph_generation,
+            "partitioner": self.partitioner,
+            "inspector": self.inspector,
+            "remap": self.remap,
+            "executor": self.executor,
+            "total": self.total,
+            "inspector_runs": self.inspector_runs,
+            "executor_sweeps": self.executor_sweeps,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "local_fraction": self.local_fraction,
+            "wall_seconds": self.wall_seconds,
+        })
+    }
+}
+
 impl PhaseTimes {
     /// Executor time per sweep.
     pub fn executor_per_iteration(&self) -> f64 {

@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn table_renders_aligned_columns() {
-        let mut t = TextTable::new(
-            "Table X",
-            vec!["".into(), "4".into(), "8".into()],
-        );
+        let mut t = TextTable::new("Table X", vec!["".into(), "4".into(), "8".into()]);
         t.seconds_row("Executor", &[12.7, 7.0]);
         t.seconds_row("Total", &[17.6, 10.8]);
         let s = t.render();

@@ -178,11 +178,18 @@ mod tests {
     fn sequential_sweep_conserves_for_antisymmetric_kernels() {
         // Both kernels return equal-and-opposite contributions, so the sum of
         // the accumulator is (near) zero.
-        for w in [mesh_workload(MeshConfig::tiny(300)), md_workload(MdConfig::tiny(27))] {
+        for w in [
+            mesh_workload(MeshConfig::tiny(300)),
+            md_workload(MdConfig::tiny(27)),
+        ] {
             let y = w.sequential_sweep();
             let total: f64 = y.iter().sum();
             let magnitude: f64 = y.iter().map(|v| v.abs()).sum();
-            assert!(total.abs() < 1e-9 * magnitude.max(1.0), "{}: {total}", w.name);
+            assert!(
+                total.abs() < 1e-9 * magnitude.max(1.0),
+                "{}: {total}",
+                w.name
+            );
         }
     }
 

@@ -131,15 +131,21 @@ impl MapperCoupler {
             machine.charge_memory(p, gathered_words as f64);
             machine.charge_compute(p, per_proc_words);
         }
-        // One representative exchange to account for the messages.
-        let mut plan: chaos_dmsim::ExchangePlan<u64> = chaos_dmsim::ExchangePlan::new(nprocs);
+        // One representative ring exchange to account for the messages (cost
+        // only; the structure is assembled directly above).
+        let mut phase = chaos_dmsim::PhaseCharge::new();
         for src in 0..nprocs {
             let dst = (src + 1) % nprocs;
             if src != dst {
-                plan.push(src, dst, vec![0u64; (per_proc_words.ceil() as usize).max(1)]);
+                machine.charge_p2p(
+                    &mut phase,
+                    src,
+                    dst,
+                    (per_proc_words.ceil() as usize).max(1),
+                );
             }
         }
-        machine.exchange("geocol:assemble", plan);
+        machine.end_phase("geocol:assemble", phase);
 
         let geocol = builder
             .build()
@@ -171,17 +177,17 @@ impl MapperCoupler {
         let ops = partitioner.cost_estimate(geocol, nprocs) / nprocs as f64;
         machine.charge_compute_all(ops);
         // …plus an all-gather of the map array so every processor holds the
-        // new translation information.
+        // new translation information (cost only; the map is shared state).
         let map_words_per_proc = geocol.nvertices().div_ceil(nprocs).max(1);
-        let mut plan: chaos_dmsim::ExchangePlan<u32> = chaos_dmsim::ExchangePlan::new(nprocs);
+        let mut phase = chaos_dmsim::PhaseCharge::new();
         for src in 0..nprocs {
             for dst in 0..nprocs {
                 if src != dst {
-                    plan.push(src, dst, vec![0u32; map_words_per_proc]);
+                    machine.charge_p2p(&mut phase, src, dst, map_words_per_proc);
                 }
             }
         }
-        machine.exchange("partition:map-allgather", plan);
+        machine.end_phase("partition:map-allgather", phase);
 
         // The new irregular distribution uses the CHAOS-style distributed
         // (paged) translation table, so subsequent inspectors pay the
@@ -346,11 +352,8 @@ mod tests {
     #[test]
     fn load_only_spec_builds() {
         let mut f = fixture(4, 2);
-        let load = DistArray::from_global(
-            "w",
-            Distribution::block(f.nnodes, 2),
-            &vec![2.0; f.nnodes],
-        );
+        let load =
+            DistArray::from_global("w", Distribution::block(f.nnodes, 2), &vec![2.0; f.nnodes]);
         let spec = GeoColSpec::new(f.nnodes).with_load(&load);
         let g = MapperCoupler.construct_geocol(&mut f.machine, &spec);
         assert!(g.has_load());

@@ -125,7 +125,9 @@ impl<T> DistArray<T> {
     pub(crate) fn replace_storage(&mut self, dist: Distribution, local: Vec<Vec<T>>) {
         debug_assert_eq!(dist.nprocs(), local.len());
         debug_assert_eq!(
-            (0..dist.nprocs()).map(|p| dist.local_size(p)).collect::<Vec<_>>(),
+            (0..dist.nprocs())
+                .map(|p| dist.local_size(p))
+                .collect::<Vec<_>>(),
             local.iter().map(Vec::len).collect::<Vec<_>>()
         );
         self.dist = dist;

@@ -117,9 +117,7 @@ impl Distribution {
     pub fn owner(&self, global: usize) -> usize {
         debug_assert!(global < self.len(), "global index {global} out of range");
         match self {
-            Distribution::Block { n, p } => {
-                (global / Self::block_size(*n, *p)).min(p - 1)
-            }
+            Distribution::Block { n, p } => (global / Self::block_size(*n, *p)).min(p - 1),
             Distribution::Cyclic { p, .. } => global % p,
             Distribution::Irregular { table } => table.owner(global),
         }
@@ -184,7 +182,9 @@ impl Distribution {
     pub fn signature(&self) -> u64 {
         match self {
             Distribution::Block { n, p } => 0x1000_0000_0000_0000 | ((*n as u64) << 20) | *p as u64,
-            Distribution::Cyclic { n, p } => 0x2000_0000_0000_0000 | ((*n as u64) << 20) | *p as u64,
+            Distribution::Cyclic { n, p } => {
+                0x2000_0000_0000_0000 | ((*n as u64) << 20) | *p as u64
+            }
             Distribution::Irregular { table } => 0x3000_0000_0000_0000 | table.id(),
         }
     }

@@ -9,14 +9,23 @@
 //!   to the owning processors and combine them into the owned elements
 //!   (the paper's left-hand-side `REDUCE (ADD, ...)` loops).
 //!
-//! The local computation between them belongs to the application (see the
-//! workload crates); [`charge_local_compute`] lets it charge its flops to the
-//! simulated machine so executor rows in the tables include both
-//! communication and computation.
+//! Both walk the schedule's flat CSR arenas (see [`crate::schedule`]): every
+//! send is a pair of contiguous `&[u32]` slices, so the per-iteration inner
+//! loop is a strided copy with no nested-`Vec` pointer chasing, and the
+//! transfer is charged through [`Machine::charge_p2p`] without materializing
+//! an exchange plan. The `*_into` variants reuse caller-owned buffers and
+//! perform **zero heap allocations** in steady state (verified by the
+//! counting-allocator integration test), which is what makes an inspector
+//! schedule worth reusing.
+//!
+//! The local computation between gather and scatter belongs to the
+//! application (see the workload crates); [`charge_local_compute`] lets it
+//! charge its flops to the simulated machine so executor rows in the tables
+//! include both communication and computation.
 
 use crate::darray::DistArray;
 use crate::schedule::CommSchedule;
-use chaos_dmsim::{ExchangePlan, Machine};
+use chaos_dmsim::{Machine, PhaseCharge};
 
 pub use crate::inspector::LocalRef;
 
@@ -24,7 +33,8 @@ pub use crate::inspector::LocalRef;
 /// into per-processor ghost buffers.
 ///
 /// Returns `ghosts[p][slot]` aligned with the schedule's ghost slots for
-/// processor `p`.
+/// processor `p`. Allocates the buffers; iteration loops that reuse a
+/// schedule should allocate once and call [`gather_into`].
 pub fn gather<T: Clone + Default + Send>(
     machine: &mut Machine,
     label: &str,
@@ -33,40 +43,62 @@ pub fn gather<T: Clone + Default + Send>(
 ) -> Vec<Vec<T>> {
     let nprocs = machine.nprocs();
     assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
-
     let mut ghosts: Vec<Vec<T>> = (0..nprocs)
         .map(|p| vec![T::default(); schedule.ghost_count(p)])
         .collect();
+    gather_into(machine, label, schedule, array, &mut ghosts);
+    ghosts
+}
 
-    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+/// [`gather`] into caller-owned ghost buffers (`ghosts[p]` must have exactly
+/// `schedule.ghost_count(p)` elements). Performs no heap allocation.
+pub fn gather_into<T: Clone + Send>(
+    machine: &mut Machine,
+    _label: &str,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    ghosts: &mut [Vec<T>],
+) {
+    let nprocs = machine.nprocs();
+    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
+    assert_eq!(
+        ghosts.len(),
+        nprocs,
+        "ghost buffers must match machine size"
+    );
+    for (p, ghost) in ghosts.iter().enumerate() {
+        assert_eq!(
+            ghost.len(),
+            schedule.ghost_count(p),
+            "processor {p} ghost buffer length mismatch"
+        );
+    }
+
+    // Packing on the owners plus the transfers, then the phase barrier,
+    // then unpacking at the requesters — the same charge order as an
+    // ExchangePlan-based gather, so modeled clocks agree with the naive
+    // reference bit-for-bit.
+    let mut phase = PhaseCharge::new();
     for owner in 0..nprocs {
-        let local = array.local(owner);
-        for send in schedule.send_lists(owner) {
-            let payload: Vec<T> = send
-                .offsets
-                .iter()
-                .map(|&off| local[off as usize].clone())
-                .collect();
-            // Packing cost.
-            machine.charge_memory(owner, payload.len() as f64);
-            plan.push(owner, send.to as usize, payload);
+        for send in schedule.sends(owner) {
+            let words = send.offsets.len();
+            machine.charge_memory(owner, words as f64);
+            machine.charge_p2p(&mut phase, owner, send.to as usize, words);
         }
     }
-    machine.exchange(&format!("{label}:gather"), plan);
+    machine.end_phase_quiet(phase);
 
-    // Unpack: the send order on the owner matches the ghost-slot order we
-    // stored in the schedule.
     for owner in 0..nprocs {
         let local = array.local(owner);
-        for send in schedule.send_lists(owner) {
+        for send in schedule.sends(owner) {
             let dest = send.to as usize;
             machine.charge_memory(dest, send.offsets.len() as f64);
-            for (&off, &slot) in send.offsets.iter().zip(&send.ghost_slots) {
-                ghosts[dest][slot as usize] = local[off as usize].clone();
+            let ghost = ghosts[dest].as_mut_slice();
+            for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
+                ghost[slot as usize] = local[off as usize].clone();
             }
         }
     }
-    ghosts
 }
 
 /// Scatter ghost-buffer contributions back to their owners, adding them into
@@ -78,21 +110,24 @@ pub fn scatter_add(
     array: &mut DistArray<f64>,
     contributions: &[Vec<f64>],
 ) {
-    scatter_op(machine, label, schedule, array, contributions, |acc, c| *acc += c);
+    scatter_op(machine, label, schedule, array, contributions, |acc, c| {
+        *acc += c
+    });
 }
 
 /// Scatter ghost-buffer contributions back to their owners combining with an
 /// arbitrary reduction operator (`add`, `max`, `min`, ... — the paper allows
-/// any associative reduction on the left-hand side).
+/// any associative reduction on the left-hand side). Performs no heap
+/// allocation.
 pub fn scatter_op<T, F>(
     machine: &mut Machine,
-    label: &str,
+    _label: &str,
     schedule: &CommSchedule,
     array: &mut DistArray<T>,
     contributions: &[Vec<T>],
     mut combine: F,
 ) where
-    T: Clone + Default + Send,
+    T: Clone + Send,
     F: FnMut(&mut T, T),
 {
     let nprocs = machine.nprocs();
@@ -102,51 +137,43 @@ pub fn scatter_op<T, F>(
         nprocs,
         "contributions must have one ghost buffer per processor"
     );
-    for p in 0..nprocs {
+    for (p, contrib) in contributions.iter().enumerate() {
         assert_eq!(
-            contributions[p].len(),
+            contrib.len(),
             schedule.ghost_count(p),
             "processor {p} ghost contribution length mismatch"
         );
     }
 
-    // Reverse traffic: requester sends its ghost slots back to the owner.
-    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+    // Reverse traffic: each requester sends its ghost slots back to the
+    // owner, which combines them into its local elements. With the CSR
+    // layout the owner's local segment and the requester's contribution
+    // buffer are disjoint borrows, so the combine happens in the same pass
+    // with no intermediate update list.
+    // Pack charges and transfers first, then the phase barrier, then the
+    // owner-side combine — the same charge order as the plan-based scatter.
+    let mut phase = PhaseCharge::new();
     for owner in 0..nprocs {
-        for send in schedule.send_lists(owner) {
+        for send in schedule.sends(owner) {
             let requester = send.to as usize;
-            let payload: Vec<T> = send
-                .ghost_slots
-                .iter()
-                .map(|&slot| contributions[requester][slot as usize].clone())
-                .collect();
-            machine.charge_memory(requester, payload.len() as f64);
-            plan.push(requester, owner, payload);
+            let words = send.ghost_slots.len();
+            machine.charge_memory(requester, words as f64);
+            machine.charge_p2p(&mut phase, requester, owner, words);
         }
     }
-    machine.exchange(&format!("{label}:scatter"), plan);
+    machine.end_phase_quiet(phase);
 
-    // Combine into the owners' local elements.
     for owner in 0..nprocs {
-        // Collect this owner's incoming updates first to appease the borrow
-        // checker (we need &mut array.local(owner) while reading schedule).
-        let updates: Vec<(u32, T)> = schedule
-            .send_lists(owner)
-            .iter()
-            .flat_map(|send| {
-                let requester = send.to as usize;
-                send.offsets
-                    .iter()
-                    .zip(&send.ghost_slots)
-                    .map(move |(&off, &slot)| (off, contributions[requester][slot as usize].clone()))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        machine.charge_compute(owner, updates.len() as f64);
+        let mut updates = 0usize;
         let local = array.local_mut(owner);
-        for (off, value) in updates {
-            combine(&mut local[off as usize], value);
+        for send in schedule.sends(owner) {
+            let from = &contributions[send.to as usize];
+            updates += send.ghost_slots.len();
+            for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
+                combine(&mut local[off as usize], from[slot as usize].clone());
+            }
         }
+        machine.charge_compute(owner, updates as f64);
     }
 }
 
@@ -199,6 +226,21 @@ mod tests {
     }
 
     #[test]
+    fn gather_into_reuses_buffers() {
+        let (mut m, x, r) = setup();
+        let mut ghosts: Vec<Vec<f64>> = (0..2)
+            .map(|p| vec![0.0; r.schedule.ghost_count(p)])
+            .collect();
+        gather_into(&mut m, "L", &r.schedule, &x, &mut ghosts);
+        assert_eq!(ghosts[0], vec![40.0, 50.0]);
+        assert_eq!(ghosts[1], vec![0.0]);
+        // Second gather overwrites in place.
+        ghosts[0][0] = -1.0;
+        gather_into(&mut m, "L", &r.schedule, &x, &mut ghosts);
+        assert_eq!(ghosts[0], vec![40.0, 50.0]);
+    }
+
+    #[test]
     fn gather_charges_messages() {
         let (mut m, x, r) = setup();
         let before = m.stats().grand_totals().messages;
@@ -209,7 +251,7 @@ mod tests {
     #[test]
     fn scatter_add_accumulates_at_owners() {
         let (mut m, _x, r) = setup();
-        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![1.0; 8]);
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &[1.0; 8]);
         // Proc 0 contributes 5.0 to each of its ghost slots (globals 4, 5);
         // proc 1 contributes 7.0 to its ghost (global 0).
         let contributions = vec![vec![5.0, 5.0], vec![7.0]];
@@ -224,7 +266,7 @@ mod tests {
     #[test]
     fn scatter_op_supports_max() {
         let (mut m, _x, r) = setup();
-        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![3.0; 8]);
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &[3.0; 8]);
         let contributions = vec![vec![10.0, 1.0], vec![2.0]];
         scatter_op(&mut m, "L", &r.schedule, &mut y, &contributions, |a, b| {
             *a = f64::max(*a, b)
@@ -259,8 +301,16 @@ mod tests {
     #[should_panic(expected = "ghost contribution length mismatch")]
     fn scatter_rejects_wrong_ghost_shape() {
         let (mut m, _x, r) = setup();
-        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &vec![0.0; 8]);
+        let mut y = DistArray::from_global("y", Distribution::block(8, 2), &[0.0; 8]);
         scatter_add(&mut m, "L", &r.schedule, &mut y, &[vec![1.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost buffer length mismatch")]
+    fn gather_into_rejects_wrong_buffer_shape() {
+        let (mut m, x, r) = setup();
+        let mut ghosts = vec![vec![0.0; 9], vec![0.0; 9]];
+        gather_into(&mut m, "L", &r.schedule, &x, &mut ghosts);
     }
 
     #[test]

@@ -162,7 +162,12 @@ mod tests {
     fn almost_owner_computes_majority_and_ties() {
         let mut m = Machine::new(MachineConfig::unit(2));
         let d = Distribution::block(8, 2);
-        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        let p = partition_iterations(
+            &mut m,
+            &d,
+            &refs(),
+            IterPartitionPolicy::AlmostOwnerComputes,
+        );
         assert_eq!(p.iters(0), &[0, 3]);
         assert_eq!(p.iters(1), &[1, 2]);
         assert_eq!(p.total(), 4);
@@ -193,7 +198,12 @@ mod tests {
         // All referenced elements owned by proc 1.
         let map = vec![1u32; 8];
         let d = Distribution::irregular_from_map(&map, 2);
-        let p = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        let p = partition_iterations(
+            &mut m,
+            &d,
+            &refs(),
+            IterPartitionPolicy::AlmostOwnerComputes,
+        );
         assert!(p.iters(0).is_empty());
         assert_eq!(p.iters(1).len(), 4);
         assert_eq!(p.imbalance(), 2.0);
@@ -216,7 +226,12 @@ mod tests {
     fn charges_scan_cost() {
         let mut m = Machine::new(MachineConfig::unit(2));
         let d = Distribution::block(8, 2);
-        let _ = partition_iterations(&mut m, &d, &refs(), IterPartitionPolicy::AlmostOwnerComputes);
+        let _ = partition_iterations(
+            &mut m,
+            &d,
+            &refs(),
+            IterPartitionPolicy::AlmostOwnerComputes,
+        );
         assert!(m.elapsed().max_compute_seconds() > 0.0);
     }
 

@@ -30,16 +30,28 @@
 //! | module | paper concept |
 //! |--------|---------------|
 //! | [`dist`] | BLOCK / CYCLIC / irregular distributions, `DISTRIBUTE` |
-//! | [`ttable`] | translation table for irregularly distributed arrays |
+//! | [`ttable`] | translation table for irregularly distributed arrays; batched (per-page) dereference |
 //! | [`dad`] | data access descriptors |
 //! | [`darray`] | distributed arrays (`ALIGN`ed to a distribution) |
-//! | [`schedule`] | communication schedules (gather / scatter) |
-//! | [`inspector`] | inspector: localize, dedup, buffer allocation |
+//! | [`schedule`] | communication schedules as flat CSR arenas (gather / scatter) |
+//! | [`inspector`] | inspector: localize with hash-free sort+dedup over packed keys |
 //! | [`iterpart`] | loop-iteration partitioning (almost-owner-computes) |
-//! | [`executor`] | executor: gather → compute → scatter-add reduction |
+//! | [`executor`] | executor: gather → compute → scatter-add reduction, allocation-free in steady state |
 //! | [`remap`] | array remapping between distributions |
 //! | [`reuse`] | `nmod`, `last_mod`, per-loop inspector-reuse records |
 //! | [`coupler`] | CONSTRUCT / SET ... BY PARTITIONING / REDISTRIBUTE |
+//! | [`naive`] | retained nested-`Vec` reference implementation (property-test oracle) |
+//!
+//! ## Hot-path layout
+//!
+//! Schedule *use* is the cost every executor iteration pays, so
+//! [`schedule::CommSchedule`] stores its ghost sources and send lists as
+//! flat CSR offset arrays (struct-of-arrays payloads) exactly like the
+//! original PARTI/CHAOS C runtime; [`executor::gather_into`] /
+//! [`executor::scatter_op`] iterate contiguous slices, charge transfers
+//! through [`chaos_dmsim::Machine::charge_p2p`] and perform **no heap
+//! allocation** with reused buffers. The original nested-`Vec` formulation
+//! survives in [`naive`] as the oracle the property tests compare against.
 
 #![warn(missing_docs)]
 
@@ -50,6 +62,7 @@ pub mod dist;
 pub mod executor;
 pub mod inspector;
 pub mod iterpart;
+pub mod naive;
 pub mod remap;
 pub mod reuse;
 pub mod schedule;
@@ -59,12 +72,12 @@ pub use coupler::{GeoColSpec, MapperCoupler, PartitionOutcome};
 pub use dad::{Dad, DadSignature};
 pub use darray::DistArray;
 pub use dist::Distribution;
-pub use executor::{charge_local_compute, gather, scatter_add, scatter_op};
-pub use inspector::{AccessPattern, Inspector, InspectorResult, LocalRef};
-pub use iterpart::{IterationPartition, IterPartitionPolicy};
+pub use executor::{charge_local_compute, gather, gather_into, scatter_add, scatter_op};
+pub use inspector::{AccessPattern, Inspector, InspectorResult, LocalRef, LocalizeScratch};
+pub use iterpart::{IterPartitionPolicy, IterationPartition};
 pub use remap::remap;
 pub use reuse::{LoopId, LoopRecord, ReuseDecision, ReuseRegistry};
-pub use schedule::CommSchedule;
+pub use schedule::{CommSchedule, SendRef};
 pub use ttable::{TTablePolicy, TranslationTable};
 
 /// Convenient prelude for downstream crates and examples.

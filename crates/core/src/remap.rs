@@ -10,10 +10,15 @@
 
 use crate::darray::DistArray;
 use crate::dist::Distribution;
-use chaos_dmsim::{ExchangePlan, Machine};
+use chaos_dmsim::{Machine, PhaseCharge};
 
 /// Remap `array` in place to `new_dist`, charging the data movement to
 /// `machine`. Returns the number of elements that changed owner.
+///
+/// Values are placed directly into the new layout (the simulator shares one
+/// address space); the per-pair transfer volume is tallied in one counting
+/// pass and charged through [`Machine::charge_p2p`], so no payload vectors
+/// are materialized just to model the exchange.
 ///
 /// # Panics
 /// Panics if the new distribution has a different global length or processor
@@ -42,33 +47,34 @@ pub fn remap<T: Clone + Default + Send>(
         .map(|p| vec![T::default(); new_dist.local_size(p)])
         .collect();
 
-    // Build the transfer plan and move data. Elements that stay on the same
-    // processor are local copies (memory cost only).
-    let mut plan: ExchangePlan<T> = ExchangePlan::new(nprocs);
+    // Move data and tally the transfer volume per (old owner, new owner)
+    // pair. Elements that stay on the same processor are local copies
+    // (memory cost only).
     let mut moved = 0usize;
-    let mut payloads: Vec<Vec<Vec<T>>> = vec![vec![Vec::new(); nprocs]; nprocs];
+    let mut pair_words = vec![0u32; nprocs * nprocs];
     for g in 0..old_dist.len() {
         let (old_p, old_off) = old_dist.locate(g);
         let (new_p, new_off) = new_dist.locate(g);
-        let value = array.local(old_p)[old_off].clone();
         if old_p == new_p {
             machine.charge_memory(old_p, 1.0);
         } else {
             moved += 1;
-            payloads[old_p][new_p].push(value.clone());
+            pair_words[old_p * nprocs + new_p] += 1;
         }
-        new_local[new_p][new_off] = value;
+        new_local[new_p][new_off] = array.local(old_p)[old_off].clone();
     }
-    for (src, row) in payloads.into_iter().enumerate() {
-        for (dst, payload) in row.into_iter().enumerate() {
-            if !payload.is_empty() {
-                machine.charge_memory(src, payload.len() as f64);
-                machine.charge_memory(dst, payload.len() as f64);
-                plan.push(src, dst, payload);
+    let mut phase = PhaseCharge::new();
+    for src in 0..nprocs {
+        for dst in 0..nprocs {
+            let words = pair_words[src * nprocs + dst] as usize;
+            if words > 0 {
+                machine.charge_memory(src, words as f64);
+                machine.charge_memory(dst, words as f64);
+                machine.charge_p2p(&mut phase, src, dst, words);
             }
         }
     }
-    machine.exchange(&format!("{label}:remap"), plan);
+    machine.end_phase(&format!("{label}:remap"), phase);
 
     array.replace_storage(new_dist, new_local);
     moved
@@ -127,7 +133,12 @@ mod tests {
         );
         let before = a.dad().signature();
         let map: Vec<u32> = (0..8).map(|i| (i % 2) as u32).collect();
-        remap(&mut m, "test", &mut a, Distribution::irregular_from_map(&map, 2));
+        remap(
+            &mut m,
+            "test",
+            &mut a,
+            Distribution::irregular_from_map(&map, 2),
+        );
         assert_ne!(a.dad().signature(), before);
     }
 

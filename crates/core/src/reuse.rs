@@ -235,8 +235,12 @@ impl ReuseRegistry {
         let decision = self.check(id, data_dads, ind_dads);
         let flag = u64::from(!decision.can_reuse());
         let votes = vec![flag; machine.nprocs()];
-        let combined =
-            collectives::all_reduce_scalar_u64(machine, &format!("{label}:reuse-check"), ReduceOp::Max, &votes);
+        let combined = collectives::all_reduce_scalar_u64(
+            machine,
+            &format!("{label}:reuse-check"),
+            ReduceOp::Max,
+            &votes,
+        );
         debug_assert_eq!(combined, flag, "simulated processors always agree");
         decision
     }
@@ -261,7 +265,11 @@ mod tests {
     fn first_execution_requires_inspector() {
         let mut reg = ReuseRegistry::new();
         let d = block_dad(100);
-        let decision = reg.check(&LoopId::new("L2"), &[d.clone()], &[d]);
+        let decision = reg.check(
+            &LoopId::new("L2"),
+            std::slice::from_ref(&d),
+            std::slice::from_ref(&d),
+        );
         assert_eq!(
             decision,
             ReuseDecision::Rerun(vec![RerunReason::FirstExecution])
@@ -320,7 +328,9 @@ mod tests {
         let same_dad_other_array = block_dad(300);
         reg.save_inspector(LoopId::new("L"), vec![block_dad(100)], vec![ind.clone()]);
         reg.record_write(&same_dad_other_array);
-        assert!(!reg.check(&LoopId::new("L"), &[block_dad(100)], &[ind]).can_reuse());
+        assert!(!reg
+            .check(&LoopId::new("L"), &[block_dad(100)], &[ind])
+            .can_reuse());
     }
 
     #[test]
@@ -347,7 +357,13 @@ mod tests {
         let ind = block_dad(300);
         reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
         reg.record_write(&ind);
-        assert!(!reg.check(&LoopId::new("L"), &[data.clone()], &[ind.clone()]).can_reuse());
+        assert!(!reg
+            .check(
+                &LoopId::new("L"),
+                std::slice::from_ref(&data),
+                std::slice::from_ref(&ind)
+            )
+            .can_reuse());
         // Re-run the inspector (records the new stamp).
         reg.save_inspector(LoopId::new("L"), vec![data.clone()], vec![ind.clone()]);
         assert!(reg.check(&LoopId::new("L"), &[data], &[ind]).can_reuse());

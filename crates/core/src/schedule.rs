@@ -8,31 +8,65 @@
 //! [`crate::executor::gather`] / [`crate::executor::scatter_add`] — is an
 //! executor cost paid every iteration. Amortizing the former over many of
 //! the latter is exactly what the paper's schedule-reuse mechanism is for.
+//!
+//! # Layout
+//!
+//! Because schedule *use* is the per-iteration hot path, the schedule is
+//! stored as flat CSR (compressed sparse row) arenas rather than nested
+//! `Vec<Vec<…>>`s — the same flat offset-array layout the original
+//! PARTI/CHAOS C runtime used:
+//!
+//! * **Ghost side** (per requester, struct-of-arrays): `ghost_off[p] ..
+//!   ghost_off[p+1]` indexes requester `p`'s ghost slots inside
+//!   `ghost_owner` / `ghost_src`, sorted by `(owner, offset)`.
+//! * **Send side** (per owner, two-level CSR): `send_off[o] ..
+//!   send_off[o+1]` indexes owner `o`'s send lists inside `send_to` /
+//!   `seg_off`; send list `s` packs the owner-local offsets
+//!   `pack_src[seg_off[s] .. seg_off[s+1]]` destined for the requester's
+//!   ghost slots `pack_slot[seg_off[s] .. seg_off[s+1]]`.
+//!
+//! The executor therefore iterates contiguous `&[u32]` slices with zero
+//! per-send pointer chasing. A naive nested-`Vec` reference implementation
+//! is retained in [`crate::naive`] and checked byte-for-byte equivalent by
+//! the property tests.
 
 use chaos_dmsim::{ExchangePlan, Machine};
 
 /// A reusable communication schedule for one loop / one distributed-array
-/// distribution.
+/// distribution, stored as flat CSR arenas (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommSchedule {
     nprocs: usize,
-    /// For requester `p`: the `(owner, owner_local_offset)` of each ghost
-    /// slot, in slot order (sorted by owner then offset — deterministic).
-    ghost_sources: Vec<Vec<(u32, u32)>>,
-    /// For owner `o`: `(requester, local offsets to pack, ghost slots at the
-    /// requester matching that packing order)`.
-    send_lists: Vec<Vec<SendList>>,
+    /// CSR offsets over the ghost-side arrays: requester `p`'s slots are
+    /// `ghost_off[p] .. ghost_off[p+1]`.
+    ghost_off: Vec<u32>,
+    /// Owning processor of each ghost slot.
+    ghost_owner: Vec<u32>,
+    /// Owner-local offset of each ghost slot's source element.
+    ghost_src: Vec<u32>,
+    /// CSR offsets over `send_to` / `seg_off`: owner `o`'s send lists are
+    /// `send_off[o] .. send_off[o+1]`.
+    send_off: Vec<u32>,
+    /// Destination requester of each send list.
+    send_to: Vec<u32>,
+    /// CSR offsets over the packed entry arrays; send list `s` owns entries
+    /// `seg_off[s] .. seg_off[s+1]`. Length `send_to.len() + 1`.
+    seg_off: Vec<u32>,
+    /// Owner-local offsets to pack, per entry.
+    pack_src: Vec<u32>,
+    /// Ghost slots at the requester the packed values land in, per entry.
+    pack_slot: Vec<u32>,
 }
 
-/// One owner→requester send list.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SendList {
+/// One owner→requester send list, borrowed from the schedule's arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendRef<'a> {
     /// The processor the data is sent to.
     pub to: u32,
-    /// Local offsets (on the owner) to pack, in order.
-    pub offsets: Vec<u32>,
+    /// Owner-local offsets to pack, in order.
+    pub offsets: &'a [u32],
     /// Ghost slots (on the requester) the packed values land in, same order.
-    pub ghost_slots: Vec<u32>,
+    pub ghost_slots: &'a [u32],
 }
 
 impl CommSchedule {
@@ -47,107 +81,148 @@ impl CommSchedule {
     /// Building the schedule performs the request exchange (each requester
     /// tells each owner which offsets it needs) and charges it to `machine` —
     /// this is part of the inspector cost in the paper's tables.
-    pub fn build(
-        machine: &mut Machine,
-        label: &str,
-        ghost_sources: Vec<Vec<(u32, u32)>>,
-    ) -> Self {
+    pub fn build(machine: &mut Machine, label: &str, ghost_sources: Vec<Vec<(u32, u32)>>) -> Self {
         let nprocs = machine.nprocs();
         assert_eq!(
             ghost_sources.len(),
             nprocs,
             "ghost_sources must have one entry per processor"
         );
+        let total: usize = ghost_sources.iter().map(Vec::len).sum();
+        let mut ghost_off = Vec::with_capacity(nprocs + 1);
+        let mut ghost_owner = Vec::with_capacity(total);
+        let mut ghost_src = Vec::with_capacity(total);
+        ghost_off.push(0u32);
+        for sources in &ghost_sources {
+            for &(owner, offset) in sources {
+                ghost_owner.push(owner);
+                ghost_src.push(offset);
+            }
+            ghost_off.push(ghost_owner.len() as u32);
+        }
+        Self::from_csr_parts(machine, label, ghost_off, ghost_owner, ghost_src)
+    }
 
-        // Group each requester's slots by owner.
-        // grouped[owner][requester] -> (offsets, slots)
-        let mut grouped: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
-            vec![vec![(Vec::new(), Vec::new()); nprocs]; nprocs];
-        for (requester, sources) in ghost_sources.iter().enumerate() {
-            for (slot, &(owner, offset)) in sources.iter().enumerate() {
+    /// Build a schedule directly from the flat ghost-side arrays (the form
+    /// the inspector produces). See the module docs for the layout. Performs
+    /// and charges the same request exchange as [`CommSchedule::build`].
+    pub fn from_csr_parts(
+        machine: &mut Machine,
+        label: &str,
+        ghost_off: Vec<u32>,
+        ghost_owner: Vec<u32>,
+        ghost_src: Vec<u32>,
+    ) -> Self {
+        let nprocs = machine.nprocs();
+        assert_eq!(
+            ghost_off.len(),
+            nprocs + 1,
+            "ghost_sources must have one entry per processor"
+        );
+        assert_eq!(ghost_owner.len(), ghost_src.len());
+        assert_eq!(*ghost_off.last().unwrap() as usize, ghost_owner.len());
+
+        // Validate the ghost side, then hand the layout pass to
+        // `from_ghost_arrays` (shared with `merge`).
+        for p in 0..nprocs {
+            let (lo, hi) = (ghost_off[p] as usize, ghost_off[p + 1] as usize);
+            for &owner in &ghost_owner[lo..hi] {
                 assert!(
                     (owner as usize) < nprocs,
                     "ghost slot references processor {owner} out of range"
                 );
                 assert_ne!(
-                    owner as usize, requester,
-                    "ghost slot on processor {requester} references itself"
+                    owner as usize, p,
+                    "ghost slot on processor {p} references itself"
                 );
-                let cell = &mut grouped[owner as usize][requester];
-                cell.0.push(offset);
-                cell.1.push(slot as u32);
             }
         }
+        let schedule = Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src);
 
         // The request exchange: requester -> owner, one word per requested
         // element.
         let mut plan: ExchangePlan<u32> = ExchangePlan::new(nprocs);
-        for (owner, row) in grouped.iter().enumerate() {
-            for (requester, (offsets, _)) in row.iter().enumerate() {
-                if !offsets.is_empty() {
-                    plan.push(requester, owner, offsets.clone());
-                }
+        for owner in 0..nprocs {
+            for send in schedule.sends(owner) {
+                plan.push(send.to as usize, owner, send.offsets.to_vec());
             }
         }
         machine.exchange(&format!("{label}:schedule-build"), plan);
 
-        let send_lists: Vec<Vec<SendList>> = grouped
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .enumerate()
-                    .filter(|(_, (offsets, _))| !offsets.is_empty())
-                    .map(|(requester, (offsets, ghost_slots))| SendList {
-                        to: requester as u32,
-                        offsets,
-                        ghost_slots,
-                    })
-                    .collect()
-            })
-            .collect();
-
-        CommSchedule {
-            nprocs,
-            ghost_sources,
-            send_lists,
-        }
+        schedule
     }
 
     /// Processor count the schedule was built for.
+    #[inline]
     pub fn nprocs(&self) -> usize {
         self.nprocs
     }
 
     /// Number of ghost slots (off-processor copies) held by `proc`.
+    #[inline]
     pub fn ghost_count(&self, proc: usize) -> usize {
-        self.ghost_sources[proc].len()
+        (self.ghost_off[proc + 1] - self.ghost_off[proc]) as usize
     }
 
     /// Total ghost slots over all processors — the communication volume (in
     /// elements) of one gather.
     pub fn total_ghosts(&self) -> usize {
-        self.ghost_sources.iter().map(Vec::len).sum()
+        self.ghost_owner.len()
     }
 
     /// Number of point-to-point messages one gather (or scatter) performs.
     pub fn message_count(&self) -> usize {
-        self.send_lists.iter().map(Vec::len).sum()
+        self.send_to.len()
     }
 
-    /// The `(owner, offset)` sources of processor `proc`'s ghost slots.
-    pub fn ghost_sources(&self, proc: usize) -> &[(u32, u32)] {
-        &self.ghost_sources[proc]
+    /// The `(owner, offset)` sources of processor `proc`'s ghost slots, in
+    /// slot order.
+    pub fn ghost_sources(&self, proc: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let (lo, hi) = (
+            self.ghost_off[proc] as usize,
+            self.ghost_off[proc + 1] as usize,
+        );
+        self.ghost_owner[lo..hi]
+            .iter()
+            .zip(&self.ghost_src[lo..hi])
+            .map(|(&o, &s)| (o, s))
     }
 
-    /// The send lists of owner `proc`.
-    pub fn send_lists(&self, proc: usize) -> &[SendList] {
-        &self.send_lists[proc]
+    /// Owning processor of each of `proc`'s ghost slots (slot order).
+    pub fn ghost_owners(&self, proc: usize) -> &[u32] {
+        &self.ghost_owner[self.ghost_off[proc] as usize..self.ghost_off[proc + 1] as usize]
+    }
+
+    /// Owner-local source offset of each of `proc`'s ghost slots (slot
+    /// order).
+    pub fn ghost_src_offsets(&self, proc: usize) -> &[u32] {
+        &self.ghost_src[self.ghost_off[proc] as usize..self.ghost_off[proc + 1] as usize]
+    }
+
+    /// The send lists of owner `proc`, as borrowed slices over the packed
+    /// arenas — the executor's zero-indirection iteration.
+    pub fn sends(&self, proc: usize) -> impl Iterator<Item = SendRef<'_>> + '_ {
+        let (lo, hi) = (
+            self.send_off[proc] as usize,
+            self.send_off[proc + 1] as usize,
+        );
+        (lo..hi).map(move |s| {
+            let (a, b) = (self.seg_off[s] as usize, self.seg_off[s + 1] as usize);
+            SendRef {
+                to: self.send_to[s],
+                offsets: &self.pack_src[a..b],
+                ghost_slots: &self.pack_slot[a..b],
+            }
+        })
     }
 
     /// Maximum ghost count over processors (bounds per-processor buffer
     /// space).
     pub fn max_ghosts(&self) -> usize {
-        self.ghost_sources.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.nprocs)
+            .map(|p| self.ghost_count(p))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Merge two schedules built against the *same* distribution into one,
@@ -168,57 +243,103 @@ impl CommSchedule {
             "cannot merge schedules built for different machine sizes"
         );
         let nprocs = self.nprocs;
-        let mut merged_sources: Vec<Vec<(u32, u32)>> = Vec::with_capacity(nprocs);
+        let mut ghost_off = Vec::with_capacity(nprocs + 1);
+        let mut ghost_owner = Vec::with_capacity(self.ghost_owner.len() + other.ghost_owner.len());
+        let mut ghost_src = Vec::with_capacity(ghost_owner.capacity());
         let mut map_a: Vec<Vec<u32>> = Vec::with_capacity(nprocs);
         let mut map_b: Vec<Vec<u32>> = Vec::with_capacity(nprocs);
+        ghost_off.push(0u32);
+        let key = |o: u32, s: u32| ((o as u64) << 32) | s as u64;
         for p in 0..nprocs {
-            let mut union: Vec<(u32, u32)> = self.ghost_sources[p]
-                .iter()
-                .chain(other.ghost_sources[p].iter())
-                .copied()
+            // Sort + dedup the union of both sides' packed keys, then map
+            // each side's old slots to their rank in the sorted union. This
+            // makes no ordering assumption about the inputs (`build` accepts
+            // ghost sources in any slot order), and the merged schedule comes
+            // out in the canonical owner-then-offset order.
+            let mut union: Vec<u64> = self
+                .ghost_sources(p)
+                .chain(other.ghost_sources(p))
+                .map(|(o, s)| key(o, s))
                 .collect();
             union.sort_unstable();
             union.dedup();
-            let slot_of = |src: &(u32, u32)| union.binary_search(src).expect("present") as u32;
-            map_a.push(self.ghost_sources[p].iter().map(slot_of).collect());
-            map_b.push(other.ghost_sources[p].iter().map(slot_of).collect());
-            merged_sources.push(union);
+            let slot_of = |o: u32, s: u32| union.binary_search(&key(o, s)).expect("present") as u32;
+            map_a.push(self.ghost_sources(p).map(|(o, s)| slot_of(o, s)).collect());
+            map_b.push(other.ghost_sources(p).map(|(o, s)| slot_of(o, s)).collect());
+            for &k in &union {
+                ghost_owner.push((k >> 32) as u32);
+                ghost_src.push(k as u32);
+            }
+            ghost_off.push(ghost_owner.len() as u32);
         }
 
-        // Rebuild send lists locally from the merged ghost sources.
-        let mut grouped: Vec<Vec<(Vec<u32>, Vec<u32>)>> =
-            vec![vec![(Vec::new(), Vec::new()); nprocs]; nprocs];
-        for (requester, sources) in merged_sources.iter().enumerate() {
-            for (slot, &(owner, offset)) in sources.iter().enumerate() {
-                let cell = &mut grouped[owner as usize][requester];
-                cell.0.push(offset);
-                cell.1.push(slot as u32);
+        // Rebuild the send side locally from the merged ghost sources (no
+        // communication is charged; the layout pass is shared with
+        // `from_csr_parts`).
+        let merged = Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src);
+        (merged, map_a, map_b)
+    }
+
+    /// Construct the full CSR schedule from validated ghost-side arrays
+    /// without charging any machine (used by [`CommSchedule::merge`]).
+    fn from_ghost_arrays(
+        nprocs: usize,
+        ghost_off: Vec<u32>,
+        ghost_owner: Vec<u32>,
+        ghost_src: Vec<u32>,
+    ) -> Self {
+        let mut pair_counts = vec![0u32; nprocs * nprocs];
+        for p in 0..nprocs {
+            let (lo, hi) = (ghost_off[p] as usize, ghost_off[p + 1] as usize);
+            for &owner in &ghost_owner[lo..hi] {
+                pair_counts[owner as usize * nprocs + p] += 1;
             }
         }
-        let send_lists: Vec<Vec<SendList>> = grouped
-            .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .enumerate()
-                    .filter(|(_, (offsets, _))| !offsets.is_empty())
-                    .map(|(requester, (offsets, ghost_slots))| SendList {
-                        to: requester as u32,
-                        offsets,
-                        ghost_slots,
-                    })
-                    .collect()
-            })
-            .collect();
-
-        (
-            CommSchedule {
-                nprocs,
-                ghost_sources: merged_sources,
-                send_lists,
-            },
-            map_a,
-            map_b,
-        )
+        let nsends = pair_counts.iter().filter(|&&c| c > 0).count();
+        let mut send_off = Vec::with_capacity(nprocs + 1);
+        let mut send_to = Vec::with_capacity(nsends);
+        let mut seg_off = Vec::with_capacity(nsends + 1);
+        let mut seg_of_pair = vec![0u32; nprocs * nprocs];
+        send_off.push(0u32);
+        seg_off.push(0u32);
+        let mut entries = 0u32;
+        for owner in 0..nprocs {
+            for requester in 0..nprocs {
+                let c = pair_counts[owner * nprocs + requester];
+                if c > 0 {
+                    seg_of_pair[owner * nprocs + requester] = send_to.len() as u32 + 1;
+                    send_to.push(requester as u32);
+                    entries += c;
+                    seg_off.push(entries);
+                }
+            }
+            send_off.push(send_to.len() as u32);
+        }
+        let mut cursor: Vec<u32> = seg_off[..nsends].to_vec();
+        let mut pack_src = vec![0u32; entries as usize];
+        let mut pack_slot = vec![0u32; entries as usize];
+        for p in 0..nprocs {
+            let (lo, hi) = (ghost_off[p] as usize, ghost_off[p + 1] as usize);
+            for slot in lo..hi {
+                let owner = ghost_owner[slot] as usize;
+                let seg = seg_of_pair[owner * nprocs + p] as usize - 1;
+                let at = cursor[seg] as usize;
+                pack_src[at] = ghost_src[slot];
+                pack_slot[at] = (slot - lo) as u32;
+                cursor[seg] += 1;
+            }
+        }
+        CommSchedule {
+            nprocs,
+            ghost_off,
+            ghost_owner,
+            ghost_src,
+            send_off,
+            send_to,
+            seg_off,
+            pack_src,
+            pack_slot,
+        }
     }
 }
 
@@ -230,11 +351,7 @@ mod tests {
     /// 2 procs; proc 0 needs elements at offsets 3 and 5 of proc 1, proc 1
     /// needs offset 0 of proc 0.
     fn simple_schedule(machine: &mut Machine) -> CommSchedule {
-        CommSchedule::build(
-            machine,
-            "test",
-            vec![vec![(1, 3), (1, 5)], vec![(0, 0)]],
-        )
+        CommSchedule::build(machine, "test", vec![vec![(1, 3), (1, 5)], vec![(0, 0)]])
     }
 
     #[test]
@@ -248,15 +365,15 @@ mod tests {
         assert_eq!(s.message_count(), 2);
         assert_eq!(s.max_ghosts(), 2);
 
-        let from1 = s.send_lists(1);
+        let from1: Vec<_> = s.sends(1).collect();
         assert_eq!(from1.len(), 1);
         assert_eq!(from1[0].to, 0);
-        assert_eq!(from1[0].offsets, vec![3, 5]);
-        assert_eq!(from1[0].ghost_slots, vec![0, 1]);
+        assert_eq!(from1[0].offsets, &[3, 5]);
+        assert_eq!(from1[0].ghost_slots, &[0, 1]);
 
-        let from0 = s.send_lists(0);
+        let from0: Vec<_> = s.sends(0).collect();
         assert_eq!(from0[0].to, 1);
-        assert_eq!(from0[0].offsets, vec![0]);
+        assert_eq!(from0[0].offsets, &[0]);
     }
 
     #[test]
@@ -304,13 +421,17 @@ mod tests {
         // Union on proc 0: offsets 3, 5, 7 of proc 1 (deduplicated).
         assert_eq!(merged.ghost_count(0), 3);
         assert_eq!(merged.ghost_count(1), 1);
-        assert_eq!(merged.ghost_sources(0), &[(1, 3), (1, 5), (1, 7)]);
+        assert_eq!(
+            merged.ghost_sources(0).collect::<Vec<_>>(),
+            vec![(1, 3), (1, 5), (1, 7)]
+        );
         // Old slots still address the same elements in the merged schedule.
-        for (old_slot, &(owner, off)) in a.ghost_sources(0).iter().enumerate() {
-            assert_eq!(merged.ghost_sources(0)[map_a[0][old_slot] as usize], (owner, off));
+        let merged0: Vec<_> = merged.ghost_sources(0).collect();
+        for (old_slot, (owner, off)) in a.ghost_sources(0).enumerate() {
+            assert_eq!(merged0[map_a[0][old_slot] as usize], (owner, off));
         }
-        for (old_slot, &(owner, off)) in b.ghost_sources(0).iter().enumerate() {
-            assert_eq!(merged.ghost_sources(0)[map_b[0][old_slot] as usize], (owner, off));
+        for (old_slot, (owner, off)) in b.ghost_sources(0).enumerate() {
+            assert_eq!(merged0[map_b[0][old_slot] as usize], (owner, off));
         }
         // One message per (owner, requester) pair with data: 1->0 and 0->1.
         assert_eq!(merged.message_count(), 2);
@@ -337,6 +458,29 @@ mod tests {
     }
 
     #[test]
+    fn merge_handles_unsorted_ghost_sources() {
+        // `build` accepts ghost sources in any slot order; merge must not
+        // assume sortedness (it canonicalizes via sort + dedup).
+        let mut m = Machine::new(MachineConfig::unit(3));
+        let a = CommSchedule::build(&mut m, "a", vec![vec![(2, 1), (1, 0)], vec![], vec![]]);
+        let b = CommSchedule::build(&mut m, "b", vec![vec![(1, 0), (2, 5)], vec![], vec![]]);
+        let (merged, map_a, map_b) = a.merge(&b);
+        // Union deduplicates (1,0): three distinct sources remain.
+        assert_eq!(merged.ghost_count(0), 3);
+        assert_eq!(
+            merged.ghost_sources(0).collect::<Vec<_>>(),
+            vec![(1, 0), (2, 1), (2, 5)]
+        );
+        let merged0: Vec<_> = merged.ghost_sources(0).collect();
+        for (old, (o, s)) in a.ghost_sources(0).enumerate() {
+            assert_eq!(merged0[map_a[0][old] as usize], (o, s));
+        }
+        for (old, (o, s)) in b.ghost_sources(0).enumerate() {
+            assert_eq!(merged0[map_b[0][old] as usize], (o, s));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "different machine sizes")]
     fn merge_rejects_mismatched_schedules() {
         let mut m2 = Machine::new(MachineConfig::unit(2));
@@ -344,5 +488,35 @@ mod tests {
         let a = CommSchedule::build(&mut m2, "a", vec![Vec::new(); 2]);
         let b = CommSchedule::build(&mut m4, "b", vec![Vec::new(); 4]);
         let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn csr_parts_agree_with_nested_build() {
+        // The flat constructor and the nested-Vec convenience wrapper must
+        // produce identical schedules.
+        let sources = vec![
+            vec![(1u32, 3u32), (1, 5), (2, 0)],
+            vec![(0, 0)],
+            vec![(1, 1)],
+        ];
+        let mut m1 = Machine::new(MachineConfig::unit(3));
+        let nested = CommSchedule::build(&mut m1, "n", sources.clone());
+        let mut ghost_off = vec![0u32];
+        let mut ghost_owner = Vec::new();
+        let mut ghost_src = Vec::new();
+        for row in &sources {
+            for &(o, s) in row {
+                ghost_owner.push(o);
+                ghost_src.push(s);
+            }
+            ghost_off.push(ghost_owner.len() as u32);
+        }
+        let mut m2 = Machine::new(MachineConfig::unit(3));
+        let flat = CommSchedule::from_csr_parts(&mut m2, "f", ghost_off, ghost_owner, ghost_src);
+        assert_eq!(nested, flat);
+        assert_eq!(
+            m1.stats().grand_totals().messages,
+            m2.stats().grand_totals().messages
+        );
     }
 }

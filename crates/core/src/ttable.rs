@@ -17,7 +17,7 @@
 //! communication charged by [`TranslationTable::dereference`]. The
 //! `translation` ablation bench compares them.
 
-use chaos_dmsim::{ExchangePlan, Machine};
+use chaos_dmsim::{Machine, PhaseCharge};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -37,8 +37,10 @@ static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
 pub struct TranslationTable {
     id: u64,
     nprocs: usize,
-    owners: Vec<u32>,
-    local_offsets: Vec<u32>,
+    /// `owner << 32 | local_offset` per global index — the single arena
+    /// every lookup answers from (one load instead of two parallel-array
+    /// loads, and no duplicated state).
+    packed: Vec<u64>,
     local_sizes: Vec<usize>,
     policy: TTablePolicy,
 }
@@ -57,18 +59,20 @@ impl TranslationTable {
     pub fn from_map_with_policy(map: &[u32], nprocs: usize, policy: TTablePolicy) -> Self {
         assert!(nprocs > 0, "translation table needs at least one processor");
         let mut local_sizes = vec![0usize; nprocs];
-        let mut local_offsets = vec![0u32; map.len()];
+        let mut packed = vec![0u64; map.len()];
         for (g, &o) in map.iter().enumerate() {
             let o = o as usize;
-            assert!(o < nprocs, "map[{g}] = {o} exceeds processor count {nprocs}");
-            local_offsets[g] = local_sizes[o] as u32;
+            assert!(
+                o < nprocs,
+                "map[{g}] = {o} exceeds processor count {nprocs}"
+            );
+            packed[g] = ((o as u64) << 32) | local_sizes[o] as u64;
             local_sizes[o] += 1;
         }
         TranslationTable {
             id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
             nprocs,
-            owners: map.to_vec(),
-            local_offsets,
+            packed,
             local_sizes,
             policy,
         }
@@ -81,12 +85,12 @@ impl TranslationTable {
 
     /// Global array size covered by the table.
     pub fn len(&self) -> usize {
-        self.owners.len()
+        self.packed.len()
     }
 
     /// True when the table covers no elements.
     pub fn is_empty(&self) -> bool {
-        self.owners.is_empty()
+        self.packed.is_empty()
     }
 
     /// Processor count.
@@ -102,13 +106,13 @@ impl TranslationTable {
     /// Owner of `global`.
     #[inline]
     pub fn owner(&self, global: usize) -> usize {
-        self.owners[global] as usize
+        (self.packed[global] >> 32) as usize
     }
 
     /// Local offset of `global` on its owner.
     #[inline]
     pub fn local_offset(&self, global: usize) -> usize {
-        self.local_offsets[global] as usize
+        self.packed[global] as u32 as usize
     }
 
     /// Number of elements owned by `proc`.
@@ -119,38 +123,41 @@ impl TranslationTable {
     /// Global indices owned by `proc` in ascending local-offset order.
     pub fn owned_globals(&self, proc: usize) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.local_sizes[proc]);
-        for (g, &o) in self.owners.iter().enumerate() {
-            if o as usize == proc {
+        let me = proc as u64;
+        for (g, &k) in self.packed.iter().enumerate() {
+            if (k >> 32) == me {
                 out.push(g);
             }
         }
         out
     }
 
-    /// Which processor holds the table *page* for `global` under the
-    /// distributed layout (a BLOCK distribution of the index space).
-    pub fn page_owner(&self, global: usize) -> usize {
-        let block = self.len().div_ceil(self.nprocs).max(1);
-        (global / block).min(self.nprocs - 1)
+    /// Size of one table page (the block of the BLOCK distribution of the
+    /// index space used by the distributed layout).
+    #[inline]
+    fn page_block(&self) -> usize {
+        self.len().div_ceil(self.nprocs).max(1)
     }
 
-    /// Dereference a batch of global indices on behalf of each requesting
-    /// processor, charging the machine for any table-page traffic.
+    /// Which processor holds the table *page* for `global` under the
+    /// distributed layout (a BLOCK distribution of the index space).
+    #[inline]
+    pub fn page_owner(&self, global: usize) -> usize {
+        (global / self.page_block()).min(self.nprocs - 1)
+    }
+
+    /// Charge the machine for dereferencing `requests` (the cost side of
+    /// [`TranslationTable::dereference`], shared by the packed variant).
     ///
-    /// `requests[p]` is the list of global indices processor `p` needs to
-    /// translate; the result mirrors that shape with `(owner, local_offset)`
-    /// pairs. With the replicated policy the lookups are free of
-    /// communication (only local table-probe compute is charged); with the
-    /// distributed policy each off-page request incurs a request/response
-    /// message pair to the page owner, which is the dominant inspector cost
-    /// the paper measures.
-    pub fn dereference(
-        &self,
-        machine: &mut Machine,
-        label: &str,
-        requests: &[Vec<u32>],
-    ) -> Vec<Vec<(u32, u32)>> {
-        assert_eq!(requests.len(), self.nprocs);
+    /// With the replicated policy the lookups are free of communication
+    /// (only local table-probe compute is charged); with the distributed
+    /// policy each request batch to a remote page owner incurs a
+    /// request/response message pair, which is the dominant inspector cost
+    /// the paper measures. All requests are batched per `(requester, page)`
+    /// pair in a single counting pass — no per-index dispatch, no payload
+    /// materialization (the simulator answers from the shared table; only
+    /// the transfer cost is modeled, identically to shipping the indices).
+    fn charge_dereference(&self, machine: &mut Machine, label: &str, requests: &[Vec<u32>]) {
         match self.policy {
             TTablePolicy::Replicated => {
                 for (p, reqs) in requests.iter().enumerate() {
@@ -159,46 +166,94 @@ impl TranslationTable {
                 }
             }
             TTablePolicy::Distributed => {
-                // Round 1: ship requests to page owners.
-                let mut plan: ExchangePlan<u32> = ExchangePlan::new(self.nprocs);
-                let mut counts = vec![vec![0usize; self.nprocs]; self.nprocs];
+                // One counting pass: how many of processor p's requests land
+                // on each table page.
+                let block = self.page_block();
+                let mut counts = vec![0u32; self.nprocs * self.nprocs];
                 for (p, reqs) in requests.iter().enumerate() {
-                    let mut per_dest: Vec<Vec<u32>> = vec![Vec::new(); self.nprocs];
+                    let row = &mut counts[p * self.nprocs..(p + 1) * self.nprocs];
                     for &g in reqs {
-                        let page = self.page_owner(g as usize);
-                        per_dest[page].push(g);
-                        counts[p][page] += 1;
-                    }
-                    for (dest, payload) in per_dest.into_iter().enumerate() {
-                        plan.push(p, dest, payload);
+                        let page = (g as usize / block).min(self.nprocs - 1);
+                        row[page] += 1;
                     }
                 }
-                machine.exchange(&format!("{label}:deref-request"), plan);
-                // Round 2: page owners answer with (owner, offset) pairs —
-                // twice the volume of the request.
-                let mut reply: ExchangePlan<u32> = ExchangePlan::new(self.nprocs);
-                for (p, row) in counts.iter().enumerate() {
-                    for (page, &cnt) in row.iter().enumerate() {
+                // Round 1: ship requests to page owners (one word per index).
+                let mut phase = PhaseCharge::new();
+                for p in 0..self.nprocs {
+                    for page in 0..self.nprocs {
+                        let cnt = counts[p * self.nprocs + page] as usize;
                         if cnt > 0 {
-                            // Page owner does cnt probes...
-                            machine.charge_compute(page, cnt as f64);
-                            // ...and replies with 2 words per probe.
-                            reply.push(page, p, vec![0u32; 2 * cnt]);
+                            machine.charge_p2p(&mut phase, p, page, cnt);
                         }
                     }
                 }
-                machine.exchange(&format!("{label}:deref-reply"), reply);
+                machine.end_phase(&format!("{label}:deref-request"), phase);
+                // Round 2: page owners probe their pages and answer with
+                // (owner, offset) pairs — twice the volume of the request.
+                let mut phase = PhaseCharge::new();
+                for p in 0..self.nprocs {
+                    for page in 0..self.nprocs {
+                        let cnt = counts[p * self.nprocs + page] as usize;
+                        if cnt > 0 {
+                            machine.charge_compute(page, cnt as f64);
+                            machine.charge_p2p(&mut phase, page, p, 2 * cnt);
+                        }
+                    }
+                }
+                machine.end_phase(&format!("{label}:deref-reply"), phase);
             }
         }
-        // The actual answers (exact, independent of the cost policy).
+    }
+
+    /// Dereference a batch of global indices on behalf of each requesting
+    /// processor, charging the machine for any table-page traffic.
+    ///
+    /// `requests[p]` is the list of global indices processor `p` needs to
+    /// translate; the result mirrors that shape with `(owner, local_offset)`
+    /// pairs. See [`TranslationTable::dereference_packed`] for the
+    /// allocation-friendly variant the inspector uses.
+    pub fn dereference(
+        &self,
+        machine: &mut Machine,
+        label: &str,
+        requests: &[Vec<u32>],
+    ) -> Vec<Vec<(u32, u32)>> {
+        assert_eq!(requests.len(), self.nprocs);
+        self.charge_dereference(machine, label, requests);
+        // The actual answers (exact, independent of the cost policy), read
+        // from the packed arena in one load per lookup.
         requests
             .iter()
             .map(|reqs| {
                 reqs.iter()
-                    .map(|&g| (self.owners[g as usize], self.local_offsets[g as usize]))
+                    .map(|&g| {
+                        let k = self.packed[g as usize];
+                        ((k >> 32) as u32, k as u32)
+                    })
                     .collect()
             })
             .collect()
+    }
+
+    /// [`TranslationTable::dereference`] writing packed
+    /// `owner << 32 | local_offset` keys into caller-owned buffers
+    /// (`out[p]` is cleared and refilled, so repeated inspector runs reuse
+    /// capacity instead of reallocating). Charges the machine identically to
+    /// `dereference`.
+    pub fn dereference_packed(
+        &self,
+        machine: &mut Machine,
+        label: &str,
+        requests: &[Vec<u32>],
+        out: &mut Vec<Vec<u64>>,
+    ) {
+        assert_eq!(requests.len(), self.nprocs);
+        self.charge_dereference(machine, label, requests);
+        out.resize_with(self.nprocs, Vec::new);
+        for (reqs, row) in requests.iter().zip(out.iter_mut()) {
+            row.clear();
+            row.extend(reqs.iter().map(|&g| self.packed[g as usize]));
+        }
     }
 
     /// Words of table state stored on processor `proc`, used to charge the
@@ -207,7 +262,7 @@ impl TranslationTable {
         match self.policy {
             TTablePolicy::Replicated => 2 * self.len(),
             TTablePolicy::Distributed => {
-                let block = self.len().div_ceil(self.nprocs).max(1);
+                let block = self.page_block();
                 let start = (proc * block).min(self.len());
                 let end = ((proc + 1) * block).min(self.len());
                 2 * (end - start)
@@ -268,7 +323,10 @@ mod tests {
         // proc 0 asks about global 7 whose page (block size 2) lives on proc 3.
         let answers = t.dereference(&mut m, "test", &[vec![7], vec![], vec![], vec![]]);
         assert_eq!(answers[0], vec![(3, 0)]);
-        assert!(m.stats().grand_totals().messages >= 2, "request + reply expected");
+        assert!(
+            m.stats().grand_totals().messages >= 2,
+            "request + reply expected"
+        );
     }
 
     #[test]
@@ -283,7 +341,7 @@ mod tests {
 
     #[test]
     fn page_owner_covers_whole_range() {
-        let t = TranslationTable::from_map(&vec![0; 10], 4);
+        let t = TranslationTable::from_map(&[0; 10], 4);
         for g in 0..10 {
             assert!(t.page_owner(g) < 4);
         }

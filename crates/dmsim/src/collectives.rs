@@ -197,7 +197,9 @@ pub fn all_to_all_v<T: Clone + Send>(
         }
     }
     machine.exchange(label, plan);
-    let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| (0..p).map(|_| Vec::new()).collect()).collect();
+    let mut recv: Vec<Vec<Vec<T>>> = (0..p)
+        .map(|_| (0..p).map(|_| Vec::new()).collect())
+        .collect();
     for (src, row) in send.into_iter().enumerate() {
         for (dst, payload) in row.into_iter().enumerate() {
             recv[dst][src] = payload;

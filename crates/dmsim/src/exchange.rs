@@ -109,7 +109,10 @@ impl<T> Delivered<T> {
 
     /// Iterate over `(destination, messages)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[Message<T>])> {
-        self.per_dest.iter().enumerate().map(|(p, m)| (p, m.as_slice()))
+        self.per_dest
+            .iter()
+            .enumerate()
+            .map(|(p, m)| (p, m.as_slice()))
     }
 
     /// Total number of delivered messages.

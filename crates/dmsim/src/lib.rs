@@ -16,10 +16,10 @@
 //! The simulator separates **what data moves** (done with ordinary `Vec`s in
 //! one address space, so results are exact and deterministic) from **what it
 //! costs** (charged to per-processor [`ProcClock`]s according to
-//! [`MachineConfig`]). Processor-local compute phases may optionally be run
-//! on real threads via [`Machine::run_spmd`], but the *modeled* time never
-//! depends on thread scheduling, so every experiment is reproducible
-//! bit-for-bit.
+//! [`MachineConfig`]). [`Machine::run_spmd`] runs processor-local compute
+//! phases sequentially (its bounds allow a threaded implementation to be
+//! swapped in later), and the *modeled* time never depends on real execution
+//! order, so every experiment is reproducible bit-for-bit.
 //!
 //! ## Quick example
 //!
@@ -50,6 +50,6 @@ pub mod topology;
 pub use collectives::ReduceOp;
 pub use config::{CostModel, MachineConfig, SyncModel, Topology};
 pub use exchange::{Delivered, ExchangePlan, Message};
-pub use machine::{Machine, ProcId};
+pub use machine::{Machine, PhaseCharge, ProcId};
 pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry};
 pub use time::{ElapsedReport, ProcClock, SimTime};

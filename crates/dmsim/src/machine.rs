@@ -6,11 +6,39 @@ use crate::exchange::{Delivered, ExchangePlan};
 use crate::stats::{CommStats, PhaseKind, StatsRegistry};
 use crate::time::{ElapsedReport, ProcClock};
 use crate::topology::hops;
-use rayon::prelude::*;
 use std::collections::BTreeMap;
 
 /// Identifier of a virtual processor (`0 .. nprocs`).
 pub type ProcId = usize;
+
+/// Statistics accumulator for a message phase charged message-by-message via
+/// [`Machine::charge_p2p`] instead of through an [`ExchangePlan`].
+///
+/// One `PhaseCharge` corresponds to one exchange phase: it starts with
+/// `phases = 1` (mirroring what [`Machine::exchange`] records even for an
+/// empty plan) and collects message/byte/time totals as messages are
+/// charged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseCharge {
+    stats: CommStats,
+}
+
+impl PhaseCharge {
+    /// Start accounting one message phase.
+    pub fn new() -> Self {
+        PhaseCharge {
+            stats: CommStats {
+                phases: 1,
+                ..CommStats::default()
+            },
+        }
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
 
 /// A simulated distributed-memory machine.
 ///
@@ -163,7 +191,11 @@ impl Machine {
     ///
     /// When the sync model is [`SyncModel::BarrierPerPhase`] every clock is
     /// advanced to the phase maximum afterwards.
-    pub fn exchange<T: Clone + Send>(&mut self, label: &str, plan: ExchangePlan<T>) -> Delivered<T> {
+    pub fn exchange<T: Clone + Send>(
+        &mut self,
+        label: &str,
+        plan: ExchangePlan<T>,
+    ) -> Delivered<T> {
         assert_eq!(
             plan.nprocs(),
             self.nprocs(),
@@ -203,6 +235,57 @@ impl Machine {
             self.synchronize_clocks();
         }
         Delivered::from_messages(nprocs, plan.into_messages())
+    }
+
+    /// Charge one point-to-point message of `words` payload words from
+    /// `from` to `to` without building an [`ExchangePlan`], accumulating its
+    /// statistics into `phase`. The cost math is identical to one message of
+    /// [`Machine::exchange`]: `alpha + beta*bytes + per_hop*hops` transfer
+    /// plus a packing word cost, charged to both endpoint clocks; self-sends
+    /// are charged the local copy cost only and counted as zero messages.
+    ///
+    /// This is the allocation-free path the flattened executor uses: data
+    /// moves directly between the runtime's own buffers (the simulator
+    /// shares one address space), and the machine is only asked to account
+    /// for the transfer. Finish the phase with [`Machine::end_phase`] or
+    /// [`Machine::end_phase_quiet`].
+    #[inline]
+    pub fn charge_p2p(&mut self, phase: &mut PhaseCharge, from: ProcId, to: ProcId, words: usize) {
+        let bytes = words * self.cfg.word_bytes;
+        if from == to {
+            let t = 2.0 * words as f64 * self.cfg.cost.memory_word;
+            self.clocks[from].charge_compute(t);
+            return;
+        }
+        let h = hops(self.cfg.topology, self.cfg.nprocs, from, to);
+        let transfer = self.cfg.cost.message_cost(bytes, h);
+        let pack = words as f64 * self.cfg.cost.memory_word;
+        self.clocks[from].charge_comm(transfer + pack);
+        self.clocks[to].charge_comm(transfer + pack);
+        phase.stats.messages += 1;
+        phase.stats.bytes += bytes;
+        phase.stats.comm_seconds += 2.0 * (transfer + pack);
+    }
+
+    /// Finish a hand-charged message phase, recording it under `label` and
+    /// applying the per-phase barrier if the sync model asks for one.
+    pub fn end_phase(&mut self, label: &str, phase: PhaseCharge) {
+        self.stats.record(label, phase.stats);
+        if self.cfg.sync == SyncModel::BarrierPerPhase {
+            self.synchronize_clocks();
+        }
+    }
+
+    /// Finish a hand-charged message phase without keeping a labelled
+    /// record (see [`StatsRegistry::record_quiet`]); totals and clocks are
+    /// updated exactly as [`Machine::end_phase`] would. This variant
+    /// performs no heap allocation in steady state, which the executor's
+    /// per-iteration gather/scatter relies on.
+    pub fn end_phase_quiet(&mut self, phase: PhaseCharge) {
+        self.stats.record_quiet(phase.stats);
+        if self.cfg.sync == SyncModel::BarrierPerPhase {
+            self.synchronize_clocks();
+        }
     }
 
     /// Explicit barrier: charge a `log P` tree of latency-only messages and
@@ -245,16 +328,17 @@ impl Machine {
     }
 
     /// Run an SPMD region: call `f(p)` for every processor id `p` and collect
-    /// the results in processor order. The closures run on real threads via
-    /// Rayon; they must not touch the machine (the machine is borrowed
-    /// mutably by the caller to charge costs afterwards), which keeps the
-    /// modeled time independent of the real schedule.
+    /// the results in processor order. The closures must not touch the
+    /// machine (the machine is borrowed mutably by the caller to charge
+    /// costs afterwards), which keeps the modeled time independent of the
+    /// real execution order. Runs sequentially; the bounds allow a threaded
+    /// implementation to be swapped in without touching callers.
     pub fn run_spmd<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(ProcId) -> T + Sync + Send,
     {
-        (0..self.nprocs()).into_par_iter().map(f).collect()
+        (0..self.nprocs()).map(f).collect()
     }
 
     /// Run an SPMD region sequentially (deterministic order, useful in tests
@@ -374,6 +458,51 @@ mod tests {
         assert!((m.phase_elapsed(crate::stats::PhaseKind::Executor) - 5.0).abs() < 1e-9);
         m.reset();
         assert_eq!(m.phase_elapsed(crate::stats::PhaseKind::Executor), 0.0);
+    }
+
+    #[test]
+    fn charge_p2p_matches_exchange_costs() {
+        // The hand-charged path must be cost-identical to an ExchangePlan
+        // carrying the same messages.
+        let cfg = MachineConfig::ipsc860(4);
+        let mut via_plan = Machine::new(cfg.clone());
+        let mut plan = ExchangePlan::new(4);
+        plan.push(0, 1, vec![0u64; 10]);
+        plan.push(2, 3, vec![0u64; 5]);
+        plan.push(1, 1, vec![0u64; 7]); // self-send
+        via_plan.exchange("x", plan);
+
+        let mut via_charge = Machine::new(cfg);
+        let mut phase = PhaseCharge::new();
+        via_charge.charge_p2p(&mut phase, 0, 1, 10);
+        via_charge.charge_p2p(&mut phase, 2, 3, 5);
+        via_charge.charge_p2p(&mut phase, 1, 1, 7);
+        via_charge.end_phase("x", phase);
+
+        let a = via_plan.stats().grand_totals();
+        let b = via_charge.stats().grand_totals();
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.phases, b.phases);
+        let ea = via_plan.elapsed();
+        let eb = via_charge.elapsed();
+        for p in 0..4 {
+            assert!((ea.per_proc[p] - eb.per_proc[p]).abs() < 1e-12, "proc {p}");
+        }
+    }
+
+    #[test]
+    fn quiet_phase_counts_in_totals_but_not_records() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let mut phase = PhaseCharge::new();
+        m.charge_p2p(&mut phase, 0, 1, 3);
+        m.end_phase_quiet(phase);
+        assert_eq!(m.stats().grand_totals().messages, 1);
+        assert_eq!(m.stats().grand_totals().phases, 1);
+        assert!(
+            m.stats().records().is_empty(),
+            "quiet phases keep no record"
+        );
     }
 
     #[test]

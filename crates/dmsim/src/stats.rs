@@ -110,6 +110,17 @@ impl StatsRegistry {
         });
     }
 
+    /// Merge a phase's statistics into the per-kind totals without keeping a
+    /// labelled [`PhaseRecord`]. This is the executor hot path: after the
+    /// first phase of a given kind it performs no heap allocation, which is
+    /// what lets a steady-state gather/scatter iteration run allocation-free.
+    /// Quiet phases are invisible to [`StatsRegistry::records`] but fully
+    /// counted by [`StatsRegistry::totals_for`] / [`StatsRegistry::grand_totals`].
+    pub fn record_quiet(&mut self, stats: CommStats) {
+        let kind = self.current_kind.unwrap_or(PhaseKind::Other);
+        self.by_kind.entry(kind).or_default().merge(&stats);
+    }
+
     /// All phase records in execution order.
     pub fn records(&self) -> &[PhaseRecord] {
         &self.records

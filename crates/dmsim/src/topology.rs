@@ -38,7 +38,7 @@ pub fn mesh_cols(nprocs: usize) -> usize {
     let mut best = 1;
     let mut d = 1;
     while d * d <= nprocs {
-        if nprocs % d == 0 {
+        if nprocs.is_multiple_of(d) {
             best = d;
         }
         d += 1;

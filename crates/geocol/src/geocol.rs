@@ -63,7 +63,11 @@ pub enum GeoColError {
 impl std::fmt::Display for GeoColError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GeoColError::GeometryLengthMismatch { axis, got, expected } => write!(
+            GeoColError::GeometryLengthMismatch {
+                axis,
+                got,
+                expected,
+            } => write!(
                 f,
                 "geometry axis {axis} has {got} coordinates but the GeoCoL has {expected} vertices"
             ),
@@ -75,7 +79,11 @@ impl std::fmt::Display for GeoColError {
                 f,
                 "edge endpoint lists have different lengths ({left} vs {right})"
             ),
-            GeoColError::EdgeOutOfRange { edge, vertex, nvertices } => write!(
+            GeoColError::EdgeOutOfRange {
+                edge,
+                vertex,
+                nvertices,
+            } => write!(
                 f,
                 "edge {edge} references vertex {vertex} but only {nvertices} vertices exist"
             ),
@@ -408,7 +416,14 @@ mod tests {
             .geometry(vec![vec![0.0, 1.0]])
             .build()
             .unwrap_err();
-        assert!(matches!(err, GeoColError::GeometryLengthMismatch { axis: 0, got: 2, expected: 3 }));
+        assert!(matches!(
+            err,
+            GeoColError::GeometryLengthMismatch {
+                axis: 0,
+                got: 2,
+                expected: 3
+            }
+        ));
         assert!(err.to_string().contains("axis 0"));
     }
 
@@ -416,9 +431,15 @@ mod tests {
     fn rejects_mismatched_load_and_bad_values() {
         let err = GeoColBuilder::new(2).load(vec![1.0]).build().unwrap_err();
         assert!(matches!(err, GeoColError::LoadLengthMismatch { .. }));
-        let err = GeoColBuilder::new(2).load(vec![1.0, -3.0]).build().unwrap_err();
+        let err = GeoColBuilder::new(2)
+            .load(vec![1.0, -3.0])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GeoColError::InvalidLoad { vertex: 1, .. }));
-        let err = GeoColBuilder::new(2).load(vec![1.0, f64::NAN]).build().unwrap_err();
+        let err = GeoColBuilder::new(2)
+            .load(vec![1.0, f64::NAN])
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GeoColError::InvalidLoad { .. }));
     }
 
@@ -446,8 +467,14 @@ mod tests {
 
     #[test]
     fn link_edges_helper_matches_link() {
-        let a = GeoColBuilder::new(4).link_edges(&[(0, 1), (2, 3)]).build().unwrap();
-        let b = GeoColBuilder::new(4).link(vec![0, 2], vec![1, 3]).build().unwrap();
+        let a = GeoColBuilder::new(4)
+            .link_edges(&[(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        let b = GeoColBuilder::new(4)
+            .link(vec![0, 2], vec![1, 3])
+            .build()
+            .unwrap();
         assert_eq!(a, b);
     }
 

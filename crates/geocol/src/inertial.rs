@@ -16,7 +16,9 @@ pub struct InertialPartitioner {
 
 impl Default for InertialPartitioner {
     fn default() -> Self {
-        InertialPartitioner { power_iterations: 32 }
+        InertialPartitioner {
+            power_iterations: 32,
+        }
     }
 }
 
@@ -74,7 +76,10 @@ impl InertialPartitioner {
 
         let left_parts = nparts / 2;
         let right_parts = nparts - left_parts;
-        let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+        let total_load: f64 = vertices
+            .iter()
+            .map(|&v| geocol.vertex_load(v as usize))
+            .sum();
         let target_left = total_load * left_parts as f64 / nparts as f64;
         let mut acc = 0.0;
         let mut split = 0usize;
@@ -108,7 +113,10 @@ fn project(geocol: &GeoCoL, vertex: usize, direction: &[f64]) -> f64 {
 /// degenerate point clouds.
 fn principal_axis(geocol: &GeoCoL, vertices: &[u32], iterations: usize) -> Vec<f64> {
     let dim = geocol.geometry_dim();
-    let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+    let total_load: f64 = vertices
+        .iter()
+        .map(|&v| geocol.vertex_load(v as usize))
+        .sum();
     let mut mean = vec![0.0; dim];
     for &v in vertices {
         let w = geocol.vertex_load(v as usize);
@@ -218,7 +226,11 @@ mod tests {
         for nparts in [4, 8, 5] {
             let p = InertialPartitioner::default().partition(&g, nparts);
             let q = PartitionQuality::evaluate(&g, &p);
-            assert!(q.load_imbalance <= 1.25, "nparts={nparts}: {}", q.load_imbalance);
+            assert!(
+                q.load_imbalance <= 1.25,
+                "nparts={nparts}: {}",
+                q.load_imbalance
+            );
             assert_eq!(p.part_sizes().iter().sum::<usize>(), g.nvertices());
         }
     }
@@ -245,7 +257,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "GEOMETRY")]
     fn requires_geometry() {
-        let g = GeoColBuilder::new(4).link(vec![0], vec![1]).build().unwrap();
+        let g = GeoColBuilder::new(4)
+            .link(vec![0], vec![1])
+            .build()
+            .unwrap();
         let _ = InertialPartitioner::default().partition(&g, 2);
     }
 }

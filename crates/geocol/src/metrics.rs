@@ -91,7 +91,11 @@ impl PartitionQuality {
 
         let loads = partitioning.part_loads(geocol);
         let total: f64 = loads.iter().sum();
-        let mean = if nparts > 0 { total / nparts as f64 } else { 0.0 };
+        let mean = if nparts > 0 {
+            total / nparts as f64
+        } else {
+            0.0
+        };
         let max = loads.iter().copied().fold(0.0, f64::max);
         let load_imbalance = if mean > 0.0 { max / mean } else { 1.0 };
 

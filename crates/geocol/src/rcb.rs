@@ -46,7 +46,13 @@ impl Partitioner for RcbPartitioner {
 }
 
 /// Recursively assign `vertices` to parts `part_lo .. part_lo + nparts`.
-fn bisect(geocol: &GeoCoL, vertices: &mut [u32], part_lo: usize, nparts: usize, owners: &mut [u32]) {
+fn bisect(
+    geocol: &GeoCoL,
+    vertices: &mut [u32],
+    part_lo: usize,
+    nparts: usize,
+    owners: &mut [u32],
+) {
     if nparts <= 1 || vertices.len() <= 1 {
         for &v in vertices.iter() {
             owners[v as usize] = part_lo as u32;
@@ -70,7 +76,10 @@ fn bisect(geocol: &GeoCoL, vertices: &mut [u32], part_lo: usize, nparts: usize, 
 
     let left_parts = nparts / 2;
     let right_parts = nparts - left_parts;
-    let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+    let total_load: f64 = vertices
+        .iter()
+        .map(|&v| geocol.vertex_load(v as usize))
+        .sum();
     let target_left = total_load * left_parts as f64 / nparts as f64;
 
     // Weighted median: find the split point where the prefix load first
@@ -227,10 +236,17 @@ mod tests {
             let p = RcbPartitioner.partition(&g, nparts);
             let q = PartitionQuality::evaluate(&g, &p);
             assert_eq!(p.nparts(), nparts);
-            assert!(q.load_imbalance < 1.25, "nparts={nparts}: {}", q.load_imbalance);
+            assert!(
+                q.load_imbalance < 1.25,
+                "nparts={nparts}: {}",
+                q.load_imbalance
+            );
             let sizes = p.part_sizes();
             assert_eq!(sizes.iter().sum::<usize>(), 100);
-            assert!(sizes.iter().all(|&s| s > 0), "empty part for nparts={nparts}");
+            assert!(
+                sizes.iter().all(|&s| s > 0),
+                "empty part for nparts={nparts}"
+            );
         }
     }
 
@@ -272,7 +288,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "GEOMETRY")]
     fn rcb_requires_geometry() {
-        let g = GeoColBuilder::new(4).link(vec![0, 1], vec![1, 2]).build().unwrap();
+        let g = GeoColBuilder::new(4)
+            .link(vec![0, 1], vec![1, 2])
+            .build()
+            .unwrap();
         let _ = RcbPartitioner.partition(&g, 2);
     }
 

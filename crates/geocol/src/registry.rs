@@ -30,16 +30,18 @@ pub fn partitioner_by_name(name: &str) -> Option<Box<dyn Partitioner + Send + Sy
         "INERTIAL" => Some(Box::new(InertialPartitioner::default())),
         "RSB" | "SPECTRAL" => Some(Box::new(RsbPartitioner::default())),
         "RCB-KL" | "RCB_KL" => Some(Box::new(KlRefinedPartitioner::new(RcbPartitioner))),
-        "RSB-KL" | "RSB_KL" => {
-            Some(Box::new(KlRefinedPartitioner::new(RsbPartitioner::default())))
-        }
+        "RSB-KL" | "RSB_KL" => Some(Box::new(KlRefinedPartitioner::new(
+            RsbPartitioner::default(),
+        ))),
         _ => None,
     }
 }
 
 /// The canonical names accepted by [`partitioner_by_name`].
 pub fn registered_partitioner_names() -> &'static [&'static str] {
-    &["BLOCK", "CYCLIC", "RANDOM", "RCB", "INERTIAL", "RSB", "RCB-KL", "RSB-KL"]
+    &[
+        "BLOCK", "CYCLIC", "RANDOM", "RCB", "INERTIAL", "RSB", "RCB-KL", "RSB-KL",
+    ]
 }
 
 #[cfg(test)]
@@ -71,10 +73,7 @@ mod tests {
     fn resolved_partitioners_are_usable() {
         let g = GeoColBuilder::new(8)
             .geometry(vec![(0..8).map(|i| i as f64).collect()])
-            .link(
-                (0..7u32).collect::<Vec<_>>(),
-                (1..8u32).collect::<Vec<_>>(),
-            )
+            .link((0..7u32).collect::<Vec<_>>(), (1..8u32).collect::<Vec<_>>())
             .build()
             .unwrap();
         for name in ["BLOCK", "CYCLIC", "RCB", "RSB", "INERTIAL", "RANDOM"] {

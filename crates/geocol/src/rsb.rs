@@ -98,7 +98,10 @@ impl RsbPartitioner {
 
         let left_parts = nparts / 2;
         let right_parts = nparts - left_parts;
-        let total_load: f64 = vertices.iter().map(|&v| geocol.vertex_load(v as usize)).sum();
+        let total_load: f64 = vertices
+            .iter()
+            .map(|&v| geocol.vertex_load(v as usize))
+            .sum();
         let target_left = total_load * left_parts as f64 / nparts as f64;
         let mut acc = 0.0;
         let mut split = 0usize;
@@ -242,7 +245,10 @@ mod tests {
         let g = dumbbell(12);
         let p = RsbPartitioner::default().partition(&g, 2);
         let q = PartitionQuality::evaluate(&g, &p);
-        assert_eq!(q.edge_cut, 1, "spectral bisection should cut only the bridge");
+        assert_eq!(
+            q.edge_cut, 1,
+            "spectral bisection should cut only the bridge"
+        );
         assert_eq!(q.load_imbalance, 1.0);
     }
 
@@ -294,7 +300,11 @@ mod tests {
         for nparts in [4, 8, 6] {
             let p = RsbPartitioner::default().partition(&g, nparts);
             let q = PartitionQuality::evaluate(&g, &p);
-            assert!(q.load_imbalance <= 1.3, "nparts={nparts} imbalance {}", q.load_imbalance);
+            assert!(
+                q.load_imbalance <= 1.3,
+                "nparts={nparts} imbalance {}",
+                q.load_imbalance
+            );
             assert_eq!(p.part_sizes().iter().sum::<usize>(), 100);
         }
     }

@@ -78,7 +78,9 @@ pub fn analyze_program(program: &Program) -> Result<ProgramInfo, LangError> {
             Stmt::Declare { ty, arrays } => {
                 for (name, size) in arrays {
                     if info.arrays.contains_key(name) {
-                        return Err(LangError::semantic(format!("array '{name}' declared twice")));
+                        return Err(LangError::semantic(format!(
+                            "array '{name}' declared twice"
+                        )));
                     }
                     info.arrays.insert(
                         name.clone(),
@@ -118,10 +120,9 @@ pub fn analyze_program(program: &Program) -> Result<ProgramInfo, LangError> {
                     )));
                 }
                 for a in arrays {
-                    let entry = info
-                        .arrays
-                        .get_mut(a)
-                        .ok_or_else(|| LangError::semantic(format!("ALIGN of undeclared array '{a}'")))?;
+                    let entry = info.arrays.get_mut(a).ok_or_else(|| {
+                        LangError::semantic(format!("ALIGN of undeclared array '{a}'"))
+                    })?;
                     entry.decomp = Some(decomp.clone());
                 }
             }
@@ -160,7 +161,9 @@ pub fn analyze_program(program: &Program) -> Result<ProgramInfo, LangError> {
                     }
                 }
             }
-            Stmt::SetPartition { distfmt, geocol, .. } => {
+            Stmt::SetPartition {
+                distfmt, geocol, ..
+            } => {
                 if !geocols.contains(geocol) {
                     return Err(LangError::semantic(format!(
                         "SET references GeoCoL '{geocol}' before any CONSTRUCT defines it"
@@ -180,7 +183,9 @@ pub fn analyze_program(program: &Program) -> Result<ProgramInfo, LangError> {
                     )));
                 }
             }
-            Stmt::Forall { label, var, body, .. } => {
+            Stmt::Forall {
+                label, var, body, ..
+            } => {
                 info.loops.push(analyze_loop(&info, label, var, body)?);
             }
         }
@@ -441,7 +446,10 @@ C$          REDISTRIBUTE reg(distfmt)
         "#;
         assert!(analyze_program(&parse_program(src).unwrap()).is_ok());
         // Swapping in a REAL array as a LINK endpoint must fail.
-        let bad = src.replace("INTEGER end_pt1(nedge), end_pt2(nedge)", "REAL*8 end_pt1(nedge), end_pt2(nedge)");
+        let bad = src.replace(
+            "INTEGER end_pt1(nedge), end_pt2(nedge)",
+            "REAL*8 end_pt1(nedge), end_pt2(nedge)",
+        );
         let err = analyze_program(&parse_program(&bad).unwrap()).unwrap_err();
         assert!(err.to_string().contains("must be INTEGER"));
     }

@@ -39,7 +39,9 @@ impl LangError {
 impl std::fmt::Display for LangError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LangError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LangError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             LangError::Semantic(m) => write!(f, "semantic error: {m}"),
             LangError::Runtime(m) => write!(f, "runtime error: {m}"),
         }
@@ -54,8 +56,12 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        assert!(LangError::parse(3, "unexpected token").to_string().contains("line 3"));
-        assert!(LangError::semantic("x undeclared").to_string().contains("semantic"));
+        assert!(LangError::parse(3, "unexpected token")
+            .to_string()
+            .contains("line 3"));
+        assert!(LangError::semantic("x undeclared")
+            .to_string()
+            .contains("semantic"));
         assert!(LangError::runtime("boom").to_string().contains("runtime"));
     }
 }

@@ -188,7 +188,11 @@ impl Executor {
 
     /// Re-execute a single `FORALL` (one executor sweep). Used by the
     /// benchmark harness to run the "100 iterations" of the paper's tables.
-    pub fn execute_loop(&mut self, program: &CompiledProgram, label: &str) -> Result<(), LangError> {
+    pub fn execute_loop(
+        &mut self,
+        program: &CompiledProgram,
+        label: &str,
+    ) -> Result<(), LangError> {
         let plan = program
             .plans
             .get(label)
@@ -286,15 +290,11 @@ impl Executor {
         arrays: &[String],
         decomp: &str,
     ) -> Result<(), LangError> {
-        let dist = self
-            .decomp_dist
-            .get(decomp)
-            .cloned()
-            .ok_or_else(|| {
-                LangError::runtime(format!(
-                    "ALIGN with '{decomp}' before the decomposition was DISTRIBUTEd"
-                ))
-            })?;
+        let dist = self.decomp_dist.get(decomp).cloned().ok_or_else(|| {
+            LangError::runtime(format!(
+                "ALIGN with '{decomp}' before the decomposition was DISTRIBUTEd"
+            ))
+        })?;
         for name in arrays {
             let ty = program.info.array(name)?.ty;
             self.array_decomp.insert(name.clone(), decomp.to_string());
@@ -315,20 +315,14 @@ impl Executor {
     fn run_read_data(&mut self, arrays: &[String]) -> Result<(), LangError> {
         for name in arrays {
             if let Some(arr) = self.real.get_mut(name) {
-                let values = self
-                    .inputs
-                    .real_arrays
-                    .get(name)
-                    .ok_or_else(|| LangError::runtime(format!("no input data for REAL array '{name}'")))?;
+                let values = self.inputs.real_arrays.get(name).ok_or_else(|| {
+                    LangError::runtime(format!("no input data for REAL array '{name}'"))
+                })?;
                 *arr = DistArray::from_global(name, arr.dist().clone(), values);
             } else if let Some(arr) = self.int.get_mut(name) {
-                let values = self
-                    .inputs
-                    .int_arrays
-                    .get(name)
-                    .ok_or_else(|| {
-                        LangError::runtime(format!("no input data for INTEGER array '{name}'"))
-                    })?;
+                let values = self.inputs.int_arrays.get(name).ok_or_else(|| {
+                    LangError::runtime(format!("no input data for INTEGER array '{name}'"))
+                })?;
                 *arr = DistArray::from_global(name, arr.dist().clone(), values);
             } else {
                 return Err(LangError::runtime(format!(
@@ -356,22 +350,25 @@ impl Executor {
                 ConstructSection::Geometry(axes) => geometry_names = axes.clone(),
                 ConstructSection::Load(w) => load_name = Some(w.clone()),
                 ConstructSection::Link { list1, list2, .. } => {
-                    let to_zero_based = |arr: &DistArray<u32>| -> Result<DistArray<u32>, LangError> {
-                        let global: Vec<u32> = arr
-                            .to_global()
-                            .iter()
-                            .map(|&v| v.checked_sub(1).unwrap_or(0))
-                            .collect();
-                        Ok(DistArray::from_global(arr.name(), arr.dist().clone(), &global))
-                    };
-                    let a = self
-                        .int
-                        .get(list1)
-                        .ok_or_else(|| LangError::runtime(format!("LINK array '{list1}' not available")))?;
-                    let b = self
-                        .int
-                        .get(list2)
-                        .ok_or_else(|| LangError::runtime(format!("LINK array '{list2}' not available")))?;
+                    let to_zero_based =
+                        |arr: &DistArray<u32>| -> Result<DistArray<u32>, LangError> {
+                            let global: Vec<u32> = arr
+                                .to_global()
+                                .iter()
+                                .map(|&v| v.saturating_sub(1))
+                                .collect();
+                            Ok(DistArray::from_global(
+                                arr.name(),
+                                arr.dist().clone(),
+                                &global,
+                            ))
+                        };
+                    let a = self.int.get(list1).ok_or_else(|| {
+                        LangError::runtime(format!("LINK array '{list1}' not available"))
+                    })?;
+                    let b = self.int.get(list2).ok_or_else(|| {
+                        LangError::runtime(format!("LINK array '{list2}' not available"))
+                    })?;
                     link_arrays = Some((to_zero_based(a)?, to_zero_based(b)?));
                 }
             }
@@ -380,19 +377,18 @@ impl Executor {
         let geometry_arrays: Vec<&DistArray<f64>> = geometry_names
             .iter()
             .map(|g| {
-                self.real
-                    .get(g)
-                    .ok_or_else(|| LangError::runtime(format!("GEOMETRY array '{g}' not available")))
+                self.real.get(g).ok_or_else(|| {
+                    LangError::runtime(format!("GEOMETRY array '{g}' not available"))
+                })
             })
             .collect::<Result<_, _>>()?;
-        let load_array = match &load_name {
-            Some(w) => Some(
-                self.real
-                    .get(w)
-                    .ok_or_else(|| LangError::runtime(format!("LOAD array '{w}' not available")))?,
-            ),
-            None => None,
-        };
+        let load_array =
+            match &load_name {
+                Some(w) => Some(self.real.get(w).ok_or_else(|| {
+                    LangError::runtime(format!("LOAD array '{w}' not available"))
+                })?),
+                None => None,
+            };
 
         let mut spec = GeoColSpec::new(n).with_geometry(geometry_arrays);
         if let Some(l) = load_array {
@@ -412,10 +408,9 @@ impl Executor {
         geocol: &str,
         partitioner: &str,
     ) -> Result<(), LangError> {
-        let g = self
-            .geocols
-            .get(geocol)
-            .ok_or_else(|| LangError::runtime(format!("GeoCoL '{geocol}' has not been CONSTRUCTed")))?;
+        let g = self.geocols.get(geocol).ok_or_else(|| {
+            LangError::runtime(format!("GeoCoL '{geocol}' has not been CONSTRUCTed"))
+        })?;
         let p = partitioner_by_name(partitioner).ok_or_else(|| {
             LangError::runtime(format!(
                 "unknown partitioner '{partitioner}' (known: {:?})",
@@ -423,16 +418,15 @@ impl Executor {
             ))
         })?;
         let outcome = MapperCoupler.partition(&mut self.machine, p.as_ref(), g);
-        self.distfmts.insert(distfmt.to_string(), outcome.distribution);
+        self.distfmts
+            .insert(distfmt.to_string(), outcome.distribution);
         Ok(())
     }
 
     fn run_redistribute(&mut self, decomp: &str, distfmt: &str) -> Result<(), LangError> {
-        let new_dist = self
-            .distfmts
-            .get(distfmt)
-            .cloned()
-            .ok_or_else(|| LangError::runtime(format!("unknown distribution format '{distfmt}'")))?;
+        let new_dist = self.distfmts.get(distfmt).cloned().ok_or_else(|| {
+            LangError::runtime(format!("unknown distribution format '{distfmt}'"))
+        })?;
         let aligned: Vec<String> = self
             .array_decomp
             .iter()
@@ -477,11 +471,16 @@ impl Executor {
             .map(|a| self.int_dad(a))
             .collect::<Result<_, _>>()?;
 
-        let prev_kind = self
-            .machine.set_phase_kind(Some(PhaseKind::Inspector));
+        let prev_kind = self.machine.set_phase_kind(Some(PhaseKind::Inspector));
         let can_reuse = if self.reuse_enabled {
             self.registry
-                .check_on_machine(&mut self.machine, &plan.label, &loop_id, &data_dads, &ind_dads)
+                .check_on_machine(
+                    &mut self.machine,
+                    &plan.label,
+                    &loop_id,
+                    &data_dads,
+                    &ind_dads,
+                )
                 .can_reuse()
                 && self.cache.contains_key(&plan.label)
         } else {
@@ -498,8 +497,7 @@ impl Executor {
         self.machine.set_phase_kind(prev_kind);
 
         // Executor sweep.
-        let prev_kind = self
-            .machine.set_phase_kind(Some(PhaseKind::Executor));
+        let prev_kind = self.machine.set_phase_kind(Some(PhaseKind::Executor));
         self.run_executor(plan)?;
         self.machine.set_phase_kind(prev_kind);
 
@@ -541,17 +539,22 @@ impl Executor {
 
     /// Run iteration partitioning and the inspector(s) for a loop, caching
     /// the results.
-    fn run_inspector(&mut self, plan: &LoopPlan, lo: usize, niters: usize) -> Result<(), LangError> {
+    fn run_inspector(
+        &mut self,
+        plan: &LoopPlan,
+        lo: usize,
+        niters: usize,
+    ) -> Result<(), LangError> {
         // Snapshot the indirection arrays' global values (1-based) once.
         let mut ind_values: HashMap<String, Vec<u32>> = HashMap::new();
         for ia in &plan.indirection_arrays {
-            let arr = self
-                .int
-                .get(ia)
-                .ok_or_else(|| LangError::runtime(format!("indirection array '{ia}' not materialized")))?;
+            let arr = self.int.get(ia).ok_or_else(|| {
+                LangError::runtime(format!("indirection array '{ia}' not materialized"))
+            })?;
             ind_values.insert(ia.clone(), arr.to_global());
             // Reading the indirection array costs one pass over it.
-            self.machine.charge_compute_all(arr.len() as f64 / self.machine.nprocs() as f64);
+            self.machine
+                .charge_compute_all(arr.len() as f64 / self.machine.nprocs() as f64);
         }
 
         // Global reference index of a slot at (1-based) iteration `it`.
@@ -591,10 +594,9 @@ impl Executor {
                 .map(|s| self.slot_decomp(s))
                 .transpose()?
                 .expect("irregular loop has an indirect slot");
-            self.decomp_dist
-                .get(&decomp)
-                .cloned()
-                .ok_or_else(|| LangError::runtime(format!("decomposition '{decomp}' not distributed")))?
+            self.decomp_dist.get(&decomp).cloned().ok_or_else(|| {
+                LangError::runtime(format!("decomposition '{decomp}' not distributed"))
+            })?
         } else {
             Distribution::block(niters.max(1), self.machine.nprocs())
         };
@@ -628,11 +630,9 @@ impl Executor {
         let nprocs = self.machine.nprocs();
         let mut cached_groups: BTreeMap<String, (Vec<usize>, InspectorResult)> = BTreeMap::new();
         for (decomp, slot_ids) in groups {
-            let dist = self
-                .decomp_dist
-                .get(&decomp)
-                .cloned()
-                .ok_or_else(|| LangError::runtime(format!("decomposition '{decomp}' not distributed")))?;
+            let dist = self.decomp_dist.get(&decomp).cloned().ok_or_else(|| {
+                LangError::runtime(format!("decomposition '{decomp}' not distributed"))
+            })?;
             let mut pattern = AccessPattern::new(nprocs);
             for p in 0..nprocs {
                 let refs = &mut pattern.refs[p];
@@ -662,11 +662,9 @@ impl Executor {
 
     /// One executor sweep of a loop using the cached inspector state.
     fn run_executor(&mut self, plan: &LoopPlan) -> Result<(), LangError> {
-        let cached = self
-            .cache
-            .get(&plan.label)
-            .cloned()
-            .ok_or_else(|| LangError::runtime(format!("no inspector state cached for '{}'", plan.label)))?;
+        let cached = self.cache.get(&plan.label).cloned().ok_or_else(|| {
+            LangError::runtime(format!("no inspector state cached for '{}'", plan.label))
+        })?;
         let nprocs = self.machine.nprocs();
 
         // Which arrays are read (appear in any expression slot) and written.
@@ -1024,7 +1022,9 @@ mod tests {
     fn random_inputs(nnode: usize, nedge: usize) -> ProgramInputs {
         let mut state = 0xC4A05u64;
         let mut next = |m: usize| -> u32 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as usize % m) as u32 + 1
         };
         let mut e1 = Vec::with_capacity(nedge);

@@ -102,7 +102,9 @@ impl LoopPlan {
             .stmts
             .iter()
             .map(|s| match s {
-                CompiledStmt::Assign { target, .. } | CompiledStmt::Reduce { target, .. } => *target,
+                CompiledStmt::Assign { target, .. } | CompiledStmt::Reduce { target, .. } => {
+                    *target
+                }
             })
             .collect();
         w.sort_unstable();
@@ -128,7 +130,14 @@ pub fn lower_program(program: Program) -> Result<CompiledProgram, LangError> {
     let info = analyze_program(&program)?;
     let mut plans = BTreeMap::new();
     for stmt in &program.stmts {
-        if let Stmt::Forall { label, lo, hi, body, .. } = stmt {
+        if let Stmt::Forall {
+            label,
+            lo,
+            hi,
+            body,
+            ..
+        } = stmt
+        {
             let loop_info = info
                 .loop_info(label)
                 .expect("analysis produced info for every loop");
@@ -266,10 +275,9 @@ mod tests {
         // The two statements must write *different* slots (y via end_pt1 and
         // y via end_pt2).
         match (&plan.stmts[0], &plan.stmts[1]) {
-            (
-                CompiledStmt::Reduce { target: t1, .. },
-                CompiledStmt::Reduce { target: t2, .. },
-            ) => assert_ne!(t1, t2),
+            (CompiledStmt::Reduce { target: t1, .. }, CompiledStmt::Reduce { target: t2, .. }) => {
+                assert_ne!(t1, t2)
+            }
             other => panic!("{other:?}"),
         }
     }

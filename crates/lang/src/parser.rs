@@ -17,7 +17,9 @@ pub fn parse_program(source: &str) -> Result<Program, LangError> {
 
     while let Some((idx, raw)) = lines.next() {
         let lineno = idx + 1;
-        let Some(line) = significant(raw) else { continue };
+        let Some(line) = significant(raw) else {
+            continue;
+        };
         let mut toks = Lexer::new(&line, lineno)?;
 
         let first = toks.peek_word().unwrap_or_default();
@@ -129,7 +131,9 @@ pub fn parse_program(source: &str) -> Result<Program, LangError> {
                         return Err(LangError::parse(lineno, "FORALL without END FORALL"));
                     };
                     let blineno = bidx + 1;
-                    let Some(bline) = significant(braw) else { continue };
+                    let Some(bline) = significant(braw) else {
+                        continue;
+                    };
                     let upper = bline.to_ascii_uppercase();
                     if upper.starts_with("END FORALL") || upper.trim() == "ENDFORALL" {
                         break;
@@ -233,7 +237,11 @@ fn parse_section(toks: &mut Lexer) -> Result<ConstructSection, LangError> {
             toks.expect_punct(',')?;
             let list2 = toks.next_ident()?;
             toks.expect_punct(')')?;
-            Ok(ConstructSection::Link { count, list1, list2 })
+            Ok(ConstructSection::Link {
+                count,
+                list1,
+                list2,
+            })
         }
         other => Err(toks.error(format!("unknown CONSTRUCT section '{other}'"))),
     }
@@ -332,7 +340,9 @@ fn parse_primary(toks: &mut Lexer) -> Result<Expr, LangError> {
         return Ok(Expr::Lit(n));
     }
     // Identifier: intrinsic call or array reference.
-    let name = toks.peek_word().ok_or_else(|| toks.error("expected expression"))?;
+    let name = toks
+        .peek_word()
+        .ok_or_else(|| toks.error("expected expression"))?;
     let intrinsic = match name.as_str() {
         "EFLUX1" => Some(Intrinsic::Eflux1),
         "EFLUX2" => Some(Intrinsic::Eflux2),
@@ -401,7 +411,10 @@ impl Lexer {
             {
                 let start = i;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E')
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E')
                 {
                     i += 1;
                 }
@@ -517,18 +530,28 @@ C Loop over edges involving x, y
         assert_eq!(p.stmts.len(), 12);
         assert_eq!(p.loop_labels(), vec!["L1"]);
         // Spot-check a few statements.
-        assert!(matches!(&p.stmts[0], Stmt::Declare { ty: ElemType::Real, arrays } if arrays.len() == 2));
-        assert!(matches!(&p.stmts[2], Stmt::Decomposition { dynamic: true, decomps } if decomps.len() == 2));
+        assert!(
+            matches!(&p.stmts[0], Stmt::Declare { ty: ElemType::Real, arrays } if arrays.len() == 2)
+        );
+        assert!(
+            matches!(&p.stmts[2], Stmt::Decomposition { dynamic: true, decomps } if decomps.len() == 2)
+        );
         match &p.stmts[8] {
             Stmt::Construct { name, sections, .. } => {
                 assert_eq!(name, "g");
-                assert!(matches!(&sections[0], ConstructSection::Link { list1, list2, .. }
-                    if list1 == "end_pt1" && list2 == "end_pt2"));
+                assert!(
+                    matches!(&sections[0], ConstructSection::Link { list1, list2, .. }
+                    if list1 == "end_pt1" && list2 == "end_pt2")
+                );
             }
             other => panic!("expected CONSTRUCT, got {other:?}"),
         }
         match &p.stmts[9] {
-            Stmt::SetPartition { distfmt, geocol, partitioner } => {
+            Stmt::SetPartition {
+                distfmt,
+                geocol,
+                partitioner,
+            } => {
                 assert_eq!(distfmt, "distfmt");
                 assert_eq!(geocol, "g");
                 assert_eq!(partitioner, "rsb");
@@ -539,8 +562,10 @@ C Loop over edges involving x, y
             Stmt::Forall { body, var, .. } => {
                 assert_eq!(var, "i");
                 assert_eq!(body.len(), 2);
-                assert!(matches!(&body[0], LoopStmt::Reduce { op: ReduceOp::Add, target, .. }
-                    if target.array == "y" && target.index == Index::Indirect("end_pt1".into())));
+                assert!(
+                    matches!(&body[0], LoopStmt::Reduce { op: ReduceOp::Add, target, .. }
+                    if target.array == "y" && target.index == Index::Indirect("end_pt1".into()))
+                );
             }
             other => panic!("expected FORALL, got {other:?}"),
         }
@@ -556,7 +581,14 @@ C$          SET fmt BY PARTITIONING G USING RCB
         let p = parse_program(src).unwrap();
         match &p.stmts[1] {
             Stmt::Construct { sections, .. } => {
-                assert_eq!(sections, &[ConstructSection::Geometry(vec!["xc".into(), "yc".into(), "zc".into()])]);
+                assert_eq!(
+                    sections,
+                    &[ConstructSection::Geometry(vec![
+                        "xc".into(),
+                        "yc".into(),
+                        "zc".into()
+                    ])]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -608,7 +640,11 @@ C$          SET fmt BY PARTITIONING G USING RCB
         let src = "C$ CONSTRUCT G2 (nnode - 1, LOAD(weight))";
         let p = parse_program(src).unwrap();
         match &p.stmts[0] {
-            Stmt::Construct { nvertices, sections, .. } => {
+            Stmt::Construct {
+                nvertices,
+                sections,
+                ..
+            } => {
                 assert_eq!(nvertices, &SizeExpr::NameMinus("nnode".into(), 1));
                 assert_eq!(sections, &[ConstructSection::Load("weight".into())]);
             }

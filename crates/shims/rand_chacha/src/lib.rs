@@ -1,0 +1,70 @@
+//! Offline shim for `rand_chacha`: a deterministic `ChaCha8Rng` stand-in
+//! implementing the shim `rand` traits. The workload generators only need a
+//! seedable deterministic stream, not the actual ChaCha8 permutation (they
+//! compare runs against re-runs with the same seed, never against golden
+//! values from the real crate).
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic stand-in for `rand_chacha::ChaCha8Rng` (xorshift128+).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    s0: u64,
+    s1: u64,
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 so nearby seeds diverge.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s0 = next();
+        let mut s1 = next();
+        if s0 == 0 && s1 == 0 {
+            s1 = 1;
+        }
+        ChaCha8Rng { s0, s1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut c = ChaCha8Rng::seed_from_u64(6);
+        let xs: Vec<u64> = (0..50).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..50).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..50).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let v = rng.gen::<f64>();
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! minimal surface the workspace uses: the `Serialize` / `Deserialize` marker
+//! traits and the no-op derive macros re-exported from the shim
+//! `serde_derive`. Real serialization is done explicitly through
+//! `serde_json::ToValue`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

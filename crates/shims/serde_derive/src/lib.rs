@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the derives are accepted and expand to
+//! nothing. The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent; actual JSON encoding goes through the explicit
+//! `serde_json::ToValue` trait.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,271 @@
+//! Offline shim for `serde_json`.
+//!
+//! Provides a JSON [`Value`] tree, the [`json!`] macro for flat object /
+//! array literals, a pretty printer, and the [`ToValue`] conversion trait
+//! that replaces derived `Serialize` impls (types that want to appear inside
+//! `json!` implement `ToValue` explicitly).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (integers are kept exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error type mirroring `serde_json::Error` (the shim never fails).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a JSON [`Value`] — the shim's stand-in for `Serialize`.
+pub trait ToValue {
+    /// Convert `self` to a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+macro_rules! impl_num_to_value {
+    ($($t:ty),*) => {
+        $(impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        })*
+    };
+}
+
+impl_num_to_value!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] from a flat JSON literal.
+///
+/// Supports `{ "key": expr, ... }`, `[ expr, ... ]` and bare expressions;
+/// every expression is converted with [`ToValue`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($k:literal : $v:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($k.to_string(), $crate::ToValue::to_value(&$v)) ),*
+        ])
+    };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::ToValue::to_value(&$v) ),* ])
+    };
+    ($v:expr) => { $crate::ToValue::to_value(&$v) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Num(n) => fmt_number(out, *n),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print any [`ToValue`] as an indented JSON string.
+pub fn to_string_pretty<T: ToValue + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Compact single-line rendering.
+pub fn to_string<T: ToValue + ?Sized>(value: &T) -> Result<String, Error> {
+    fn write_compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => fmt_number(out, *n),
+            Value::Str(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    write_compact(out, val);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"a": 1, "b": "x", "c": true, "d": 1.5});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":"x","c":true,"d":1.5}"#);
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let v = json!({"outer": vec![1u32, 2, 3]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"outer\": ["));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string(&json!({"k": "a\"b\n"})).unwrap();
+        assert_eq!(s, r#"{"k":"a\"b\n"}"#);
+    }
+}

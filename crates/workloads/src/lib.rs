@@ -35,4 +35,4 @@ pub mod renumber;
 pub use kernels::{edge_flux_kernel, pair_force_kernel, EdgeKernelCost};
 pub use md::{MdConfig, WaterBox};
 pub use mesh::{MeshConfig, UnstructuredMesh};
-pub use renumber::{identity_permutation, random_permutation, invert_permutation};
+pub use renumber::{identity_permutation, invert_permutation, random_permutation};

@@ -135,9 +135,8 @@ impl WaterBox {
         // distance), excluding intra-molecular pairs when unshuffled is not
         // tracked — a cell-list keeps this O(n).
         let cells = ((1.0 / config.cutoff).floor() as usize).max(1);
-        let cell_of = |x: f64| -> usize {
-            (((x.rem_euclid(1.0)) * cells as f64) as usize).min(cells - 1)
-        };
+        let cell_of =
+            |x: f64| -> usize { (((x.rem_euclid(1.0)) * cells as f64) as usize).min(cells - 1) };
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells * cells];
         for a in 0..natoms {
             let c = cell_of(xc[a]) + cells * (cell_of(yc[a]) + cells * cell_of(zc[a]));

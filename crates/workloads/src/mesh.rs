@@ -189,8 +189,8 @@ impl UnstructuredMesh {
         let mut xc = vec![0.0; n];
         let mut yc = vec![0.0; n];
         let mut zc = vec![0.0; n];
-        for old in 0..n {
-            let new = perm[old] as usize;
+        for (old, &new) in perm.iter().enumerate() {
+            let new = new as usize;
             xc[new] = self.xc[old];
             yc[new] = self.yc[old];
             zc[new] = self.zc[old];
@@ -329,8 +329,8 @@ mod tests {
         let mut permuted = base.clone();
         let perm = random_permutation(64, 5);
         permuted.apply_permutation(&perm);
-        for old in 0..64usize {
-            let new = perm[old] as usize;
+        for (old, &new) in perm.iter().enumerate() {
+            let new = new as usize;
             assert_eq!(base.xc[old], permuted.xc[new]);
             assert_eq!(base.zc[old], permuted.zc[new]);
         }

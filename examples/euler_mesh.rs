@@ -47,7 +47,12 @@ fn main() {
         ProgramInputs::new()
             .scalar("nnode", mesh.nnodes())
             .scalar("nedge", mesh.nedges())
-            .real("x", (0..mesh.nnodes()).map(|i| 1.0 + (i as f64 * 0.11).cos()).collect())
+            .real(
+                "x",
+                (0..mesh.nnodes())
+                    .map(|i| 1.0 + (i as f64 * 0.11).cos())
+                    .collect(),
+            )
             .real("y", vec![0.0; mesh.nnodes()])
             .int("end_pt1", mesh.end_pt1.iter().map(|&v| v + 1).collect())
             .int("end_pt2", mesh.end_pt2.iter().map(|&v| v + 1).collect())

@@ -54,7 +54,9 @@ C   Loop over edges involving x, y
 fn main() {
     let nprocs = 16;
     let mesh = UnstructuredMesh::generate(MeshConfig::tiny(6_000));
-    let state: Vec<f64> = (0..mesh.nnodes()).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
+    let state: Vec<f64> = (0..mesh.nnodes())
+        .map(|i| 1.0 + (i as f64 * 0.13).sin())
+        .collect();
 
     let base_inputs = ProgramInputs::new()
         .scalar("nnode", mesh.nnodes())
@@ -87,15 +89,32 @@ fn main() {
         }
         let m = exec.machine();
         println!("{label}");
-        println!("  graph generation {:.3} s", m.phase_elapsed(PhaseKind::GraphGeneration));
-        println!("  partitioner      {:.3} s", m.phase_elapsed(PhaseKind::Partitioner));
-        println!("  remap            {:.3} s", m.phase_elapsed(PhaseKind::Remap));
-        println!("  inspector        {:.3} s", m.phase_elapsed(PhaseKind::Inspector));
-        println!("  executor (10x)   {:.3} s", m.phase_elapsed(PhaseKind::Executor));
+        println!(
+            "  graph generation {:.3} s",
+            m.phase_elapsed(PhaseKind::GraphGeneration)
+        );
+        println!(
+            "  partitioner      {:.3} s",
+            m.phase_elapsed(PhaseKind::Partitioner)
+        );
+        println!(
+            "  remap            {:.3} s",
+            m.phase_elapsed(PhaseKind::Remap)
+        );
+        println!(
+            "  inspector        {:.3} s",
+            m.phase_elapsed(PhaseKind::Inspector)
+        );
+        println!(
+            "  executor (10x)   {:.3} s",
+            m.phase_elapsed(PhaseKind::Executor)
+        );
         println!("  total            {:.3} s", m.elapsed().max_seconds());
         println!(
             "  resulting node decomposition: {}\n",
-            exec.decomposition("reg").map(|d| d.kind_name()).unwrap_or("?")
+            exec.decomposition("reg")
+                .map(|d| d.kind_name())
+                .unwrap_or("?")
         );
     }
 

@@ -14,8 +14,8 @@
 use chaos_repro::prelude::*;
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
-    gather, scatter_add, Dad, GeoColSpec, Inspector, InspectorResult, IterationPartition,
-    LocalRef, LoopId, MapperCoupler,
+    gather, scatter_add, Dad, GeoColSpec, Inspector, InspectorResult, IterationPartition, LocalRef,
+    LoopId, MapperCoupler,
 };
 use chaos_workloads::pair_force_kernel;
 
@@ -49,7 +49,12 @@ fn main() {
     let spec = GeoColSpec::new(natoms).with_geometry(vec![&xc, &yc, &zc]);
     let geocol = MapperCoupler.construct_geocol(&mut machine, &spec);
     let outcome = MapperCoupler.partition(&mut machine, &RcbPartitioner, &geocol);
-    MapperCoupler.redistribute(&mut machine, &mut registry, &mut charge, &outcome.distribution);
+    MapperCoupler.redistribute(
+        &mut machine,
+        &mut registry,
+        &mut charge,
+        &outcome.distribution,
+    );
     MapperCoupler.redistribute(&mut machine, &mut registry, &mut fx, &outcome.distribution);
     let dist = outcome.distribution;
 
@@ -75,7 +80,10 @@ fn main() {
             pair_dist = Distribution::block(water.npairs(), nprocs);
             pair1 = DistArray::from_global("pair1", pair_dist.clone(), &water.pair1);
             registry.record_write(&pair1.dad());
-            println!("  step {step}: pair list rebuilt ({} pairs)", water.npairs());
+            println!(
+                "  step {step}: pair list rebuilt ({} pairs)",
+                water.npairs()
+            );
         }
 
         let data_dads: Vec<Dad> = vec![charge.dad(), fx.dad()];
@@ -115,8 +123,9 @@ fn main() {
 
         // Executor: gather charges, accumulate pairwise force x-components.
         let ghosts = gather(&mut machine, "force-loop", &inspect.schedule, &charge);
-        let mut contributions: Vec<Vec<f64>> =
-            (0..nprocs).map(|p| vec![0.0; inspect.ghost_counts[p]]).collect();
+        let mut contributions: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
         for p in 0..nprocs {
             let localized = &inspect.localized[p];
             let q_local = charge.local(p);
@@ -124,7 +133,10 @@ fn main() {
             let mut updates = Vec::with_capacity(localized.len());
             for (pos, &it) in iter_part.iters(p).iter().enumerate() {
                 let (r1, r2) = (localized[2 * pos], localized[2 * pos + 1]);
-                let (a, b) = (water.pair1[it as usize] as usize, water.pair2[it as usize] as usize);
+                let (a, b) = (
+                    water.pair1[it as usize] as usize,
+                    water.pair2[it as usize] as usize,
+                );
                 let f = pair_force_kernel(
                     (water.xc[a], water.yc[a], water.zc[a]),
                     (water.xc[b], water.yc[b], water.zc[b]),
@@ -142,7 +154,13 @@ fn main() {
                 }
             }
         }
-        scatter_add(&mut machine, "force-loop", &inspect.schedule, &mut fx, &contributions);
+        scatter_add(
+            &mut machine,
+            "force-loop",
+            &inspect.schedule,
+            &mut fx,
+            &contributions,
+        );
         registry.record_write(&fx.dad());
     }
 

@@ -35,7 +35,9 @@ fn main() {
     // Distributed arrays, initially BLOCK-distributed.
     let node_dist = Distribution::block(mesh.nnodes(), nprocs);
     let edge_dist = Distribution::block(mesh.nedges(), nprocs);
-    let state: Vec<f64> = (0..mesh.nnodes()).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+    let state: Vec<f64> = (0..mesh.nnodes())
+        .map(|i| 1.0 + (i as f64 * 0.37).sin())
+        .collect();
     let mut x = DistArray::from_global("x", node_dist.clone(), &state);
     let mut y = DistArray::from_global("y", node_dist.clone(), &vec![0.0; mesh.nnodes()]);
     let e1 = DistArray::from_global("end_pt1", edge_dist.clone(), &mesh.end_pt1);
@@ -89,8 +91,9 @@ fn main() {
     // schedule every time.
     for _ in 0..10 {
         let ghosts = gather(&mut machine, "edge-loop", &inspect.schedule, &x);
-        let mut contributions: Vec<Vec<f64>> =
-            (0..nprocs).map(|p| vec![0.0; inspect.ghost_counts[p]]).collect();
+        let mut contributions: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
         for p in 0..nprocs {
             let localized = &inspect.localized[p];
             let x_local = x.local(p);
@@ -98,7 +101,8 @@ fn main() {
             let mut updates = Vec::with_capacity(localized.len());
             for it in 0..iter_part.iters(p).len() {
                 let (r1, r2) = (localized[2 * it], localized[2 * it + 1]);
-                let (f1, f2) = edge_flux_kernel(*r1.resolve(x_local, x_ghost), *r2.resolve(x_local, x_ghost));
+                let (f1, f2) =
+                    edge_flux_kernel(*r1.resolve(x_local, x_ghost), *r2.resolve(x_local, x_ghost));
                 updates.push((r1, f1));
                 updates.push((r2, f2));
             }
@@ -110,7 +114,13 @@ fn main() {
                 }
             }
         }
-        scatter_add(&mut machine, "edge-loop", &inspect.schedule, &mut y, &contributions);
+        scatter_add(
+            &mut machine,
+            "edge-loop",
+            &inspect.schedule,
+            &mut y,
+            &contributions,
+        );
     }
 
     let elapsed = machine.elapsed();

@@ -34,7 +34,11 @@ fn main() {
         let decision = registry.check(&LoopId::new("L2"), data, ind);
         println!(
             "{label:<55} -> {}",
-            if decision.can_reuse() { "REUSE saved schedules" } else { "RE-RUN inspector" }
+            if decision.can_reuse() {
+                "REUSE saved schedules"
+            } else {
+                "RE-RUN inspector"
+            }
         );
         decision.can_reuse()
     };
@@ -42,7 +46,12 @@ fn main() {
     println!("nmod = {}\n", registry.nmod());
 
     // First execution: nothing recorded yet.
-    check(&mut registry, "first execution of L2", &[x_dad.clone(), y_dad.clone()], &[ind_dad.clone()]);
+    check(
+        &mut registry,
+        "first execution of L2",
+        &[x_dad.clone(), y_dad.clone()],
+        std::slice::from_ref(&ind_dad),
+    );
     registry.save_inspector(
         loop_id.clone(),
         vec![x_dad.clone(), y_dad.clone()],
@@ -51,7 +60,12 @@ fn main() {
     println!("  (inspector runs, results saved)\n");
 
     // Case 1: nothing changed.
-    check(&mut registry, "second execution, nothing modified", &[x_dad.clone(), y_dad.clone()], &[ind_dad.clone()]);
+    check(
+        &mut registry,
+        "second execution, nothing modified",
+        &[x_dad.clone(), y_dad.clone()],
+        std::slice::from_ref(&ind_dad),
+    );
 
     // Case 2: the loop writes y every sweep — y's DAD differs from the
     // indirection arrays' DAD, so the schedules stay valid.
@@ -60,7 +74,7 @@ fn main() {
         &mut registry,
         "after the executor wrote y (a data array)",
         &[x_dad.clone(), y_dad.clone()],
-        &[ind_dad.clone()],
+        std::slice::from_ref(&ind_dad),
     );
 
     // Case 3: an adaptive step rewrites the edge list (the indirection
@@ -71,7 +85,7 @@ fn main() {
         &mut registry,
         "after the mesh adapted (end_pt arrays rewritten)",
         &[x_dad.clone(), y_dad.clone()],
-        &[ind_dad.clone()],
+        std::slice::from_ref(&ind_dad),
     );
     assert!(!reused);
     registry.save_inspector(
@@ -92,7 +106,7 @@ fn main() {
         &mut registry,
         "after REDISTRIBUTE remapped x to an irregular distribution",
         &[x_new.clone(), y_dad.clone()],
-        &[ind_dad.clone()],
+        std::slice::from_ref(&ind_dad),
     );
 
     let (hits, misses) = registry.hit_miss();

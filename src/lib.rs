@@ -29,7 +29,9 @@ pub use chaos_workloads as workloads;
 /// A prelude pulling in the types most programs need.
 pub mod prelude {
     pub use chaos_dmsim::{Machine, MachineConfig, PhaseKind};
-    pub use chaos_geocol::{GeoColBuilder, PartitionQuality, Partitioner, RcbPartitioner, RsbPartitioner};
+    pub use chaos_geocol::{
+        GeoColBuilder, PartitionQuality, Partitioner, RcbPartitioner, RsbPartitioner,
+    };
     pub use chaos_lang::{lower_program, parse_program, Executor, ProgramInputs};
     pub use chaos_runtime::prelude::*;
     pub use chaos_workloads::{MdConfig, MeshConfig, UnstructuredMesh, WaterBox};

@@ -23,7 +23,12 @@ fn sequential_sweep(mesh: &UnstructuredMesh, x: &[f64]) -> Vec<f64> {
 
 /// Run the full hand-coded pipeline for a given partitioner name; return the
 /// global result and the executor's modeled time.
-fn run_pipeline(mesh: &UnstructuredMesh, state: &[f64], nprocs: usize, partitioner: Option<&str>) -> (Vec<f64>, f64) {
+fn run_pipeline(
+    mesh: &UnstructuredMesh,
+    state: &[f64],
+    nprocs: usize,
+    partitioner: Option<&str>,
+) -> (Vec<f64>, f64) {
     let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
     let mut registry = ReuseRegistry::new();
     let node_dist = Distribution::block(mesh.nnodes(), nprocs);
@@ -92,8 +97,9 @@ fn execute(
     machine.set_phase_kind(Some(PhaseKind::Executor));
     for _ in 0..sweeps {
         let ghosts = gather(machine, "L2", &inspect.schedule, x);
-        let mut contributions: Vec<Vec<f64>> =
-            (0..nprocs).map(|p| vec![0.0; inspect.ghost_counts[p]]).collect();
+        let mut contributions: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
         for p in 0..nprocs {
             let localized = &inspect.localized[p];
             let mut updates = Vec::with_capacity(localized.len());
@@ -123,7 +129,9 @@ fn execute(
 #[test]
 fn parallel_pipeline_matches_sequential_reference_for_every_partitioner() {
     let mesh = UnstructuredMesh::generate(MeshConfig::tiny(800));
-    let state: Vec<f64> = (0..mesh.nnodes()).map(|i| 1.0 + (i as f64 * 0.21).sin()).collect();
+    let state: Vec<f64> = (0..mesh.nnodes())
+        .map(|i| 1.0 + (i as f64 * 0.21).sin())
+        .collect();
     let mut expected = vec![0.0; mesh.nnodes()];
     for _ in 0..5 {
         let once = sequential_sweep(&mesh, &state);
@@ -131,7 +139,13 @@ fn parallel_pipeline_matches_sequential_reference_for_every_partitioner() {
             *e += o;
         }
     }
-    for partitioner in [None, Some("RCB"), Some("RSB"), Some("INERTIAL"), Some("CYCLIC")] {
+    for partitioner in [
+        None,
+        Some("RCB"),
+        Some("RSB"),
+        Some("INERTIAL"),
+        Some("CYCLIC"),
+    ] {
         let (got, _) = run_pipeline(&mesh, &state, 8, partitioner);
         for (i, (a, b)) in got.iter().zip(&expected).enumerate() {
             assert!(
@@ -158,7 +172,9 @@ fn irregular_partitioning_beats_block_executor_time() {
 fn compiler_path_agrees_with_handcoded_path() {
     use chaos_repro::lang::{lower_program, parse_program, Executor, ProgramInputs};
     let mesh = UnstructuredMesh::generate(MeshConfig::tiny(500));
-    let state: Vec<f64> = (0..mesh.nnodes()).map(|i| 1.0 + (i as f64 * 0.4).cos()).collect();
+    let state: Vec<f64> = (0..mesh.nnodes())
+        .map(|i| 1.0 + (i as f64 * 0.4).cos())
+        .collect();
 
     let src = r#"
         REAL*8 x(nnode), y(nnode)
@@ -220,8 +236,14 @@ fn partition_quality_ordering_on_shuffled_mesh() {
     let block = cut(&BlockPartitioner);
     let rcb = cut(&RcbPartitioner);
     let rsb = cut(&RsbPartitioner::default());
-    assert!(rcb * 2 < block, "RCB cut {rcb} should be well below BLOCK cut {block}");
-    assert!(rsb * 2 < block, "RSB cut {rsb} should be well below BLOCK cut {block}");
+    assert!(
+        rcb * 2 < block,
+        "RCB cut {rcb} should be well below BLOCK cut {block}"
+    );
+    assert!(
+        rsb * 2 < block,
+        "RSB cut {rsb} should be well below BLOCK cut {block}"
+    );
 }
 
 #[test]
@@ -249,12 +271,16 @@ fn md_pipeline_runs_end_to_end() {
     }
     let inspect = Inspector.localize(&mut machine, "md", &dist, &pattern);
     let ghosts = gather(&mut machine, "md", &inspect.schedule, &q);
-    let mut contributions: Vec<Vec<f64>> =
-        (0..nprocs).map(|p| vec![0.0; inspect.ghost_counts[p]]).collect();
+    let mut contributions: Vec<Vec<f64>> = (0..nprocs)
+        .map(|p| vec![0.0; inspect.ghost_counts[p]])
+        .collect();
     for p in 0..nprocs {
         let mut updates = Vec::new();
         for it in 0..iter_part.iters(p).len() {
-            let (r1, r2) = (inspect.localized[p][2 * it], inspect.localized[p][2 * it + 1]);
+            let (r1, r2) = (
+                inspect.localized[p][2 * it],
+                inspect.localized[p][2 * it + 1],
+            );
             let qa = *r1.resolve(q.local(p), &ghosts[p]);
             let qb = *r2.resolve(q.local(p), &ghosts[p]);
             updates.push((r1, qa * qb));
@@ -268,7 +294,13 @@ fn md_pipeline_runs_end_to_end() {
             }
         }
     }
-    scatter_add(&mut machine, "md", &inspect.schedule, &mut f, &contributions);
+    scatter_add(
+        &mut machine,
+        "md",
+        &inspect.schedule,
+        &mut f,
+        &contributions,
+    );
 
     // Reference.
     let mut expected = vec![0.0; water.natoms()];

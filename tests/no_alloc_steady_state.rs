@@ -1,0 +1,134 @@
+//! Steady-state executor iterations must be allocation-free.
+//!
+//! The whole point of reusing an inspector schedule is that the executor
+//! cost paid every iteration is as small as possible. With the flat CSR
+//! schedule, `gather_into` + local compute + `scatter_op` into reused
+//! buffers must not touch the heap at all: this test wraps the global
+//! allocator in a counter, warms the loop up (first iterations may grow
+//! stats tables and buffer capacities), and then asserts that further
+//! iterations perform exactly zero allocations.
+
+use chaos_repro::prelude::*;
+use chaos_repro::runtime::{gather_into, scatter_op, Inspector, LocalRef};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocator wrapper counting every allocation (and reallocation).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_executor_iteration_is_allocation_free() {
+    let nprocs = 8;
+    let n = 4096usize;
+    // A deterministic irregular distribution and access pattern (no RNG so
+    // the test is bit-stable).
+    let map: Vec<u32> = (0..n).map(|i| ((i * 7 + i / 13) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 1.0 + (i % 97) as f64).collect();
+    let x = DistArray::from_global("x", dist.clone(), &data);
+    let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; n]);
+
+    let mut pattern = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for k in 0..512 {
+            pattern.refs[p].push(((p * 131 + k * 17) % n) as u32);
+        }
+    }
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let inspect = Inspector.localize(&mut machine, "L", &dist, &pattern);
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+
+    // Reused executor buffers: ghost values and ghost contributions.
+    let mut ghosts: Vec<Vec<f64>> = (0..nprocs)
+        .map(|p| vec![0.0; inspect.ghost_counts[p]])
+        .collect();
+    let mut contributions: Vec<Vec<f64>> = ghosts.clone();
+
+    let iteration = |machine: &mut Machine,
+                     y: &mut DistArray<f64>,
+                     ghosts: &mut Vec<Vec<f64>>,
+                     contributions: &mut Vec<Vec<f64>>| {
+        gather_into(machine, "L", &inspect.schedule, &x, ghosts);
+        for contrib in contributions.iter_mut() {
+            contrib.fill(0.0);
+        }
+        // Local compute: y(ref) += 2 * x(ref) for every reference.
+        for p in 0..nprocs {
+            let x_local = x.local(p);
+            let x_ghost = &ghosts[p];
+            let contrib = &mut contributions[p];
+            let mut owned_updates = 0u32;
+            for r in &inspect.localized[p] {
+                let v = 2.0 * *r.resolve(x_local, x_ghost);
+                match *r {
+                    LocalRef::Owned(_) => owned_updates += 1,
+                    LocalRef::Ghost(slot) => contrib[slot as usize] += v,
+                }
+            }
+            machine.charge_compute(p, owned_updates as f64);
+        }
+        // Owned updates write y directly.
+        for p in 0..nprocs {
+            let x_local = x.local(p);
+            let y_local = y.local_mut(p);
+            for r in &inspect.localized[p] {
+                if let LocalRef::Owned(off) = *r {
+                    y_local[off as usize] += 2.0 * x_local[off as usize];
+                }
+            }
+        }
+        scatter_op(machine, "L", &inspect.schedule, y, contributions, |a, b| {
+            *a += b
+        });
+    };
+
+    // Warm-up: grows per-kind stats entries and any lazily-sized state.
+    for _ in 0..3 {
+        iteration(&mut machine, &mut y, &mut ghosts, &mut contributions);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let messages_before = machine.stats().grand_totals().messages;
+    for _ in 0..10 {
+        iteration(&mut machine, &mut y, &mut ghosts, &mut contributions);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let messages_after = machine.stats().grand_totals().messages;
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state executor iterations allocated {} times",
+        after - before
+    );
+    // The iterations really did run and charge communication.
+    assert!(messages_after > messages_before);
+    assert!(machine.elapsed().max_seconds() > 0.0);
+}

@@ -20,9 +20,8 @@ use proptest::prelude::*;
 /// elements to one of the processors.
 fn map_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
     (2usize..=8).prop_flat_map(|p| {
-        (8usize..200).prop_flat_map(move |n| {
-            (Just(p), proptest::collection::vec(0u32..p as u32, n))
-        })
+        (8usize..200)
+            .prop_flat_map(move |n| (Just(p), proptest::collection::vec(0u32..p as u32, n)))
     })
 }
 
@@ -78,6 +77,7 @@ proptest! {
         let mut machine = Machine::new(MachineConfig::unit(p).with_topology(chaos_repro::dmsim::Topology::FullyConnected));
         let result = Inspector.localize(&mut machine, "prop", &dist, &pattern);
         let ghosts = gather(&mut machine, "prop", &result.schedule, &arr);
+        #[allow(clippy::needless_range_loop)]
         for q in 0..p {
             for (k, &g) in pattern.refs[q].iter().enumerate() {
                 let resolved = *result.localized[q][k].resolve(arr.local(q), &ghosts[q]);
@@ -106,6 +106,7 @@ proptest! {
         // the contribution buffers.
         let mut contributions: Vec<Vec<f64>> =
             (0..p).map(|q| vec![0.0; result.ghost_counts[q]]).collect();
+        #[allow(clippy::needless_range_loop)]
         for q in 0..p {
             for r in &result.localized[q] {
                 match r {
@@ -154,6 +155,81 @@ proptest! {
             prop_assert_eq!(part.len(), nvertices);
             prop_assert_eq!(part.nparts(), nparts);
             prop_assert_eq!(part.part_sizes().iter().sum::<usize>(), nvertices);
+        }
+    }
+
+    #[test]
+    fn csr_pipeline_matches_naive_reference(
+        (p, map) in map_strategy(),
+        seed in 0u64..1000,
+        distributed_sel in 0usize..2,
+    ) {
+        // The flat CSR schedule + hash-free localize must produce
+        // byte-identical gather/scatter results AND identical message /
+        // volume accounting versus the retained naive reference
+        // implementation (chaos_runtime::naive).
+        use chaos_repro::runtime::naive;
+        let n = map.len();
+        let distributed = distributed_sel == 1;
+        let dist = if distributed {
+            Distribution::irregular_from_map_with_policy(
+                &map, p, chaos_repro::runtime::TTablePolicy::Distributed)
+        } else {
+            Distribution::irregular_from_map(&map, p)
+        };
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 7.0).collect();
+        let arr = DistArray::from_global("x", dist.clone(), &data);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut pattern = AccessPattern::new(p);
+        for q in 0..p {
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                pattern.refs[q].push(((state >> 33) as usize % n) as u32);
+            }
+        }
+
+        let cfg = || MachineConfig::unit(p).with_topology(chaos_repro::dmsim::Topology::FullyConnected);
+        let mut m_csr = Machine::new(cfg());
+        let mut m_naive = Machine::new(cfg());
+
+        let csr = Inspector.localize(&mut m_csr, "L", &dist, &pattern);
+        let reference = naive::localize(&mut m_naive, "L", &dist, &pattern);
+
+        // Identical localization and ghost numbering.
+        prop_assert_eq!(&csr.localized, &reference.localized);
+        prop_assert_eq!(&csr.ghost_counts, &reference.ghost_counts);
+        prop_assert_eq!(csr.schedule.message_count(), reference.schedule.message_count());
+        for q in 0..p {
+            let csr_sources: Vec<(u32, u32)> = csr.schedule.ghost_sources(q).collect();
+            prop_assert_eq!(&csr_sources, &reference.schedule.ghost_sources[q]);
+        }
+
+        // Byte-identical gather.
+        let g_csr = gather(&mut m_csr, "L", &csr.schedule, &arr);
+        let g_naive = naive::gather(&mut m_naive, "L", &reference.schedule, &arr);
+        prop_assert_eq!(&g_csr, &g_naive);
+
+        // Byte-identical scatter-add of the gathered ghosts.
+        let mut y_csr = DistArray::from_global("y", dist.clone(), &vec![1.0; n]);
+        let mut y_naive = y_csr.clone();
+        scatter_add(&mut m_csr, "L", &csr.schedule, &mut y_csr, &g_csr);
+        naive::scatter_add(&mut m_naive, "L", &reference.schedule, &mut y_naive, &g_naive);
+        prop_assert_eq!(y_csr.to_global(), y_naive.to_global());
+
+        // Identical message / volume accounting for the whole pipeline
+        // (inspector + gather + scatter), and matching modeled clocks.
+        let t_csr = m_csr.stats().grand_totals();
+        let t_naive = m_naive.stats().grand_totals();
+        prop_assert_eq!(t_csr.messages, t_naive.messages);
+        prop_assert_eq!(t_csr.bytes, t_naive.bytes);
+        prop_assert_eq!(t_csr.phases, t_naive.phases);
+        let e_csr = m_csr.elapsed();
+        let e_naive = m_naive.elapsed();
+        for q in 0..p {
+            prop_assert!(
+                (e_csr.per_proc[q] - e_naive.per_proc[q]).abs() <= 1e-12 * e_naive.per_proc[q].abs().max(1.0),
+                "proc {} modeled time diverged: {} vs {}", q, e_csr.per_proc[q], e_naive.per_proc[q]
+            );
         }
     }
 
