@@ -1,0 +1,44 @@
+//! Thread-scaling of the rank-parallel SPMD engine: one executor iteration
+//! (gather + scatter-add of a reused schedule) on the sequential engine vs
+//! the threaded engine, at increasing rank counts.
+//!
+//! The fixture (workload + iteration) is shared with `perf_check`'s
+//! `BENCH_2.json` rows — see [`chaos_bench::spmd_bench`]. It is sized so
+//! the per-rank data movement dominates the per-phase thread-spawn
+//! overhead; how much of the threaded engine's headroom turns into
+//! wall-clock speedup depends on the host's core count (on a single-core
+//! host the ranks timeshare and the two engines tie, with results still
+//! byte-identical — see `tests/backend_equivalence.rs`).
+
+use chaos_bench::spmd_bench::{executor_iteration, executor_workload};
+use chaos_dmsim::{Machine, MachineConfig, ThreadedBackend};
+use chaos_runtime::{DistArray, Inspector};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_scaling");
+    group.sample_size(10);
+    for nprocs in [2usize, 4, 8] {
+        let (dist, data, pattern) = executor_workload(60_000, nprocs, 120_000 / nprocs);
+        let x = DistArray::from_global("x", dist.clone(), &data);
+        let mut setup = Machine::new(MachineConfig::ipsc860(nprocs));
+        let inspect = Inspector.localize(&mut setup, "bench", &dist, &pattern);
+        let mut ghosts: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
+        let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; data.len()]);
+
+        let mut seq = Machine::new(MachineConfig::ipsc860(nprocs));
+        group.bench_function(format!("sequential/{nprocs}"), |b| {
+            b.iter(|| executor_iteration(&mut seq, &inspect.schedule, &x, &mut y, &mut ghosts))
+        });
+        let mut thr = ThreadedBackend::from_config(MachineConfig::ipsc860(nprocs));
+        group.bench_function(format!("threaded/{nprocs}"), |b| {
+            b.iter(|| executor_iteration(&mut thr, &inspect.schedule, &x, &mut y, &mut ghosts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

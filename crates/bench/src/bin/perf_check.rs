@@ -16,10 +16,23 @@
 //! the seed build, as a historical anchor for the perf trajectory; they are
 //! informational and not part of the gate.
 //!
-//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json]`
+//! A second artifact, `BENCH_2.json`, records the **thread-scaling** of the
+//! rank-parallel SPMD engine: wall-clock of one steady-state executor
+//! iteration (gather + scatter-add) on the sequential vs the threaded
+//! backend at 8 ranks (plus smaller rank counts for the scaling curve),
+//! after asserting that the two engines produce byte-identical ghost
+//! buffers, array values and modeled clocks. The ≥ 1.5× speedup gate is
+//! enforced only when the host has ≥ 8 cores (one per rank, 2×+ headroom
+//! over the bar) — with fewer cores the ranks timeshare and the margin
+//! disappears (on 1 core no wall-clock speedup is physically possible), so
+//! the row is then recorded as informational (`gated: false`) together with
+//! the measured core count.
+//!
+//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json] [out2.json]`
 
+use chaos_bench::spmd_bench::{executor_iteration, executor_workload};
 use chaos_bench::workload::mesh_workload;
-use chaos_dmsim::{ExchangePlan, Machine, MachineConfig};
+use chaos_dmsim::{Backend, ExchangePlan, Machine, MachineConfig, ThreadedBackend};
 use chaos_geocol::{Partitioner, RcbPartitioner};
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
@@ -115,10 +128,60 @@ struct Row {
     after_ns: u128,
 }
 
+/// Measure the executor group on the sequential vs the threaded engine at
+/// `nprocs` ranks: returns `(seq_ns, thr_ns)` medians, after asserting the
+/// two engines agree byte-for-byte on values and modeled clocks.
+fn thread_scaling_row(nprocs: usize, n: usize, refs_per_rank: usize) -> (u128, u128) {
+    let (dist, data, pattern) = executor_workload(n, nprocs, refs_per_rank);
+    let x = DistArray::from_global("x", dist.clone(), &data);
+    let mut setup = Machine::new(MachineConfig::ipsc860(nprocs));
+    let inspect = Inspector.localize(&mut setup, "bench", &dist, &pattern);
+    let mut ghosts: Vec<Vec<f64>> = (0..nprocs)
+        .map(|p| vec![0.0; inspect.ghost_counts[p]])
+        .collect();
+
+    // Determinism spot-check before timing: one iteration on each engine
+    // from identical state must agree bit-for-bit.
+    {
+        let mut seq = Machine::new(MachineConfig::ipsc860(nprocs));
+        let mut thr = ThreadedBackend::from_config(MachineConfig::ipsc860(nprocs));
+        let mut y_seq = DistArray::from_global("y", dist.clone(), &vec![0.0; n]);
+        let mut y_thr = y_seq.clone();
+        let mut ghosts_thr = ghosts.clone();
+        executor_iteration(&mut seq, &inspect.schedule, &x, &mut y_seq, &mut ghosts);
+        executor_iteration(&mut thr, &inspect.schedule, &x, &mut y_thr, &mut ghosts_thr);
+        assert_eq!(ghosts, ghosts_thr, "ghost buffers diverged across engines");
+        assert_eq!(
+            y_seq.to_global(),
+            y_thr.to_global(),
+            "scatter results diverged across engines"
+        );
+        assert_eq!(
+            seq.elapsed(),
+            thr.machine().elapsed(),
+            "modeled clocks diverged across engines"
+        );
+    }
+
+    let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; n]);
+    let mut seq = Machine::new(MachineConfig::ipsc860(nprocs));
+    let seq_ns = median_ns(9, || {
+        executor_iteration(&mut seq, &inspect.schedule, &x, &mut y, &mut ghosts);
+    });
+    let mut thr = ThreadedBackend::from_config(MachineConfig::ipsc860(nprocs));
+    let thr_ns = median_ns(9, || {
+        executor_iteration(&mut thr, &inspect.schedule, &x, &mut y, &mut ghosts);
+    });
+    (seq_ns, thr_ns)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let out2_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_2.json".to_string());
     let mut rows: Vec<Row> = Vec::new();
 
     // --- executor group: same workload as benches/executor.rs ---
@@ -306,10 +369,60 @@ fn main() {
         .unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
     println!("wrote {out_path}");
 
-    if failed {
-        eprintln!(
-            "perf gate FAILED: a benchmark group improved less than 25% over the naive baseline"
+    // --- BENCH_2: thread-scaling of the rank-parallel SPMD engine ---
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut records2: Vec<serde_json::Value> = Vec::new();
+    for nprocs in [2usize, 4, 8] {
+        // Sized so one iteration's data movement (~ms) dominates the
+        // per-phase thread-spawn overhead (~tens of µs per rank).
+        let (seq_ns, thr_ns) = thread_scaling_row(nprocs, 300_000, 600_000 / nprocs);
+        let speedup = seq_ns as f64 / thr_ns as f64;
+        // The acceptance gate applies to the 8-rank row, and only on hosts
+        // with >= 8 cores, where one thread per rank actually gets a core
+        // and the 1.5x bar has 2x+ headroom. With fewer cores the ranks
+        // timeshare (no wall-clock speedup is physically possible on 1
+        // core; 4-core machines measure ~1.9x but with little margin for a
+        // noisy shared runner), so the row is recorded as informational —
+        // the engines are byte-identical regardless, which *is* asserted
+        // above on every host.
+        let gated = nprocs == 8 && cores >= 8;
+        let pass = !gated || speedup >= 1.5;
+        println!(
+            "executor/threads/{nprocs:<2} sequential {seq_ns:>10} ns  threaded {thr_ns:>10} ns  \
+             speedup {speedup:>5.2}x  ({} cores{})",
+            cores,
+            if gated {
+                ", gate >= 1.5x"
+            } else {
+                ", informational"
+            }
         );
+        records2.push(serde_json::json!({
+            "bench": format!("executor/threads/{nprocs}"),
+            "group": "executor-threads",
+            "ranks": nprocs,
+            "sequential_median_ns": seq_ns as u64,
+            "threaded_median_ns": thr_ns as u64,
+            "speedup": speedup,
+            "available_cores": cores,
+            "gate": 1.5,
+            "gated": gated,
+            "pass": pass,
+        }));
+        if !pass {
+            failed = true;
+        }
+    }
+    let doc2 = serde_json::json!({
+        "baseline": "sequential Backend (Machine) vs ThreadedBackend, same executor iteration (gather + scatter-add over a reused schedule), same process; results verified byte-identical before timing. The >=1.5x gate on the 8-rank row is enforced only on hosts with >= 8 cores.",
+        "records": records2,
+    });
+    std::fs::write(&out2_path, serde_json::to_string_pretty(&doc2).unwrap())
+        .unwrap_or_else(|e| panic!("failed to write {out2_path}: {e}"));
+    println!("wrote {out2_path}");
+
+    if failed {
+        eprintln!("perf gate FAILED: a benchmark group missed its gate (see rows above)");
         std::process::exit(1);
     }
 }

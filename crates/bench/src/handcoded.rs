@@ -8,7 +8,7 @@
 
 use crate::experiment::{ExperimentConfig, Method, PhaseTimes};
 use crate::workload::PairLoopWorkload;
-use chaos_dmsim::{ElapsedReport, Machine, MachineConfig, PhaseKind};
+use chaos_dmsim::{Backend, ElapsedReport, Machine, MachineConfig, PhaseKind, ThreadedBackend};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
@@ -39,11 +39,34 @@ impl PhaseSampler {
     }
 }
 
-/// Run the hand-coded experiment and return its phase breakdown.
+/// Run the hand-coded experiment on the sequential engine and return its
+/// phase breakdown.
 pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> PhaseTimes {
+    let mut machine = Machine::new(MachineConfig::ipsc860(cfg.nprocs));
+    run_handcoded_on(&mut machine, workload, cfg)
+}
+
+/// Run the hand-coded experiment with every virtual processor on its own OS
+/// thread. Modeled times, statistics and results are byte-identical to
+/// [`run_handcoded`]; only the wall clock changes.
+pub fn run_handcoded_threaded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> PhaseTimes {
+    let mut backend = ThreadedBackend::from_config(MachineConfig::ipsc860(cfg.nprocs));
+    run_handcoded_on(&mut backend, workload, cfg)
+}
+
+/// Run the hand-coded experiment on an explicit SPMD engine.
+pub fn run_handcoded_on<B: Backend>(
+    backend: &mut B,
+    workload: &PairLoopWorkload,
+    cfg: &ExperimentConfig,
+) -> PhaseTimes {
     let wall_start = Instant::now();
     let p = cfg.nprocs;
-    let mut machine = Machine::new(MachineConfig::ipsc860(p));
+    assert_eq!(
+        backend.nprocs(),
+        p,
+        "backend size must match the experiment"
+    );
     let mut registry = ReuseRegistry::new();
     let mut times = PhaseTimes::default();
 
@@ -62,7 +85,7 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
     let zc = DistArray::from_global("zc", node_dist.clone(), &workload.coords[2]);
     let load = DistArray::from_global("load", node_dist.clone(), &workload.loads);
 
-    let mut sampler = PhaseSampler::new(&machine);
+    let mut sampler = PhaseSampler::new(backend.machine());
 
     // Phase A (CONSTRUCT + SET) and phase C (REDISTRIBUTE) for the
     // partitioned methods; BLOCK keeps the default distribution.
@@ -75,16 +98,26 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
             Method::Rsb => GeoColSpec::new(n).with_link(&e1, &e2),
             Method::Block => unreachable!("BLOCK has no partitioner"),
         };
-        let geocol = MapperCoupler.construct_geocol(&mut machine, &spec);
-        times.graph_generation = sampler.lap(&machine);
+        let geocol = MapperCoupler.construct_geocol(backend.machine_mut(), &spec);
+        times.graph_generation = sampler.lap(backend.machine());
 
         let partitioner = partitioner_by_name(pname).expect("registered partitioner");
-        let outcome = MapperCoupler.partition(&mut machine, partitioner.as_ref(), &geocol);
-        times.partitioner = sampler.lap(&machine);
+        let outcome = MapperCoupler.partition(backend.machine_mut(), partitioner.as_ref(), &geocol);
+        times.partitioner = sampler.lap(backend.machine());
 
-        MapperCoupler.redistribute(&mut machine, &mut registry, &mut x, &outcome.distribution);
-        MapperCoupler.redistribute(&mut machine, &mut registry, &mut y, &outcome.distribution);
-        times.remap = sampler.lap(&machine);
+        MapperCoupler.redistribute(
+            backend.machine_mut(),
+            &mut registry,
+            &mut x,
+            &outcome.distribution,
+        );
+        MapperCoupler.redistribute(
+            backend.machine_mut(),
+            &mut registry,
+            &mut y,
+            &outcome.distribution,
+        );
+        times.remap = sampler.lap(backend.machine());
         data_dist = outcome.distribution;
     }
 
@@ -100,13 +133,15 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
     let iteration_refs = workload.iteration_refs();
     let mut pattern = AccessPattern::new(p);
     let mut scratch = LocalizeScratch::default();
-    let run_inspector = |machine: &mut Machine,
+    let run_inspector = |backend: &mut B,
                          pattern: &mut AccessPattern,
                          scratch: &mut LocalizeScratch|
      -> (IterationPartition, InspectorResult) {
-        let prev = machine.set_phase_kind(Some(PhaseKind::Inspector));
+        let prev = backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Inspector));
         let iter_part = partition_iterations(
-            machine,
+            backend.machine_mut(),
             &data_dist,
             &iteration_refs,
             IterPartitionPolicy::AlmostOwnerComputes,
@@ -121,15 +156,15 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
             }
         }
         let result =
-            Inspector.localize_with_scratch(machine, "edge-loop", &data_dist, pattern, scratch);
-        machine.set_phase_kind(prev);
+            Inspector.localize_with_scratch(backend, "edge-loop", &data_dist, pattern, scratch);
+        backend.machine_mut().set_phase_kind(prev);
         (iter_part, result)
     };
 
-    let (mut iter_part, mut inspect) = run_inspector(&mut machine, &mut pattern, &mut scratch);
+    let (mut iter_part, mut inspect) = run_inspector(backend, &mut pattern, &mut scratch);
     let mut buffers = SweepBuffers::new(p);
-    registry.save_inspector(loop_id.clone(), data_dads.clone(), ind_dads.clone());
-    times.inspector += sampler.lap(&machine);
+    registry.save_inspector(loop_id, data_dads.clone(), ind_dads.clone());
+    times.inspector += sampler.lap(backend.machine());
     times.inspector_runs += 1;
     times.local_fraction = inspect.local_fraction();
 
@@ -140,24 +175,24 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
             // The generated code's guard: a cheap check that the saved
             // schedules are still valid.
             let decision = registry.check_on_machine(
-                &mut machine,
+                backend.machine_mut(),
                 "edge-loop",
                 &loop_id,
                 &data_dads,
                 &ind_dads,
             );
             debug_assert!(decision.can_reuse());
-            times.inspector += sampler.lap(&machine);
+            times.inspector += sampler.lap(backend.machine());
         } else if sweep > 0 {
-            let (ip, ir) = run_inspector(&mut machine, &mut pattern, &mut scratch);
+            let (ip, ir) = run_inspector(backend, &mut pattern, &mut scratch);
             iter_part = ip;
             inspect = ir;
-            times.inspector += sampler.lap(&machine);
+            times.inspector += sampler.lap(backend.machine());
             times.inspector_runs += 1;
         }
 
         execute_sweep(
-            &mut machine,
+            backend,
             workload,
             &iter_part,
             &inspect,
@@ -165,29 +200,30 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
             &mut y,
             &mut buffers,
         );
-        times.executor += sampler.lap(&machine);
+        times.executor += sampler.lap(backend.machine());
         times.executor_sweeps += 1;
 
         // The loop wrote y: record it, exactly as the generated code would.
         registry.record_write(&y.dad());
     }
 
-    let totals = machine.stats().grand_totals();
+    let totals = backend.machine().stats().grand_totals();
     times.messages = totals.messages;
     times.bytes = totals.bytes;
-    times.total = machine.elapsed().max_seconds();
+    times.total = backend.machine().elapsed().max_seconds();
     times.wall_seconds = wall_start.elapsed().as_secs_f64();
     times
 }
 
 /// Buffers reused by every executor sweep, so the steady-state loop
 /// (gather → kernel → scatter-add with a reused schedule) performs no heap
-/// allocation after the first sweep.
+/// allocation after the first sweep on the sequential engine. All three
+/// buffer sets are per-rank, so the sweep's compute kernel can run one rank
+/// per thread.
 struct SweepBuffers {
     ghosts: Vec<Vec<f64>>,
     contributions: Vec<Vec<f64>>,
-    updates: Vec<(LocalRef, f64)>,
-    ops: Vec<f64>,
+    updates: Vec<Vec<(LocalRef, f64)>>,
 }
 
 impl SweepBuffers {
@@ -195,8 +231,7 @@ impl SweepBuffers {
         SweepBuffers {
             ghosts: vec![Vec::new(); nprocs],
             contributions: vec![Vec::new(); nprocs],
-            updates: Vec::new(),
-            ops: vec![0.0; nprocs],
+            updates: vec![Vec::new(); nprocs],
         }
     }
 
@@ -212,8 +247,14 @@ impl SweepBuffers {
 }
 
 /// One executor sweep: gather → local pair kernel → scatter-add.
-fn execute_sweep(
-    machine: &mut Machine,
+///
+/// The pair kernel between the two communication phases is a rank-local
+/// compute kernel: rank `q` reads its own iterations, its own `x` shard and
+/// its own ghost buffer, and writes its own `y` shard / contribution
+/// buffer — so on a threaded backend the whole sweep (communication *and*
+/// computation) runs rank-parallel.
+fn execute_sweep<B: Backend>(
+    backend: &mut B,
     workload: &PairLoopWorkload,
     iter_part: &IterationPartition,
     inspect: &InspectorResult,
@@ -221,55 +262,54 @@ fn execute_sweep(
     y: &mut DistArray<f64>,
     buffers: &mut SweepBuffers,
 ) {
-    let prev = machine.set_phase_kind(Some(PhaseKind::Executor));
-    let p = machine.nprocs();
+    let prev = backend
+        .machine_mut()
+        .set_phase_kind(Some(PhaseKind::Executor));
     buffers.fit(&inspect.ghost_counts);
-    gather_into(
-        machine,
-        "edge-loop",
-        &inspect.schedule,
-        x,
-        &mut buffers.ghosts,
-    );
+    let SweepBuffers {
+        ghosts,
+        contributions,
+        updates,
+    } = buffers;
+    gather_into(backend, "edge-loop", &inspect.schedule, x, ghosts);
 
-    for proc in 0..p {
-        let niters = iter_part.iters(proc).len();
-        buffers.ops[proc] = niters as f64 * workload.ops_per_iteration;
-        let localized = &inspect.localized[proc];
-        let x_local = x.local(proc);
-        let x_ghost = &buffers.ghosts[proc];
-        // Read phase: evaluate the kernel for every local iteration.
-        let updates = &mut buffers.updates;
-        updates.clear();
-        updates.reserve(2 * niters);
-        for it in 0..niters {
-            let r1 = localized[2 * it];
-            let r2 = localized[2 * it + 1];
-            let v1 = *r1.resolve(x_local, x_ghost);
-            let v2 = *r2.resolve(x_local, x_ghost);
-            let (f1, f2) = (workload.kernel)(v1, v2);
-            updates.push((r1, f1));
-            updates.push((r2, f2));
-        }
-        // Write phase: accumulate into owned elements or ghost contributions.
-        let y_local = y.local_mut(proc);
-        let contrib = &mut buffers.contributions[proc];
-        for &(r, f) in updates.iter() {
-            match r {
-                LocalRef::Owned(off) => y_local[off as usize] += f,
-                LocalRef::Ghost(slot) => contrib[slot as usize] += f,
+    let ghosts = &*ghosts;
+    backend.run_compute(
+        y.par_shards_mut()
+            .zip(contributions.iter_mut())
+            .zip(updates.iter_mut()),
+        |ctx, ((y_local, contrib), updates): ((&mut [f64], _), &mut Vec<(LocalRef, f64)>)| {
+            let proc = ctx.rank();
+            let niters = iter_part.iters(proc).len();
+            let localized = &inspect.localized[proc];
+            let x_local = x.local(proc);
+            let x_ghost = &ghosts[proc];
+            // Read phase: evaluate the kernel for every local iteration.
+            updates.clear();
+            updates.reserve(2 * niters);
+            for it in 0..niters {
+                let r1 = localized[2 * it];
+                let r2 = localized[2 * it + 1];
+                let v1 = *r1.resolve(x_local, x_ghost);
+                let v2 = *r2.resolve(x_local, x_ghost);
+                let (f1, f2) = (workload.kernel)(v1, v2);
+                updates.push((r1, f1));
+                updates.push((r2, f2));
             }
-        }
-    }
-    chaos_runtime::charge_local_compute(machine, &buffers.ops);
-    scatter_add(
-        machine,
-        "edge-loop",
-        &inspect.schedule,
-        y,
-        &buffers.contributions,
+            // Write phase: accumulate into owned elements or ghost
+            // contributions.
+            let contrib: &mut Vec<f64> = contrib;
+            for &(r, f) in updates.iter() {
+                match r {
+                    LocalRef::Owned(off) => y_local[off as usize] += f,
+                    LocalRef::Ghost(slot) => contrib[slot as usize] += f,
+                }
+            }
+            ctx.charge_compute(proc, niters as f64 * workload.ops_per_iteration);
+        },
     );
-    machine.set_phase_kind(prev);
+    scatter_add(backend, "edge-loop", &inspect.schedule, y, contributions);
+    backend.machine_mut().set_phase_kind(prev);
 }
 
 /// Run one sweep sequentially and through the hand-coded path, returning the
@@ -375,6 +415,29 @@ mod tests {
         let md = md_workload(MdConfig::tiny(27));
         let err = verify_against_sequential(&md, 4, Method::Rcb);
         assert!(err < 1e-9, "md: max error {err}");
+    }
+
+    #[test]
+    fn threaded_experiment_is_bit_identical_to_sequential() {
+        // The full experiment (partition → remap → inspector → 5 sweeps) on
+        // both engines: every modeled quantity must agree exactly, for both
+        // paper workloads.
+        for w in [
+            mesh_workload(MeshConfig::tiny(800)),
+            md_workload(MdConfig::tiny(27)),
+        ] {
+            let cfg = ExperimentConfig::paper(8, Method::Rcb).with_iterations(5);
+            let seq = run_handcoded(&w, &cfg);
+            let thr = run_handcoded_threaded(&w, &cfg);
+            assert_eq!(seq.total.to_bits(), thr.total.to_bits(), "{}", w.name);
+            assert_eq!(seq.executor.to_bits(), thr.executor.to_bits());
+            assert_eq!(seq.inspector.to_bits(), thr.inspector.to_bits());
+            assert_eq!(seq.partitioner.to_bits(), thr.partitioner.to_bits());
+            assert_eq!(seq.remap.to_bits(), thr.remap.to_bits());
+            assert_eq!(seq.messages, thr.messages);
+            assert_eq!(seq.bytes, thr.bytes);
+            assert_eq!(seq.local_fraction.to_bits(), thr.local_fraction.to_bits());
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   expressed in the Fortran-D-like mini-language and executed through
 //!   `chaos-lang`),
 //! * [`tables`] — plain-text table formatting shared by the `table1` ..
-//!   `table4` and `all_tables` binaries.
+//!   `table4` and `all_tables` binaries,
+//! * [`spmd_bench`] — the shared thread-scaling fixture timed by both the
+//!   `thread_scaling` criterion bench and `perf_check`'s `BENCH_2.json`.
 //!
 //! Each binary prints one of the paper's tables; `all_tables` also writes a
 //! JSON record next to the text so EXPERIMENTS.md numbers are reproducible.
@@ -24,6 +26,7 @@ pub mod cli;
 pub mod compilergen;
 pub mod experiment;
 pub mod handcoded;
+pub mod spmd_bench;
 pub mod tables;
 pub mod workload;
 

@@ -1,0 +1,47 @@
+//! Shared fixture for the thread-scaling measurements: one deterministic
+//! irregular executor workload and the steady-state iteration driven over
+//! it, used by both the `thread_scaling` criterion bench and `perf_check`'s
+//! `BENCH_2.json` rows so the two can never measure different things.
+
+use chaos_dmsim::Backend;
+use chaos_runtime::{
+    gather_into, scatter_op, AccessPattern, CommSchedule, DistArray, Distribution,
+};
+
+/// A deterministic irregular workload: `n` elements scattered over `nprocs`
+/// ranks (multiplicative-hash map), each rank referencing `refs_per_rank`
+/// pseudo-random globals (LCG). Returns the distribution, the input data
+/// and the access pattern.
+pub fn executor_workload(
+    n: usize,
+    nprocs: usize,
+    refs_per_rank: usize,
+) -> (Distribution, Vec<f64>, AccessPattern) {
+    let map: Vec<u32> = (0..n).map(|i| ((i * 2654435761) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 1.0 + (i % 1021) as f64 * 0.001).collect();
+    let mut pattern = AccessPattern::new(nprocs);
+    let mut state = 0x53C93u64;
+    for refs in pattern.refs.iter_mut() {
+        refs.reserve(refs_per_rank);
+        for _ in 0..refs_per_rank {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            refs.push(((state >> 33) as usize % n) as u32);
+        }
+    }
+    (dist, data, pattern)
+}
+
+/// One steady-state executor iteration over a reused schedule: gather the
+/// ghosts, scatter-add them back. The unit of work both thread-scaling
+/// measurements time.
+pub fn executor_iteration<B: Backend>(
+    backend: &mut B,
+    schedule: &CommSchedule,
+    x: &DistArray<f64>,
+    y: &mut DistArray<f64>,
+    ghosts: &mut [Vec<f64>],
+) {
+    gather_into(backend, "bench", schedule, x, ghosts);
+    scatter_op(backend, "bench", schedule, y, ghosts, |a, b| *a += b);
+}

@@ -108,6 +108,14 @@ impl<T> DistArray<T> {
         &mut self.local
     }
 
+    /// Independently borrowable per-processor shards, in rank order — the
+    /// form the rank-parallel executor kernels consume: each rank's kernel
+    /// receives exclusive access to its own segment, so the shards can be
+    /// distributed over threads (see `chaos_dmsim::Backend`).
+    pub fn par_shards_mut(&mut self) -> impl Iterator<Item = &mut [T]> {
+        self.local.iter_mut().map(Vec::as_mut_slice)
+    }
+
     /// Read the element at global index `g`.
     pub fn get_global(&self, g: usize) -> &T {
         let (p, off) = self.dist.locate(g);

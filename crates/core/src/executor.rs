@@ -9,14 +9,24 @@
 //!   to the owning processors and combine them into the owned elements
 //!   (the paper's left-hand-side `REDUCE (ADD, ...)` loops).
 //!
-//! Both walk the schedule's flat CSR arenas (see [`crate::schedule`]): every
-//! send is a pair of contiguous `&[u32]` slices, so the per-iteration inner
-//! loop is a strided copy with no nested-`Vec` pointer chasing, and the
-//! transfer is charged through [`Machine::charge_p2p`] without materializing
-//! an exchange plan. The `*_into` variants reuse caller-owned buffers and
-//! perform **zero heap allocations** in steady state (verified by the
-//! counting-allocator integration test), which is what makes an inspector
-//! schedule worth reusing.
+//! Both are **drivers** over rank-local kernels executed through a
+//! [`Backend`]: a pack kernel that charges each rank's outgoing messages,
+//! and an unpack/combine kernel that moves the actual data while touching
+//! only its own rank's buffers (its ghost buffer for gather, its
+//! [`DistArray`] shard — via [`DistArray::par_shards_mut`] — for scatter).
+//! Handing the same kernels to the sequential [`Machine`] engine or to
+//! `chaos_dmsim::ThreadedBackend` produces byte-identical array contents
+//! *and* byte-identical modeled clocks/statistics; only the wall-clock time
+//! changes.
+//!
+//! Kernels walk the schedule's flat CSR arenas (see [`crate::schedule`]):
+//! every send is a pair of contiguous `&[u32]` slices, so the per-iteration
+//! inner loop is a strided copy with no nested-`Vec` pointer chasing, and
+//! the transfer is charged per message without materializing an exchange
+//! plan. The `*_into` variants reuse caller-owned buffers and perform
+//! **zero heap allocations** in steady state on the sequential engine
+//! (verified by the counting-allocator integration test), which is what
+//! makes an inspector schedule worth reusing.
 //!
 //! The local computation between gather and scatter belongs to the
 //! application (see the workload crates); [`charge_local_compute`] lets it
@@ -25,9 +35,127 @@
 
 use crate::darray::DistArray;
 use crate::schedule::CommSchedule;
-use chaos_dmsim::{Machine, PhaseCharge};
+use chaos_dmsim::{Backend, Machine, PhaseEnd, RankCtx};
 
 pub use crate::inspector::LocalRef;
+
+/// Entry check shared by every executor driver: the schedule must match the
+/// machine size. The rank-local kernels re-check this cheaply via
+/// `debug_assert!`.
+#[inline]
+fn check_schedule(nprocs: usize, schedule: &CommSchedule) {
+    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
+}
+
+/// Entry check for per-processor ghost-shaped buffers (`buffers[p]` must
+/// have exactly `schedule.ghost_count(p)` elements). `shape_msg` is the
+/// whole-slice panic message, `noun` names the buffer kind in the per-rank
+/// message — both are part of the public panic contract.
+fn check_ghost_buffers<T>(
+    nprocs: usize,
+    schedule: &CommSchedule,
+    buffers: &[Vec<T>],
+    shape_msg: &str,
+    noun: &str,
+) {
+    check_schedule(nprocs, schedule);
+    assert_eq!(buffers.len(), nprocs, "{shape_msg}");
+    for (p, buf) in buffers.iter().enumerate() {
+        assert_eq!(
+            buf.len(),
+            schedule.ghost_count(p),
+            "processor {p} {noun} length mismatch"
+        );
+    }
+}
+
+/// Rank-local pack kernel of [`gather_into`]: the executing rank, as an
+/// *owner*, charges the packing and transfer of each of its send lists.
+/// Charges only — the simulator moves no payload for a gather; the unpack
+/// kernel reads the owners' shards directly.
+fn gather_pack_kernel(ctx: &mut RankCtx<'_>, schedule: &CommSchedule) {
+    debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
+    let owner = ctx.rank();
+    for send in schedule.sends(owner) {
+        let words = send.offsets.len();
+        ctx.charge_memory(owner, words as f64);
+        ctx.charge_p2p(owner, send.to as usize, words);
+    }
+}
+
+/// Rank-local unpack kernel of [`gather_into`]: the executing rank, as a
+/// *requester*, fills its own ghost buffer from the owning shards (shared
+/// reads), charging the unpacking per contiguous owner run. In the
+/// canonical owner-sorted slot order (what the inspector and
+/// [`CommSchedule::merge`] produce) that is exactly one charge per
+/// incoming message, so modeled clocks agree with the plan-based gather
+/// bit-for-bit; a hand-built schedule with unsorted ghost slots charges
+/// the same per-rank totals in smaller pieces (values are unaffected).
+fn gather_unpack_kernel<T: Clone>(
+    ctx: &mut RankCtx<'_>,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    ghost: &mut [T],
+) {
+    debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
+    let me = ctx.rank();
+    let owners = schedule.ghost_owners(me);
+    let srcs = schedule.ghost_src_offsets(me);
+    let mut lo = 0;
+    while lo < owners.len() {
+        let owner = owners[lo];
+        let mut hi = lo + 1;
+        while hi < owners.len() && owners[hi] == owner {
+            hi += 1;
+        }
+        ctx.charge_memory(me, (hi - lo) as f64);
+        let local = array.local(owner as usize);
+        for slot in lo..hi {
+            ghost[slot] = local[srcs[slot] as usize].clone();
+        }
+        lo = hi;
+    }
+}
+
+/// Rank-local pack kernel of [`scatter_op`]: the executing rank, as an
+/// *owner*, charges each requester's packing and the reverse transfer of
+/// its ghost contributions.
+fn scatter_pack_kernel(ctx: &mut RankCtx<'_>, schedule: &CommSchedule) {
+    debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
+    let owner = ctx.rank();
+    for send in schedule.sends(owner) {
+        let requester = send.to as usize;
+        let words = send.ghost_slots.len();
+        ctx.charge_memory(requester, words as f64);
+        ctx.charge_p2p(requester, owner, words);
+    }
+}
+
+/// Rank-local combine kernel of [`scatter_op`]: the executing rank, as an
+/// *owner*, folds every requester's ghost contributions (shared reads) into
+/// its own array shard with `combine`.
+fn scatter_combine_kernel<T, F>(
+    ctx: &mut RankCtx<'_>,
+    schedule: &CommSchedule,
+    contributions: &[Vec<T>],
+    local: &mut [T],
+    combine: &F,
+) where
+    T: Clone,
+    F: Fn(&mut T, T),
+{
+    debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
+    let owner = ctx.rank();
+    let mut updates = 0usize;
+    for send in schedule.sends(owner) {
+        let from = &contributions[send.to as usize];
+        updates += send.ghost_slots.len();
+        for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
+            combine(&mut local[off as usize], from[slot as usize].clone());
+        }
+    }
+    ctx.charge_compute(owner, updates as f64);
+}
 
 /// Gather the off-processor elements described by `schedule` from `array`
 /// into per-processor ghost buffers.
@@ -35,82 +163,69 @@ pub use crate::inspector::LocalRef;
 /// Returns `ghosts[p][slot]` aligned with the schedule's ghost slots for
 /// processor `p`. Allocates the buffers; iteration loops that reuse a
 /// schedule should allocate once and call [`gather_into`].
-pub fn gather<T: Clone + Default + Send>(
-    machine: &mut Machine,
+pub fn gather<B, T>(
+    backend: &mut B,
     label: &str,
     schedule: &CommSchedule,
     array: &DistArray<T>,
-) -> Vec<Vec<T>> {
-    let nprocs = machine.nprocs();
-    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
+) -> Vec<Vec<T>>
+where
+    B: Backend,
+    T: Clone + Default + Send + Sync,
+{
+    let nprocs = backend.nprocs();
+    check_schedule(nprocs, schedule);
     let mut ghosts: Vec<Vec<T>> = (0..nprocs)
         .map(|p| vec![T::default(); schedule.ghost_count(p)])
         .collect();
-    gather_into(machine, label, schedule, array, &mut ghosts);
+    gather_into(backend, label, schedule, array, &mut ghosts);
     ghosts
 }
 
 /// [`gather`] into caller-owned ghost buffers (`ghosts[p]` must have exactly
-/// `schedule.ghost_count(p)` elements). Performs no heap allocation.
-pub fn gather_into<T: Clone + Send>(
-    machine: &mut Machine,
+/// `schedule.ghost_count(p)` elements). Performs no heap allocation on the
+/// sequential engine.
+pub fn gather_into<B, T>(
+    backend: &mut B,
     _label: &str,
     schedule: &CommSchedule,
     array: &DistArray<T>,
     ghosts: &mut [Vec<T>],
-) {
-    let nprocs = machine.nprocs();
-    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
-    assert_eq!(
-        ghosts.len(),
+) where
+    B: Backend,
+    T: Clone + Send + Sync,
+{
+    let nprocs = backend.nprocs();
+    check_ghost_buffers(
         nprocs,
-        "ghost buffers must match machine size"
+        schedule,
+        ghosts,
+        "ghost buffers must match machine size",
+        "ghost buffer",
     );
-    for (p, ghost) in ghosts.iter().enumerate() {
-        assert_eq!(
-            ghost.len(),
-            schedule.ghost_count(p),
-            "processor {p} ghost buffer length mismatch"
-        );
-    }
 
     // Packing on the owners plus the transfers, then the phase barrier,
     // then unpacking at the requesters — the same charge order as an
     // ExchangePlan-based gather, so modeled clocks agree with the naive
     // reference bit-for-bit.
-    let mut phase = PhaseCharge::new();
-    for owner in 0..nprocs {
-        for send in schedule.sends(owner) {
-            let words = send.offsets.len();
-            machine.charge_memory(owner, words as f64);
-            machine.charge_p2p(&mut phase, owner, send.to as usize, words);
-        }
-    }
-    machine.end_phase_quiet(phase);
-
-    for owner in 0..nprocs {
-        let local = array.local(owner);
-        for send in schedule.sends(owner) {
-            let dest = send.to as usize;
-            machine.charge_memory(dest, send.offsets.len() as f64);
-            let ghost = ghosts[dest].as_mut_slice();
-            for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
-                ghost[slot as usize] = local[off as usize].clone();
-            }
-        }
-    }
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts.iter_mut(),
+        |ctx, ghost: &mut Vec<T>| gather_unpack_kernel(ctx, schedule, array, ghost),
+    );
 }
 
 /// Scatter ghost-buffer contributions back to their owners, adding them into
 /// the owned elements (`y(owner) += contribution`).
-pub fn scatter_add(
-    machine: &mut Machine,
+pub fn scatter_add<B: Backend>(
+    backend: &mut B,
     label: &str,
     schedule: &CommSchedule,
     array: &mut DistArray<f64>,
     contributions: &[Vec<f64>],
 ) {
-    scatter_op(machine, label, schedule, array, contributions, |acc, c| {
+    scatter_op(backend, label, schedule, array, contributions, |acc, c| {
         *acc += c
     });
 }
@@ -118,63 +233,47 @@ pub fn scatter_add(
 /// Scatter ghost-buffer contributions back to their owners combining with an
 /// arbitrary reduction operator (`add`, `max`, `min`, ... — the paper allows
 /// any associative reduction on the left-hand side). Performs no heap
-/// allocation.
-pub fn scatter_op<T, F>(
-    machine: &mut Machine,
+/// allocation on the sequential engine.
+///
+/// Each owner combines in its schedule's send-list order, so the reduction
+/// order — and therefore the floating-point result — is identical on every
+/// backend.
+pub fn scatter_op<B, T, F>(
+    backend: &mut B,
     _label: &str,
     schedule: &CommSchedule,
     array: &mut DistArray<T>,
     contributions: &[Vec<T>],
-    mut combine: F,
+    combine: F,
 ) where
-    T: Clone + Send,
-    F: FnMut(&mut T, T),
+    B: Backend,
+    T: Clone + Send + Sync,
+    F: Fn(&mut T, T) + Sync,
 {
-    let nprocs = machine.nprocs();
-    assert_eq!(schedule.nprocs(), nprocs, "schedule/machine size mismatch");
-    assert_eq!(
-        contributions.len(),
+    let nprocs = backend.nprocs();
+    check_ghost_buffers(
         nprocs,
-        "contributions must have one ghost buffer per processor"
+        schedule,
+        contributions,
+        "contributions must have one ghost buffer per processor",
+        "ghost contribution",
     );
-    for (p, contrib) in contributions.iter().enumerate() {
-        assert_eq!(
-            contrib.len(),
-            schedule.ghost_count(p),
-            "processor {p} ghost contribution length mismatch"
-        );
-    }
 
     // Reverse traffic: each requester sends its ghost slots back to the
     // owner, which combines them into its local elements. With the CSR
-    // layout the owner's local segment and the requester's contribution
-    // buffer are disjoint borrows, so the combine happens in the same pass
-    // with no intermediate update list.
-    // Pack charges and transfers first, then the phase barrier, then the
-    // owner-side combine — the same charge order as the plan-based scatter.
-    let mut phase = PhaseCharge::new();
-    for owner in 0..nprocs {
-        for send in schedule.sends(owner) {
-            let requester = send.to as usize;
-            let words = send.ghost_slots.len();
-            machine.charge_memory(requester, words as f64);
-            machine.charge_p2p(&mut phase, requester, owner, words);
-        }
-    }
-    machine.end_phase_quiet(phase);
-
-    for owner in 0..nprocs {
-        let mut updates = 0usize;
-        let local = array.local_mut(owner);
-        for send in schedule.sends(owner) {
-            let from = &contributions[send.to as usize];
-            updates += send.ghost_slots.len();
-            for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
-                combine(&mut local[off as usize], from[slot as usize].clone());
-            }
-        }
-        machine.charge_compute(owner, updates as f64);
-    }
+    // layout the owner's shard and the requesters' contribution buffers are
+    // disjoint borrows, so the combine is rank-local with no intermediate
+    // update list. Pack charges and transfers first, then the phase barrier,
+    // then the owner-side combine — the same charge order as the plan-based
+    // scatter.
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| scatter_pack_kernel(ctx, schedule),
+        array.par_shards_mut(),
+        |ctx, local: &mut [T]| {
+            scatter_combine_kernel(ctx, schedule, contributions, local, &combine)
+        },
+    );
 }
 
 /// Charge `ops_per_proc[p]` computation units to each processor — the local
@@ -298,6 +397,27 @@ mod tests {
     }
 
     #[test]
+    fn gather_and_scatter_agree_across_backends() {
+        use chaos_dmsim::ThreadedBackend;
+        let (_, x, r) = setup();
+        let mut seq = Machine::new(MachineConfig::unit(2));
+        let mut thr = ThreadedBackend::from_config(MachineConfig::unit(2));
+        let ghosts_seq = gather(&mut seq, "L", &r.schedule, &x);
+        let ghosts_thr = gather(&mut thr, "L", &r.schedule, &x);
+        assert_eq!(ghosts_seq, ghosts_thr);
+        let mut y_seq = x.clone();
+        let mut y_thr = x.clone();
+        scatter_add(&mut seq, "L", &r.schedule, &mut y_seq, &ghosts_seq);
+        scatter_add(&mut thr, "L", &r.schedule, &mut y_thr, &ghosts_thr);
+        assert_eq!(y_seq.to_global(), y_thr.to_global());
+        assert_eq!(seq.elapsed(), thr.machine().elapsed());
+        assert_eq!(
+            seq.stats().grand_totals(),
+            thr.machine().stats().grand_totals()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "ghost contribution length mismatch")]
     fn scatter_rejects_wrong_ghost_shape() {
         let (mut m, _x, r) = setup();
@@ -311,6 +431,14 @@ mod tests {
         let (mut m, x, r) = setup();
         let mut ghosts = vec![vec![0.0; 9], vec![0.0; 9]];
         gather_into(&mut m, "L", &r.schedule, &x, &mut ghosts);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule/machine size mismatch")]
+    fn gather_rejects_mismatched_machine() {
+        let (_, x, r) = setup();
+        let mut wrong = Machine::new(MachineConfig::unit(4));
+        let _ = gather(&mut wrong, "L", &r.schedule, &x);
     }
 
     #[test]

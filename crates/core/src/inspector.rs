@@ -16,7 +16,7 @@
 
 use crate::dist::Distribution;
 use crate::schedule::CommSchedule;
-use chaos_dmsim::Machine;
+use chaos_dmsim::Backend;
 
 /// A localized reference produced by the inspector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +107,9 @@ impl InspectorResult {
 pub struct LocalizeScratch {
     /// Packed `owner << 32 | offset` location of every reference, per proc.
     located: Vec<Vec<u64>>,
-    /// Sorted, deduplicated off-processor keys of the current proc.
-    offproc: Vec<u64>,
+    /// Sorted, deduplicated off-processor keys, per proc (rank-local so the
+    /// dedup kernels can run one per thread).
+    offproc: Vec<Vec<u64>>,
     /// Flat CSR ghost-source arrays under construction.
     ghost_off: Vec<u32>,
     ghost_owner: Vec<u32>,
@@ -127,15 +128,15 @@ impl Inspector {
     /// referenced; `pattern.refs[p]` are the global indices processor `p`'s
     /// iterations will access. Index translation, deduplication and schedule
     /// construction costs are charged to `machine`.
-    pub fn localize(
+    pub fn localize<B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         label: &str,
         data_dist: &Distribution,
         pattern: &AccessPattern,
     ) -> InspectorResult {
         let mut scratch = LocalizeScratch::default();
-        self.localize_with_scratch(machine, label, data_dist, pattern, &mut scratch)
+        self.localize_with_scratch(backend, label, data_dist, pattern, &mut scratch)
     }
 
     /// [`Inspector::localize`] reusing caller-held scratch buffers, so
@@ -147,15 +148,20 @@ impl Inspector {
     /// and deduplicated in one pass, and ghost slots are assigned by rank in
     /// that sorted order (identical slot numbering to the paper's
     /// owner-then-offset convention).
-    pub fn localize_with_scratch(
+    ///
+    /// Translation, dedup and reference rewriting are rank-local kernels
+    /// (each rank touches only its own scratch rows), so on a threaded
+    /// [`Backend`] they run one-per-thread; only the final CSR assembly and
+    /// the schedule's request exchange remain on the driver.
+    pub fn localize_with_scratch<B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         label: &str,
         data_dist: &Distribution,
         pattern: &AccessPattern,
         scratch: &mut LocalizeScratch,
     ) -> InspectorResult {
-        let nprocs = machine.nprocs();
+        let nprocs = backend.nprocs();
         assert_eq!(
             pattern.refs.len(),
             nprocs,
@@ -170,76 +176,88 @@ impl Inspector {
         // Step 1: translate all references to packed (owner, offset) keys.
         // For irregular distributions this dereferences the translation
         // table in one batched pass (charging its comm/compute); for regular
-        // distributions it is local arithmetic.
+        // distributions it is rank-local arithmetic.
         match data_dist {
             Distribution::Irregular { table } => {
-                table.dereference_packed(machine, label, &pattern.refs, &mut scratch.located);
+                table.dereference_packed(backend, label, &pattern.refs, &mut scratch.located);
             }
             _ => {
                 scratch.located.resize_with(nprocs, Vec::new);
-                for (p, refs) in pattern.refs.iter().enumerate() {
-                    machine.charge_compute(p, refs.len() as f64);
-                    let row = &mut scratch.located[p];
+                backend.run_compute(scratch.located.iter_mut(), |ctx, row: &mut Vec<u64>| {
+                    let refs = &pattern.refs[ctx.rank()];
+                    ctx.charge_compute(ctx.rank(), refs.len() as f64);
                     row.clear();
                     row.reserve(refs.len());
                     for &g in refs {
                         let (o, off) = data_dist.locate(g as usize);
                         row.push(((o as u64) << 32) | off as u64);
                     }
-                }
+                });
             }
         }
 
-        // Steps 2 & 4: dedup off-processor references per processor with a
-        // single sort + dedup over the packed keys, assign ghost slots (rank
-        // in sorted order — owner-major, then offset), and rewrite every
-        // reference to an owned offset or a ghost slot.
+        // Steps 2 & 4 (rank-local kernels): dedup off-processor references
+        // per processor with a single sort + dedup over the packed keys,
+        // assign ghost slots (rank in sorted order — owner-major, then
+        // offset), and rewrite every reference to an owned offset or a
+        // ghost slot.
+        let located = &scratch.located;
+        let offproc = &mut scratch.offproc;
+        offproc.resize_with(nprocs, Vec::new);
+        let mut localized: Vec<Vec<LocalRef>> = Vec::new();
+        localized.resize_with(nprocs, Vec::new);
+        backend.run_compute(
+            offproc.iter_mut().zip(localized.iter_mut()),
+            |ctx, (offproc, locals): (&mut Vec<u64>, &mut Vec<LocalRef>)| {
+                let me = ctx.rank() as u64;
+                let located = &located[ctx.rank()];
+                offproc.clear();
+                offproc.extend(located.iter().copied().filter(|&k| (k >> 32) != me));
+                offproc.sort_unstable();
+                offproc.dedup();
+                *locals = located
+                    .iter()
+                    .map(|&k| {
+                        if (k >> 32) == me {
+                            LocalRef::Owned(k as u32)
+                        } else {
+                            let slot = offproc.binary_search(&k).expect("key present after dedup");
+                            LocalRef::Ghost(slot as u32)
+                        }
+                    })
+                    .collect();
+                // Charge dedup / rewrite work: ~2 ops per reference plus 1
+                // per distinct off-processor element (same model as the
+                // paper's hash-table accounting — the layout changed, not
+                // the cost).
+                ctx.charge_compute(
+                    ctx.rank(),
+                    2.0 * located.len() as f64 + offproc.len() as f64,
+                );
+            },
+        );
+
+        // Serial CSR assembly of the per-rank dedup results (cheap: one
+        // append pass over the ghost sets).
         scratch.ghost_off.clear();
         scratch.ghost_owner.clear();
         scratch.ghost_src.clear();
         scratch.ghost_off.push(0);
-        let offproc = &mut scratch.offproc;
-        let mut localized: Vec<Vec<LocalRef>> = Vec::with_capacity(nprocs);
         let mut ghost_counts: Vec<usize> = Vec::with_capacity(nprocs);
-        for p in 0..nprocs {
-            let located = &scratch.located[p];
-            let me = p as u64;
-            offproc.clear();
-            offproc.extend(located.iter().copied().filter(|&k| (k >> 32) != me));
-            offproc.sort_unstable();
-            offproc.dedup();
-
-            let locals: Vec<LocalRef> = located
-                .iter()
-                .map(|&k| {
-                    if (k >> 32) == me {
-                        LocalRef::Owned(k as u32)
-                    } else {
-                        let slot = offproc.binary_search(&k).expect("key present after dedup");
-                        LocalRef::Ghost(slot as u32)
-                    }
-                })
-                .collect();
-
-            // Charge dedup / rewrite work: ~2 ops per reference plus 1 per
-            // distinct off-processor element (same model as the paper's
-            // hash-table accounting — the layout changed, not the cost).
-            machine.charge_compute(p, 2.0 * located.len() as f64 + offproc.len() as f64);
-
-            for &k in offproc.iter() {
+        for offproc in scratch.offproc.iter() {
+            for &k in offproc {
                 scratch.ghost_owner.push((k >> 32) as u32);
                 scratch.ghost_src.push(k as u32);
             }
             scratch.ghost_off.push(scratch.ghost_owner.len() as u32);
             ghost_counts.push(offproc.len());
-            localized.push(locals);
         }
 
         // Step 3: build the communication schedule (request exchange charged
         // inside). The schedule owns its arenas, so the scratch arrays are
         // cloned out — their capacity stays with the scratch for the next run.
         let schedule = CommSchedule::from_csr_parts(
-            machine,
+            backend.machine_mut(),
             label,
             scratch.ghost_off.clone(),
             scratch.ghost_owner.clone(),
@@ -257,7 +275,7 @@ impl Inspector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chaos_dmsim::MachineConfig;
+    use chaos_dmsim::{Machine, MachineConfig};
 
     /// 8-element block array over 2 procs; proc 0 references globals
     /// [0, 5, 5, 1], proc 1 references [7, 2].
@@ -338,6 +356,32 @@ mod tests {
         assert_eq!(r.schedule.total_ghosts(), 0);
         assert_eq!(r.local_fraction(), 1.0);
         assert_eq!(AccessPattern::new(2).total_refs(), 0);
+    }
+
+    #[test]
+    fn scratch_can_be_reused_across_machine_sizes() {
+        // The per-rank scratch rows must follow the machine size in both
+        // directions (resize_with truncates as well as grows), so one
+        // scratch can serve inspectors on differently-sized machines.
+        let mut scratch = LocalizeScratch::default();
+        let mut big = Machine::new(MachineConfig::unit(4));
+        let dist4 = Distribution::block(8, 4);
+        let p4 = AccessPattern {
+            refs: vec![vec![0, 7], vec![1], vec![6], vec![2, 3]],
+        };
+        let r4 = Inspector.localize_with_scratch(&mut big, "L", &dist4, &p4, &mut scratch);
+        assert_eq!(r4.localized.len(), 4);
+
+        let mut small = Machine::new(MachineConfig::unit(2));
+        let dist2 = Distribution::block(8, 2);
+        let r2 = Inspector.localize_with_scratch(&mut small, "L", &dist2, &pattern(), &mut scratch);
+        assert_eq!(r2.localized.len(), 2);
+        assert_eq!(r2.ghost_counts, vec![1, 1]);
+        // Same result as a fresh-scratch run.
+        let mut fresh = Machine::new(MachineConfig::unit(2));
+        let reference = Inspector.localize(&mut fresh, "L", &dist2, &pattern());
+        assert_eq!(r2.localized, reference.localized);
+        assert_eq!(r2.schedule, reference.schedule);
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! virtual clocks, and the benchmark harness reads those clocks to regenerate
 //! the paper's tables.
 //!
+//! The primitives execute behind [`chaos_dmsim::Backend`]: each is a driver
+//! handing rank-local kernels to an SPMD engine, so any call site can pass
+//! either `&mut Machine` (sequential, the deterministic oracle) or a
+//! `&mut ThreadedBackend` (one OS thread per virtual processor) and get
+//! byte-identical values, ghost buffers, clocks and statistics.
+//!
 //! ## Module map
 //!
 //! | module | paper concept |
@@ -90,6 +96,6 @@ pub mod prelude {
     pub use crate::iterpart::{IterPartitionPolicy, IterationPartition};
     pub use crate::remap::remap;
     pub use crate::reuse::{LoopId, ReuseRegistry};
-    pub use chaos_dmsim::{Machine, MachineConfig};
+    pub use chaos_dmsim::{Backend, Machine, MachineConfig, ThreadedBackend};
     pub use chaos_geocol::{GeoColBuilder, Partitioner};
 }

@@ -24,21 +24,63 @@ use crate::dad::{Dad, DadSignature};
 use chaos_dmsim::{collectives, Machine, ReduceOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide loop-name interner behind [`LoopId`]: name → dense id
+/// plus the reverse table for diagnostics.
+#[derive(Debug, Default)]
+struct LoopInterner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+fn interner() -> &'static Mutex<LoopInterner> {
+    static INTERNER: OnceLock<Mutex<LoopInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(LoopInterner::default()))
+}
 
 /// Identifier of an irregular loop (one per source-level FORALL).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct LoopId(pub String);
+///
+/// A `LoopId` is a dense interned `u32` handle: the loop's source label is
+/// hashed exactly once, when the id is created, and every subsequent use —
+/// in particular the per-sweep [`ReuseRegistry::check`] — is a plain array
+/// index with no `String` hashing or cloning. Two ids are equal iff their
+/// labels are equal. The handle is process-local (it indexes this
+/// process's interner), so it is deliberately *not* serializable; persist
+/// the loop label ([`LoopId::name`]) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(u32);
 
 impl LoopId {
-    /// Convenience constructor.
+    /// Intern `name`, returning its dense id (stable for the lifetime of
+    /// the process; creating the same name twice yields the same id).
     pub fn new(name: &str) -> Self {
-        LoopId(name.to_string())
+        let mut interner = interner().lock().expect("loop interner poisoned");
+        if let Some(&id) = interner.ids.get(name) {
+            return LoopId(id);
+        }
+        let id = interner.names.len() as u32;
+        interner.names.push(name.to_string());
+        interner.ids.insert(name.to_string(), id);
+        LoopId(id)
+    }
+
+    /// The dense index of this id (used by [`ReuseRegistry`] to address its
+    /// per-loop records without hashing).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+
+    /// The interned loop label.
+    pub fn name(&self) -> String {
+        interner().lock().expect("loop interner poisoned").names[self.0 as usize].clone()
     }
 }
 
 impl std::fmt::Display for LoopId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.name())
     }
 }
 
@@ -101,7 +143,9 @@ impl ReuseDecision {
 pub struct ReuseRegistry {
     nmod: u64,
     last_mod: HashMap<DadSignature, u64>,
-    records: HashMap<LoopId, LoopRecord>,
+    /// Per-loop records, dense-indexed by [`LoopId::index`] — the per-sweep
+    /// reuse check is a bounds-checked array load, never a string hash.
+    records: Vec<Option<LoopRecord>>,
     /// Counters for reporting: how many checks reused vs re-ran.
     reuse_hits: u64,
     reuse_misses: u64,
@@ -157,19 +201,19 @@ impl ReuseRegistry {
     /// inspector).
     pub fn save_inspector(&mut self, id: LoopId, data_dads: Vec<Dad>, ind_dads: Vec<Dad>) {
         let ind_stamps = ind_dads.iter().map(|d| self.last_mod(d)).collect();
-        self.records.insert(
-            id,
-            LoopRecord {
-                data_dads,
-                ind_dads,
-                ind_stamps,
-            },
-        );
+        if self.records.len() <= id.index() {
+            self.records.resize_with(id.index() + 1, || None);
+        }
+        self.records[id.index()] = Some(LoopRecord {
+            data_dads,
+            ind_dads,
+            ind_stamps,
+        });
     }
 
     /// The saved record for a loop, if any.
     pub fn record(&self, id: &LoopId) -> Option<&LoopRecord> {
-        self.records.get(id)
+        self.records.get(id.index()).and_then(Option::as_ref)
     }
 
     /// Perform the reuse check for loop `id` given the arrays' *current*
@@ -184,7 +228,7 @@ impl ReuseRegistry {
     }
 
     fn check_inner(&self, id: &LoopId, data_dads: &[Dad], ind_dads: &[Dad]) -> ReuseDecision {
-        let Some(record) = self.records.get(id) else {
+        let Some(record) = self.record(id) else {
             return ReuseDecision::Rerun(vec![RerunReason::FirstExecution]);
         };
         let mut reasons = Vec::new();
@@ -259,6 +303,18 @@ mod tests {
 
     fn block_dad(n: usize) -> Dad {
         Dad::of(&Distribution::block(n, 4))
+    }
+
+    #[test]
+    fn loop_ids_are_interned_dense_handles() {
+        let a = LoopId::new("interning-test-L1");
+        let b = LoopId::new("interning-test-L1");
+        let c = LoopId::new("interning-test-L2");
+        assert_eq!(a, b, "same label interns to the same id");
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "interning-test-L1");
+        assert_eq!(format!("{c}"), "interning-test-L2");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! communication charged by [`TranslationTable::dereference`]. The
 //! `translation` ablation bench compares them.
 
-use chaos_dmsim::{Machine, PhaseCharge};
+use chaos_dmsim::{Backend, PhaseEnd};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -153,54 +153,58 @@ impl TranslationTable {
     /// (only local table-probe compute is charged); with the distributed
     /// policy each request batch to a remote page owner incurs a
     /// request/response message pair, which is the dominant inspector cost
-    /// the paper measures. All requests are batched per `(requester, page)`
-    /// pair in a single counting pass — no per-index dispatch, no payload
-    /// materialization (the simulator answers from the shared table; only
-    /// the transfer cost is modeled, identically to shipping the indices).
-    fn charge_dereference(&self, machine: &mut Machine, label: &str, requests: &[Vec<u32>]) {
+    /// the paper measures. Each requesting rank counts its own requests per
+    /// page (a rank-local kernel, so the counting pass parallelizes on the
+    /// threaded engine) — no per-index dispatch, no payload materialization
+    /// (the simulator answers from the shared table; only the transfer cost
+    /// is modeled, identically to shipping the indices).
+    fn charge_dereference<B: Backend>(&self, backend: &mut B, label: &str, requests: &[Vec<u32>]) {
+        let nprocs = self.nprocs;
         match self.policy {
             TTablePolicy::Replicated => {
-                for (p, reqs) in requests.iter().enumerate() {
+                backend.run_charges(|ctx| {
                     // One table probe per request.
-                    machine.charge_compute(p, reqs.len() as f64);
-                }
+                    ctx.charge_compute(ctx.rank(), requests[ctx.rank()].len() as f64);
+                });
             }
             TTablePolicy::Distributed => {
-                // One counting pass: how many of processor p's requests land
-                // on each table page.
+                // Counting pass: how many of each rank's requests land on
+                // each table page. Rank r fills row r.
                 let block = self.page_block();
-                let mut counts = vec![0u32; self.nprocs * self.nprocs];
-                for (p, reqs) in requests.iter().enumerate() {
-                    let row = &mut counts[p * self.nprocs..(p + 1) * self.nprocs];
-                    for &g in reqs {
-                        let page = (g as usize / block).min(self.nprocs - 1);
-                        row[page] += 1;
+                let mut counts = vec![0u32; nprocs * nprocs];
+                backend.run_compute(counts.chunks_mut(nprocs), |ctx, row| {
+                    for &g in &requests[ctx.rank()] {
+                        row[(g as usize / block).min(nprocs - 1)] += 1;
                     }
-                }
+                });
                 // Round 1: ship requests to page owners (one word per index).
-                let mut phase = PhaseCharge::new();
-                for p in 0..self.nprocs {
-                    for page in 0..self.nprocs {
-                        let cnt = counts[p * self.nprocs + page] as usize;
-                        if cnt > 0 {
-                            machine.charge_p2p(&mut phase, p, page, cnt);
+                backend.run_charge_phase(
+                    PhaseEnd::Labelled(&format!("{label}:deref-request")),
+                    |ctx| {
+                        let p = ctx.rank();
+                        for page in 0..nprocs {
+                            let cnt = counts[p * nprocs + page] as usize;
+                            if cnt > 0 {
+                                ctx.charge_p2p(p, page, cnt);
+                            }
                         }
-                    }
-                }
-                machine.end_phase(&format!("{label}:deref-request"), phase);
+                    },
+                );
                 // Round 2: page owners probe their pages and answer with
                 // (owner, offset) pairs — twice the volume of the request.
-                let mut phase = PhaseCharge::new();
-                for p in 0..self.nprocs {
-                    for page in 0..self.nprocs {
-                        let cnt = counts[p * self.nprocs + page] as usize;
-                        if cnt > 0 {
-                            machine.charge_compute(page, cnt as f64);
-                            machine.charge_p2p(&mut phase, page, p, 2 * cnt);
+                backend.run_charge_phase(
+                    PhaseEnd::Labelled(&format!("{label}:deref-reply")),
+                    |ctx| {
+                        let p = ctx.rank();
+                        for page in 0..nprocs {
+                            let cnt = counts[p * nprocs + page] as usize;
+                            if cnt > 0 {
+                                ctx.charge_compute(page, cnt as f64);
+                                ctx.charge_p2p(page, p, 2 * cnt);
+                            }
                         }
-                    }
-                }
-                machine.end_phase(&format!("{label}:deref-reply"), phase);
+                    },
+                );
             }
         }
     }
@@ -212,14 +216,14 @@ impl TranslationTable {
     /// translate; the result mirrors that shape with `(owner, local_offset)`
     /// pairs. See [`TranslationTable::dereference_packed`] for the
     /// allocation-friendly variant the inspector uses.
-    pub fn dereference(
+    pub fn dereference<B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         label: &str,
         requests: &[Vec<u32>],
     ) -> Vec<Vec<(u32, u32)>> {
         assert_eq!(requests.len(), self.nprocs);
-        self.charge_dereference(machine, label, requests);
+        self.charge_dereference(backend, label, requests);
         // The actual answers (exact, independent of the cost policy), read
         // from the packed arena in one load per lookup.
         requests
@@ -239,21 +243,26 @@ impl TranslationTable {
     /// `owner << 32 | local_offset` keys into caller-owned buffers
     /// (`out[p]` is cleared and refilled, so repeated inspector runs reuse
     /// capacity instead of reallocating). Charges the machine identically to
-    /// `dereference`.
-    pub fn dereference_packed(
+    /// `dereference`; the per-rank answer fill is a rank-local kernel, so it
+    /// parallelizes on the threaded engine.
+    pub fn dereference_packed<B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         label: &str,
         requests: &[Vec<u32>],
         out: &mut Vec<Vec<u64>>,
     ) {
         assert_eq!(requests.len(), self.nprocs);
-        self.charge_dereference(machine, label, requests);
+        self.charge_dereference(backend, label, requests);
         out.resize_with(self.nprocs, Vec::new);
-        for (reqs, row) in requests.iter().zip(out.iter_mut()) {
+        backend.run_compute(out.iter_mut(), |ctx, row: &mut Vec<u64>| {
             row.clear();
-            row.extend(reqs.iter().map(|&g| self.packed[g as usize]));
-        }
+            row.extend(
+                requests[ctx.rank()]
+                    .iter()
+                    .map(|&g| self.packed[g as usize]),
+            );
+        });
     }
 
     /// Words of table state stored on processor `proc`, used to charge the
@@ -274,7 +283,7 @@ impl TranslationTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chaos_dmsim::MachineConfig;
+    use chaos_dmsim::{Machine, MachineConfig};
 
     fn sample_map() -> Vec<u32> {
         vec![2, 0, 0, 1, 2, 1, 0, 3]

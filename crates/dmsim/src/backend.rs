@@ -1,0 +1,723 @@
+//! The SPMD execution engine behind the runtime: rank-local kernels, charge
+//! ledgers and payload mailboxes.
+//!
+//! The CHAOS/PARTI runtime is an SPMD library — on a real machine every node
+//! runs the inspector/executor code concurrently. This module abstracts *how*
+//! those per-rank code regions execute behind the [`Backend`] trait, with two
+//! engines:
+//!
+//! * [`Machine`] itself — the deterministic sequential oracle: rank kernels
+//!   run one after another on the driver thread in ascending rank order;
+//! * [`ThreadedBackend`] — rank-parallel execution: every virtual processor
+//!   runs its kernel on its own OS thread (`std::thread::scope`).
+//!
+//! # The determinism contract
+//!
+//! The threaded engine must be **byte-identical** to the sequential one —
+//! same array contents, same ghost buffers, same modeled clocks, same
+//! [`CommStats`](crate::stats::CommStats) — not merely "equivalent". That is
+//! achieved structurally rather than by tolerance:
+//!
+//! * **Data** — a kernel may mutate only its own rank's state (the `St` item
+//!   handed to it) and read shared inputs; rank-disjoint writes compose the
+//!   same way regardless of scheduling.
+//! * **Costs** — kernels never touch the [`Machine`] directly. They charge
+//!   through a [`RankCtx`], which either applies charges immediately (the
+//!   sequential engine) or records them into a per-rank [ledger](RankLedger)
+//!   that is *replayed in ascending rank order* after the threads join (the
+//!   threaded engine). Both paths perform the exact same sequence of
+//!   floating-point additions on the exact same accumulators, so clocks and
+//!   per-phase statistics agree bit-for-bit.
+//! * **Payloads** — when ranks must hand values to each other inside one
+//!   phase they post into per-rank [mailboxes](Outbox): rank `r` owns the
+//!   outgoing row `r` of a `P × P` matrix during the pack stage (no locks,
+//!   no contention) and reads column `r` through an [`Inbox`] in the unpack
+//!   stage, after a join barrier. Cell `(from, to)` is written by exactly
+//!   one rank and read by exactly one rank, in different stages.
+//!
+//! The `tests/backend_equivalence.rs` property suite exercises this contract
+//! over randomized workloads, including with more ranks than hardware cores.
+
+use crate::machine::{Machine, PhaseCharge, ProcId};
+
+/// How an exchange phase is closed: recorded under a label (a
+/// [`PhaseRecord`](crate::stats::PhaseRecord) is kept) or quietly (totals
+/// only, no allocation — the executor's steady-state path).
+#[derive(Debug, Clone, Copy)]
+pub enum PhaseEnd<'a> {
+    /// Merge the phase into the per-kind totals without keeping a record.
+    Quiet,
+    /// Record the phase under this label.
+    Labelled(&'a str),
+}
+
+/// One recorded charge, replayed against the machine in rank order.
+#[derive(Debug, Clone, Copy)]
+enum ChargeEvent {
+    /// `units` of local computation on `proc`'s clock.
+    Compute { proc: u32, units: f64 },
+    /// `words` of local memory traffic on `proc`'s clock.
+    Memory { proc: u32, words: f64 },
+    /// One point-to-point message, charged to both endpoint clocks and the
+    /// current phase statistics.
+    P2p { from: u32, to: u32, words: usize },
+}
+
+/// Ordered charge log of one rank's kernel execution. Buffers are owned by
+/// the backend and reused across phases, so steady-state replay does not
+/// allocate once the ledgers have grown to the workload's size.
+#[derive(Debug, Default)]
+pub struct RankLedger {
+    events: Vec<ChargeEvent>,
+}
+
+enum Sink<'a> {
+    /// Apply charges to the machine immediately (sequential engine).
+    Direct {
+        machine: &'a mut Machine,
+        phase: Option<&'a mut PhaseCharge>,
+    },
+    /// Record charges for later in-order replay (threaded engine).
+    Record {
+        ledger: &'a mut RankLedger,
+        in_phase: bool,
+    },
+}
+
+/// The per-rank execution context handed to every SPMD kernel: the rank id
+/// plus the only channel through which a kernel may charge modeled costs.
+pub struct RankCtx<'a> {
+    rank: usize,
+    nprocs: usize,
+    sink: Sink<'a>,
+}
+
+impl RankCtx<'_> {
+    /// The executing virtual processor.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of virtual processors in the machine.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Charge `units` of local computation on processor `proc`'s clock.
+    #[inline]
+    pub fn charge_compute(&mut self, proc: ProcId, units: f64) {
+        match &mut self.sink {
+            Sink::Direct { machine, .. } => machine.charge_compute(proc, units),
+            Sink::Record { ledger, .. } => ledger.events.push(ChargeEvent::Compute {
+                proc: proc as u32,
+                units,
+            }),
+        }
+    }
+
+    /// Charge `words` of local memory traffic (packing / unpacking) on
+    /// processor `proc`'s clock.
+    #[inline]
+    pub fn charge_memory(&mut self, proc: ProcId, words: f64) {
+        match &mut self.sink {
+            Sink::Direct { machine, .. } => machine.charge_memory(proc, words),
+            Sink::Record { ledger, .. } => ledger.events.push(ChargeEvent::Memory {
+                proc: proc as u32,
+                words,
+            }),
+        }
+    }
+
+    /// Charge one point-to-point message of `words` payload words into the
+    /// surrounding exchange phase (cost math identical to
+    /// [`Machine::charge_p2p`]).
+    ///
+    /// # Panics
+    /// Panics if called from an unpack stage or a compute region — messages
+    /// belong to the pack stage of an exchange phase.
+    #[inline]
+    pub fn charge_p2p(&mut self, from: ProcId, to: ProcId, words: usize) {
+        match &mut self.sink {
+            Sink::Direct { machine, phase } => {
+                let phase = phase
+                    .as_mut()
+                    .expect("charge_p2p outside an exchange phase's pack stage");
+                machine.charge_p2p(phase, from, to, words);
+            }
+            Sink::Record { ledger, in_phase } => {
+                assert!(
+                    *in_phase,
+                    "charge_p2p outside an exchange phase's pack stage"
+                );
+                ledger.events.push(ChargeEvent::P2p {
+                    from: from as u32,
+                    to: to as u32,
+                    words,
+                });
+            }
+        }
+    }
+}
+
+/// A rank's outgoing mailboxes during the pack stage of
+/// [`Backend::run_exchange`]: one payload buffer per destination rank.
+pub struct Outbox<'a, T> {
+    row: &'a mut [Vec<T>],
+}
+
+impl<T> Outbox<'_, T> {
+    /// The (initially empty) payload buffer destined for rank `to`.
+    #[inline]
+    pub fn payload_mut(&mut self, to: ProcId) -> &mut Vec<T> {
+        &mut self.row[to]
+    }
+
+    /// Append `values` to the payload destined for rank `to`.
+    pub fn post<I: IntoIterator<Item = T>>(&mut self, to: ProcId, values: I) {
+        self.row[to].extend(values);
+    }
+}
+
+/// A rank's incoming mailboxes during the unpack stage of
+/// [`Backend::run_exchange`]: everything the other ranks posted to it.
+pub struct Inbox<'a, T> {
+    matrix: &'a [Vec<Vec<T>>],
+    me: usize,
+}
+
+impl<T> Inbox<'_, T> {
+    /// The payload rank `from` posted to this rank (empty if none).
+    #[inline]
+    pub fn from_rank(&self, from: ProcId) -> &[T] {
+        &self.matrix[from][self.me]
+    }
+}
+
+/// An SPMD execution engine over a simulated [`Machine`].
+///
+/// The runtime's primitives (gather / scatter / localize / dereference) are
+/// written as *drivers* that hand rank-local kernels to a backend; the
+/// backend decides whether the ranks run sequentially ([`Machine`]) or each
+/// on its own OS thread ([`ThreadedBackend`]), while guaranteeing identical
+/// results and identical modeled costs either way (see the module docs).
+///
+/// Every `state` iterator must yield exactly one item per rank, in rank
+/// order; item `r` is handed to rank `r`'s kernel as its private mutable
+/// state (typically a `&mut` borrow of rank `r`'s shard of some array).
+pub trait Backend {
+    /// The underlying simulated machine.
+    fn machine(&self) -> &Machine;
+
+    /// Mutable access to the underlying machine, for driver-level operations
+    /// (phase kinds, collectives, clock reports).
+    fn machine_mut(&mut self) -> &mut Machine;
+
+    /// Number of virtual processors.
+    fn nprocs(&self) -> usize {
+        self.machine().nprocs()
+    }
+
+    /// Run `kernel` once per rank as a pure compute region (no phase
+    /// boundary, no phase statistics). Kernels may charge compute/memory
+    /// costs and mutate their rank's state item.
+    fn run_compute<St, I, F>(&mut self, state: I, kernel: F)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync;
+
+    /// Run one communication phase: `pack` runs for every rank and charges
+    /// the phase's messages (it must not move data — it only charges, which
+    /// lets the engine run it on the driver thread), then the phase is closed
+    /// per `end` (recording statistics and applying the sync model's
+    /// barrier), then `unpack` runs for every rank with its state item.
+    fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St) + Sync;
+
+    /// Run one communication phase in which ranks exchange typed payloads
+    /// through per-rank mailboxes: `pack` posts values into its [`Outbox`]
+    /// (and charges the messages), the phase is closed per `end`, then
+    /// `unpack` reads its [`Inbox`].
+    fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        T: Send + Sync,
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync;
+
+    /// [`Backend::run_compute`] for charge-only kernels that need no
+    /// per-rank state.
+    fn run_charges<F>(&mut self, kernel: F)
+    where
+        F: Fn(&mut RankCtx<'_>) + Sync,
+    {
+        let n = self.nprocs();
+        self.run_compute((0..n).map(|_| ()), |ctx, ()| kernel(ctx));
+    }
+
+    /// [`Backend::run_phase`] for phases that only charge messages and have
+    /// no unpack work (e.g. the translation table's dereference rounds).
+    fn run_charge_phase<A>(&mut self, end: PhaseEnd<'_>, pack: A)
+    where
+        A: Fn(&mut RankCtx<'_>) + Sync,
+    {
+        let n = self.nprocs();
+        self.run_phase(end, pack, (0..n).map(|_| ()), |_, ()| {});
+    }
+}
+
+/// Close a hand-charged phase per the requested [`PhaseEnd`].
+fn close_phase(machine: &mut Machine, end: PhaseEnd<'_>, phase: PhaseCharge) {
+    match end {
+        PhaseEnd::Quiet => machine.end_phase_quiet(phase),
+        PhaseEnd::Labelled(label) => machine.end_phase(label, phase),
+    }
+}
+
+/// The sequential engine: rank kernels run on the driver thread in ascending
+/// rank order, charging the machine directly. This is the deterministic
+/// oracle the threaded engine is checked against.
+impl Backend for Machine {
+    fn machine(&self) -> &Machine {
+        self
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        self
+    }
+
+    fn run_compute<St, I, F>(&mut self, state: I, kernel: F)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let nprocs = self.nprocs();
+        let mut count = 0;
+        for (rank, st) in state.into_iter().enumerate() {
+            assert!(rank < nprocs, "state must yield one item per rank");
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: self,
+                    phase: None,
+                },
+            };
+            kernel(&mut ctx, st);
+            count += 1;
+        }
+        assert_eq!(count, nprocs, "state must yield one item per rank");
+    }
+
+    fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let nprocs = self.nprocs();
+        let mut phase = PhaseCharge::new();
+        for rank in 0..nprocs {
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: self,
+                    phase: Some(&mut phase),
+                },
+            };
+            pack(&mut ctx);
+        }
+        close_phase(self, end, phase);
+        self.run_compute(state, unpack);
+    }
+
+    fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        T: Send + Sync,
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
+    {
+        let nprocs = self.nprocs();
+        let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
+            .collect();
+        let mut phase = PhaseCharge::new();
+        for (rank, row) in matrix.iter_mut().enumerate() {
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: self,
+                    phase: Some(&mut phase),
+                },
+            };
+            pack(&mut ctx, &mut Outbox { row });
+        }
+        close_phase(self, end, phase);
+        let matrix = &matrix;
+        let mut count = 0;
+        for (rank, st) in state.into_iter().enumerate() {
+            assert!(rank < nprocs, "state must yield one item per rank");
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: self,
+                    phase: None,
+                },
+            };
+            unpack(&mut ctx, st, &Inbox { matrix, me: rank });
+            count += 1;
+        }
+        assert_eq!(count, nprocs, "state must yield one item per rank");
+    }
+}
+
+/// The rank-parallel engine: every virtual processor runs its kernels on its
+/// own OS thread via [`std::thread::scope`], charging into per-rank ledgers
+/// that are replayed in ascending rank order afterwards — which makes the
+/// machine state (clocks, statistics) bit-identical to the sequential
+/// engine's (see the module docs for why).
+///
+/// The processor count may exceed the hardware core count; ranks then
+/// timeshare, still deterministically.
+#[derive(Debug)]
+pub struct ThreadedBackend {
+    machine: Machine,
+    ledgers: Vec<RankLedger>,
+}
+
+impl ThreadedBackend {
+    /// Wrap a machine in the threaded engine.
+    pub fn new(machine: Machine) -> Self {
+        let nprocs = machine.nprocs();
+        ThreadedBackend {
+            machine,
+            ledgers: (0..nprocs).map(|_| RankLedger::default()).collect(),
+        }
+    }
+
+    /// Build a threaded engine over a fresh machine with this configuration.
+    pub fn from_config(cfg: crate::config::MachineConfig) -> Self {
+        Self::new(Machine::new(cfg))
+    }
+
+    /// Unwrap the underlying machine.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Fan one kernel out over all ranks, one scoped OS thread per rank,
+    /// recording each rank's charges into its ledger.
+    fn fan_out<St, F>(
+        nprocs: usize,
+        ledgers: &mut [RankLedger],
+        in_phase: bool,
+        states: Vec<St>,
+        kernel: &F,
+    ) where
+        St: Send,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        assert_eq!(states.len(), nprocs, "state must yield one item per rank");
+        std::thread::scope(|scope| {
+            for (rank, (ledger, st)) in ledgers.iter_mut().zip(states).enumerate() {
+                scope.spawn(move || {
+                    ledger.events.clear();
+                    let mut ctx = RankCtx {
+                        rank,
+                        nprocs,
+                        sink: Sink::Record { ledger, in_phase },
+                    };
+                    kernel(&mut ctx, st);
+                });
+            }
+        });
+    }
+
+    /// Replay the ledgers against the machine in ascending rank order —
+    /// the exact charge sequence the sequential engine would have produced.
+    fn replay(machine: &mut Machine, mut phase: Option<&mut PhaseCharge>, ledgers: &[RankLedger]) {
+        for ledger in ledgers {
+            for &event in &ledger.events {
+                match event {
+                    ChargeEvent::Compute { proc, units } => {
+                        machine.charge_compute(proc as usize, units)
+                    }
+                    ChargeEvent::Memory { proc, words } => {
+                        machine.charge_memory(proc as usize, words)
+                    }
+                    ChargeEvent::P2p { from, to, words } => {
+                        let phase = phase
+                            .as_deref_mut()
+                            .expect("p2p event outside an exchange phase");
+                        machine.charge_p2p(phase, from as usize, to as usize, words);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Backend for ThreadedBackend {
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn run_compute<St, I, F>(&mut self, state: I, kernel: F)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let nprocs = self.machine.nprocs();
+        let states: Vec<St> = state.into_iter().collect();
+        Self::fan_out(nprocs, &mut self.ledgers, false, states, &kernel);
+        Self::replay(&mut self.machine, None, &self.ledgers);
+    }
+
+    fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let nprocs = self.machine.nprocs();
+        // The pack stage only charges (it moves no data), so fanning it out
+        // would parallelize nothing: run it on the driver thread, applying
+        // charges directly — by construction the same sequence a record +
+        // replay would produce.
+        let mut phase = PhaseCharge::new();
+        for rank in 0..nprocs {
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: &mut self.machine,
+                    phase: Some(&mut phase),
+                },
+            };
+            pack(&mut ctx);
+        }
+        close_phase(&mut self.machine, end, phase);
+        // The unpack stage does the real data movement: fan out.
+        let states: Vec<St> = state.into_iter().collect();
+        Self::fan_out(nprocs, &mut self.ledgers, false, states, &unpack);
+        Self::replay(&mut self.machine, None, &self.ledgers);
+    }
+
+    fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        T: Send + Sync,
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
+    {
+        let nprocs = self.machine.nprocs();
+        let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
+            .collect();
+        // Pack in parallel: rank r owns row r of the mailbox matrix.
+        let rows: Vec<&mut Vec<Vec<T>>> = matrix.iter_mut().collect();
+        Self::fan_out(
+            nprocs,
+            &mut self.ledgers,
+            true,
+            rows,
+            &|ctx: &mut RankCtx<'_>, row: &mut Vec<Vec<T>>| pack(ctx, &mut Outbox { row }),
+        );
+        let mut phase = PhaseCharge::new();
+        Self::replay(&mut self.machine, Some(&mut phase), &self.ledgers);
+        close_phase(&mut self.machine, end, phase);
+        // Unpack in parallel: rank r reads column r.
+        let states: Vec<St> = state.into_iter().collect();
+        let matrix = &matrix;
+        Self::fan_out(
+            nprocs,
+            &mut self.ledgers,
+            false,
+            states.into_iter().enumerate().collect(),
+            &|ctx: &mut RankCtx<'_>, (rank, st): (usize, St)| {
+                unpack(ctx, st, &Inbox { matrix, me: rank })
+            },
+        );
+        Self::replay(&mut self.machine, None, &self.ledgers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machines(p: usize) -> (Machine, ThreadedBackend) {
+        (
+            Machine::new(MachineConfig::ipsc860(p)),
+            ThreadedBackend::from_config(MachineConfig::ipsc860(p)),
+        )
+    }
+
+    /// A phase whose pack charges a ring of messages and whose unpack writes
+    /// rank-local state — exercised identically on both engines.
+    fn ring_phase<B: Backend>(backend: &mut B, out: &mut [f64]) {
+        let n = backend.nprocs();
+        backend.run_phase(
+            PhaseEnd::Labelled("ring"),
+            |ctx| {
+                let r = ctx.rank();
+                ctx.charge_memory(r, 3.0);
+                ctx.charge_p2p(r, (r + 1) % ctx.nprocs(), 3);
+            },
+            out.iter_mut(),
+            |ctx, slot| {
+                ctx.charge_compute(ctx.rank(), 2.0);
+                *slot = ctx.rank() as f64 * 10.0;
+            },
+        );
+        assert_eq!(n, out.len());
+    }
+
+    #[test]
+    fn threaded_phase_is_bit_identical_to_sequential() {
+        let (mut seq, mut thr) = machines(8);
+        let mut out_a = vec![0.0; 8];
+        let mut out_b = vec![0.0; 8];
+        ring_phase(&mut seq, &mut out_a);
+        ring_phase(&mut thr, &mut out_b);
+        assert_eq!(out_a, out_b);
+        let (ea, eb) = (seq.elapsed(), thr.machine().elapsed());
+        for p in 0..8 {
+            assert_eq!(ea.per_proc[p].to_bits(), eb.per_proc[p].to_bits());
+            assert_eq!(ea.comm[p].to_bits(), eb.comm[p].to_bits());
+            assert_eq!(ea.idle[p].to_bits(), eb.idle[p].to_bits());
+        }
+        let (sa, sb) = (
+            seq.stats().grand_totals(),
+            thr.machine().stats().grand_totals(),
+        );
+        assert_eq!(sa.messages, sb.messages);
+        assert_eq!(sa.bytes, sb.bytes);
+        assert_eq!(sa.phases, sb.phases);
+        assert_eq!(sa.comm_seconds.to_bits(), sb.comm_seconds.to_bits());
+        assert_eq!(seq.stats().records(), thr.machine().stats().records());
+    }
+
+    #[test]
+    fn run_compute_charges_in_rank_order() {
+        let (mut seq, mut thr) = machines(4);
+        let mut data_a = vec![0u32; 4];
+        seq.run_compute(data_a.iter_mut(), |ctx, d| {
+            ctx.charge_compute(ctx.rank(), 1.5);
+            *d = ctx.rank() as u32;
+        });
+        let mut data_b = vec![0u32; 4];
+        thr.run_compute(data_b.iter_mut(), |ctx, d| {
+            ctx.charge_compute(ctx.rank(), 1.5);
+            *d = ctx.rank() as u32;
+        });
+        assert_eq!(data_a, vec![0, 1, 2, 3]);
+        assert_eq!(data_a, data_b);
+        assert_eq!(seq.elapsed().per_proc, thr.machine().elapsed().per_proc);
+    }
+
+    #[test]
+    fn mailbox_exchange_rotates_payloads() {
+        fn rotate<B: Backend>(backend: &mut B) -> Vec<u64> {
+            let n = backend.nprocs();
+            let mut got = vec![0u64; n];
+            backend.run_exchange(
+                PhaseEnd::Labelled("rotate"),
+                |ctx, outbox: &mut Outbox<'_, u64>| {
+                    let r = ctx.rank();
+                    let to = (r + 1) % ctx.nprocs();
+                    outbox.post(to, [r as u64 * 100]);
+                    ctx.charge_p2p(r, to, 1);
+                },
+                got.iter_mut(),
+                |ctx, slot, inbox| {
+                    let from = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+                    assert_eq!(inbox.from_rank(ctx.rank()).len(), 0);
+                    *slot = inbox.from_rank(from)[0];
+                    ctx.charge_memory(ctx.rank(), 1.0);
+                },
+            );
+            got
+        }
+        let (mut seq, mut thr) = machines(8);
+        let a = rotate(&mut seq);
+        let b = rotate(&mut thr);
+        assert_eq!(
+            a,
+            (0..8)
+                .map(|r| ((r + 7) % 8) as u64 * 100)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(a, b);
+        assert_eq!(seq.elapsed(), thr.machine().elapsed());
+        assert_eq!(
+            seq.stats().grand_totals(),
+            thr.machine().stats().grand_totals()
+        );
+    }
+
+    #[test]
+    fn more_ranks_than_cores_still_agree() {
+        // 64 virtual processors on (likely far) fewer hardware cores: the
+        // scoped threads timeshare, the results must not care.
+        let p = 64;
+        let mut seq = Machine::new(MachineConfig::unit(p));
+        let mut thr = ThreadedBackend::from_config(MachineConfig::unit(p));
+        let mut a = vec![0.0; p];
+        let mut b = vec![0.0; p];
+        ring_phase(&mut seq, &mut a);
+        ring_phase(&mut thr, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(seq.elapsed(), thr.machine().elapsed());
+    }
+
+    #[test]
+    #[should_panic(expected = "pack stage")]
+    fn p2p_in_compute_region_panics() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        m.run_charges(|ctx| ctx.charge_p2p(0, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one item per rank")]
+    fn short_state_iterator_panics() {
+        let mut m = Machine::new(MachineConfig::unit(4));
+        let mut only_two = [0u8; 2];
+        m.run_compute(only_two.iter_mut(), |_, _| {});
+    }
+
+    #[test]
+    fn charge_phase_helper_records_the_label() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        m.run_charge_phase(PhaseEnd::Labelled("probe"), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge_p2p(0, 1, 4);
+            }
+        });
+        assert_eq!(m.stats().records().len(), 1);
+        assert_eq!(m.stats().records()[0].label, "probe");
+        assert_eq!(m.stats().grand_totals().messages, 1);
+    }
+}

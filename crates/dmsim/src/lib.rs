@@ -16,10 +16,13 @@
 //! The simulator separates **what data moves** (done with ordinary `Vec`s in
 //! one address space, so results are exact and deterministic) from **what it
 //! costs** (charged to per-processor [`ProcClock`]s according to
-//! [`MachineConfig`]). [`Machine::run_spmd`] runs processor-local compute
-//! phases sequentially (its bounds allow a threaded implementation to be
-//! swapped in later), and the *modeled* time never depends on real execution
-//! order, so every experiment is reproducible bit-for-bit.
+//! [`MachineConfig`]). SPMD regions execute behind the [`Backend`]
+//! abstraction: the [`Machine`] itself runs rank kernels sequentially in
+//! rank order (the deterministic oracle), while [`ThreadedBackend`] runs
+//! each virtual processor on its own OS thread, charging through per-rank
+//! ledgers that are replayed in rank order — so the *modeled* time never
+//! depends on real execution order and every experiment is reproducible
+//! bit-for-bit on either engine (see [`backend`] for the contract).
 //!
 //! ## Quick example
 //!
@@ -39,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod collectives;
 pub mod config;
 pub mod exchange;
@@ -47,6 +51,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use backend::{Backend, Inbox, Outbox, PhaseEnd, RankCtx, ThreadedBackend};
 pub use collectives::ReduceOp;
 pub use config::{CostModel, MachineConfig, SyncModel, Topology};
 pub use exchange::{Delivered, ExchangePlan, Message};

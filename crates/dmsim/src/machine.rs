@@ -331,8 +331,12 @@ impl Machine {
     /// the results in processor order. The closures must not touch the
     /// machine (the machine is borrowed mutably by the caller to charge
     /// costs afterwards), which keeps the modeled time independent of the
-    /// real execution order. Runs sequentially; the bounds allow a threaded
-    /// implementation to be swapped in without touching callers.
+    /// real execution order.
+    ///
+    /// This is the small fixed-order helper; regions that also need to
+    /// charge costs or exchange payloads rank-locally should go through the
+    /// [`Backend`](crate::backend::Backend) abstraction instead, which can
+    /// run them on one OS thread per rank.
     pub fn run_spmd<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,

@@ -25,7 +25,7 @@
 use crate::ast::*;
 use crate::error::LangError;
 use crate::lower::{CompiledExpr, CompiledProgram, CompiledStmt, LoopPlan, RefSlot};
-use chaos_dmsim::{Machine, MachineConfig, PhaseKind};
+use chaos_dmsim::{Backend, Machine, MachineConfig, PhaseKind, ThreadedBackend};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
     gather, scatter_op, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
@@ -95,9 +95,18 @@ struct CachedLoop {
 }
 
 /// The interpreter / generated-code driver.
+///
+/// Generic over the SPMD execution engine: with the default [`Machine`]
+/// backend the runtime phases (index translation, dedup, gather, scatter)
+/// run rank-serially on the driver thread; with a
+/// [`ThreadedBackend`] every virtual processor runs them on its own OS
+/// thread, with byte-identical results, clocks and statistics. The
+/// interpreted per-iteration arithmetic itself stays on the driver (it is
+/// the stand-in for compiler-generated code; the compiled workloads in
+/// `chaos-bench` run their compute kernels rank-parallel too).
 #[derive(Debug)]
-pub struct Executor {
-    machine: Machine,
+pub struct Executor<B: Backend = Machine> {
+    backend: B,
     registry: ReuseRegistry,
     inputs: ProgramInputs,
     reuse_enabled: bool,
@@ -113,11 +122,26 @@ pub struct Executor {
     report: ExecReport,
 }
 
-impl Executor {
-    /// Create an executor over a fresh machine.
+impl Executor<Machine> {
+    /// Create an executor over a fresh machine (sequential engine).
     pub fn new(config: MachineConfig, inputs: ProgramInputs) -> Self {
+        Self::with_backend(Machine::new(config), inputs)
+    }
+}
+
+impl Executor<ThreadedBackend> {
+    /// Create an executor whose runtime phases run rank-parallel, one OS
+    /// thread per virtual processor.
+    pub fn new_threaded(config: MachineConfig, inputs: ProgramInputs) -> Self {
+        Self::with_backend(ThreadedBackend::from_config(config), inputs)
+    }
+}
+
+impl<B: Backend> Executor<B> {
+    /// Create an executor over an explicit SPMD execution engine.
+    pub fn with_backend(backend: B, inputs: ProgramInputs) -> Self {
         Executor {
-            machine: Machine::new(config),
+            backend,
             registry: ReuseRegistry::new(),
             inputs,
             reuse_enabled: true,
@@ -149,13 +173,13 @@ impl Executor {
 
     /// The simulated machine (clocks, statistics).
     pub fn machine(&self) -> &Machine {
-        &self.machine
+        self.backend.machine()
     }
 
     /// Mutable access to the machine (the bench harness uses this to tag
     /// phase kinds around directive groups).
     pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+        self.backend.machine_mut()
     }
 
     /// Execution counters.
@@ -254,7 +278,7 @@ impl Executor {
             .ok_or_else(|| LangError::runtime(format!("unknown decomposition '{decomp}'")))?
             .clone();
         let n = self.eval_size(&size_expr)?;
-        let p = self.machine.nprocs();
+        let p = self.backend.nprocs();
         let dist = match format.to_ascii_uppercase().as_str() {
             "BLOCK" => Distribution::block(n, p),
             "CYCLIC" => Distribution::cyclic(n, p),
@@ -397,7 +421,7 @@ impl Executor {
         if let Some((a, b)) = &link_arrays {
             spec = spec.with_link(a, b);
         }
-        let geocol = MapperCoupler.construct_geocol(&mut self.machine, &spec);
+        let geocol = MapperCoupler.construct_geocol(self.backend.machine_mut(), &spec);
         self.geocols.insert(name.to_string(), geocol);
         Ok(())
     }
@@ -417,7 +441,7 @@ impl Executor {
                 chaos_geocol::registered_partitioner_names()
             ))
         })?;
-        let outcome = MapperCoupler.partition(&mut self.machine, p.as_ref(), g);
+        let outcome = MapperCoupler.partition(self.backend.machine_mut(), p.as_ref(), g);
         self.distfmts
             .insert(distfmt.to_string(), outcome.distribution);
         Ok(())
@@ -435,10 +459,20 @@ impl Executor {
             .collect();
         for name in aligned {
             if let Some(arr) = self.real.get_mut(&name) {
-                MapperCoupler.redistribute(&mut self.machine, &mut self.registry, arr, &new_dist);
+                MapperCoupler.redistribute(
+                    self.backend.machine_mut(),
+                    &mut self.registry,
+                    arr,
+                    &new_dist,
+                );
                 self.report.arrays_redistributed += 1;
             } else if let Some(arr) = self.int.get_mut(&name) {
-                MapperCoupler.redistribute(&mut self.machine, &mut self.registry, arr, &new_dist);
+                MapperCoupler.redistribute(
+                    self.backend.machine_mut(),
+                    &mut self.registry,
+                    arr,
+                    &new_dist,
+                );
                 self.report.arrays_redistributed += 1;
             }
         }
@@ -471,11 +505,14 @@ impl Executor {
             .map(|a| self.int_dad(a))
             .collect::<Result<_, _>>()?;
 
-        let prev_kind = self.machine.set_phase_kind(Some(PhaseKind::Inspector));
+        let prev_kind = self
+            .backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Inspector));
         let can_reuse = if self.reuse_enabled {
             self.registry
                 .check_on_machine(
-                    &mut self.machine,
+                    self.backend.machine_mut(),
                     &plan.label,
                     &loop_id,
                     &data_dads,
@@ -494,12 +531,15 @@ impl Executor {
             self.registry
                 .save_inspector(loop_id, data_dads.clone(), ind_dads.clone());
         }
-        self.machine.set_phase_kind(prev_kind);
+        self.backend.machine_mut().set_phase_kind(prev_kind);
 
         // Executor sweep.
-        let prev_kind = self.machine.set_phase_kind(Some(PhaseKind::Executor));
+        let prev_kind = self
+            .backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Executor));
         self.run_executor(plan)?;
-        self.machine.set_phase_kind(prev_kind);
+        self.backend.machine_mut().set_phase_kind(prev_kind);
 
         // The loop (one executed block of code) may have written its LHS
         // arrays: stamp their DADs.
@@ -553,8 +593,8 @@ impl Executor {
             })?;
             ind_values.insert(ia.clone(), arr.to_global());
             // Reading the indirection array costs one pass over it.
-            self.machine
-                .charge_compute_all(arr.len() as f64 / self.machine.nprocs() as f64);
+            let words = arr.len() as f64 / self.backend.nprocs() as f64;
+            self.backend.machine_mut().charge_compute_all(words);
         }
 
         // Global reference index of a slot at (1-based) iteration `it`.
@@ -598,7 +638,7 @@ impl Executor {
                 LangError::runtime(format!("decomposition '{decomp}' not distributed"))
             })?
         } else {
-            Distribution::block(niters.max(1), self.machine.nprocs())
+            Distribution::block(niters.max(1), self.backend.nprocs())
         };
         let mut iteration_refs: Vec<Vec<u32>> = Vec::with_capacity(niters);
         for it in lo..lo + niters {
@@ -611,9 +651,12 @@ impl Executor {
             }
             iteration_refs.push(refs);
         }
-        let prev_kind = self.machine.set_phase_kind(Some(PhaseKind::Inspector));
+        let prev_kind = self
+            .backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Inspector));
         let iter_part = chaos_runtime::iterpart::partition_iterations(
-            &mut self.machine,
+            self.backend.machine_mut(),
             &part_dist,
             &iteration_refs,
             policy,
@@ -627,7 +670,7 @@ impl Executor {
             groups.entry(self.slot_decomp(slot)?).or_default().push(i);
         }
 
-        let nprocs = self.machine.nprocs();
+        let nprocs = self.backend.nprocs();
         let mut cached_groups: BTreeMap<String, (Vec<usize>, InspectorResult)> = BTreeMap::new();
         for (decomp, slot_ids) in groups {
             let dist = self.decomp_dist.get(&decomp).cloned().ok_or_else(|| {
@@ -644,10 +687,10 @@ impl Executor {
                     }
                 }
             }
-            let result = Inspector.localize(&mut self.machine, &plan.label, &dist, &pattern);
+            let result = Inspector.localize(&mut self.backend, &plan.label, &dist, &pattern);
             cached_groups.insert(decomp, (slot_ids, result));
         }
-        self.machine.set_phase_kind(prev_kind);
+        self.backend.machine_mut().set_phase_kind(prev_kind);
 
         self.cache.insert(
             plan.label.clone(),
@@ -665,7 +708,7 @@ impl Executor {
         let cached = self.cache.get(&plan.label).cloned().ok_or_else(|| {
             LangError::runtime(format!("no inspector state cached for '{}'", plan.label))
         })?;
-        let nprocs = self.machine.nprocs();
+        let nprocs = self.backend.nprocs();
 
         // Which arrays are read (appear in any expression slot) and written.
         let written_slots = plan.written_slots();
@@ -713,7 +756,7 @@ impl Executor {
                     .real
                     .get(&a)
                     .ok_or_else(|| LangError::runtime(format!("array '{a}' not materialized")))?;
-                let g = gather(&mut self.machine, &plan.label, &result.schedule, arr);
+                let g = gather(&mut self.backend, &plan.label, &result.schedule, arr);
                 ghosts.insert((decomp.clone(), a), g);
             }
         }
@@ -760,7 +803,7 @@ impl Executor {
                     result.localized[p][iter_pos * stride + pos]
                 };
                 // Read the value of a slot.
-                let read_slot = |sid: usize, this: &Executor| -> f64 {
+                let read_slot = |sid: usize, this: &Executor<B>| -> f64 {
                     let slot = &plan.slots[sid];
                     let (decomp, _) = &slot_group[sid];
                     let arr = &this.real[&slot.array];
@@ -847,7 +890,7 @@ impl Executor {
                 }
             }
         }
-        chaos_runtime::charge_local_compute(&mut self.machine, &total_ops);
+        chaos_runtime::charge_local_compute(self.backend.machine_mut(), &total_ops);
 
         // Scatter the off-processor contributions back to their owners.
         let _ = &written_slots;
@@ -859,7 +902,7 @@ impl Executor {
                 .ok_or_else(|| LangError::runtime(format!("array '{array}' not materialized")))?;
             match kind {
                 OpKind::Add => scatter_op(
-                    &mut self.machine,
+                    &mut self.backend,
                     &plan.label,
                     &result.schedule,
                     arr,
@@ -867,7 +910,7 @@ impl Executor {
                     |a, b| *a += b,
                 ),
                 OpKind::Max => scatter_op(
-                    &mut self.machine,
+                    &mut self.backend,
                     &plan.label,
                     &result.schedule,
                     arr,
@@ -875,7 +918,7 @@ impl Executor {
                     |a, b| *a = a.max(b),
                 ),
                 OpKind::Min => scatter_op(
-                    &mut self.machine,
+                    &mut self.backend,
                     &plan.label,
                     &result.schedule,
                     arr,
@@ -883,7 +926,7 @@ impl Executor {
                     |a, b| *a = a.min(b),
                 ),
                 OpKind::Store => scatter_op(
-                    &mut self.machine,
+                    &mut self.backend,
                     &plan.label,
                     &result.schedule,
                     arr,
@@ -987,6 +1030,40 @@ mod tests {
         }
         assert_eq!(exec.report().loop_sweeps, 1);
         assert_eq!(exec.report().inspector_runs, 1);
+    }
+
+    #[test]
+    fn threaded_backend_runs_whole_programs_bit_identically() {
+        // The same program on the sequential and the rank-parallel engines:
+        // identical values, identical modeled clocks, identical statistics.
+        let inputs = random_inputs(300, 1200);
+        let cp = compiled();
+        let mut seq = Executor::new(MachineConfig::ipsc860(4), inputs.clone());
+        let mut thr = Executor::new_threaded(MachineConfig::ipsc860(4), inputs);
+        seq.run(&cp).unwrap();
+        thr.run(&cp).unwrap();
+        for _ in 0..3 {
+            seq.execute_loop(&cp, "L1").unwrap();
+            thr.execute_loop(&cp, "L1").unwrap();
+        }
+        let ys = seq.real_global("y").unwrap();
+        let yt = thr.real_global("y").unwrap();
+        for (i, (a, b)) in ys.iter().zip(&yt).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "y[{i}] diverged: {a} vs {b}");
+        }
+        assert_eq!(seq.report(), thr.report());
+        let (es, et) = (seq.machine().elapsed(), thr.machine().elapsed());
+        for p in 0..4 {
+            assert_eq!(es.per_proc[p].to_bits(), et.per_proc[p].to_bits());
+        }
+        let (ss, st) = (
+            seq.machine().stats().grand_totals(),
+            thr.machine().stats().grand_totals(),
+        );
+        assert_eq!(ss.messages, st.messages);
+        assert_eq!(ss.bytes, st.bytes);
+        assert_eq!(ss.phases, st.phases);
+        assert_eq!(ss.comm_seconds.to_bits(), st.comm_seconds.to_bits());
     }
 
     #[test]

@@ -115,7 +115,7 @@ fn main() {
                 }
             }
             let result = Inspector.localize(&mut machine, "force-loop", &dist, &pattern);
-            registry.save_inspector(loop_id.clone(), data_dads, ind_dads);
+            registry.save_inspector(loop_id, data_dads, ind_dads);
             cached = Some((iter_part, result));
             inspector_runs += 1;
         }

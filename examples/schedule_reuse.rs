@@ -53,7 +53,7 @@ fn main() {
         std::slice::from_ref(&ind_dad),
     );
     registry.save_inspector(
-        loop_id.clone(),
+        loop_id,
         vec![x_dad.clone(), y_dad.clone()],
         vec![ind_dad.clone()],
     );
@@ -89,7 +89,7 @@ fn main() {
     );
     assert!(!reused);
     registry.save_inspector(
-        loop_id.clone(),
+        loop_id,
         vec![x_dad.clone(), y_dad.clone()],
         vec![ind_dad.clone()],
     );

@@ -1,0 +1,208 @@
+//! The threaded SPMD engine must be **byte-identical** to the sequential
+//! one — array values, ghost buffers, modeled clocks and communication
+//! statistics. Determinism is part of the `Backend` API, not best-effort:
+//! these tests drive randomized mesh-style pipelines and the full mesh / MD
+//! experiments through both engines and compare every observable, including
+//! the f64 bit patterns of the clocks, plus a stress configuration with far
+//! more virtual processors than the machine has cores.
+
+use chaos_repro::dmsim::{Backend, ThreadedBackend, Topology};
+use chaos_repro::prelude::*;
+use chaos_repro::runtime::{gather, scatter_add, scatter_op, Inspector, LocalRef, TTablePolicy};
+use proptest::prelude::*;
+
+/// What one pipeline run observes: everything that must match across
+/// engines.
+#[derive(Debug, PartialEq)]
+struct PipelineObservation {
+    localized: Vec<Vec<LocalRef>>,
+    ghost_counts: Vec<usize>,
+    ghost_bits: Vec<Vec<u64>>,
+    y_add_bits: Vec<u64>,
+    y_max_bits: Vec<u64>,
+    clock_bits: Vec<(u64, u64, u64)>,
+    messages: usize,
+    bytes: usize,
+    phases: usize,
+    comm_seconds_bits: u64,
+    record_labels: Vec<String>,
+}
+
+/// Run the full inspector/executor pipeline (localize → gather → rank-local
+/// compute → scatter-add → scatter-max) on any engine and snapshot every
+/// observable.
+fn run_pipeline<B: Backend>(
+    backend: &mut B,
+    dist: &Distribution,
+    data: &[f64],
+    pattern: &AccessPattern,
+) -> PipelineObservation {
+    let n = data.len();
+    let x = DistArray::from_global("x", dist.clone(), data);
+    let result = Inspector.localize(backend, "L", dist, pattern);
+    let ghosts = gather(backend, "L", &result.schedule, &x);
+
+    // Rank-local compute: each rank folds 2*x over its references into its
+    // own y shard / contribution buffer (the executor template).
+    let mut y = DistArray::from_global("y", dist.clone(), &vec![1.0; n]);
+    let mut contributions: Vec<Vec<f64>> = ghosts.clone();
+    backend.run_compute(
+        y.par_shards_mut().zip(contributions.iter_mut()),
+        |ctx, (y_local, contrib): (&mut [f64], &mut Vec<f64>)| {
+            let q = ctx.rank();
+            contrib.fill(0.0);
+            for r in &result.localized[q] {
+                match *r {
+                    LocalRef::Owned(off) => y_local[off as usize] += 2.0 * x.local(q)[off as usize],
+                    LocalRef::Ghost(slot) => {
+                        contrib[slot as usize] += 2.0 * ghosts[q][slot as usize]
+                    }
+                }
+            }
+            ctx.charge_compute(q, result.localized[q].len() as f64);
+        },
+    );
+    scatter_add(backend, "L", &result.schedule, &mut y, &contributions);
+
+    // A second reduction operator over the same schedule.
+    let mut z = DistArray::from_global("z", dist.clone(), &vec![0.5; n]);
+    scatter_op(backend, "L", &result.schedule, &mut z, &ghosts, |a, b| {
+        *a = f64::max(*a, b)
+    });
+
+    let machine = backend.machine();
+    let elapsed = machine.elapsed();
+    let totals = machine.stats().grand_totals();
+    PipelineObservation {
+        localized: result.localized,
+        ghost_counts: result.ghost_counts,
+        ghost_bits: ghosts
+            .iter()
+            .map(|g| g.iter().map(|v| v.to_bits()).collect())
+            .collect(),
+        y_add_bits: y.to_global().iter().map(|v| v.to_bits()).collect(),
+        y_max_bits: z.to_global().iter().map(|v| v.to_bits()).collect(),
+        clock_bits: (0..machine.nprocs())
+            .map(|p| {
+                (
+                    elapsed.compute[p].to_bits(),
+                    elapsed.comm[p].to_bits(),
+                    elapsed.idle[p].to_bits(),
+                )
+            })
+            .collect(),
+        messages: totals.messages,
+        bytes: totals.bytes,
+        phases: totals.phases,
+        comm_seconds_bits: totals.comm_seconds.to_bits(),
+        record_labels: machine
+            .stats()
+            .records()
+            .iter()
+            .map(|r| format!("{}:{:?}:{}b", r.label, r.kind, r.stats.bytes))
+            .collect(),
+    }
+}
+
+/// Strategy: a processor count, a map array and a reference pattern seed.
+fn workload_strategy() -> impl Strategy<Value = (usize, Vec<u32>, u64, usize, usize)> {
+    (2usize..=8).prop_flat_map(|p| {
+        (16usize..300).prop_flat_map(move |n| {
+            (
+                Just(p),
+                proptest::collection::vec(0u32..p as u32, n),
+                0u64..1000,
+                1usize..40,
+                0usize..2,
+            )
+        })
+    })
+}
+
+fn build_pattern(p: usize, n: usize, seed: u64, refs_per_proc: usize) -> AccessPattern {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+    let mut pattern = AccessPattern::new(p);
+    for q in 0..p {
+        for _ in 0..refs_per_proc {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            pattern.refs[q].push(((state >> 33) as usize % n) as u32);
+        }
+    }
+    pattern
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: over randomized irregular workloads (both translation-table
+    /// layouts), threaded ≡ sequential on values, ghost buffers, modeled
+    /// clocks and statistics — bit for bit.
+    #[test]
+    fn threaded_equals_sequential_on_random_workloads(
+        (p, map, seed, refs_per_proc, distributed_sel) in workload_strategy(),
+    ) {
+        let n = map.len();
+        let dist = if distributed_sel == 1 {
+            Distribution::irregular_from_map_with_policy(&map, p, TTablePolicy::Distributed)
+        } else {
+            Distribution::irregular_from_map(&map, p)
+        };
+        let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let pattern = build_pattern(p, n, seed, refs_per_proc);
+
+        let cfg = || MachineConfig::unit(p).with_topology(Topology::FullyConnected);
+        let mut seq = Machine::new(cfg());
+        let mut thr = ThreadedBackend::from_config(cfg());
+        let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
+        let obs_thr = run_pipeline(&mut thr, &dist, &data, &pattern);
+        prop_assert_eq!(obs_seq, obs_thr);
+    }
+}
+
+/// Stress: more virtual processors (64) than this machine plausibly has
+/// cores — the scoped threads timeshare, and the ledgers must still replay
+/// to the exact sequential state.
+#[test]
+fn threaded_engine_with_more_ranks_than_cores_is_exact() {
+    let p = 64;
+    let n = 4096;
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    assert!(
+        p > cores,
+        "stress test expects more ranks ({p}) than cores ({cores})"
+    );
+    let map: Vec<u32> = (0..n).map(|i| ((i * 31 + i / 7) % p) as u32).collect();
+    let dist = Distribution::irregular_from_map_with_policy(&map, p, TTablePolicy::Distributed);
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
+    let pattern = build_pattern(p, n, 0xC4A05, 512);
+
+    let mut seq = Machine::new(MachineConfig::unit(p).with_topology(Topology::FullyConnected));
+    let mut thr = ThreadedBackend::new(Machine::new(
+        MachineConfig::unit(p).with_topology(Topology::FullyConnected),
+    ));
+    let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
+    let obs_thr = run_pipeline(&mut thr, &dist, &data, &pattern);
+    assert_eq!(obs_seq, obs_thr);
+    assert!(obs_seq.messages > 0, "the stress workload must communicate");
+}
+
+/// The full mesh experiment end-to-end (partitioner, remap, inspector,
+/// repeated executor sweeps with schedule reuse) agrees across engines on a
+/// 16-rank machine.
+#[test]
+fn mesh_workload_experiment_is_engine_independent() {
+    use chaos_bench::experiment::{ExperimentConfig, Method};
+    use chaos_bench::handcoded::{run_handcoded, run_handcoded_threaded};
+    use chaos_bench::workload::mesh_workload;
+    use chaos_workloads::MeshConfig;
+
+    let w = mesh_workload(MeshConfig::tiny(1500));
+    let cfg = ExperimentConfig::paper(16, Method::Rcb).with_iterations(4);
+    let seq = run_handcoded(&w, &cfg);
+    let thr = run_handcoded_threaded(&w, &cfg);
+    assert_eq!(seq.total.to_bits(), thr.total.to_bits());
+    assert_eq!(seq.executor.to_bits(), thr.executor.to_bits());
+    assert_eq!(seq.inspector.to_bits(), thr.inspector.to_bits());
+    assert_eq!(seq.messages, thr.messages);
+    assert_eq!(seq.bytes, thr.bytes);
+}

@@ -245,7 +245,7 @@ proptest! {
         let ind = Dad::of(&Distribution::block(333, 4));
         let unrelated = Dad::of(&Distribution::cyclic(55, 4));
         let id = LoopId::new("L");
-        registry.save_inspector(id.clone(), vec![data.clone()], vec![ind.clone()]);
+        registry.save_inspector(id, vec![data.clone()], vec![ind.clone()]);
         let mut ind_written = false;
         for w in writes {
             match w {
