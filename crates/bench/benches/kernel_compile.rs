@@ -1,0 +1,47 @@
+//! Kernel-compilation microbenchmarks: the cost of compiling a FORALL body
+//! to register bytecode (paid once per inspector run, amortized by the
+//! kernel cache), and the steady-state executor sweep in both kernel modes
+//! (the ratio `perf_check` gates in `BENCH_3.json`).
+//!
+//! The sweep fixture is shared with `perf_check` — see
+//! [`chaos_bench::kernel_bench`] — so the two can never measure different
+//! things.
+
+use chaos_bench::kernel_bench::{edge_executor, edge_program_inputs, EDGE_PROGRAM};
+use chaos_lang::kernel::{compile_kernel, GroupSpec};
+use chaos_lang::{lower_program, parse_program, KernelMode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_kernel_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compile");
+
+    // Compilation itself: bind + emit of the edge loop's two-statement
+    // flux body against a one-group layout.
+    let cp = lower_program(parse_program(EDGE_PROGRAM).unwrap()).unwrap();
+    let plan = cp.plans.values().next().unwrap().clone();
+    let groups = vec![GroupSpec {
+        decomp: "reg".to_string(),
+        slot_ids: (0..plan.slots.len()).collect(),
+    }];
+    group.bench_function("compile/edge-loop", |b| {
+        b.iter(|| black_box(compile_kernel(&plan, &groups).unwrap()))
+    });
+
+    // Steady-state sweeps: compiled bytecode VM vs the retained
+    // tree-walking interpreter, same program, same schedules.
+    let (nprocs, nnode, nedge) = (8usize, 20_000usize, 60_000usize);
+    let inputs = edge_program_inputs(nnode, nedge);
+    let (mut compiled, cp, label) = edge_executor(KernelMode::Compiled, nprocs, &inputs);
+    group.bench_function("sweep/compiled", |b| {
+        b.iter(|| compiled.execute_loop(&cp, &label).unwrap())
+    });
+    let (mut interp, cp, label) = edge_executor(KernelMode::Interpreted, nprocs, &inputs);
+    group.bench_function("sweep/interpreted", |b| {
+        b.iter(|| interp.execute_loop(&cp, &label).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_compile);
+criterion_main!(benches);

@@ -28,12 +28,25 @@
 //! the row is then recorded as informational (`gated: false`) together with
 //! the measured core count.
 //!
-//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json] [out2.json]`
+//! A third artifact, `BENCH_3.json`, records the **kernel compilation**
+//! win: wall-clock of one steady-state lang executor sweep (gather +
+//! rank-parallel compute + scatter over a reused schedule and a reused
+//! compiled kernel) with the FORALL body compiled to register bytecode vs
+//! interpreted by the retained tree-walker, measured live in the same
+//! process after asserting the two modes produce byte-identical array
+//! values, modeled clocks and statistics. The compiled row is gated at
+//! ≥ 2×: both modes run the same gathers/scatters on the same hardware, so
+//! the ratio isolates the interpretation overhead the compiler removes and
+//! is hardware-independent.
+//!
+//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json] [out2.json] [out3.json]`
 
+use chaos_bench::kernel_bench::{edge_executor, edge_program_inputs};
 use chaos_bench::spmd_bench::{executor_iteration, executor_workload};
 use chaos_bench::workload::mesh_workload;
 use chaos_dmsim::{Backend, ExchangePlan, Machine, MachineConfig, ThreadedBackend};
 use chaos_geocol::{Partitioner, RcbPartitioner};
+use chaos_lang::KernelMode;
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
     gather, naive, scatter_add, AccessPattern, DistArray, Distribution, Inspector,
@@ -175,6 +188,49 @@ fn thread_scaling_row(nprocs: usize, n: usize, refs_per_rank: usize) -> (u128, u
     (seq_ns, thr_ns)
 }
 
+/// Measure one steady-state `execute_loop` sweep of the shared edge-loop
+/// program in both kernel modes: returns `(interpreted_ns, compiled_ns)`
+/// medians, after asserting byte-identity of values, clocks and statistics
+/// across the two modes.
+fn kernel_mode_row(nprocs: usize, nnode: usize, nedge: usize) -> (u128, u128) {
+    let inputs = edge_program_inputs(nnode, nedge);
+    let (mut interp, cp, label) = edge_executor(KernelMode::Interpreted, nprocs, &inputs);
+    let (mut compiled, _, _) = edge_executor(KernelMode::Compiled, nprocs, &inputs);
+
+    // Byte-identity before timing: a few steady-state sweeps in each mode
+    // must agree on values, modeled clocks and statistics bit-for-bit.
+    for _ in 0..3 {
+        interp.execute_loop(&cp, &label).expect("interpreted sweep");
+        compiled.execute_loop(&cp, &label).expect("compiled sweep");
+    }
+    let yi = interp.real_global("y").expect("y");
+    let yc = compiled.real_global("y").expect("y");
+    for (i, (a, b)) in yi.iter().zip(&yc).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "y[{i}] diverged across modes");
+    }
+    let (ei, ec) = (interp.machine().elapsed(), compiled.machine().elapsed());
+    for p in 0..nprocs {
+        assert_eq!(
+            ei.per_proc[p].to_bits(),
+            ec.per_proc[p].to_bits(),
+            "modeled clocks diverged across kernel modes"
+        );
+    }
+    let (si, sc) = (
+        interp.machine().stats().grand_totals(),
+        compiled.machine().stats().grand_totals(),
+    );
+    assert_eq!(si, sc, "statistics diverged across kernel modes");
+
+    let interp_ns = median_ns(15, || {
+        interp.execute_loop(&cp, &label).expect("interpreted sweep");
+    });
+    let compiled_ns = median_ns(15, || {
+        compiled.execute_loop(&cp, &label).expect("compiled sweep");
+    });
+    (interp_ns, compiled_ns)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -182,6 +238,9 @@ fn main() {
     let out2_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_2.json".to_string());
+    let out3_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
     let mut rows: Vec<Row> = Vec::new();
 
     // --- executor group: same workload as benches/executor.rs ---
@@ -420,6 +479,41 @@ fn main() {
     std::fs::write(&out2_path, serde_json::to_string_pretty(&doc2).unwrap())
         .unwrap_or_else(|e| panic!("failed to write {out2_path}: {e}"));
     println!("wrote {out2_path}");
+
+    // --- BENCH_3: interpreted vs compiled executor sweeps (lang kernels) ---
+    let mut records3: Vec<serde_json::Value> = Vec::new();
+    {
+        let (nprocs, nnode, nedge) = (8usize, 60_000usize, 180_000usize);
+        let (interp_ns, compiled_ns) = kernel_mode_row(nprocs, nnode, nedge);
+        let speedup = interp_ns as f64 / compiled_ns as f64;
+        let pass = speedup >= 2.0;
+        println!(
+            "lang/sweep/interpreted                     tree {interp_ns:>10} ns  vm {compiled_ns:>10} ns  \
+             speedup {speedup:>5.2}x  (gate >= 2x)"
+        );
+        records3.push(serde_json::json!({
+            "bench": "lang/executor-sweep",
+            "group": "kernel-compile",
+            "ranks": nprocs,
+            "nnode": nnode,
+            "nedge": nedge,
+            "interpreted_median_ns": interp_ns as u64,
+            "compiled_median_ns": compiled_ns as u64,
+            "speedup": speedup,
+            "gate": 2.0,
+            "pass": pass,
+        }));
+        if !pass {
+            failed = true;
+        }
+    }
+    let doc3 = serde_json::json!({
+        "baseline": "chaos-lang executor sweep (gather + rank-parallel compute + scatter over a reused schedule) with the FORALL body interpreted by the retained tree-walker vs compiled to register bytecode (KernelVm), same process, same machine; array values, modeled clocks and CommStats asserted byte-identical across modes before timing. Gate: compiled must be >= 2x faster.",
+        "records": records3,
+    });
+    std::fs::write(&out3_path, serde_json::to_string_pretty(&doc3).unwrap())
+        .unwrap_or_else(|e| panic!("failed to write {out3_path}: {e}"));
+    println!("wrote {out3_path}");
 
     if failed {
         eprintln!("perf gate FAILED: a benchmark group missed its gate (see rows above)");

@@ -26,6 +26,7 @@ pub mod cli;
 pub mod compilergen;
 pub mod experiment;
 pub mod handcoded;
+pub mod kernel_bench;
 pub mod spmd_bench;
 pub mod tables;
 pub mod workload;

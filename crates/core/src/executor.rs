@@ -276,6 +276,68 @@ pub fn scatter_op<B, T, F>(
     );
 }
 
+/// The reduction a scatter applies at the owners, as a value rather than a
+/// closure — the form a compiled kernel's write-buffer bindings carry, so a
+/// VM-driven executor can dispatch the scatter without re-deriving an
+/// operator per sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScatterKind {
+    /// `owner += contribution`.
+    Add,
+    /// `owner = max(owner, contribution)`.
+    Max,
+    /// `owner = min(owner, contribution)`.
+    Min,
+    /// `owner = contribution` unless the contribution is the NaN identity
+    /// (last-writer-wins assignment of off-processor stores).
+    Store,
+}
+
+impl ScatterKind {
+    /// The identity element ghost write-buffers are initialized with: slots
+    /// never written contribute nothing under this kind's combine.
+    #[inline]
+    pub fn identity(self) -> f64 {
+        match self {
+            ScatterKind::Add => 0.0,
+            ScatterKind::Max => f64::NEG_INFINITY,
+            ScatterKind::Min => f64::INFINITY,
+            ScatterKind::Store => f64::NAN,
+        }
+    }
+
+    /// Apply the combine to an owned cell.
+    #[inline]
+    pub fn apply(self, cell: &mut f64, v: f64) {
+        match self {
+            ScatterKind::Add => *cell += v,
+            ScatterKind::Max => *cell = cell.max(v),
+            ScatterKind::Min => *cell = cell.min(v),
+            ScatterKind::Store => {
+                if !v.is_nan() {
+                    *cell = v;
+                }
+            }
+        }
+    }
+}
+
+/// [`scatter_op`] dispatched on a [`ScatterKind`] value — the executor entry
+/// point for VM-driven scatters. Charges and combine order are identical to
+/// calling `scatter_op` with the corresponding closure.
+pub fn scatter_reduce<B: Backend>(
+    backend: &mut B,
+    label: &str,
+    schedule: &CommSchedule,
+    array: &mut DistArray<f64>,
+    contributions: &[Vec<f64>],
+    kind: ScatterKind,
+) {
+    scatter_op(backend, label, schedule, array, contributions, |a, b| {
+        kind.apply(a, b)
+    });
+}
+
 /// Charge `ops_per_proc[p]` computation units to each processor — the local
 /// arithmetic of the executor's compute section.
 pub fn charge_local_compute(machine: &mut Machine, ops_per_proc: &[f64]) {

@@ -161,6 +161,39 @@ impl Inspector {
         pattern: &AccessPattern,
         scratch: &mut LocalizeScratch,
     ) -> InspectorResult {
+        self.localize_impl(backend, label, data_dist, pattern, scratch, true)
+    }
+
+    /// [`Inspector::localize`] with the schedule's request exchange
+    /// **deferred**: translation, dedup and reference rewriting are charged
+    /// as usual, but the returned schedule has not paid its build exchange.
+    ///
+    /// Used by callers that [merge](crate::schedule::CommSchedule::merge)
+    /// several groups' schedules into one and then charge a single
+    /// [`CommSchedule::charge_build_exchange`](crate::schedule::CommSchedule::charge_build_exchange)
+    /// for the union — PARTI's schedule merging. Callers that do not merge
+    /// must charge the exchange themselves or the inspector cost is
+    /// under-counted.
+    pub fn localize_deferred_exchange<B: Backend>(
+        &self,
+        backend: &mut B,
+        label: &str,
+        data_dist: &Distribution,
+        pattern: &AccessPattern,
+        scratch: &mut LocalizeScratch,
+    ) -> InspectorResult {
+        self.localize_impl(backend, label, data_dist, pattern, scratch, false)
+    }
+
+    fn localize_impl<B: Backend>(
+        &self,
+        backend: &mut B,
+        label: &str,
+        data_dist: &Distribution,
+        pattern: &AccessPattern,
+        scratch: &mut LocalizeScratch,
+        charge_exchange: bool,
+    ) -> InspectorResult {
         let nprocs = backend.nprocs();
         assert_eq!(
             pattern.refs.len(),
@@ -254,15 +287,18 @@ impl Inspector {
         }
 
         // Step 3: build the communication schedule (request exchange charged
-        // inside). The schedule owns its arenas, so the scratch arrays are
-        // cloned out — their capacity stays with the scratch for the next run.
-        let schedule = CommSchedule::from_csr_parts(
-            backend.machine_mut(),
-            label,
+        // inside unless deferred for merging). The schedule owns its arenas,
+        // so the scratch arrays are cloned out — their capacity stays with
+        // the scratch for the next run.
+        let schedule = CommSchedule::from_csr_parts_local(
+            nprocs,
             scratch.ghost_off.clone(),
             scratch.ghost_owner.clone(),
             scratch.ghost_src.clone(),
         );
+        if charge_exchange {
+            schedule.charge_build_exchange(backend.machine_mut(), label);
+        }
 
         InspectorResult {
             schedule,

@@ -78,7 +78,9 @@ pub use coupler::{GeoColSpec, MapperCoupler, PartitionOutcome};
 pub use dad::{Dad, DadSignature};
 pub use darray::DistArray;
 pub use dist::Distribution;
-pub use executor::{charge_local_compute, gather, gather_into, scatter_add, scatter_op};
+pub use executor::{
+    charge_local_compute, gather, gather_into, scatter_add, scatter_op, scatter_reduce, ScatterKind,
+};
 pub use inspector::{AccessPattern, Inspector, InspectorResult, LocalRef, LocalizeScratch};
 pub use iterpart::{IterPartitionPolicy, IterationPartition};
 pub use remap::remap;

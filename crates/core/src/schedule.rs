@@ -113,7 +113,23 @@ impl CommSchedule {
         ghost_owner: Vec<u32>,
         ghost_src: Vec<u32>,
     ) -> Self {
-        let nprocs = machine.nprocs();
+        let schedule =
+            Self::from_csr_parts_local(machine.nprocs(), ghost_off, ghost_owner, ghost_src);
+        schedule.charge_build_exchange(machine, label);
+        schedule
+    }
+
+    /// Build a schedule from the flat ghost-side arrays **without charging
+    /// the request exchange** — the deferred form used when several
+    /// schedules are [merged](CommSchedule::merge) into one before a single
+    /// [`charge_build_exchange`](CommSchedule::charge_build_exchange) pays
+    /// for the combined request traffic.
+    pub fn from_csr_parts_local(
+        nprocs: usize,
+        ghost_off: Vec<u32>,
+        ghost_owner: Vec<u32>,
+        ghost_src: Vec<u32>,
+    ) -> Self {
         assert_eq!(
             ghost_off.len(),
             nprocs + 1,
@@ -137,19 +153,23 @@ impl CommSchedule {
                 );
             }
         }
-        let schedule = Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src);
+        Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src)
+    }
 
-        // The request exchange: requester -> owner, one word per requested
-        // element.
-        let mut plan: ExchangePlan<u32> = ExchangePlan::new(nprocs);
-        for owner in 0..nprocs {
-            for send in schedule.sends(owner) {
+    /// Perform and charge the schedule's request exchange (each requester
+    /// tells each owner which offsets it needs — one word per requested
+    /// element). Part of the inspector cost in the paper's tables; a merged
+    /// schedule charges it once for all the loops' decomposition groups it
+    /// serves.
+    pub fn charge_build_exchange(&self, machine: &mut Machine, label: &str) {
+        assert_eq!(machine.nprocs(), self.nprocs, "schedule/machine mismatch");
+        let mut plan: ExchangePlan<u32> = ExchangePlan::new(self.nprocs);
+        for owner in 0..self.nprocs {
+            for send in self.sends(owner) {
                 plan.push(send.to as usize, owner, send.offsets.to_vec());
             }
         }
         machine.exchange(&format!("{label}:schedule-build"), plan);
-
-        schedule
     }
 
     /// Processor count the schedule was built for.
@@ -278,6 +298,37 @@ impl CommSchedule {
         // `from_csr_parts`).
         let merged = Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src);
         (merged, map_a, map_b)
+    }
+
+    /// [`CommSchedule::merge`] without the ghost-slot remap tables — for
+    /// callers that only need the union schedule (e.g. charging one merged
+    /// request exchange for several groups) and would discard the maps.
+    pub fn merge_union(&self, other: &CommSchedule) -> CommSchedule {
+        assert_eq!(
+            self.nprocs, other.nprocs,
+            "cannot merge schedules built for different machine sizes"
+        );
+        let nprocs = self.nprocs;
+        let mut ghost_off = Vec::with_capacity(nprocs + 1);
+        let mut ghost_owner = Vec::with_capacity(self.ghost_owner.len() + other.ghost_owner.len());
+        let mut ghost_src = Vec::with_capacity(ghost_owner.capacity());
+        ghost_off.push(0u32);
+        let key = |o: u32, s: u32| ((o as u64) << 32) | s as u64;
+        for p in 0..nprocs {
+            let mut union: Vec<u64> = self
+                .ghost_sources(p)
+                .chain(other.ghost_sources(p))
+                .map(|(o, s)| key(o, s))
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            for &k in &union {
+                ghost_owner.push((k >> 32) as u32);
+                ghost_src.push(k as u32);
+            }
+            ghost_off.push(ghost_owner.len() as u32);
+        }
+        Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src)
     }
 
     /// Construct the full CSR schedule from validated ghost-side arrays
@@ -478,6 +529,23 @@ mod tests {
         for (old, (o, s)) in b.ghost_sources(0).enumerate() {
             assert_eq!(merged0[map_b[0][old] as usize], (o, s));
         }
+    }
+
+    #[test]
+    fn merge_union_equals_merge_without_the_maps() {
+        let mut m = Machine::new(MachineConfig::unit(3));
+        let a = CommSchedule::build(
+            &mut m,
+            "a",
+            vec![vec![(2, 1), (1, 0)], vec![(0, 4)], vec![]],
+        );
+        let b = CommSchedule::build(
+            &mut m,
+            "b",
+            vec![vec![(1, 0), (2, 5)], vec![], vec![(0, 2)]],
+        );
+        let (merged, _, _) = a.merge(&b);
+        assert_eq!(a.merge_union(&b), merged);
     }
 
     #[test]

@@ -126,6 +126,21 @@ impl StatsRegistry {
         &self.records
     }
 
+    /// The recorded phases whose label matches `label` exactly — e.g. every
+    /// `"L1:schedule-build"` request exchange of one loop's inspector runs.
+    pub fn records_labelled<'a>(
+        &'a self,
+        label: &'a str,
+    ) -> impl Iterator<Item = &'a PhaseRecord> + 'a {
+        self.records.iter().filter(move |r| r.label == label)
+    }
+
+    /// Total messages across the phases labelled `label` (a convenience for
+    /// message-count assertions in tests and perf tooling).
+    pub fn messages_labelled(&self, label: &str) -> usize {
+        self.records_labelled(label).map(|r| r.stats.messages).sum()
+    }
+
     /// Aggregate statistics for a phase kind.
     pub fn totals_for(&self, kind: PhaseKind) -> CommStats {
         self.by_kind.get(&kind).copied().unwrap_or_default()

@@ -24,15 +24,20 @@
 
 use crate::ast::*;
 use crate::error::LangError;
-use crate::lower::{CompiledExpr, CompiledProgram, CompiledStmt, LoopPlan, RefSlot};
+use crate::kernel::{
+    compile_kernel, run_rank, run_rank_interpreted, GroupSpec, KernelBindings, KernelCache,
+    KernelEntry, RankState, SweepBuffers,
+};
+use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
 use chaos_dmsim::{Backend, Machine, MachineConfig, PhaseKind, ThreadedBackend};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
-    gather, scatter_op, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
-    InspectorResult, IterPartitionPolicy, IterationPartition, LocalRef, LoopId, MapperCoupler,
-    ReuseRegistry,
+    gather_into, scatter_reduce, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
+    InspectorResult, IterPartitionPolicy, IterationPartition, LocalizeScratch, LoopId,
+    MapperCoupler, ReuseRegistry,
 };
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Values bound to the program's symbolic sizes and `READ_DATA` arrays.
 #[derive(Debug, Clone, Default)]
@@ -83,6 +88,28 @@ pub struct ExecReport {
     pub iteration_partitions: usize,
     /// Number of REDISTRIBUTE operations performed (counting each array).
     pub arrays_redistributed: usize,
+    /// Number of kernel (re)compilations (compiled mode only; a loop
+    /// recompiles exactly when its inspector re-runs).
+    pub kernels_compiled: usize,
+    /// Number of sweeps that reused a cached compiled kernel.
+    pub kernel_reuse_hits: usize,
+    /// Number of schedule merges performed by the inspector (each merge
+    /// folds one additional same-distribution group's schedule into the
+    /// union whose request exchange is charged once for the cluster).
+    pub schedule_merges: usize,
+}
+
+/// How FORALL bodies execute during the sweep's compute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Compile each body to register bytecode (cached per loop alongside
+    /// the inspector results) and run it on the [`crate::kernel`] VM — the
+    /// default fast path.
+    #[default]
+    Compiled,
+    /// Walk the `CompiledExpr` trees per element — the retained oracle the
+    /// compiled path is differentially tested against.
+    Interpreted,
 }
 
 /// Cached inspector state for one loop.
@@ -97,17 +124,21 @@ struct CachedLoop {
 /// The interpreter / generated-code driver.
 ///
 /// Generic over the SPMD execution engine: with the default [`Machine`]
-/// backend the runtime phases (index translation, dedup, gather, scatter)
-/// run rank-serially on the driver thread; with a
+/// backend the runtime phases (index translation, dedup, gather, compute,
+/// scatter) run rank-serially on the driver thread; with a
 /// [`ThreadedBackend`] every virtual processor runs them on its own OS
 /// thread, with byte-identical results, clocks and statistics. The
-/// interpreted per-iteration arithmetic itself stays on the driver (it is
-/// the stand-in for compiler-generated code; the compiled workloads in
-/// `chaos-bench` run their compute kernels rank-parallel too).
+/// per-iteration arithmetic is compiled to register bytecode (see
+/// [`crate::kernel`]) and executed through `Backend::run_compute`, so whole
+/// programs run rank-parallel end-to-end; [`KernelMode::Interpreted`]
+/// retains the tree-walking oracle for differential testing.
 #[derive(Debug)]
 pub struct Executor<B: Backend = Machine> {
     backend: B,
     registry: ReuseRegistry,
+    kernels: KernelCache,
+    kernel_mode: KernelMode,
+    merge_schedules: bool,
     inputs: ProgramInputs,
     reuse_enabled: bool,
     iter_policy: IterPartitionPolicy,
@@ -143,6 +174,9 @@ impl<B: Backend> Executor<B> {
         Executor {
             backend,
             registry: ReuseRegistry::new(),
+            kernels: KernelCache::new(),
+            kernel_mode: KernelMode::default(),
+            merge_schedules: true,
             inputs,
             reuse_enabled: true,
             iter_policy: IterPartitionPolicy::AlmostOwnerComputes,
@@ -168,6 +202,23 @@ impl<B: Backend> Executor<B> {
     /// almost-owner-computes).
     pub fn with_iteration_policy(mut self, policy: IterPartitionPolicy) -> Self {
         self.iter_policy = policy;
+        self
+    }
+
+    /// Select how loop bodies execute (default: compiled to bytecode). The
+    /// interpreted mode is the retained tree-walking oracle; both modes
+    /// produce byte-identical values, clocks and statistics.
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
+    }
+
+    /// Enable or disable PARTI schedule merging (default: enabled). When a
+    /// FORALL's decomposition groups share one distribution, their
+    /// schedules are merged and the inspector issues a single request
+    /// exchange instead of one per schedule.
+    pub fn with_schedule_merging(mut self, enabled: bool) -> Self {
+        self.merge_schedules = enabled;
         self
     }
 
@@ -530,6 +581,9 @@ impl<B: Backend> Executor<B> {
             self.run_inspector(plan, lo, niters)?;
             self.registry
                 .save_inspector(loop_id, data_dads.clone(), ind_dads.clone());
+            // The kernel's bindings were resolved against the previous
+            // inspector state: recompile on the next sweep.
+            self.kernels.invalidate(loop_id);
         }
         self.backend.machine_mut().set_phase_kind(prev_kind);
 
@@ -663,15 +717,21 @@ impl<B: Backend> Executor<B> {
         );
         self.report.iteration_partitions += 1;
 
-        // Group slots by the decomposition of their array and run one
-        // inspector per group.
+        // Group slots by the decomposition of their array and build each
+        // group's access pattern.
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (i, slot) in plan.slots.iter().enumerate() {
             groups.entry(self.slot_decomp(slot)?).or_default().push(i);
         }
 
         let nprocs = self.backend.nprocs();
-        let mut cached_groups: BTreeMap<String, (Vec<usize>, InspectorResult)> = BTreeMap::new();
+        struct PendingGroup {
+            decomp: String,
+            slot_ids: Vec<usize>,
+            dist: Distribution,
+            pattern: AccessPattern,
+        }
+        let mut pending: Vec<PendingGroup> = Vec::with_capacity(groups.len());
         for (decomp, slot_ids) in groups {
             let dist = self.decomp_dist.get(&decomp).cloned().ok_or_else(|| {
                 LangError::runtime(format!("decomposition '{decomp}' not distributed"))
@@ -687,8 +747,78 @@ impl<B: Backend> Executor<B> {
                     }
                 }
             }
-            let result = Inspector.localize(&mut self.backend, &plan.label, &dist, &pattern);
-            cached_groups.insert(decomp, (slot_ids, result));
+            pending.push(PendingGroup {
+                decomp,
+                slot_ids,
+                dist,
+                pattern,
+            });
+        }
+
+        // Cluster groups whose decompositions share one distribution: their
+        // schedules are merged (PARTI schedule merging) and the request
+        // exchange is issued once for the union instead of once per
+        // schedule. Groups over distinct distributions run the classic
+        // one-inspector-per-group path unchanged.
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        for i in 0..pending.len() {
+            let slot = if self.merge_schedules {
+                clusters
+                    .iter_mut()
+                    .find(|c| pending[c[0]].dist.same_as(&pending[i].dist))
+            } else {
+                None
+            };
+            match slot {
+                Some(c) => c.push(i),
+                None => clusters.push(vec![i]),
+            }
+        }
+
+        let mut results: Vec<Option<InspectorResult>> = (0..pending.len()).map(|_| None).collect();
+        for cluster in &clusters {
+            if cluster.len() == 1 {
+                let g = &pending[cluster[0]];
+                let r = Inspector.localize(&mut self.backend, &plan.label, &g.dist, &g.pattern);
+                results[cluster[0]] = Some(r);
+                continue;
+            }
+            // Localize every member with its request exchange deferred,
+            // then fold the members' schedules into one union schedule
+            // (`CommSchedule::merge_union` — the maps-free form of PARTI's
+            // schedule merge) and charge a *single* request
+            // exchange for it: one combined message per (owner, requester)
+            // pair carries every member's offset lists, with shared
+            // (owner, offset) entries deduplicated. Executor phases keep
+            // the per-group schedules — gathers/scatters are per
+            // (group, array), and moving the union ghost set on every
+            // steady-state sweep would trade a one-time build saving for
+            // recurring executor traffic.
+            let mut scratch = LocalizeScratch::default();
+            for &i in cluster {
+                let g = &pending[i];
+                let r = Inspector.localize_deferred_exchange(
+                    &mut self.backend,
+                    &plan.label,
+                    &g.dist,
+                    &g.pattern,
+                    &mut scratch,
+                );
+                results[i] = Some(r);
+            }
+            let schedule_of = |i: usize| &results[i].as_ref().expect("localized").schedule;
+            let mut merged = schedule_of(cluster[0]).clone();
+            for &i in &cluster[1..] {
+                merged = merged.merge_union(schedule_of(i));
+                self.report.schedule_merges += 1;
+            }
+            merged.charge_build_exchange(self.backend.machine_mut(), &plan.label);
+        }
+
+        let mut cached_groups: BTreeMap<String, (Vec<usize>, InspectorResult)> = BTreeMap::new();
+        for (g, r) in pending.into_iter().zip(results) {
+            let result = r.expect("every group localized");
+            cached_groups.insert(g.decomp, (g.slot_ids, result));
         }
         self.backend.machine_mut().set_phase_kind(prev_kind);
 
@@ -704,261 +834,229 @@ impl<B: Backend> Executor<B> {
     }
 
     /// One executor sweep of a loop using the cached inspector state.
+    ///
+    /// The cached state is taken out of the map for the duration of the
+    /// sweep (no per-sweep clone of the localized references) and restored
+    /// afterwards.
     fn run_executor(&mut self, plan: &LoopPlan) -> Result<(), LangError> {
-        let cached = self.cache.get(&plan.label).cloned().ok_or_else(|| {
-            LangError::runtime(format!("no inspector state cached for '{}'", plan.label))
-        })?;
-        let nprocs = self.backend.nprocs();
-
-        // Which arrays are read (appear in any expression slot) and written.
-        let written_slots = plan.written_slots();
-        let mut read_arrays: Vec<String> = plan
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| {
-                // A slot is read if it appears anywhere in a value expression.
-                fn expr_uses(e: &CompiledExpr, slot: usize) -> bool {
-                    match e {
-                        CompiledExpr::Lit(_) => false,
-                        CompiledExpr::Slot(s) => *s == slot,
-                        CompiledExpr::Binary { lhs, rhs, .. } => {
-                            expr_uses(lhs, slot) || expr_uses(rhs, slot)
-                        }
-                        CompiledExpr::Call { args, .. } => args.iter().any(|a| expr_uses(a, slot)),
-                    }
-                }
-                plan.stmts.iter().any(|s| match s {
-                    CompiledStmt::Assign { value, .. } | CompiledStmt::Reduce { value, .. } => {
-                        expr_uses(value, *i)
-                    }
-                })
-            })
-            .map(|(_, s)| s.array.clone())
-            .collect();
-        read_arrays.sort();
-        read_arrays.dedup();
-
-        // Gather ghost values for every (group, read array).
-        // ghosts[(decomp, array)][ghost_slot] per proc.
-        let mut ghosts: HashMap<(String, String), Vec<Vec<f64>>> = HashMap::new();
-        for (decomp, (slot_ids, result)) in &cached.groups {
-            let arrays_in_group: Vec<String> = slot_ids
-                .iter()
-                .map(|&sid| plan.slots[sid].array.clone())
-                .filter(|a| read_arrays.contains(a))
-                .collect();
-            let mut uniq = arrays_in_group;
-            uniq.sort();
-            uniq.dedup();
-            for a in uniq {
-                let arr = self
-                    .real
-                    .get(&a)
-                    .ok_or_else(|| LangError::runtime(format!("array '{a}' not materialized")))?;
-                let g = gather(&mut self.backend, &plan.label, &result.schedule, arr);
-                ghosts.insert((decomp.clone(), a), g);
-            }
-        }
-
-        // Off-processor write buffers per (decomp, array, op-kind).
-        #[derive(Hash, PartialEq, Eq, Clone, Copy, Debug)]
-        enum OpKind {
-            Add,
-            Max,
-            Min,
-            Store,
-        }
-        let mut write_buffers: HashMap<(String, String, OpKind), Vec<Vec<f64>>> = HashMap::new();
-        let identity = |k: OpKind| -> f64 {
-            match k {
-                OpKind::Add => 0.0,
-                OpKind::Max => f64::NEG_INFINITY,
-                OpKind::Min => f64::INFINITY,
-                OpKind::Store => f64::NAN,
-            }
+        let Some(cached) = self.cache.remove(&plan.label) else {
+            return Err(LangError::runtime(format!(
+                "no inspector state cached for '{}'",
+                plan.label
+            )));
         };
+        let result = self.run_executor_cached(plan, &cached);
+        self.cache.insert(plan.label.clone(), cached);
+        result
+    }
 
-        // Slot → (decomp, position within its group) for localized lookup.
-        let mut slot_group: Vec<(String, usize)> = vec![(String::new(), 0); plan.slots.len()];
-        for (decomp, (slot_ids, _)) in &cached.groups {
-            for (pos, &sid) in slot_ids.iter().enumerate() {
-                slot_group[sid] = (decomp.clone(), pos);
+    /// Dispatch the sweep to the compiled-kernel or tree-walking body.
+    fn run_executor_cached(
+        &mut self,
+        plan: &LoopPlan,
+        cached: &CachedLoop,
+    ) -> Result<(), LangError> {
+        match self.kernel_mode {
+            KernelMode::Compiled => {
+                // Kernel reuse mirrors schedule reuse: the entry was
+                // invalidated iff the inspector re-ran.
+                let loop_id = LoopId::new(&plan.label);
+                let mut entry = match self.kernels.take(loop_id) {
+                    Some(e) => {
+                        self.report.kernel_reuse_hits += 1;
+                        e
+                    }
+                    None => {
+                        let groups = Self::group_specs(cached);
+                        let kernel =
+                            Arc::new(compile_kernel(plan, &groups).map_err(LangError::runtime)?);
+                        let ghost_counts: Vec<Vec<usize>> = cached
+                            .groups
+                            .values()
+                            .map(|(_, r)| r.ghost_counts.clone())
+                            .collect();
+                        let buffers = SweepBuffers::for_bindings(&kernel.bindings, &ghost_counts);
+                        self.report.kernels_compiled += 1;
+                        KernelEntry { kernel, buffers }
+                    }
+                };
+                let kernel = Arc::clone(&entry.kernel);
+                let res =
+                    self.run_sweep(plan, cached, &kernel.bindings, &mut entry.buffers, |st| {
+                        run_rank(&kernel, st)
+                    });
+                self.kernels.put(loop_id, entry);
+                res
+            }
+            KernelMode::Interpreted => {
+                // The oracle neither compiles nor caches: bindings and
+                // buffers are rebuilt every sweep, and the body walks the
+                // expression trees per element.
+                let groups = Self::group_specs(cached);
+                let bindings = KernelBindings::bind(plan, &groups).map_err(LangError::runtime)?;
+                let ghost_counts: Vec<Vec<usize>> = cached
+                    .groups
+                    .values()
+                    .map(|(_, r)| r.ghost_counts.clone())
+                    .collect();
+                let mut buffers = SweepBuffers::for_bindings(&bindings, &ghost_counts);
+                self.run_sweep(plan, cached, &bindings, &mut buffers, |st| {
+                    run_rank_interpreted(plan, &bindings, st)
+                })
+            }
+        }
+    }
+
+    /// The cached inspector layout as the kernel compiler's group specs.
+    fn group_specs(cached: &CachedLoop) -> Vec<GroupSpec> {
+        cached
+            .groups
+            .iter()
+            .map(|(decomp, (slot_ids, _))| GroupSpec {
+                decomp: decomp.clone(),
+                slot_ids: slot_ids.clone(),
+            })
+            .collect()
+    }
+
+    /// The executor sweep shared by both kernel modes: gather every bound
+    /// ghost buffer, run the body rank-parallel through
+    /// [`Backend::run_compute`], then scatter the touched write buffers —
+    /// all in the bindings' deterministic order, so the two modes (and the
+    /// two engines) agree byte-for-byte on values, clocks and statistics.
+    fn run_sweep<K>(
+        &mut self,
+        plan: &LoopPlan,
+        cached: &CachedLoop,
+        bindings: &KernelBindings,
+        bufs: &mut SweepBuffers,
+        body: K,
+    ) -> Result<(), LangError>
+    where
+        K: Fn(&mut RankState<'_>) + Sync,
+    {
+        let nprocs = self.backend.nprocs();
+        let group_results: Vec<&InspectorResult> = cached.groups.values().map(|(_, r)| r).collect();
+
+        // Every bound array must be materialized before any state is moved.
+        for name in bindings.written.iter().chain(&bindings.read_only) {
+            if !self.real.contains_key(name) {
+                return Err(LangError::runtime(format!(
+                    "array '{name}' not materialized"
+                )));
             }
         }
 
-        // The compute loop, processor by processor (all within one simulated
-        // phase — the per-processor costs are charged individually).
-        let mut total_ops = vec![0.0f64; nprocs];
-        for p in 0..nprocs {
-            let iters = cached.iter_part.iters(p);
-            total_ops[p] = iters.len() as f64 * plan.ops_per_iteration;
+        // Gather phase: one gather per bound ghost buffer, into the cached
+        // steady-state buffers.
+        for (gid, gb) in bindings.ghosts.iter().enumerate() {
+            let result = group_results[gb.group as usize];
+            let arr = self.real.get(&gb.array).expect("checked above");
+            gather_into(
+                &mut self.backend,
+                &plan.label,
+                &result.schedule,
+                arr,
+                &mut bufs.ghosts[gid],
+            );
+        }
 
-            for (iter_pos, _it0) in iters.iter().enumerate() {
-                // Resolve every slot's LocalRef for this iteration.
-                let resolve = |sid: usize| -> LocalRef {
-                    let (decomp, pos) = &slot_group[sid];
-                    let (slot_ids, result) = &cached.groups[decomp];
-                    let stride = slot_ids.len();
-                    result.localized[p][iter_pos * stride + pos]
-                };
-                // Read the value of a slot.
-                let read_slot = |sid: usize, this: &Executor<B>| -> f64 {
-                    let slot = &plan.slots[sid];
-                    let (decomp, _) = &slot_group[sid];
-                    let arr = &this.real[&slot.array];
-                    match resolve(sid) {
-                        LocalRef::Owned(off) => arr.local(p)[off as usize],
-                        LocalRef::Ghost(g) => {
-                            ghosts[&(decomp.clone(), slot.array.clone())][p][g as usize]
-                        }
-                    }
-                };
+        // Move the written arrays out of the environment so their shards
+        // can be loaned mutably, one per rank, into the compute kernels.
+        let mut written: Vec<DistArray<f64>> = bindings
+            .written
+            .iter()
+            .map(|name| self.real.remove(name).expect("checked above"))
+            .collect();
 
-                fn eval(e: &CompiledExpr, read: &dyn Fn(usize) -> f64) -> f64 {
-                    match e {
-                        CompiledExpr::Lit(v) => *v,
-                        CompiledExpr::Slot(s) => read(*s),
-                        CompiledExpr::Binary { op, lhs, rhs } => {
-                            let a = eval(lhs, read);
-                            let b = eval(rhs, read);
-                            match op {
-                                '+' => a + b,
-                                '-' => a - b,
-                                '*' => a * b,
-                                '/' => a / b,
-                                _ => unreachable!("parser only emits + - * /"),
-                            }
-                        }
-                        CompiledExpr::Call { intrinsic, args } => {
-                            let v: Vec<f64> = args.iter().map(|a| eval(a, read)).collect();
-                            match intrinsic {
-                                Intrinsic::Eflux1 => chaos_workloads_eflux(v[0], v[1]).0,
-                                Intrinsic::Eflux2 => chaos_workloads_eflux(v[0], v[1]).1,
-                                Intrinsic::Sqrt => v[0].sqrt(),
-                                Intrinsic::Abs => v[0].abs(),
-                            }
-                        }
-                    }
-                }
-
-                for stmt in &plan.stmts {
-                    let (target, value, kind) = match stmt {
-                        CompiledStmt::Assign { target, value } => (*target, value, OpKind::Store),
-                        CompiledStmt::Reduce { op, target, value } => (
-                            *target,
-                            value,
-                            match op {
-                                ReduceOp::Add => OpKind::Add,
-                                ReduceOp::Max => OpKind::Max,
-                                ReduceOp::Min => OpKind::Min,
-                            },
-                        ),
-                    };
-                    let read = |sid: usize| read_slot(sid, self);
-                    let v = eval(value, &read);
-                    let slot = &plan.slots[target];
-                    let (decomp, _) = &slot_group[target];
-                    match resolve(target) {
-                        LocalRef::Owned(off) => {
-                            let arr = self.real.get_mut(&slot.array).expect("array exists");
-                            let cell = &mut arr.local_mut(p)[off as usize];
-                            match kind {
-                                OpKind::Add => *cell += v,
-                                OpKind::Max => *cell = cell.max(v),
-                                OpKind::Min => *cell = cell.min(v),
-                                OpKind::Store => *cell = v,
-                            }
-                        }
-                        LocalRef::Ghost(g) => {
-                            let key = (decomp.clone(), slot.array.clone(), kind);
-                            let buf = write_buffers.entry(key).or_insert_with(|| {
-                                let (_, result) = &cached.groups[decomp];
-                                (0..nprocs)
-                                    .map(|q| vec![identity(kind); result.ghost_counts[q]])
-                                    .collect()
-                            });
-                            let cell = &mut buf[p][g as usize];
-                            match kind {
-                                OpKind::Add => *cell += v,
-                                OpKind::Max => *cell = cell.max(v),
-                                OpKind::Min => *cell = cell.min(v),
-                                OpKind::Store => *cell = v,
-                            }
-                        }
-                    }
+        {
+            let real = &self.real;
+            let read_arrays: Vec<&DistArray<f64>> = bindings
+                .read_only
+                .iter()
+                .map(|name| real.get(name).expect("checked above"))
+                .collect();
+            let SweepBuffers {
+                ghosts,
+                write_bufs,
+                touched,
+            } = bufs;
+            let mut states: Vec<RankState<'_>> = (0..nprocs)
+                .map(|p| RankState {
+                    rank: p,
+                    iters: cached.iter_part.iters(p),
+                    shards: Vec::with_capacity(written.len()),
+                    read_shards: read_arrays.iter().map(|a| a.local(p)).collect(),
+                    ghost_rows: ghosts.iter().map(|g| g[p].as_slice()).collect(),
+                    wb_rows: Vec::with_capacity(write_bufs.len()),
+                    touched: &mut [],
+                    localized: group_results
+                        .iter()
+                        .map(|r| r.localized[p].as_slice())
+                        .collect(),
+                })
+                .collect();
+            for arr in written.iter_mut() {
+                for (p, shard) in arr.par_shards_mut().enumerate() {
+                    states[p].shards.push(shard);
                 }
             }
-        }
-        chaos_runtime::charge_local_compute(self.backend.machine_mut(), &total_ops);
+            for wb in write_bufs.iter_mut() {
+                for (p, row) in wb.iter_mut().enumerate() {
+                    states[p].wb_rows.push(row.as_mut_slice());
+                }
+            }
+            for (p, t) in touched.iter_mut().enumerate() {
+                states[p].touched = t.as_mut_slice();
+            }
 
-        // Scatter the off-processor contributions back to their owners.
-        let _ = &written_slots;
-        for ((decomp, array, kind), contributions) in write_buffers {
-            let (_, result) = &cached.groups[&decomp];
+            // Compute phase: the body runs rank-parallel; each rank charges
+            // its own iterations' arithmetic.
+            let ops_per_iteration = plan.ops_per_iteration;
+            self.backend
+                .run_compute(states, |ctx, mut st: RankState<'_>| {
+                    let iters = st.iters.len();
+                    body(&mut st);
+                    ctx.charge_compute(ctx.rank(), iters as f64 * ops_per_iteration);
+                });
+        }
+
+        for (name, arr) in bindings.written.iter().zip(written) {
+            self.real.insert(name.clone(), arr);
+        }
+
+        // Scatter phase: touched write buffers only (untouched buffers
+        // carry nothing but identities — the lazily-created buffers of the
+        // original driver loop never existed), in binding order.
+        for (wb, binding) in bindings.write_bufs.iter().enumerate() {
+            if !bufs.touched.iter().any(|t| t[wb]) {
+                continue;
+            }
+            let result = group_results[binding.group as usize];
             let arr = self
                 .real
-                .get_mut(&array)
-                .ok_or_else(|| LangError::runtime(format!("array '{array}' not materialized")))?;
-            match kind {
-                OpKind::Add => scatter_op(
-                    &mut self.backend,
-                    &plan.label,
-                    &result.schedule,
-                    arr,
-                    &contributions,
-                    |a, b| *a += b,
-                ),
-                OpKind::Max => scatter_op(
-                    &mut self.backend,
-                    &plan.label,
-                    &result.schedule,
-                    arr,
-                    &contributions,
-                    |a, b| *a = a.max(b),
-                ),
-                OpKind::Min => scatter_op(
-                    &mut self.backend,
-                    &plan.label,
-                    &result.schedule,
-                    arr,
-                    &contributions,
-                    |a, b| *a = a.min(b),
-                ),
-                OpKind::Store => scatter_op(
-                    &mut self.backend,
-                    &plan.label,
-                    &result.schedule,
-                    arr,
-                    &contributions,
-                    |a, b| {
-                        if !b.is_nan() {
-                            *a = b;
-                        }
-                    },
-                ),
-            }
+                .get_mut(&binding.array)
+                .expect("written array restored above");
+            scatter_reduce(
+                &mut self.backend,
+                &plan.label,
+                &result.schedule,
+                arr,
+                &bufs.write_bufs[wb],
+                binding.kind,
+            );
         }
 
         Ok(())
     }
 }
 
-/// The edge-flux intrinsic shared with the workload crate's kernels. The
-/// arithmetic is duplicated here (rather than depending on `chaos-workloads`)
-/// to keep the language crate's dependency graph minimal; the cross-crate
-/// integration tests assert the two stay identical.
-#[inline]
-fn chaos_workloads_eflux(x1: f64, x2: f64) -> (f64, f64) {
-    let avg = 0.5 * (x1 + x2);
-    let diff = x2 - x1;
-    let flux = avg * diff + 0.25 * diff.abs() * x1;
-    (flux, -flux)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    /// The edge-flux intrinsic (the arithmetic lives with the kernel VM
+    /// now; this alias keeps the sequential references readable).
+    use crate::kernel::eflux as chaos_workloads_eflux;
     use crate::lower::lower_program;
     use crate::parser::parse_program;
 

@@ -1,0 +1,159 @@
+//! Caching compiled kernels alongside the schedule-reuse registry.
+//!
+//! Compilation is an inspector-phase cost: a kernel's bindings are resolved
+//! against one inspector run's group layout and ghost counts, so the kernel
+//! is exactly as reusable as the inspector results themselves. The cache is
+//! therefore keyed the same way the [`ReuseRegistry`](chaos_runtime::ReuseRegistry)
+//! keys its records — by the dense [`LoopId`] handle, a plain vector
+//! index — and the executor invalidates a loop's entry whenever it re-runs
+//! that loop's inspector. Iteration 2+ of every FORALL skips compilation
+//! exactly like it skips inspection.
+//!
+//! An entry also owns the loop's steady-state sweep buffers (ghost buffers
+//! and off-processor write buffers sized to the cached schedules), so
+//! reused sweeps never re-allocate the workload-sized buffers — per-sweep
+//! work allocates only O(ranks) small state vectors.
+
+use super::compile::CompiledKernel;
+use chaos_runtime::LoopId;
+use std::sync::Arc;
+
+/// Reusable per-loop sweep storage: gathered ghost values and off-processor
+/// write buffers, shaped by the kernel's bindings and the cached schedules'
+/// ghost counts.
+#[derive(Debug, Clone, Default)]
+pub struct SweepBuffers {
+    /// `ghosts[gid][rank][slot]` — one buffer per
+    /// [`GhostBinding`](crate::kernel::GhostBinding).
+    pub ghosts: Vec<Vec<Vec<f64>>>,
+    /// `write_bufs[wb][rank][slot]` — one buffer per
+    /// [`WriteBinding`](crate::kernel::WriteBinding).
+    pub write_bufs: Vec<Vec<Vec<f64>>>,
+    /// `touched[rank][wb]` — which write buffers each rank wrote this sweep.
+    pub touched: Vec<Vec<bool>>,
+}
+
+impl SweepBuffers {
+    /// Allocate buffers for a set of bindings given each group's per-rank
+    /// ghost counts (`ghost_counts[group][rank]`).
+    pub fn for_bindings(b: &super::compile::KernelBindings, ghost_counts: &[Vec<usize>]) -> Self {
+        let nprocs = ghost_counts.first().map_or(0, Vec::len);
+        let shaped = |group: u16| -> Vec<Vec<f64>> {
+            ghost_counts[group as usize]
+                .iter()
+                .map(|&n| vec![0.0; n])
+                .collect()
+        };
+        SweepBuffers {
+            ghosts: b.ghosts.iter().map(|g| shaped(g.group)).collect(),
+            write_bufs: b.write_bufs.iter().map(|w| shaped(w.group)).collect(),
+            touched: vec![vec![false; b.write_bufs.len()]; nprocs],
+        }
+    }
+}
+
+/// One cached loop: the compiled kernel (shared, immutable) plus its
+/// mutable sweep buffers.
+#[derive(Debug, Clone)]
+pub struct KernelEntry {
+    /// The compiled bytecode and bindings.
+    pub kernel: Arc<CompiledKernel>,
+    /// Steady-state sweep storage.
+    pub buffers: SweepBuffers,
+}
+
+/// The kernel cache: dense [`LoopId`]-indexed entries, mirroring the
+/// reuse registry's record table. Compile / reuse statistics live in the
+/// executor's `ExecReport` (`kernels_compiled` / `kernel_reuse_hits`) —
+/// the cache itself only stores entries.
+#[derive(Debug, Clone, Default)]
+pub struct KernelCache {
+    entries: Vec<Option<KernelEntry>>,
+}
+
+impl KernelCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return the loop's entry (the executor takes it for the
+    /// sweep and [`put`](KernelCache::put)s it back, avoiding clones and
+    /// borrow conflicts).
+    pub fn take(&mut self, id: LoopId) -> Option<KernelEntry> {
+        self.entries.get_mut(id.index()).and_then(Option::take)
+    }
+
+    /// Store (or restore) the loop's entry.
+    pub fn put(&mut self, id: LoopId, entry: KernelEntry) {
+        if self.entries.len() <= id.index() {
+            self.entries.resize_with(id.index() + 1, || None);
+        }
+        self.entries[id.index()] = Some(entry);
+    }
+
+    /// Drop the loop's entry — called whenever the loop's inspector re-runs
+    /// (the bindings' ghost counts, and possibly the group layout, are
+    /// stale).
+    pub fn invalidate(&mut self, id: LoopId) {
+        if let Some(slot) = self.entries.get_mut(id.index()) {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_entry() -> KernelEntry {
+        use crate::kernel::compile::{compile_kernel, GroupSpec};
+        use crate::lower::lower_program;
+        use crate::parser::parse_program;
+        let src = r#"
+            REAL*8 x(n), y(n)
+            DECOMPOSITION reg(n)
+            DISTRIBUTE reg(BLOCK)
+            ALIGN x, y WITH reg
+            FORALL i = 1, n
+              y(i) = x(i)
+            END FORALL
+        "#;
+        let cp = lower_program(parse_program(src).unwrap()).unwrap();
+        let plan = &cp.plans["L1"];
+        let groups = vec![GroupSpec {
+            decomp: "reg".to_string(),
+            slot_ids: (0..plan.slots.len()).collect(),
+        }];
+        let kernel = Arc::new(compile_kernel(plan, &groups).unwrap());
+        let buffers = SweepBuffers::for_bindings(&kernel.bindings, &[vec![2, 3]]);
+        KernelEntry { kernel, buffers }
+    }
+
+    #[test]
+    fn take_put_invalidate_roundtrip() {
+        let mut cache = KernelCache::new();
+        let id = LoopId::new("kernel-cache-test-L1");
+        assert!(cache.take(id).is_none());
+        cache.put(id, dummy_entry());
+        let e = cache.take(id).expect("entry present");
+        assert!(cache.take(id).is_none(), "take removes the entry");
+        cache.put(id, e);
+        cache.invalidate(id);
+        assert!(cache.take(id).is_none());
+    }
+
+    #[test]
+    fn buffers_are_shaped_by_ghost_counts() {
+        let e = dummy_entry();
+        assert_eq!(e.buffers.ghosts.len(), e.kernel.bindings.ghosts.len());
+        for g in &e.buffers.ghosts {
+            assert_eq!(g.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 3]);
+        }
+        assert_eq!(
+            e.buffers.write_bufs.len(),
+            e.kernel.bindings.write_bufs.len()
+        );
+        assert_eq!(e.buffers.touched.len(), 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! The register VM that executes compiled kernels rank-parallel, and the
+//! retained tree-walking interpreter it is differentially checked against.
+//!
+//! Both executors consume the same [`RankState`] — the rank-local borrow of
+//! everything one virtual processor may touch during a compute phase: its
+//! own shards of the written arrays, shared views of the read-only arrays
+//! and gathered ghost buffers, its rows of the off-processor write buffers,
+//! and its localized reference rows. A `RankState` is `Send`, so the
+//! executor hands one per rank to [`Backend::run_compute`]
+//! (`chaos_dmsim::Backend`) and the sweep runs on every engine — including
+//! one OS thread per rank under `ThreadedBackend` — with byte-identical
+//! results.
+//!
+//! [`run_rank`] is the compiled hot path: a linear walk of the bytecode
+//! arena per iteration, registers in a flat `f64` file, every slot resolved
+//! through its precomputed [`SlotBinding`](crate::kernel::SlotBinding). Its
+//! floating-point operation sequence is *identical* to the tree-walker's
+//! ([`run_rank_interpreted`]) — post-order emission preserves evaluation
+//! order — which is what makes the byte-for-byte differential tests
+//! possible.
+
+use super::compile::{ArrLoc, CompiledKernel, KernelBindings, Op, SlotBinding};
+use crate::ast::Intrinsic;
+use crate::lower::{CompiledExpr, LoopPlan};
+use chaos_runtime::{LocalRef, ScatterKind};
+
+/// The edge-flux intrinsic shared with the workload crate's kernels. The
+/// arithmetic is duplicated here (rather than depending on `chaos-workloads`)
+/// to keep the language crate's dependency graph minimal; the cross-crate
+/// integration tests assert the two stay identical.
+#[inline]
+pub fn eflux(x1: f64, x2: f64) -> (f64, f64) {
+    let avg = 0.5 * (x1 + x2);
+    let diff = x2 - x1;
+    let flux = avg * diff + 0.25 * diff.abs() * x1;
+    (flux, -flux)
+}
+
+/// Apply a statement's combine to a cell *inside the compute loop* (an
+/// owned element or a write-buffer slot). Unlike
+/// [`ScatterKind::apply`], `Store` here assigns unconditionally — the NaN
+/// guard belongs only to the scatter phase, where NaN marks untouched
+/// buffer slots.
+#[inline]
+fn combine_in_loop(kind: ScatterKind, cell: &mut f64, v: f64) {
+    match kind {
+        ScatterKind::Add => *cell += v,
+        ScatterKind::Max => *cell = cell.max(v),
+        ScatterKind::Min => *cell = cell.min(v),
+        ScatterKind::Store => *cell = v,
+    }
+}
+
+/// Everything rank `rank` may touch during one compute phase. Built by the
+/// executor from the cached inspector state and handed through
+/// `Backend::run_compute`, so the borrows are provably rank-disjoint.
+pub struct RankState<'a> {
+    /// The executing rank.
+    pub rank: usize,
+    /// The rank's iteration list (local iteration numbers, 0-based).
+    pub iters: &'a [u32],
+    /// Mutable shards of the written arrays, indexed like
+    /// [`KernelBindings::written`].
+    pub shards: Vec<&'a mut [f64]>,
+    /// Shared shards of the read-only arrays, indexed like
+    /// [`KernelBindings::read_only`].
+    pub read_shards: Vec<&'a [f64]>,
+    /// The rank's row of each gathered ghost buffer, indexed like
+    /// [`KernelBindings::ghosts`].
+    pub ghost_rows: Vec<&'a [f64]>,
+    /// The rank's row of each off-processor write buffer, indexed like
+    /// [`KernelBindings::write_bufs`].
+    pub wb_rows: Vec<&'a mut [f64]>,
+    /// `touched[wb]` is set when the rank wrote write buffer `wb` (untouched
+    /// buffers are not scattered, exactly like the lazily-created buffers of
+    /// the original driver loop).
+    pub touched: &'a mut [bool],
+    /// The rank's localized reference row per decomposition group, indexed
+    /// like [`KernelBindings::groups`].
+    pub localized: Vec<&'a [LocalRef]>,
+}
+
+impl RankState<'_> {
+    /// The localized reference of `slot` at the rank's `iter_pos`-th
+    /// iteration.
+    #[inline]
+    fn slot_ref(&self, sb: &SlotBinding, iter_pos: usize) -> LocalRef {
+        self.localized[sb.group as usize][iter_pos * sb.stride as usize + sb.pos as usize]
+    }
+
+    /// Read the value of `slot` at the rank's `iter_pos`-th iteration.
+    #[inline]
+    fn read_slot(&self, sb: &SlotBinding, iter_pos: usize) -> f64 {
+        match self.slot_ref(sb, iter_pos) {
+            LocalRef::Owned(off) => match sb.arr {
+                ArrLoc::Written(w) => self.shards[w as usize][off as usize],
+                ArrLoc::ReadOnly(r) => self.read_shards[r as usize][off as usize],
+            },
+            LocalRef::Ghost(g) => {
+                debug_assert_ne!(sb.ghost, super::compile::NO_GHOST, "write-only slot read");
+                self.ghost_rows[sb.ghost as usize][g as usize]
+            }
+        }
+    }
+
+    /// Combine `v` into `slot`'s target cell: the rank's own shard when the
+    /// element is owned, the statement's write buffer when it is not.
+    #[inline]
+    fn write_slot(
+        &mut self,
+        sb: &SlotBinding,
+        iter_pos: usize,
+        wb: usize,
+        kind: ScatterKind,
+        v: f64,
+    ) {
+        match self.slot_ref(sb, iter_pos) {
+            LocalRef::Owned(off) => {
+                let ArrLoc::Written(w) = sb.arr else {
+                    unreachable!("store target bound to a read-only array")
+                };
+                combine_in_loop(kind, &mut self.shards[w as usize][off as usize], v);
+            }
+            LocalRef::Ghost(g) => {
+                self.touched[wb] = true;
+                combine_in_loop(kind, &mut self.wb_rows[wb][g as usize], v);
+            }
+        }
+    }
+
+    /// Reset the rank's write-buffer rows to their identities and clear the
+    /// touched flags — the per-sweep prologue both executors share.
+    fn reset_write_buffers(&mut self, bindings: &KernelBindings) {
+        for (wb, row) in self.wb_rows.iter_mut().enumerate() {
+            row.fill(bindings.write_bufs[wb].kind.identity());
+        }
+        self.touched.fill(false);
+    }
+}
+
+/// Execute the compiled kernel over the rank's iterations: the executor's
+/// compute phase on the bytecode hot path. The instruction arena is walked
+/// as zipped slices (one linear pass, no per-operand bounds checks) and the
+/// register file lives in a flat `f64` vector reused across iterations.
+pub fn run_rank(kernel: &CompiledKernel, st: &mut RankState<'_>) {
+    st.reset_write_buffers(&kernel.bindings);
+    let mut regs = vec![0.0f64; kernel.nregs.max(1) as usize];
+    let slots = &kernel.bindings.slots;
+    for iter_pos in 0..st.iters.len() {
+        let instrs = kernel
+            .ops
+            .iter()
+            .zip(&kernel.dst)
+            .zip(&kernel.a)
+            .zip(&kernel.b);
+        for (((&op, &d), &x), &y) in instrs {
+            let (d, x, y) = (d as usize, x as usize, y as usize);
+            match op {
+                Op::LoadConst => regs[d] = kernel.consts[x],
+                Op::LoadSlot => regs[d] = st.read_slot(&slots[x], iter_pos),
+                Op::Add => regs[d] = regs[x] + regs[y],
+                Op::Sub => regs[d] = regs[x] - regs[y],
+                Op::Mul => regs[d] = regs[x] * regs[y],
+                Op::Div => regs[d] = regs[x] / regs[y],
+                Op::Sqrt => regs[d] = regs[x].sqrt(),
+                Op::Abs => regs[d] = regs[x].abs(),
+                Op::Eflux1 => regs[d] = eflux(regs[x], regs[y]).0,
+                Op::Eflux2 => regs[d] = eflux(regs[x], regs[y]).1,
+                Op::StoreAssign => {
+                    st.write_slot(&slots[d], iter_pos, y, ScatterKind::Store, regs[x])
+                }
+                Op::StoreAdd => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Add, regs[x]),
+                Op::StoreMax => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Max, regs[x]),
+                Op::StoreMin => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Min, regs[x]),
+            }
+        }
+    }
+}
+
+/// The interpreter's per-rank name-resolution environment — a faithful
+/// retention of the seed interpreter's per-element behavior, which is
+/// exactly the overhead the kernel compiler removes: every slot read
+/// resolves its array by *name* (a `String`-keyed map lookup per read),
+/// every ghost access builds a `(decomposition, array)` key pair (two
+/// `String` clones per access, as the original driver loop did), and every
+/// localized reference walks a name-keyed group map. The hoists mandated by
+/// the oracle-fix satellite are applied — the per-statement combine kind
+/// and write-buffer resolution happen once per sweep, and no per-element
+/// closure is constructed — but per-read resolution stays name-based so the
+/// two modes resolve through genuinely different paths (a binding bug
+/// cannot cancel out of the differential tests).
+struct OracleEnv<'a> {
+    plan: &'a LoopPlan,
+    /// Group index by decomposition name (the seed's `cached.groups` map).
+    group_of: std::collections::BTreeMap<String, usize>,
+    /// Slot → (decomposition name, pos, stride) — the seed's `slot_group`.
+    slot_meta: Vec<(String, u32, u32)>,
+    /// Array location by name (the seed's `self.real[...]` map).
+    arr_of: std::collections::HashMap<String, ArrLoc>,
+    /// Ghost buffer by `(decomposition, array)` (the seed's `ghosts` map).
+    ghost_of: std::collections::HashMap<(String, String), usize>,
+}
+
+impl<'a> OracleEnv<'a> {
+    fn new(plan: &'a LoopPlan, bindings: &KernelBindings) -> Self {
+        let group_of = bindings
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(g, spec)| (spec.decomp.clone(), g))
+            .collect();
+        let slot_meta = bindings
+            .slots
+            .iter()
+            .map(|sb| {
+                (
+                    bindings.groups[sb.group as usize].decomp.clone(),
+                    sb.pos,
+                    sb.stride,
+                )
+            })
+            .collect();
+        let mut arr_of = std::collections::HashMap::new();
+        for (w, name) in bindings.written.iter().enumerate() {
+            arr_of.insert(name.clone(), ArrLoc::Written(w as u16));
+        }
+        for (r, name) in bindings.read_only.iter().enumerate() {
+            arr_of.insert(name.clone(), ArrLoc::ReadOnly(r as u16));
+        }
+        let ghost_of = bindings
+            .ghosts
+            .iter()
+            .enumerate()
+            .map(|(gid, gb)| {
+                (
+                    (
+                        bindings.groups[gb.group as usize].decomp.clone(),
+                        gb.array.clone(),
+                    ),
+                    gid,
+                )
+            })
+            .collect();
+        OracleEnv {
+            plan,
+            group_of,
+            slot_meta,
+            arr_of,
+            ghost_of,
+        }
+    }
+
+    /// The seed's `resolve`: localized reference of a slot, through the
+    /// name-keyed group map.
+    fn resolve(&self, st: &RankState<'_>, sid: usize, iter_pos: usize) -> LocalRef {
+        let (decomp, pos, stride) = &self.slot_meta[sid];
+        let g = self.group_of[decomp];
+        st.localized[g][iter_pos * *stride as usize + *pos as usize]
+    }
+
+    /// The seed's `read_slot`: resolve, then fetch the value through the
+    /// name-keyed array / ghost maps.
+    fn read_slot(&self, st: &RankState<'_>, sid: usize, iter_pos: usize) -> f64 {
+        let slot = &self.plan.slots[sid];
+        match self.resolve(st, sid, iter_pos) {
+            LocalRef::Owned(off) => match self.arr_of[&slot.array] {
+                ArrLoc::Written(w) => st.shards[w as usize][off as usize],
+                ArrLoc::ReadOnly(r) => st.read_shards[r as usize][off as usize],
+            },
+            LocalRef::Ghost(g) => {
+                let (decomp, _, _) = &self.slot_meta[sid];
+                let gid = self.ghost_of[&(decomp.clone(), slot.array.clone())];
+                st.ghost_rows[gid][g as usize]
+            }
+        }
+    }
+}
+
+/// Recursive tree-walking evaluation of one expression — the retained
+/// per-element interpreter the VM is checked against (and measured against
+/// in `perf_check`'s BENCH_3 rows). Intrinsic calls collect their arguments
+/// into a fresh vector, as the seed interpreter did.
+fn eval_tree(e: &CompiledExpr, env: &OracleEnv<'_>, st: &RankState<'_>, iter_pos: usize) -> f64 {
+    match e {
+        CompiledExpr::Lit(v) => *v,
+        CompiledExpr::Slot(s) => env.read_slot(st, *s, iter_pos),
+        CompiledExpr::Binary { op, lhs, rhs } => {
+            let a = eval_tree(lhs, env, st, iter_pos);
+            let b = eval_tree(rhs, env, st, iter_pos);
+            match op {
+                '+' => a + b,
+                '-' => a - b,
+                '*' => a * b,
+                '/' => a / b,
+                _ => unreachable!("parser only emits + - * /"),
+            }
+        }
+        CompiledExpr::Call { intrinsic, args } => {
+            let v: Vec<f64> = args
+                .iter()
+                .map(|arg| eval_tree(arg, env, st, iter_pos))
+                .collect();
+            match intrinsic {
+                Intrinsic::Eflux1 => eflux(v[0], v[1]).0,
+                Intrinsic::Eflux2 => eflux(v[0], v[1]).1,
+                Intrinsic::Sqrt => v[0].sqrt(),
+                Intrinsic::Abs => v[0].abs(),
+            }
+        }
+    }
+}
+
+/// Execute the loop body by walking the `CompiledExpr` trees per element —
+/// the differential oracle. The statements' targets, combine kinds and
+/// write buffers are hoisted out of the iteration loop (they are
+/// plan-static, the satellite fix over the seed's per-statement
+/// re-derivation), while each read still resolves arrays and ghost buffers
+/// by name, as the seed's driver loop did.
+pub fn run_rank_interpreted(plan: &LoopPlan, bindings: &KernelBindings, st: &mut RankState<'_>) {
+    st.reset_write_buffers(bindings);
+    let env = OracleEnv::new(plan, bindings);
+    // Hoisted per-statement data: target slot, combine kind, write buffer.
+    let stmt_ops: Vec<(usize, ScatterKind, u16)> = plan
+        .stmts
+        .iter()
+        .map(|s| (s.target(), s.scatter_kind(), bindings.write_buf_of(s, plan)))
+        .collect();
+    for iter_pos in 0..st.iters.len() {
+        for (stmt, &(target, kind, wb)) in plan.stmts.iter().zip(&stmt_ops) {
+            let v = eval_tree(stmt.value(), &env, st, iter_pos);
+            // The write applies through the target's resolved location; the
+            // resolution itself still walks the name-keyed maps.
+            let lr = env.resolve(st, target, iter_pos);
+            match lr {
+                LocalRef::Owned(off) => {
+                    let ArrLoc::Written(w) = env.arr_of[&plan.slots[target].array] else {
+                        unreachable!("store target bound to a read-only array")
+                    };
+                    combine_in_loop(kind, &mut st.shards[w as usize][off as usize], v);
+                }
+                LocalRef::Ghost(g) => {
+                    st.touched[wb as usize] = true;
+                    combine_in_loop(kind, &mut st.wb_rows[wb as usize][g as usize], v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::compile::{compile_kernel, GroupSpec};
+    use crate::lower::lower_program;
+    use crate::parser::parse_program;
+
+    /// Drive both executors over a tiny synthetic single-rank state and
+    /// compare every written bit.
+    #[test]
+    fn vm_and_tree_walker_agree_on_a_synthetic_rank() {
+        let src = r#"
+            REAL*8 x(n), y(n)
+            INTEGER ia(m)
+            DECOMPOSITION reg(n), reg2(m)
+            DISTRIBUTE reg(BLOCK)
+            DISTRIBUTE reg2(BLOCK)
+            ALIGN x, y WITH reg
+            ALIGN ia WITH reg2
+            FORALL i = 1, m
+              REDUCE(ADD, y(ia(i)), SQRT(ABS(x(ia(i)) * 3.0 - 1.0)))
+              y(ia(i)) = y(ia(i)) / 2.0
+            END FORALL
+        "#;
+        let cp = lower_program(parse_program(src).unwrap()).unwrap();
+        let plan = &cp.plans["L1"];
+        let groups = vec![GroupSpec {
+            decomp: "reg".to_string(),
+            slot_ids: (0..plan.slots.len()).collect(),
+        }];
+        let kernel = compile_kernel(plan, &groups).unwrap();
+        // Both x and y are read, so each gets a ghost buffer (sorted order).
+        assert_eq!(kernel.bindings.ghosts.len(), 2);
+
+        // One rank, 3 iterations: refs 0 and 2 owned, ref 1 a ghost.
+        let localized = [
+            LocalRef::Owned(0),
+            LocalRef::Owned(0),
+            LocalRef::Ghost(0),
+            LocalRef::Ghost(0),
+            LocalRef::Owned(1),
+            LocalRef::Owned(1),
+        ];
+        let run = |use_vm: bool| -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<bool>) {
+            let mut y = vec![1.0, 2.0];
+            let x = vec![0.5, -0.25];
+            let ghosts_x = vec![1.5];
+            let ghosts_y = vec![-0.75];
+            let nwb = kernel.bindings.write_bufs.len();
+            let mut wbs: Vec<Vec<f64>> = (0..nwb).map(|_| vec![0.0; 1]).collect();
+            let mut touched = vec![false; nwb];
+            {
+                let mut st = RankState {
+                    rank: 0,
+                    iters: &[0, 1, 2],
+                    shards: vec![&mut y],
+                    read_shards: vec![&x],
+                    ghost_rows: vec![&ghosts_x, &ghosts_y],
+                    wb_rows: wbs.iter_mut().map(|w| w.as_mut_slice()).collect(),
+                    touched: &mut touched,
+                    localized: vec![&localized],
+                };
+                if use_vm {
+                    run_rank(&kernel, &mut st);
+                } else {
+                    run_rank_interpreted(plan, &kernel.bindings, &mut st);
+                }
+            }
+            (y, x, wbs.concat(), touched)
+        };
+        let a = run(true);
+        let b = run(false);
+        for (u, v) in a.0.iter().zip(&b.0) {
+            assert_eq!(u.to_bits(), v.to_bits(), "owned writes diverged");
+        }
+        for (u, v) in a.2.iter().zip(&b.2) {
+            assert_eq!(u.to_bits(), v.to_bits(), "write buffers diverged");
+        }
+        assert_eq!(a.3, b.3, "touched flags diverged");
+        assert!(a.3.iter().any(|&t| t), "the ghost write marks its buffer");
+    }
+
+    #[test]
+    fn eflux_matches_the_workload_kernel_shape() {
+        let (f, g) = eflux(1.25, -0.5);
+        assert_eq!(f, -g);
+        let avg = 0.5 * (1.25 + -0.5);
+        let diff: f64 = -0.5 - 1.25;
+        assert_eq!(f, avg * diff + 0.25 * diff.abs() * 1.25);
+    }
+}

@@ -25,10 +25,14 @@
 //! * [`lower`] — the "runtime compilation" step: each `FORALL` becomes a
 //!   [`lower::LoopPlan`] describing the inspector it needs and the executor
 //!   statements to run,
-//! * [`exec`] — the generated-code interpreter: walks the lowered program on
-//!   a simulated machine, calling the CHAOS mapper coupler for directives and
+//! * [`kernel`] — the runtime kernel compiler: FORALL bodies lowered to a
+//!   flat register bytecode executed rank-parallel by a small VM, cached per
+//!   loop alongside the schedule-reuse records,
+//! * [`exec`] — the generated-code driver: walks the lowered program on a
+//!   simulated machine, calling the CHAOS mapper coupler for directives and
 //!   the inspector/executor (guarded by the [`chaos_runtime::ReuseRegistry`])
-//!   for loops.
+//!   for loops, with loop bodies dispatched to the compiled kernels (or the
+//!   retained tree-walking oracle).
 //!
 //! The benchmark harness runs the same templates twice — once through this
 //! crate ("compiler-generated") and once hand-coded directly against
@@ -41,12 +45,14 @@ pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod kernel;
 pub mod lower;
 pub mod parser;
 
 pub use analyze::analyze_program;
 pub use ast::{Program, Stmt};
 pub use error::LangError;
-pub use exec::{ExecReport, Executor, ProgramInputs};
+pub use exec::{ExecReport, Executor, KernelMode, ProgramInputs};
+pub use kernel::{compile_kernel, CompiledKernel, KernelCache};
 pub use lower::{lower_program, CompiledProgram, LoopPlan};
 pub use parser::parse_program;

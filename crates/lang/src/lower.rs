@@ -95,7 +95,57 @@ pub struct LoopPlan {
     pub ops_per_iteration: f64,
 }
 
+impl CompiledStmt {
+    /// The slot the statement writes.
+    pub fn target(&self) -> usize {
+        match self {
+            CompiledStmt::Assign { target, .. } | CompiledStmt::Reduce { target, .. } => *target,
+        }
+    }
+
+    /// The statement's value expression.
+    pub fn value(&self) -> &CompiledExpr {
+        match self {
+            CompiledStmt::Assign { value, .. } | CompiledStmt::Reduce { value, .. } => value,
+        }
+    }
+
+    /// How off-processor writes of this statement combine at the owner: an
+    /// assignment is a last-writer-wins store, a reduction maps to its
+    /// operator.
+    pub fn scatter_kind(&self) -> chaos_runtime::ScatterKind {
+        use chaos_runtime::ScatterKind;
+        match self {
+            CompiledStmt::Assign { .. } => ScatterKind::Store,
+            CompiledStmt::Reduce { op, .. } => match op {
+                ReduceOp::Add => ScatterKind::Add,
+                ReduceOp::Max => ScatterKind::Max,
+                ReduceOp::Min => ScatterKind::Min,
+            },
+        }
+    }
+}
+
+/// True when `slot` appears anywhere inside `e`.
+fn expr_uses(e: &CompiledExpr, slot: usize) -> bool {
+    match e {
+        CompiledExpr::Lit(_) => false,
+        CompiledExpr::Slot(s) => *s == slot,
+        CompiledExpr::Binary { lhs, rhs, .. } => expr_uses(lhs, slot) || expr_uses(rhs, slot),
+        CompiledExpr::Call { args, .. } => args.iter().any(|a| expr_uses(a, slot)),
+    }
+}
+
 impl LoopPlan {
+    /// `mask[slot]` is true when the slot is *read* — it appears in some
+    /// statement's value expression (as opposed to write-only targets).
+    /// Read slots are the ones whose arrays the executor must gather.
+    pub fn read_slot_mask(&self) -> Vec<bool> {
+        (0..self.slots.len())
+            .map(|i| self.stmts.iter().any(|s| expr_uses(s.value(), i)))
+            .collect()
+    }
+
     /// Which slots are written by the body.
     pub fn written_slots(&self) -> Vec<usize> {
         let mut w: Vec<usize> = self

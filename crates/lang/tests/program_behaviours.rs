@@ -212,3 +212,107 @@ fn multiple_loops_have_independent_reuse_state() {
     assert_eq!(exec.report().inspector_runs, 2);
     assert_eq!(exec.report().reuse_hits, 2);
 }
+
+/// A FORALL touching two decompositions that share one distribution: the
+/// inspector merges their communication schedules (PARTI schedule merging)
+/// and issues a *single* request exchange instead of one per schedule, with
+/// strictly fewer messages when the ghost sets overlap — and byte-identical
+/// results either way.
+#[test]
+fn same_distribution_groups_merge_into_one_schedule_exchange() {
+    // x lives on rega and the written y on regb — both BLOCK(n), i.e. the
+    // same distribution, so the loop has two decomposition groups whose
+    // schedules merge. Every iteration references one element from each
+    // half of x, so wherever the iteration is placed it needs an
+    // off-processor x ghost whose (owner, offset) coincides with a y ghost
+    // of the same requester — the merged request exchange deduplicates the
+    // shared (owner → requester) messages.
+    let src = r#"
+        REAL*8 x(n), y(n)
+        INTEGER ia(m), ib(m)
+        DECOMPOSITION rega(n), regb(n), regc(m)
+        DISTRIBUTE rega(BLOCK)
+        DISTRIBUTE regb(BLOCK)
+        DISTRIBUTE regc(BLOCK)
+        ALIGN x WITH rega
+        ALIGN y WITH regb
+        ALIGN ia, ib WITH regc
+        CALL READ_DATA(x, y, ia, ib)
+        FORALL i = 1, m
+          y(i) = x(ia(i)) + x(ib(i))
+        END FORALL
+    "#;
+    // m != n so the indirection arrays' decomposition has a distinct DAD
+    // (with equal sizes the conservative DAD tracking would invalidate the
+    // schedule on every write of y).
+    let n = 8usize;
+    let m = 6usize;
+    // Each iteration pairs one upper-half and one lower-half element.
+    let ia: Vec<u32> = (0..m as u32).map(|i| i % 4 + 5).collect(); // globals 4..7
+    let ib: Vec<u32> = (0..m as u32).map(|i| i % 4 + 1).collect(); // globals 0..3
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+    let inputs = ProgramInputs::new()
+        .scalar("n", n)
+        .scalar("m", m)
+        .real("x", x.clone())
+        .real("y", vec![0.0; n])
+        .int("ia", ia.clone())
+        .int("ib", ib.clone());
+    let program = lower_program(parse_program(src).unwrap()).unwrap();
+
+    let mut merged = Executor::new(MachineConfig::ipsc860(2), inputs.clone());
+    merged.run(&program).unwrap();
+    let mut unmerged =
+        Executor::new(MachineConfig::ipsc860(2), inputs.clone()).with_schedule_merging(false);
+    unmerged.run(&program).unwrap();
+
+    // One merged build exchange vs one per decomposition group.
+    let merged_builds = merged
+        .machine()
+        .stats()
+        .records_labelled("L1:schedule-build")
+        .count();
+    let unmerged_builds = unmerged
+        .machine()
+        .stats()
+        .records_labelled("L1:schedule-build")
+        .count();
+    assert_eq!(merged.report().schedule_merges, 1);
+    assert_eq!(unmerged.report().schedule_merges, 0);
+    assert_eq!(merged_builds, 1, "one merged request exchange");
+    assert_eq!(unmerged_builds, 2, "one request exchange per schedule");
+
+    // Message counts: the shared (owner → requester) pairs deduplicate, so
+    // the merged exchange sends strictly fewer request messages.
+    let merged_msgs = merged
+        .machine()
+        .stats()
+        .messages_labelled("L1:schedule-build");
+    let unmerged_msgs = unmerged
+        .machine()
+        .stats()
+        .messages_labelled("L1:schedule-build");
+    assert!(merged_msgs > 0, "the loop does communicate");
+    assert!(
+        merged_msgs < unmerged_msgs,
+        "merged request exchange must send fewer messages ({merged_msgs} vs {unmerged_msgs})"
+    );
+
+    // Merging must not change any observable value, and reuse still works.
+    let yr = merged.real_global("y").unwrap();
+    let yn = unmerged.real_global("y").unwrap();
+    for (a, b) in yr.iter().zip(&yn) {
+        assert_eq!(a.to_bits(), b.to_bits(), "merge changed the results");
+    }
+    // Sequential reference (iterations cover y[0..m]; the tail stays 0).
+    for (i, v) in yr.iter().enumerate() {
+        let expect = if i < m {
+            x[ia[i] as usize - 1] + x[ib[i] as usize - 1]
+        } else {
+            0.0
+        };
+        assert!((v - expect).abs() < 1e-12, "y[{i}]: {v} vs {expect}");
+    }
+    merged.execute_loop(&program, "L1").unwrap();
+    assert_eq!(merged.report().reuse_hits, 1);
+}

@@ -1,0 +1,280 @@
+//! The compiled-kernel VM must be **byte-identical** to the tree-walking
+//! interpreter — array values, modeled clocks (down to the f64 bit
+//! patterns), communication statistics and execution counters — on both the
+//! sequential and the rank-parallel engine. These tests drive randomized
+//! FORALL programs and the mesh / MD experiment templates through all
+//! (kernel mode × backend) combinations and compare every observable.
+
+use chaos_bench::compilergen::{program_inputs, program_text};
+use chaos_bench::experiment::Method;
+use chaos_bench::workload::{md_workload, mesh_workload};
+use chaos_repro::dmsim::{Backend, MachineConfig};
+use chaos_repro::lang::{
+    lower_program, parse_program, CompiledProgram, Executor, KernelMode, ProgramInputs,
+};
+use chaos_repro::workloads::{MdConfig, MeshConfig};
+use proptest::prelude::*;
+
+/// Everything one program run observes that must match across kernel modes
+/// and backends.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    real_bits: Vec<(String, Vec<u64>)>,
+    clock_bits: Vec<(u64, u64, u64)>,
+    messages: usize,
+    bytes: usize,
+    phases: usize,
+    comm_seconds_bits: u64,
+    loop_sweeps: usize,
+    inspector_runs: usize,
+    reuse_hits: usize,
+    iteration_partitions: usize,
+    schedule_merges: usize,
+}
+
+fn observe<B: Backend>(exec: &Executor<B>, arrays: &[&str]) -> Observation {
+    let machine = exec.machine();
+    let elapsed = machine.elapsed();
+    let totals = machine.stats().grand_totals();
+    let report = exec.report();
+    Observation {
+        real_bits: arrays
+            .iter()
+            .filter_map(|a| {
+                exec.real_global(a)
+                    .map(|v| (a.to_string(), v.iter().map(|x| x.to_bits()).collect()))
+            })
+            .collect(),
+        clock_bits: (0..machine.nprocs())
+            .map(|p| {
+                (
+                    elapsed.compute[p].to_bits(),
+                    elapsed.comm[p].to_bits(),
+                    elapsed.idle[p].to_bits(),
+                )
+            })
+            .collect(),
+        messages: totals.messages,
+        bytes: totals.bytes,
+        phases: totals.phases,
+        comm_seconds_bits: totals.comm_seconds.to_bits(),
+        loop_sweeps: report.loop_sweeps,
+        inspector_runs: report.inspector_runs,
+        reuse_hits: report.reuse_hits,
+        iteration_partitions: report.iteration_partitions,
+        schedule_merges: report.schedule_merges,
+    }
+}
+
+/// Run a program plus `extra_sweeps` steady-state re-executions of its last
+/// loop on the given executor.
+fn drive<B: Backend>(
+    exec: &mut Executor<B>,
+    cp: &CompiledProgram,
+    label: &str,
+    extra_sweeps: usize,
+) {
+    exec.run(cp).expect("program runs");
+    for _ in 0..extra_sweeps {
+        exec.execute_loop(cp, label).expect("sweep runs");
+    }
+}
+
+/// Assert that compiled and interpreted modes agree on both engines, and
+/// return the compiled-mode observation.
+fn assert_all_equivalent(
+    src: &str,
+    inputs: &ProgramInputs,
+    nprocs: usize,
+    arrays: &[&str],
+    extra_sweeps: usize,
+) -> Observation {
+    let cp = lower_program(parse_program(src).expect("parse")).expect("lower");
+    let label = cp
+        .program
+        .loop_labels()
+        .last()
+        .expect("program has a loop")
+        .to_string();
+
+    let mut vm_seq = Executor::new(MachineConfig::ipsc860(nprocs), inputs.clone());
+    drive(&mut vm_seq, &cp, &label, extra_sweeps);
+    let obs_vm = observe(&vm_seq, arrays);
+
+    let mut tree_seq = Executor::new(MachineConfig::ipsc860(nprocs), inputs.clone())
+        .with_kernel_mode(KernelMode::Interpreted);
+    drive(&mut tree_seq, &cp, &label, extra_sweeps);
+    assert_eq!(
+        obs_vm,
+        observe(&tree_seq, arrays),
+        "VM vs tree-walker diverged (sequential engine)"
+    );
+
+    let mut vm_thr = Executor::new_threaded(MachineConfig::ipsc860(nprocs), inputs.clone());
+    drive(&mut vm_thr, &cp, &label, extra_sweeps);
+    assert_eq!(
+        obs_vm,
+        observe(&vm_thr, arrays),
+        "VM diverged across engines"
+    );
+
+    let mut tree_thr = Executor::new_threaded(MachineConfig::ipsc860(nprocs), inputs.clone())
+        .with_kernel_mode(KernelMode::Interpreted);
+    drive(&mut tree_thr, &cp, &label, extra_sweeps);
+    assert_eq!(
+        obs_vm,
+        observe(&tree_thr, arrays),
+        "tree-walker diverged across engines"
+    );
+
+    // Kernel caching mirrors schedule reuse: one compile per inspector run,
+    // a cache hit for every other sweep.
+    let report = vm_seq.report();
+    assert_eq!(report.kernels_compiled, report.inspector_runs);
+    assert_eq!(
+        report.kernel_reuse_hits,
+        report.loop_sweeps - report.kernels_compiled
+    );
+    obs_vm
+}
+
+// ---------- randomized programs ----------
+
+/// Deterministic LCG over the case seed.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.below(options.len())]
+    }
+}
+
+/// Generate a random (program text, body uses indirection) pair. Arrays
+/// x, y live on `rega`, z on `regb` (same size, same BLOCK distribution —
+/// so multi-group loops exercise schedule merging too); ia, ib are the
+/// indirection arrays. The analyzer's restrictions are respected by
+/// construction: only rega arrays are referenced through indirection.
+fn gen_body(rng: &mut Rng) -> String {
+    let nstmts = 1 + rng.below(3);
+    let mut body = String::new();
+    for _ in 0..nstmts {
+        let target = rng.pick(&["y(ia(i))", "y(ib(i))", "y(i)", "z(i)"]);
+        let expr = gen_expr(rng, 2);
+        match rng.below(4) {
+            0 => body.push_str(&format!("          {target} = {expr}\n")),
+            1 => body.push_str(&format!("          REDUCE(MAX, {target}, {expr})\n")),
+            2 => body.push_str(&format!("          REDUCE(MIN, {target}, {expr})\n")),
+            _ => body.push_str(&format!("          REDUCE(ADD, {target}, {expr})\n")),
+        }
+    }
+    body
+}
+
+fn gen_expr(rng: &mut Rng, depth: usize) -> String {
+    let term = |rng: &mut Rng| {
+        rng.pick(&[
+            "x(ia(i))", "x(ib(i))", "y(ia(i))", "x(i)", "z(i)", "0.5", "1.25", "3.0",
+        ])
+        .to_string()
+    };
+    if depth == 0 {
+        return term(rng);
+    }
+    match rng.below(6) {
+        0 | 1 => term(rng),
+        2 => {
+            let op = rng.pick(&["+", "-", "*", "/"]);
+            format!(
+                "({} {op} {})",
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1)
+            )
+        }
+        3 => format!("ABS({})", gen_expr(rng, depth - 1)),
+        4 => format!("SQRT(ABS({}))", gen_expr(rng, depth - 1)),
+        _ => format!(
+            "EFLUX1({}, {})",
+            gen_expr(rng, depth - 1),
+            gen_expr(rng, depth - 1)
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized loop bodies: VM == tree-walker on both engines, down to
+    /// clock bits and CommStats, through initial run + reused sweeps.
+    #[test]
+    fn randomized_programs_agree_across_modes_and_engines(seed in 0u64..1_000_000) {
+        let mut rng = Rng(seed.wrapping_mul(2654435761).wrapping_add(99991));
+        let nnode = 16 + rng.below(24);
+        let nedge = 8 + rng.below(nnode - 8); // nedge <= nnode so z(i)/x(i) stay in range
+        // ipsc860 is a hypercube: power-of-two processor counts only.
+        let nprocs = 1 << (1 + rng.below(2));
+        let body = gen_body(&mut rng);
+        let src = format!(
+            r#"
+        REAL*8 x(nnode), y(nnode), z(nnode)
+        INTEGER ia(nedge), ib(nedge)
+        DECOMPOSITION rega(nnode), regb(nnode), regc(nedge)
+        DISTRIBUTE rega(BLOCK)
+        DISTRIBUTE regb(BLOCK)
+        DISTRIBUTE regc(BLOCK)
+        ALIGN x, y WITH rega
+        ALIGN z WITH regb
+        ALIGN ia, ib WITH regc
+        CALL READ_DATA(x, y, z, ia, ib)
+        FORALL i = 1, nedge
+{body}        END FORALL
+    "#
+        );
+        let ia: Vec<u32> = (0..nedge).map(|_| rng.below(nnode) as u32 + 1).collect();
+        let ib: Vec<u32> = (0..nedge).map(|_| rng.below(nnode) as u32 + 1).collect();
+        let inputs = ProgramInputs::new()
+            .scalar("nnode", nnode)
+            .scalar("nedge", nedge)
+            .real("x", (0..nnode).map(|i| (i as f64 * 0.61).sin() + 1.5).collect())
+            .real("y", (0..nnode).map(|i| (i as f64 * 0.23).cos()).collect())
+            .real("z", (0..nnode).map(|i| i as f64 * 0.05 - 0.4).collect())
+            .int("ia", ia)
+            .int("ib", ib);
+        assert_all_equivalent(&src, &inputs, nprocs, &["x", "y", "z"], 2);
+    }
+}
+
+// ---------- the paper's experiment templates ----------
+
+/// The mesh experiment program (Figure 4/5 template with RSB implicit
+/// mapping): redistribution forces an inspector + kernel recompile, and the
+/// irregular distribution gives the schedules real off-processor traffic.
+#[test]
+fn mesh_example_program_agrees_across_modes_and_engines() {
+    let w = mesh_workload(MeshConfig::tiny(400));
+    let src = program_text(Method::Rsb);
+    let inputs = program_inputs(&w);
+    let obs = assert_all_equivalent(&src, &inputs, 8, &["x", "y"], 3);
+    assert!(obs.messages > 0, "irregular mesh loop communicates");
+    assert_eq!(obs.loop_sweeps, 4);
+    assert_eq!(obs.reuse_hits, 3, "steady-state sweeps reuse the schedule");
+}
+
+/// The MD experiment program (same pair-reduction template, BLOCK mapping).
+#[test]
+fn md_example_program_agrees_across_modes_and_engines() {
+    let w = md_workload(MdConfig::tiny(64));
+    let src = program_text(Method::Block);
+    let inputs = program_inputs(&w);
+    let obs = assert_all_equivalent(&src, &inputs, 4, &["x", "y"], 3);
+    assert!(obs.messages > 0, "pair loop communicates");
+    assert_eq!(obs.loop_sweeps, 4);
+}
