@@ -1,0 +1,46 @@
+//! Per-phase overhead of the parallel SPMD engines at small N.
+//!
+//! One steady-state executor iteration (gather + scatter-add over a reused
+//! schedule) on a workload small enough that per-phase *engine* overhead —
+//! thread spawn for `ThreadedBackend`, the epoch barrier hand-off for
+//! `PooledBackend` — dominates the data movement. This is the wall-clock
+//! cost the persistent worker pool exists to remove; the same fixture backs
+//! `perf_check`'s `BENCH_4.json` gate so the two can never measure
+//! different things.
+
+use chaos_bench::spmd_bench::{executor_iteration, phase_overhead_workload};
+use chaos_dmsim::{Machine, MachineConfig, PooledBackend, ThreadedBackend};
+use chaos_runtime::{DistArray, Inspector};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_phase_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_overhead");
+    group.sample_size(20);
+    for nprocs in [4usize, 8] {
+        let (dist, data, pattern) = phase_overhead_workload(nprocs);
+        let x = DistArray::from_global("x", dist.clone(), &data);
+        let mut setup = Machine::new(MachineConfig::ipsc860(nprocs));
+        let inspect = Inspector.localize(&mut setup, "bench", &dist, &pattern);
+        let mut ghosts: Vec<Vec<f64>> = (0..nprocs)
+            .map(|p| vec![0.0; inspect.ghost_counts[p]])
+            .collect();
+        let mut y = DistArray::from_global("y", dist.clone(), &vec![0.0; data.len()]);
+
+        let mut seq = Machine::new(MachineConfig::ipsc860(nprocs));
+        group.bench_function(format!("sequential/{nprocs}"), |b| {
+            b.iter(|| executor_iteration(&mut seq, &inspect.schedule, &x, &mut y, &mut ghosts))
+        });
+        let mut thr = ThreadedBackend::from_config(MachineConfig::ipsc860(nprocs));
+        group.bench_function(format!("threaded-spawn/{nprocs}"), |b| {
+            b.iter(|| executor_iteration(&mut thr, &inspect.schedule, &x, &mut y, &mut ghosts))
+        });
+        let mut pool = PooledBackend::from_config(MachineConfig::ipsc860(nprocs));
+        group.bench_function(format!("pooled/{nprocs}"), |b| {
+            b.iter(|| executor_iteration(&mut pool, &inspect.schedule, &x, &mut y, &mut ghosts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_overhead);
+criterion_main!(benches);

@@ -8,7 +8,9 @@
 
 use crate::experiment::{ExperimentConfig, Method, PhaseTimes};
 use crate::workload::PairLoopWorkload;
-use chaos_dmsim::{Backend, ElapsedReport, Machine, MachineConfig, PhaseKind, ThreadedBackend};
+use chaos_dmsim::{
+    Backend, ElapsedReport, Machine, MachineConfig, PhaseKind, PooledBackend, ThreadedBackend,
+};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::iterpart::partition_iterations;
 use chaos_runtime::{
@@ -51,6 +53,15 @@ pub fn run_handcoded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> Pha
 /// [`run_handcoded`]; only the wall clock changes.
 pub fn run_handcoded_threaded(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> PhaseTimes {
     let mut backend = ThreadedBackend::from_config(MachineConfig::ipsc860(cfg.nprocs));
+    run_handcoded_on(&mut backend, workload, cfg)
+}
+
+/// Run the hand-coded experiment on the persistent worker-pool engine.
+/// Modeled times, statistics and results are byte-identical to
+/// [`run_handcoded`]; only the wall clock changes (no per-phase thread
+/// spawn).
+pub fn run_handcoded_pooled(workload: &PairLoopWorkload, cfg: &ExperimentConfig) -> PhaseTimes {
+    let mut backend = PooledBackend::from_config(MachineConfig::ipsc860(cfg.nprocs));
     run_handcoded_on(&mut backend, workload, cfg)
 }
 
@@ -102,21 +113,11 @@ pub fn run_handcoded_on<B: Backend>(
         times.graph_generation = sampler.lap(backend.machine());
 
         let partitioner = partitioner_by_name(pname).expect("registered partitioner");
-        let outcome = MapperCoupler.partition(backend.machine_mut(), partitioner.as_ref(), &geocol);
+        let outcome = MapperCoupler.partition(backend, partitioner.as_ref(), &geocol);
         times.partitioner = sampler.lap(backend.machine());
 
-        MapperCoupler.redistribute(
-            backend.machine_mut(),
-            &mut registry,
-            &mut x,
-            &outcome.distribution,
-        );
-        MapperCoupler.redistribute(
-            backend.machine_mut(),
-            &mut registry,
-            &mut y,
-            &outcome.distribution,
-        );
+        MapperCoupler.redistribute(backend, &mut registry, &mut x, &outcome.distribution);
+        MapperCoupler.redistribute(backend, &mut registry, &mut y, &outcome.distribution);
         times.remap = sampler.lap(backend.machine());
         data_dist = outcome.distribution;
     }
@@ -438,6 +439,29 @@ mod tests {
             assert_eq!(seq.bytes, thr.bytes);
             assert_eq!(seq.local_fraction.to_bits(), thr.local_fraction.to_bits());
         }
+    }
+
+    #[test]
+    fn pooled_experiment_is_bit_identical_to_sequential() {
+        // The full experiment (partition → remap → inspector → sweeps) on
+        // the persistent worker pool, including with more ranks (8) than the
+        // pool has lanes: every modeled quantity must agree exactly.
+        let w = mesh_workload(MeshConfig::tiny(800));
+        let cfg = ExperimentConfig::paper(8, Method::Inertial).with_iterations(4);
+        let seq = run_handcoded(&w, &cfg);
+        let mut backend = PooledBackend::from_config_with_workers(MachineConfig::ipsc860(8), 3);
+        let pooled = run_handcoded_on(&mut backend, &w, &cfg);
+        assert_eq!(seq.total.to_bits(), pooled.total.to_bits());
+        assert_eq!(seq.executor.to_bits(), pooled.executor.to_bits());
+        assert_eq!(seq.inspector.to_bits(), pooled.inspector.to_bits());
+        assert_eq!(seq.partitioner.to_bits(), pooled.partitioner.to_bits());
+        assert_eq!(seq.remap.to_bits(), pooled.remap.to_bits());
+        assert_eq!(seq.messages, pooled.messages);
+        assert_eq!(seq.bytes, pooled.bytes);
+        assert_eq!(
+            seq.local_fraction.to_bits(),
+            pooled.local_fraction.to_bits()
+        );
     }
 
     #[test]

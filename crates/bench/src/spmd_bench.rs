@@ -32,6 +32,15 @@ pub fn executor_workload(
     (dist, data, pattern)
 }
 
+/// The small-N fixture for the per-phase-overhead comparison: a workload
+/// tiny enough that per-phase engine overhead (thread spawn vs pool
+/// barrier) dominates the data movement. Shared by `perf_check`'s
+/// `BENCH_4.json` gate and the `phase_overhead` criterion bench so the two
+/// can never measure different regimes.
+pub fn phase_overhead_workload(nprocs: usize) -> (Distribution, Vec<f64>, AccessPattern) {
+    executor_workload(2_000, nprocs, 4_000 / nprocs)
+}
+
 /// One steady-state executor iteration over a reused schedule: gather the
 /// ghosts, scatter-add them back. The unit of work both thread-scaling
 /// measurements time.

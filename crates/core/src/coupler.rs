@@ -19,8 +19,10 @@ use crate::darray::DistArray;
 use crate::dist::Distribution;
 use crate::remap::remap;
 use crate::reuse::ReuseRegistry;
-use chaos_dmsim::{Machine, PhaseKind};
-use chaos_geocol::{GeoCoL, GeoColBuilder, Partitioner, Partitioning};
+use chaos_dmsim::{Backend, Machine, PhaseKind};
+use chaos_geocol::{
+    scan_chunk, GeoCoL, GeoColBuilder, Partitioner, Partitioning, RankScans, ScanKernel,
+};
 
 /// Description of the arrays feeding a `CONSTRUCT` directive.
 ///
@@ -66,6 +68,48 @@ impl<'a> GeoColSpec<'a> {
     pub fn with_link(mut self, e1: &'a DistArray<u32>, e2: &'a DistArray<u32>) -> Self {
         self.link = Some((e1, e2));
         self
+    }
+}
+
+/// [`RankScans`] executor backed by [`Backend::run_compute`]: each scan
+/// chunks the item range over the machine's virtual processors, runs one
+/// fold kernel per rank (charging `ops_per_item` compute units per item to
+/// that rank's clock) and returns the rank-major partials for driver-side
+/// combination in ascending rank order. This is how partitioners that
+/// implement `partition_with_scans` (currently the inertial partitioner's
+/// moment scans) run rank-parallel on every engine while staying
+/// bit-deterministic.
+struct BackendScans<'a, B: Backend> {
+    backend: &'a mut B,
+    /// Total compute units charged through the scans (all ranks), so the
+    /// coupler can deduct the routed work from the partitioner's lump-sum
+    /// `cost_estimate` and avoid charging it twice.
+    charged_ops: f64,
+}
+
+impl<B: Backend> RankScans for BackendScans<'_, B> {
+    fn nranks(&self) -> usize {
+        self.backend.nprocs()
+    }
+
+    fn scan(
+        &mut self,
+        n_items: usize,
+        width: usize,
+        ops_per_item: f64,
+        kernel: &ScanKernel<'_>,
+    ) -> Vec<f64> {
+        let nranks = self.backend.nprocs();
+        let mut partials = vec![0.0; width * nranks];
+        self.backend
+            .run_compute(partials.chunks_mut(width), |ctx, acc: &mut [f64]| {
+                let rank = ctx.rank();
+                let range = scan_chunk(n_items, nranks, rank);
+                ctx.charge_compute(rank, ops_per_item * range.len() as f64);
+                kernel(rank, range, acc);
+            });
+        self.charged_ops += ops_per_item * n_items as f64;
+        partials
     }
 }
 
@@ -161,20 +205,32 @@ impl MapperCoupler {
     /// The partitioner itself runs as a parallelized library routine: its
     /// estimated operation count is divided across the processors, and the
     /// resulting map array is exchanged so that every processor learns the
-    /// new distribution.
-    pub fn partition(
+    /// new distribution. Partitioners that implement `partition_with_scans`
+    /// additionally run their per-vertex reduction passes rank-parallel
+    /// through the backend; the work those scans charge per rank is
+    /// deducted from the lump-sum estimate so it is never counted twice.
+    pub fn partition<B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         partitioner: &dyn Partitioner,
         geocol: &GeoCoL,
     ) -> PartitionOutcome {
-        let prev = machine.set_phase_kind(Some(PhaseKind::Partitioner));
-        let nprocs = machine.nprocs();
+        let prev = backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Partitioner));
+        let nprocs = backend.nprocs();
 
-        let partitioning = partitioner.partition(geocol, nprocs);
+        let mut scans = BackendScans {
+            backend,
+            charged_ops: 0.0,
+        };
+        let partitioning = partitioner.partition_with_scans(geocol, nprocs, &mut scans);
+        let scan_ops = scans.charged_ops;
+        let machine = backend.machine_mut();
 
-        // Modeled cost: parallel share of the partitioner's work…
-        let ops = partitioner.cost_estimate(geocol, nprocs) / nprocs as f64;
+        // Modeled cost: parallel share of the partitioner's remaining work
+        // (what the rank-parallel scans already charged is deducted)…
+        let ops = ((partitioner.cost_estimate(geocol, nprocs) - scan_ops) / nprocs as f64).max(0.0);
         machine.charge_compute_all(ops);
         // …plus an all-gather of the map array so every processor holds the
         // new translation information (cost only; the map is shared state).
@@ -206,20 +262,21 @@ impl MapperCoupler {
 
     /// Phase C: remap an array to the newly computed distribution (the
     /// `REDISTRIBUTE` directive), recording the DAD change in the reuse
-    /// registry so that dependent inspectors are invalidated.
-    pub fn redistribute<T: Clone + Default + Send>(
+    /// registry so that dependent inspectors are invalidated. The data
+    /// movement runs rank-parallel through [`Backend::run_exchange`].
+    pub fn redistribute<T: Clone + Default + Send + Sync, B: Backend>(
         &self,
-        machine: &mut Machine,
+        backend: &mut B,
         registry: &mut ReuseRegistry,
         array: &mut DistArray<T>,
         new_dist: &Distribution,
     ) -> usize {
-        let prev = machine.set_phase_kind(Some(PhaseKind::Remap));
+        let prev = backend.machine_mut().set_phase_kind(Some(PhaseKind::Remap));
         let old_dad = array.dad();
         let label = array.name().to_string();
-        let moved = remap(machine, &label, array, new_dist.clone());
+        let moved = remap(backend, &label, array, new_dist.clone());
         registry.record_remap(&old_dad, &array.dad());
-        machine.set_phase_kind(prev);
+        backend.machine_mut().set_phase_kind(prev);
         moved
     }
 }

@@ -98,6 +98,6 @@ pub mod prelude {
     pub use crate::iterpart::{IterPartitionPolicy, IterationPartition};
     pub use crate::remap::remap;
     pub use crate::reuse::{LoopId, ReuseRegistry};
-    pub use chaos_dmsim::{Backend, Machine, MachineConfig, ThreadedBackend};
+    pub use chaos_dmsim::{Backend, Machine, MachineConfig, PooledBackend, ThreadedBackend};
     pub use chaos_geocol::{GeoColBuilder, Partitioner};
 }

@@ -7,28 +7,44 @@
 //! rebuilds the array's local segments in the new layout. The paper's
 //! "Remap" table rows are exactly this cost (for the data arrays plus the
 //! indirection arrays that follow the loop iterations).
+//!
+//! The global data-movement pass runs **rank-parallel** through
+//! [`Backend::run_exchange`] mailboxes: each old owner scans its own local
+//! segment, posts `(new offset, value)` payloads for the elements whose
+//! owner changes and charges the per-pair transfer volume from its side of
+//! the exchange; each new owner copies the elements it keeps straight
+//! across from its old segment and unpacks the movers from its inbox. On
+//! the threaded and pooled engines REDISTRIBUTE therefore scales with
+//! ranks, while the charge model — one memory word per element that stays,
+//! a pack/unpack word plus one point-to-point message per moving pair — is
+//! the same on every engine, replayed in ascending rank order.
 
 use crate::darray::DistArray;
 use crate::dist::Distribution;
-use chaos_dmsim::{Machine, PhaseCharge};
+use chaos_dmsim::{Backend, Inbox, Outbox, PhaseEnd, RankCtx};
 
 /// Remap `array` in place to `new_dist`, charging the data movement to
-/// `machine`. Returns the number of elements that changed owner.
+/// `backend`'s machine. Returns the number of elements that changed owner.
 ///
 /// Values are placed directly into the new layout (the simulator shares one
-/// address space); the per-pair transfer volume is tallied in one counting
-/// pass and charged through [`Machine::charge_p2p`], so no payload vectors
-/// are materialized just to model the exchange.
+/// address space) through per-rank exchange mailboxes; the per-pair
+/// transfer volume is tallied rank-locally in one counting pass and charged
+/// through the rank's [`RankCtx`], so the modeled clocks and statistics are
+/// engine-independent by the `Backend` determinism contract.
 ///
 /// # Panics
 /// Panics if the new distribution has a different global length or processor
 /// count than the old one.
-pub fn remap<T: Clone + Default + Send>(
-    machine: &mut Machine,
+pub fn remap<T, B>(
+    backend: &mut B,
     label: &str,
     array: &mut DistArray<T>,
     new_dist: Distribution,
-) -> usize {
+) -> usize
+where
+    T: Clone + Default + Send + Sync,
+    B: Backend,
+{
     let old_dist = array.dist().clone();
     assert_eq!(
         old_dist.len(),
@@ -42,48 +58,91 @@ pub fn remap<T: Clone + Default + Send>(
     );
     let nprocs = old_dist.nprocs();
 
-    // New local storage.
+    // New local storage, built per rank in the unpack stage, plus a per-rank
+    // tally of how many elements arrived from *other* ranks.
     let mut new_local: Vec<Vec<T>> = (0..nprocs)
         .map(|p| vec![T::default(); new_dist.local_size(p)])
         .collect();
+    let mut moved_in = vec![0usize; nprocs];
 
-    // Move data and tally the transfer volume per (old owner, new owner)
-    // pair. Elements that stay on the same processor are local copies
-    // (memory cost only).
-    let mut moved = 0usize;
-    let mut pair_words = vec![0u32; nprocs * nprocs];
+    // One driver-side O(n) grouping pass (exactly the locate work the old
+    // global scan performed): each rank's old-owned elements as
+    // (old offset, new owner, new offset) triples, in local-offset order.
+    // Both exchange stages iterate these rank-local lists, so the rank
+    // kernels are pure data movement and charging — no per-element
+    // translation lookups, and O(n/P) work per rank regardless of the
+    // distribution kind.
+    let mut owned: Vec<Vec<(u32, u32, u32)>> = (0..nprocs)
+        .map(|p| Vec::with_capacity(old_dist.local_size(p)))
+        .collect();
     for g in 0..old_dist.len() {
         let (old_p, old_off) = old_dist.locate(g);
         let (new_p, new_off) = new_dist.locate(g);
-        if old_p == new_p {
-            machine.charge_memory(old_p, 1.0);
-        } else {
-            moved += 1;
-            pair_words[old_p * nprocs + new_p] += 1;
-        }
-        new_local[new_p][new_off] = array.local(old_p)[old_off].clone();
+        owned[old_p].push((old_off as u32, new_p as u32, new_off as u32));
     }
-    let mut phase = PhaseCharge::new();
-    for src in 0..nprocs {
-        for dst in 0..nprocs {
-            let words = pair_words[src * nprocs + dst] as usize;
-            if words > 0 {
-                machine.charge_memory(src, words as f64);
-                machine.charge_memory(dst, words as f64);
-                machine.charge_p2p(&mut phase, src, dst, words);
-            }
-        }
+
+    {
+        let array = &*array;
+        let owned = &owned;
+        backend.run_exchange(
+            PhaseEnd::Labelled(&format!("{label}:remap")),
+            |ctx: &mut RankCtx<'_>, outbox: &mut Outbox<'_, (u32, T)>| {
+                // Pack (as old owner): scan this rank's segment in local
+                // order, post the elements whose owner changes to their new
+                // owners, charge one memory word per element that stays and
+                // tally the per-pair words for the movers.
+                let src = ctx.rank();
+                let local = array.local(src);
+                let mut pair_words = vec![0u32; nprocs];
+                for &(old_off, new_p, new_off) in &owned[src] {
+                    if new_p as usize == src {
+                        ctx.charge_memory(src, 1.0);
+                    } else {
+                        pair_words[new_p as usize] += 1;
+                        outbox.post(new_p as usize, [(new_off, local[old_off as usize].clone())]);
+                    }
+                }
+                for (dst, &words) in pair_words.iter().enumerate() {
+                    if words > 0 {
+                        ctx.charge_memory(src, words as f64);
+                        ctx.charge_memory(dst, words as f64);
+                        ctx.charge_p2p(src, dst, words as usize);
+                    }
+                }
+            },
+            new_local.iter_mut().zip(moved_in.iter_mut()),
+            |ctx: &mut RankCtx<'_>,
+             (segment, moved): (&mut Vec<T>, &mut usize),
+             inbox: &Inbox<'_, (u32, T)>| {
+                // Unpack (as new owner): copy the elements this rank keeps
+                // straight across from its own old segment, then place every
+                // arriving mover at its new offset.
+                let me = ctx.rank();
+                let local = array.local(me);
+                for &(old_off, new_p, new_off) in &owned[me] {
+                    if new_p as usize == me {
+                        segment[new_off as usize] = local[old_off as usize].clone();
+                    }
+                }
+                for from in 0..ctx.nprocs() {
+                    let payload = inbox.from_rank(from);
+                    *moved += payload.len();
+                    for &(new_off, ref value) in payload {
+                        segment[new_off as usize] = value.clone();
+                    }
+                }
+            },
+        );
     }
-    machine.end_phase(&format!("{label}:remap"), phase);
 
     array.replace_storage(new_dist, new_local);
-    moved
+    moved_in.iter().sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chaos_dmsim::MachineConfig;
+    use chaos_dmsim::{Machine, MachineConfig};
 
     #[test]
     fn remap_block_to_irregular_preserves_values() {

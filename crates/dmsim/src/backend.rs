@@ -9,7 +9,11 @@
 //! * [`Machine`] itself — the deterministic sequential oracle: rank kernels
 //!   run one after another on the driver thread in ascending rank order;
 //! * [`ThreadedBackend`] — rank-parallel execution: every virtual processor
-//!   runs its kernel on its own OS thread (`std::thread::scope`).
+//!   runs its kernel on its own OS thread (`std::thread::scope`);
+//! * [`PooledBackend`](crate::pool::PooledBackend) — rank-parallel execution
+//!   on a pool of **long-lived** workers driven by broadcast phase
+//!   descriptors and an epoch barrier, removing the per-phase thread-spawn
+//!   cost (see [`crate::pool`]).
 //!
 //! # The determinism contract
 //!
@@ -53,7 +57,7 @@ pub enum PhaseEnd<'a> {
 
 /// One recorded charge, replayed against the machine in rank order.
 #[derive(Debug, Clone, Copy)]
-enum ChargeEvent {
+pub(crate) enum ChargeEvent {
     /// `units` of local computation on `proc`'s clock.
     Compute { proc: u32, units: f64 },
     /// `words` of local memory traffic on `proc`'s clock.
@@ -77,9 +81,9 @@ enum Sink<'a> {
         machine: &'a mut Machine,
         phase: Option<&'a mut PhaseCharge>,
     },
-    /// Record charges for later in-order replay (threaded engine).
+    /// Record charges for later in-order replay (threaded / pooled engines).
     Record {
-        ledger: &'a mut RankLedger,
+        events: &'a mut Vec<ChargeEvent>,
         in_phase: bool,
     },
 }
@@ -92,7 +96,37 @@ pub struct RankCtx<'a> {
     sink: Sink<'a>,
 }
 
-impl RankCtx<'_> {
+impl<'a> RankCtx<'a> {
+    /// A context that applies charges to the machine immediately (the
+    /// sequential engines and driver-side pack stages).
+    pub(crate) fn direct(
+        rank: usize,
+        nprocs: usize,
+        machine: &'a mut Machine,
+        phase: Option<&'a mut PhaseCharge>,
+    ) -> Self {
+        RankCtx {
+            rank,
+            nprocs,
+            sink: Sink::Direct { machine, phase },
+        }
+    }
+
+    /// A context that records charges into `events` for later in-rank-order
+    /// replay (the threaded and pooled engines).
+    pub(crate) fn recording(
+        rank: usize,
+        nprocs: usize,
+        events: &'a mut Vec<ChargeEvent>,
+        in_phase: bool,
+    ) -> Self {
+        RankCtx {
+            rank,
+            nprocs,
+            sink: Sink::Record { events, in_phase },
+        }
+    }
+
     /// The executing virtual processor.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -110,7 +144,7 @@ impl RankCtx<'_> {
     pub fn charge_compute(&mut self, proc: ProcId, units: f64) {
         match &mut self.sink {
             Sink::Direct { machine, .. } => machine.charge_compute(proc, units),
-            Sink::Record { ledger, .. } => ledger.events.push(ChargeEvent::Compute {
+            Sink::Record { events, .. } => events.push(ChargeEvent::Compute {
                 proc: proc as u32,
                 units,
             }),
@@ -123,7 +157,7 @@ impl RankCtx<'_> {
     pub fn charge_memory(&mut self, proc: ProcId, words: f64) {
         match &mut self.sink {
             Sink::Direct { machine, .. } => machine.charge_memory(proc, words),
-            Sink::Record { ledger, .. } => ledger.events.push(ChargeEvent::Memory {
+            Sink::Record { events, .. } => events.push(ChargeEvent::Memory {
                 proc: proc as u32,
                 words,
             }),
@@ -146,12 +180,12 @@ impl RankCtx<'_> {
                     .expect("charge_p2p outside an exchange phase's pack stage");
                 machine.charge_p2p(phase, from, to, words);
             }
-            Sink::Record { ledger, in_phase } => {
+            Sink::Record { events, in_phase } => {
                 assert!(
                     *in_phase,
                     "charge_p2p outside an exchange phase's pack stage"
                 );
-                ledger.events.push(ChargeEvent::P2p {
+                events.push(ChargeEvent::P2p {
                     from: from as u32,
                     to: to as u32,
                     words,
@@ -167,7 +201,12 @@ pub struct Outbox<'a, T> {
     row: &'a mut [Vec<T>],
 }
 
-impl<T> Outbox<'_, T> {
+impl<'a, T> Outbox<'a, T> {
+    /// Wrap one rank's outgoing mailbox row.
+    pub(crate) fn new(row: &'a mut [Vec<T>]) -> Self {
+        Outbox { row }
+    }
+
     /// The (initially empty) payload buffer destined for rank `to`.
     #[inline]
     pub fn payload_mut(&mut self, to: ProcId) -> &mut Vec<T> {
@@ -187,7 +226,12 @@ pub struct Inbox<'a, T> {
     me: usize,
 }
 
-impl<T> Inbox<'_, T> {
+impl<'a, T> Inbox<'a, T> {
+    /// Wrap the full mailbox matrix as rank `me`'s incoming view.
+    pub(crate) fn new(matrix: &'a [Vec<Vec<T>>], me: usize) -> Self {
+        Inbox { matrix, me }
+    }
+
     /// The payload rank `from` posted to this rank (empty if none).
     #[inline]
     pub fn from_rank(&self, from: ProcId) -> &[T] {
@@ -274,10 +318,31 @@ pub trait Backend {
 }
 
 /// Close a hand-charged phase per the requested [`PhaseEnd`].
-fn close_phase(machine: &mut Machine, end: PhaseEnd<'_>, phase: PhaseCharge) {
+pub(crate) fn close_phase(machine: &mut Machine, end: PhaseEnd<'_>, phase: PhaseCharge) {
     match end {
         PhaseEnd::Quiet => machine.end_phase_quiet(phase),
         PhaseEnd::Labelled(label) => machine.end_phase(label, phase),
+    }
+}
+
+/// Replay recorded charge events against the machine, in the order they were
+/// recorded — the shared tail of the threaded and pooled engines' phases.
+pub(crate) fn replay_events(
+    machine: &mut Machine,
+    mut phase: Option<&mut PhaseCharge>,
+    events: &[ChargeEvent],
+) {
+    for &event in events {
+        match event {
+            ChargeEvent::Compute { proc, units } => machine.charge_compute(proc as usize, units),
+            ChargeEvent::Memory { proc, words } => machine.charge_memory(proc as usize, words),
+            ChargeEvent::P2p { from, to, words } => {
+                let phase = phase
+                    .as_deref_mut()
+                    .expect("p2p event outside an exchange phase");
+                machine.charge_p2p(phase, from as usize, to as usize, words);
+            }
+        }
     }
 }
 
@@ -436,11 +501,7 @@ impl ThreadedBackend {
             for (rank, (ledger, st)) in ledgers.iter_mut().zip(states).enumerate() {
                 scope.spawn(move || {
                     ledger.events.clear();
-                    let mut ctx = RankCtx {
-                        rank,
-                        nprocs,
-                        sink: Sink::Record { ledger, in_phase },
-                    };
+                    let mut ctx = RankCtx::recording(rank, nprocs, &mut ledger.events, in_phase);
                     kernel(&mut ctx, st);
                 });
             }
@@ -451,22 +512,7 @@ impl ThreadedBackend {
     /// the exact charge sequence the sequential engine would have produced.
     fn replay(machine: &mut Machine, mut phase: Option<&mut PhaseCharge>, ledgers: &[RankLedger]) {
         for ledger in ledgers {
-            for &event in &ledger.events {
-                match event {
-                    ChargeEvent::Compute { proc, units } => {
-                        machine.charge_compute(proc as usize, units)
-                    }
-                    ChargeEvent::Memory { proc, words } => {
-                        machine.charge_memory(proc as usize, words)
-                    }
-                    ChargeEvent::P2p { from, to, words } => {
-                        let phase = phase
-                            .as_deref_mut()
-                            .expect("p2p event outside an exchange phase");
-                        machine.charge_p2p(phase, from as usize, to as usize, words);
-                    }
-                }
-            }
+            replay_events(machine, phase.as_deref_mut(), &ledger.events);
         }
     }
 }

@@ -18,11 +18,14 @@
 //! costs** (charged to per-processor [`ProcClock`]s according to
 //! [`MachineConfig`]). SPMD regions execute behind the [`Backend`]
 //! abstraction: the [`Machine`] itself runs rank kernels sequentially in
-//! rank order (the deterministic oracle), while [`ThreadedBackend`] runs
-//! each virtual processor on its own OS thread, charging through per-rank
-//! ledgers that are replayed in rank order — so the *modeled* time never
-//! depends on real execution order and every experiment is reproducible
-//! bit-for-bit on either engine (see [`backend`] for the contract).
+//! rank order (the deterministic oracle), [`ThreadedBackend`] runs each
+//! virtual processor on its own scoped OS thread, and [`PooledBackend`]
+//! drives a pool of long-lived workers through broadcast phase descriptors
+//! and an epoch barrier (the low-overhead engine). The parallel engines
+//! charge through per-rank ledgers that are replayed in rank order — so the
+//! *modeled* time never depends on real execution order and every
+//! experiment is reproducible bit-for-bit on any engine (see [`backend`]
+//! and [`pool`] for the contract).
 //!
 //! ## Quick example
 //!
@@ -47,6 +50,7 @@ pub mod collectives;
 pub mod config;
 pub mod exchange;
 pub mod machine;
+pub mod pool;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -56,5 +60,6 @@ pub use collectives::ReduceOp;
 pub use config::{CostModel, MachineConfig, SyncModel, Topology};
 pub use exchange::{Delivered, ExchangePlan, Message};
 pub use machine::{Machine, PhaseCharge, ProcId};
+pub use pool::PooledBackend;
 pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry};
 pub use time::{ElapsedReport, ProcClock, SimTime};

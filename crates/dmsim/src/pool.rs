@@ -1,0 +1,697 @@
+//! The persistent worker-pool SPMD engine: long-lived workers driven by
+//! broadcast phase descriptors through a two-phase epoch barrier.
+//!
+//! [`ThreadedBackend`](crate::backend::ThreadedBackend) spawns one scoped OS
+//! thread per rank per phase — tens of microseconds each, which dominates
+//! small and medium phases now that the compute inside them is cheap
+//! (CSR schedules, compiled kernels). [`PooledBackend`] removes that cost
+//! structurally:
+//!
+//! * **Workers are created once** (at pool construction) and live until the
+//!   backend is dropped. The driver thread itself doubles as the last lane,
+//!   so a pool of `w` workers spawns only `w - 1` OS threads — and a
+//!   single-worker pool runs everything inline with no synchronization at
+//!   all.
+//! * **Phases are broadcast, not spawned.** Each `run_*` call publishes one
+//!   type-erased phase descriptor (a borrowed closure, made to outlive the
+//!   call through the pool's epoch protocol) and releases the workers by
+//!   bumping an epoch counter — the monotonic generalization of a
+//!   sense-reversing barrier flag: a worker's "sense" is the last epoch it
+//!   completed, and the release test is simply `epoch != seen`.
+//! * **The barrier has two phases.** Release: workers spin briefly on the
+//!   epoch, then park on a condvar (spin-then-park keeps back-to-back
+//!   phases off the scheduler while letting an idle pool consume no CPU).
+//!   Completion: each worker arrives at an atomic counter; the last arrival
+//!   wakes the (also spin-then-park) driver. Only after the completion
+//!   barrier does the driver touch the descriptor slot again, which is what
+//!   makes lending the borrowed closure to the workers sound.
+//! * **Ranks are striped statically.** Rank `r` always runs on lane
+//!   `r % workers`, so more ranks than workers fold onto the pool without
+//!   rebalancing, and a rank's charges always land in the same lane-local
+//!   arena.
+//! * **Scratch is per-worker and reusable.** Each lane owns a
+//!   [`ChargeArena`] — a small CSR log (flat event vector + one offset per
+//!   processed rank) cleared, not freed, every phase. Steady state records
+//!   and replays charges with zero allocation.
+//!
+//! Determinism is inherited from the [`Backend`](crate::backend) contract
+//! unchanged: kernels write only rank-disjoint state, charge only through
+//! their [`RankCtx`], and the recorded events are replayed against the
+//! machine **in ascending rank order** after the barrier — the exact
+//! sequence the sequential [`Machine`] oracle performs, so clocks,
+//! statistics and values are bit-identical by construction, for any worker
+//! count, on any core count.
+
+use crate::backend::{
+    close_phase, replay_events, Backend, ChargeEvent, Inbox, Outbox, PhaseEnd, RankCtx,
+};
+use crate::config::MachineConfig;
+use crate::machine::{Machine, PhaseCharge};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How long each side of the barrier spins before parking on its condvar.
+/// Back-to-back phases (the executor's steady state) stay in the spin
+/// window; an idle pool parks and costs nothing.
+const SPIN_ROUNDS: u32 = 1 << 14;
+
+/// A type-erased phase descriptor: the closure every lane runs once per
+/// phase, handed its lane index. The `'static` in the pointee type is a
+/// lie the pool is structured to keep harmless — the driver never returns
+/// from [`WorkerPool::run`] until every worker has passed the completion
+/// barrier, so the borrow the pointer was created from is still live
+/// whenever a worker dereferences it.
+type Job = *const (dyn Fn(usize) + Sync);
+
+/// State shared between the driver and the spawned workers.
+struct PoolShared {
+    /// Phase counter, bumped (Release) by the driver to publish a phase.
+    epoch: AtomicU64,
+    /// The current phase descriptor. Written by the driver strictly before
+    /// the epoch bump, cleared strictly after the completion barrier; in
+    /// between, read-only.
+    job: UnsafeCell<Option<Job>>,
+    /// Completion barrier: how many workers have finished the current phase.
+    arrived: AtomicUsize,
+    /// Set (before a final epoch bump) to make the workers exit.
+    shutdown: AtomicBool,
+    /// Park support for workers waiting on a new epoch.
+    wake_lock: Mutex<()>,
+    wake_cv: Condvar,
+    /// Park support for the driver waiting on the completion barrier.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    /// First panic payload caught in a worker during the current phase.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Number of spawned workers (lanes excluding the driver's).
+    spawned: usize,
+}
+
+// Safety: `job` is the only non-Sync field. It is written by the driver only
+// while every worker is quiescent (before the epoch release / after the
+// completion barrier) and read by workers only between those two points.
+unsafe impl Send for PoolShared {}
+unsafe impl Sync for PoolShared {}
+
+impl PoolShared {
+    /// Release side of the barrier: wait until the epoch moves past `seen`.
+    fn wait_for_epoch(&self, seen: u64) -> u64 {
+        for _ in 0..SPIN_ROUNDS {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != seen {
+                return e;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.wake_lock.lock().unwrap();
+        loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            if e != seen {
+                return e;
+            }
+            guard = self.wake_cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Completion side, worker half: arrive, waking the driver on last.
+    fn arrive(&self) {
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.spawned {
+            let _guard = self.done_lock.lock().unwrap();
+            self.done_cv.notify_one();
+        }
+    }
+
+    /// Completion side, driver half: wait for every worker to arrive.
+    fn wait_for_workers(&self) {
+        for _ in 0..SPIN_ROUNDS {
+            if self.arrived.load(Ordering::Acquire) == self.spawned {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.done_lock.lock().unwrap();
+        while self.arrived.load(Ordering::Acquire) != self.spawned {
+            guard = self.done_cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// Long-lived worker loop: wait for a phase, run the lane's share, arrive.
+fn worker_main(shared: Arc<PoolShared>, lane: usize) {
+    let mut seen = 0u64;
+    loop {
+        seen = shared.wait_for_epoch(seen);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Safety: the driver published the descriptor before this epoch and
+        // keeps the underlying closure alive until after `arrive`.
+        let job = unsafe { (*shared.job.get()).expect("pool epoch bumped with no job") };
+        let job = unsafe { &*job };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(lane))) {
+            shared.panic.lock().unwrap().get_or_insert(payload);
+        }
+        shared.arrive();
+    }
+}
+
+/// The pool of long-lived workers. One lane per worker; the driver thread
+/// executes the last lane itself during every phase.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    lanes: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `lanes - 1` workers (the driver is the final lane).
+    fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1, "a pool needs at least one lane");
+        let spawned = lanes - 1;
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            arrived: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            wake_lock: Mutex::new(()),
+            wake_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+            spawned,
+        });
+        let handles = (0..spawned)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("chaos-pool-{lane}"))
+                    .spawn(move || worker_main(shared, lane))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            lanes,
+        }
+    }
+
+    /// Run `job(lane)` once per lane — spawned workers take lanes
+    /// `0..lanes-1`, the driver takes the last — returning only after every
+    /// lane has finished. Worker panics are re-raised here, after the
+    /// barrier, so the borrowed descriptor is never outlived.
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        let driver_lane = shared.spawned;
+        if shared.spawned == 0 {
+            // Single-lane pool: no synchronization, no catch — just run.
+            job(driver_lane);
+            return;
+        }
+        // Publish, then release. Safety: every worker is quiescent between
+        // phases (the previous completion barrier has passed), so the slot
+        // is ours to write.
+        unsafe {
+            *shared.job.get() = Some(std::mem::transmute::<*const (dyn Fn(usize) + Sync), Job>(
+                job,
+            ));
+        }
+        shared.arrived.store(0, Ordering::Relaxed);
+        shared.epoch.fetch_add(1, Ordering::Release);
+        drop(shared.wake_lock.lock().unwrap());
+        shared.wake_cv.notify_all();
+        // The driver is a lane too: run its stripe while the workers run
+        // theirs. A panic here must still wait out the barrier (the workers
+        // hold pointers into the driver's stack), hence the catch.
+        let mine = catch_unwind(AssertUnwindSafe(|| job(driver_lane)));
+        shared.wait_for_workers();
+        // Safety: completion barrier passed; the slot is quiescent again.
+        unsafe {
+            *shared.job.get() = None;
+        }
+        if let Some(payload) = shared.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        drop(self.shared.wake_lock.lock().unwrap());
+        self.shared.wake_cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One lane's reusable charge scratch: every event the lane's ranks recorded
+/// this phase, stored contiguously, with one start offset per processed rank
+/// (CSR-style; a trailing sentinel closes the last span). Cleared — never
+/// freed — each phase, so steady-state phases record without allocating.
+#[derive(Debug, Default)]
+struct ChargeArena {
+    events: Vec<ChargeEvent>,
+    starts: Vec<u32>,
+}
+
+/// A `&mut [T]` smuggled to the pool's lanes as disjointly-indexed cells.
+///
+/// Safety contract: during one phase, each index is touched by at most one
+/// lane (the rank → lane striping is a partition), and the driver does not
+/// touch the slice until the phase's completion barrier has passed.
+struct RawCells<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for RawCells<T> {}
+unsafe impl<T: Send> Sync for RawCells<T> {}
+
+impl<T> RawCells<T> {
+    fn new(slice: &mut [T]) -> Self {
+        RawCells {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Safety: `i < len`, and no other lane touches index `i` this phase.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// The persistent-pool engine: like
+/// [`ThreadedBackend`](crate::backend::ThreadedBackend) but with long-lived
+/// workers, a broadcast-descriptor phase protocol, per-worker reusable
+/// charge arenas and static rank → worker striping (see the module docs).
+/// Byte-identical to the sequential [`Machine`] engine by construction.
+pub struct PooledBackend {
+    machine: Machine,
+    pool: WorkerPool,
+    arenas: Vec<ChargeArena>,
+}
+
+impl std::fmt::Debug for PooledBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBackend")
+            .field("machine", &self.machine)
+            .field("workers", &self.pool.lanes)
+            .finish()
+    }
+}
+
+impl PooledBackend {
+    /// Wrap a machine in a pool sized to `min(nprocs, available cores)`
+    /// workers (one of which is the driver thread itself).
+    pub fn new(machine: Machine) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let lanes = machine.nprocs().min(cores).max(1);
+        Self::with_workers(machine, lanes)
+    }
+
+    /// Wrap a machine in a pool of exactly `workers` lanes. The driver
+    /// thread doubles as the last lane, so `workers - 1` OS threads are
+    /// spawned; `workers` may exceed both the rank count and the hardware
+    /// core count (results never depend on it).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_workers(machine: Machine, workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let arenas = (0..workers).map(|_| ChargeArena::default()).collect();
+        PooledBackend {
+            machine,
+            pool: WorkerPool::new(workers),
+            arenas,
+        }
+    }
+
+    /// Build a pooled engine over a fresh machine with this configuration.
+    pub fn from_config(cfg: MachineConfig) -> Self {
+        Self::new(Machine::new(cfg))
+    }
+
+    /// [`PooledBackend::from_config`] with an explicit worker count.
+    pub fn from_config_with_workers(cfg: MachineConfig, workers: usize) -> Self {
+        Self::with_workers(Machine::new(cfg), workers)
+    }
+
+    /// Number of worker lanes (including the driver's).
+    pub fn workers(&self) -> usize {
+        self.pool.lanes
+    }
+
+    /// Unwrap the underlying machine (the pool's workers are joined).
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+
+    /// Broadcast one phase over the pool: lane `w` runs ranks `w`,
+    /// `w + workers`, `w + 2*workers`, … (static striping), recording each
+    /// rank's charges as one span in the lane's arena.
+    fn fan_out_ranks<F>(&mut self, in_phase: bool, run_rank: F)
+    where
+        F: Fn(&mut RankCtx<'_>, usize) + Sync,
+    {
+        let nprocs = self.machine.nprocs();
+        let lanes = self.pool.lanes;
+        let arenas = RawCells::new(&mut self.arenas);
+        self.pool.run(&|lane: usize| {
+            // Safety: lane indices are distinct across the pool's lanes.
+            let arena = unsafe { arenas.get_mut(lane) };
+            arena.events.clear();
+            arena.starts.clear();
+            let mut rank = lane;
+            while rank < nprocs {
+                arena.starts.push(arena.events.len() as u32);
+                let mut ctx = RankCtx::recording(rank, nprocs, &mut arena.events, in_phase);
+                run_rank(&mut ctx, rank);
+                rank += lanes;
+            }
+            arena.starts.push(arena.events.len() as u32);
+        });
+    }
+
+    /// Replay the lanes' arenas against the machine in ascending **rank**
+    /// order (interleaving across lanes per the stripe map) — the exact
+    /// charge sequence the sequential engine would have produced.
+    fn replay(&mut self, mut phase: Option<&mut PhaseCharge>) {
+        let lanes = self.pool.lanes;
+        for rank in 0..self.machine.nprocs() {
+            let arena = &self.arenas[rank % lanes];
+            let i = rank / lanes;
+            let (start, end) = (arena.starts[i] as usize, arena.starts[i + 1] as usize);
+            replay_events(
+                &mut self.machine,
+                phase.as_deref_mut(),
+                &arena.events[start..end],
+            );
+        }
+    }
+
+    /// Collect a state iterator into per-rank slots, checking arity.
+    fn collect_states<St, I: IntoIterator<Item = St>>(&self, state: I) -> Vec<Option<St>> {
+        let states: Vec<Option<St>> = state.into_iter().map(Some).collect();
+        assert_eq!(
+            states.len(),
+            self.machine.nprocs(),
+            "state must yield one item per rank"
+        );
+        states
+    }
+}
+
+impl Backend for PooledBackend {
+    fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    fn run_compute<St, I, F>(&mut self, state: I, kernel: F)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let mut states = self.collect_states(state);
+        {
+            let cells = RawCells::new(&mut states);
+            self.fan_out_ranks(false, |ctx, rank| {
+                // Safety: each rank index is visited exactly once per phase.
+                let st = unsafe { cells.get_mut(rank) }.take().expect("state slot");
+                kernel(ctx, st);
+            });
+        }
+        self.replay(None);
+    }
+
+    fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        // The pack stage only charges (it moves no data): run it inline on
+        // the driver, exactly as the threaded engine does — by construction
+        // the same charge sequence a record + replay would produce.
+        let nprocs = self.machine.nprocs();
+        let mut phase = PhaseCharge::new();
+        for rank in 0..nprocs {
+            let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
+            pack(&mut ctx);
+        }
+        close_phase(&mut self.machine, end, phase);
+        // The unpack stage does the real data movement: broadcast it.
+        self.run_compute(state, unpack);
+    }
+
+    fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
+    where
+        T: Send + Sync,
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
+    {
+        let nprocs = self.machine.nprocs();
+        let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
+            .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
+            .collect();
+        // Pack: rank r owns row r of the mailbox matrix.
+        {
+            let rows = RawCells::new(&mut matrix);
+            self.fan_out_ranks(true, |ctx, rank| {
+                // Safety: row `rank` is written only by rank `rank`'s lane.
+                let row = unsafe { rows.get_mut(rank) };
+                pack(ctx, &mut Outbox::new(row));
+            });
+        }
+        let mut phase = PhaseCharge::new();
+        self.replay(Some(&mut phase));
+        close_phase(&mut self.machine, end, phase);
+        // Unpack: rank r reads column r of the (now frozen) matrix.
+        let mut states = self.collect_states(state);
+        {
+            let cells = RawCells::new(&mut states);
+            let matrix = &matrix;
+            self.fan_out_ranks(false, |ctx, rank| {
+                // Safety: each rank index is visited exactly once per phase.
+                let st = unsafe { cells.get_mut(rank) }.take().expect("state slot");
+                unpack(ctx, st, &Inbox::new(matrix, rank));
+            });
+        }
+        self.replay(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ThreadedBackend;
+
+    fn engines(p: usize, workers: usize) -> (Machine, PooledBackend) {
+        (
+            Machine::new(MachineConfig::ipsc860(p)),
+            PooledBackend::from_config_with_workers(MachineConfig::ipsc860(p), workers),
+        )
+    }
+
+    /// A phase whose pack charges a ring of messages and whose unpack writes
+    /// rank-local state — exercised identically on both engines.
+    fn ring_phase<B: Backend>(backend: &mut B, out: &mut [f64]) {
+        backend.run_phase(
+            PhaseEnd::Labelled("ring"),
+            |ctx| {
+                let r = ctx.rank();
+                ctx.charge_memory(r, 3.0);
+                ctx.charge_p2p(r, (r + 1) % ctx.nprocs(), 3);
+            },
+            out.iter_mut(),
+            |ctx, slot| {
+                ctx.charge_compute(ctx.rank(), 2.0);
+                *slot = ctx.rank() as f64 * 10.0;
+            },
+        );
+    }
+
+    fn assert_bit_identical(seq: &Machine, pool: &PooledBackend) {
+        let (ea, eb) = (seq.elapsed(), pool.machine().elapsed());
+        for p in 0..seq.nprocs() {
+            assert_eq!(ea.per_proc[p].to_bits(), eb.per_proc[p].to_bits());
+            assert_eq!(ea.comm[p].to_bits(), eb.comm[p].to_bits());
+            assert_eq!(ea.idle[p].to_bits(), eb.idle[p].to_bits());
+        }
+        let (sa, sb) = (
+            seq.stats().grand_totals(),
+            pool.machine().stats().grand_totals(),
+        );
+        assert_eq!(sa.messages, sb.messages);
+        assert_eq!(sa.bytes, sb.bytes);
+        assert_eq!(sa.phases, sb.phases);
+        assert_eq!(sa.comm_seconds.to_bits(), sb.comm_seconds.to_bits());
+        assert_eq!(seq.stats().records(), pool.machine().stats().records());
+    }
+
+    #[test]
+    fn pooled_phase_is_bit_identical_to_sequential() {
+        for workers in [1, 2, 3, 8] {
+            let (mut seq, mut pool) = engines(8, workers);
+            let mut out_a = vec![0.0; 8];
+            let mut out_b = vec![0.0; 8];
+            ring_phase(&mut seq, &mut out_a);
+            ring_phase(&mut pool, &mut out_b);
+            assert_eq!(out_a, out_b, "workers={workers}");
+            assert_bit_identical(&seq, &pool);
+        }
+    }
+
+    #[test]
+    fn pooled_exchange_rotates_payloads() {
+        fn rotate<B: Backend>(backend: &mut B) -> Vec<u64> {
+            let n = backend.nprocs();
+            let mut got = vec![0u64; n];
+            backend.run_exchange(
+                PhaseEnd::Labelled("rotate"),
+                |ctx, outbox: &mut Outbox<'_, u64>| {
+                    let r = ctx.rank();
+                    let to = (r + 1) % ctx.nprocs();
+                    outbox.post(to, [r as u64 * 100]);
+                    ctx.charge_p2p(r, to, 1);
+                },
+                got.iter_mut(),
+                |ctx, slot, inbox| {
+                    let from = (ctx.rank() + ctx.nprocs() - 1) % ctx.nprocs();
+                    *slot = inbox.from_rank(from)[0];
+                    ctx.charge_memory(ctx.rank(), 1.0);
+                },
+            );
+            got
+        }
+        let (mut seq, mut pool) = engines(8, 3);
+        let a = rotate(&mut seq);
+        let b = rotate(&mut pool);
+        assert_eq!(a, b);
+        assert_bit_identical(&seq, &pool);
+    }
+
+    #[test]
+    fn ranks_exceeding_workers_stripe_onto_the_pool() {
+        // 16 ranks on 3 lanes: lane 0 runs ranks {0,3,6,...}, etc. Replay
+        // must still interleave back to ascending rank order.
+        let (mut seq, mut pool) = engines(16, 3);
+        let mut a = vec![0u32; 16];
+        let mut b = vec![0u32; 16];
+        seq.run_compute(a.iter_mut(), |ctx, d| {
+            ctx.charge_compute(ctx.rank(), 1.0 + ctx.rank() as f64);
+            *d = ctx.rank() as u32;
+        });
+        pool.run_compute(b.iter_mut(), |ctx, d| {
+            ctx.charge_compute(ctx.rank(), 1.0 + ctx.rank() as f64);
+            *d = ctx.rank() as u32;
+        });
+        assert_eq!(a, (0..16).collect::<Vec<_>>());
+        assert_eq!(a, b);
+        assert_bit_identical(&seq, &pool);
+    }
+
+    #[test]
+    fn workers_exceeding_ranks_and_cores_still_agree() {
+        // More lanes (12) than ranks (4), and (on small containers) more
+        // lanes than hardware cores: idle lanes run empty stripes, busy
+        // lanes timeshare, results must not care.
+        let (mut seq, mut pool) = engines(4, 12);
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        ring_phase(&mut seq, &mut a);
+        ring_phase(&mut pool, &mut b);
+        assert_eq!(a, b);
+        assert_bit_identical(&seq, &pool);
+    }
+
+    #[test]
+    fn many_phases_reuse_the_pool_and_stay_identical() {
+        // 100 back-to-back phases through the same pool: the epoch barrier
+        // must hand off cleanly every time (spin window and park path both
+        // get exercised under scheduler noise), and the arenas must absorb
+        // the recording without fresh allocation once grown.
+        let mut seq = Machine::new(MachineConfig::unit(6));
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(6), 3);
+        let mut a = vec![0.0; 6];
+        let mut b = vec![0.0; 6];
+        for _ in 0..100 {
+            ring_phase(&mut seq, &mut a);
+            ring_phase(&mut pool, &mut b);
+        }
+        assert_eq!(a, b);
+        assert_bit_identical(&seq, &pool);
+        let arena_capacity: usize = pool.arenas.iter().map(|a| a.events.capacity()).sum();
+        let mut c = vec![0.0; 6];
+        ring_phase(&mut pool, &mut c);
+        let after: usize = pool.arenas.iter().map(|a| a.events.capacity()).sum();
+        assert_eq!(arena_capacity, after, "steady-state arenas must not grow");
+    }
+
+    #[test]
+    fn pooled_engine_matches_threaded_engine() {
+        let mut thr = ThreadedBackend::from_config(MachineConfig::ipsc860(8));
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::ipsc860(8), 4);
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        ring_phase(&mut thr, &mut a);
+        ring_phase(&mut pool, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(thr.machine().elapsed(), pool.machine().elapsed());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_driver() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(4), 4);
+            let mut out = [0u8; 4];
+            pool.run_compute(out.iter_mut(), |ctx, _| {
+                if ctx.rank() == 1 {
+                    panic!("kernel exploded on rank 1");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must reach the driver");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("kernel exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one item per rank")]
+    fn short_state_iterator_panics() {
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(4), 2);
+        let mut only_two = [0u8; 2];
+        pool.run_compute(only_two.iter_mut(), |_, _| {});
+    }
+
+    #[test]
+    fn dropping_the_backend_joins_the_workers() {
+        let pool = PooledBackend::from_config_with_workers(MachineConfig::unit(2), 6);
+        let machine = pool.into_machine();
+        assert_eq!(machine.nprocs(), 2);
+    }
+}

@@ -5,7 +5,7 @@
 //! through the GeoCoL interface.
 
 use crate::geocol::GeoCoL;
-use crate::partition::{Partitioner, Partitioning};
+use crate::partition::{Partitioner, Partitioning, RankScans, SerialScans};
 
 /// Recursive inertial bisection partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +28,22 @@ impl Partitioner for InertialPartitioner {
     }
 
     fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning {
+        // Single-chunk scans degenerate to the classic sequential folds.
+        self.partition_with_scans(geocol, nparts, &mut SerialScans::single())
+    }
+
+    /// The rank-parallel entry point: the mean and covariance accumulations
+    /// behind every principal-axis computation (the partitioner's "moment
+    /// scans") run as rank-chunked partial sums through `scans` — one chunk
+    /// per rank, combined in ascending rank order — so the runtime can
+    /// execute them through `Backend::run_compute` while the result stays
+    /// deterministic for a given rank count on every engine.
+    fn partition_with_scans(
+        &self,
+        geocol: &GeoCoL,
+        nparts: usize,
+        scans: &mut dyn RankScans,
+    ) -> Partitioning {
         assert!(
             geocol.has_geometry(),
             "inertial bisection requires a GEOMETRY section in the GeoCoL structure"
@@ -38,7 +54,7 @@ impl Partitioner for InertialPartitioner {
             return Partitioning::new(owners, nparts);
         }
         let mut vertices: Vec<u32> = (0..n as u32).collect();
-        self.bisect(geocol, &mut vertices, 0, nparts, &mut owners);
+        self.bisect(geocol, &mut vertices, 0, nparts, &mut owners, scans);
         Partitioning::new(owners, nparts)
     }
 
@@ -58,6 +74,7 @@ impl InertialPartitioner {
         part_lo: usize,
         nparts: usize,
         owners: &mut [u32],
+        scans: &mut dyn RankScans,
     ) {
         if nparts <= 1 || vertices.len() <= 1 {
             for &v in vertices.iter() {
@@ -66,7 +83,7 @@ impl InertialPartitioner {
             return;
         }
 
-        let axis = principal_axis(geocol, vertices, self.power_iterations);
+        let axis = principal_axis(geocol, vertices, self.power_iterations, scans);
         // Project each vertex onto the principal axis and sort by projection.
         vertices.sort_unstable_by(|&a, &b| {
             let pa = project(geocol, a as usize, &axis);
@@ -93,8 +110,15 @@ impl InertialPartitioner {
         split = split.clamp(1, vertices.len() - 1);
 
         let (left, right) = vertices.split_at_mut(split);
-        self.bisect(geocol, left, part_lo, left_parts, owners);
-        self.bisect(geocol, right, part_lo + left_parts, right_parts, owners);
+        self.bisect(geocol, left, part_lo, left_parts, owners, scans);
+        self.bisect(
+            geocol,
+            right,
+            part_lo + left_parts,
+            right_parts,
+            owners,
+            scans,
+        );
     }
 }
 
@@ -111,17 +135,43 @@ fn project(geocol: &GeoCoL, vertex: usize, direction: &[f64]) -> f64 {
 /// Dominant eigenvector of the (load-weighted) coordinate covariance matrix,
 /// found by power iteration. Falls back to the first coordinate axis for
 /// degenerate point clouds.
-fn principal_axis(geocol: &GeoCoL, vertices: &[u32], iterations: usize) -> Vec<f64> {
+///
+/// The two O(n·dim) accumulation passes — total load + load-weighted
+/// coordinate sums, then the covariance moments — run as rank-chunked
+/// partial sums through `scans`; the partials are combined in ascending
+/// rank order and the tiny `dim × dim` power iteration stays driver-side.
+fn principal_axis(
+    geocol: &GeoCoL,
+    vertices: &[u32],
+    iterations: usize,
+    scans: &mut dyn RankScans,
+) -> Vec<f64> {
     let dim = geocol.geometry_dim();
-    let total_load: f64 = vertices
-        .iter()
-        .map(|&v| geocol.vertex_load(v as usize))
-        .sum();
+    let nranks = scans.nranks();
+
+    // Moment scan 1: [total load, load-weighted coordinate sums].
+    let width = 1 + dim;
+    let partials = scans.scan(
+        vertices.len(),
+        width,
+        (1 + dim) as f64,
+        &|_, range, acc: &mut [f64]| {
+            for &v in &vertices[range] {
+                let w = geocol.vertex_load(v as usize);
+                acc[0] += w;
+                for axis in 0..dim {
+                    acc[1 + axis] += w * geocol.coord(axis, v as usize);
+                }
+            }
+        },
+    );
+    let mut total_load = 0.0;
     let mut mean = vec![0.0; dim];
-    for &v in vertices {
-        let w = geocol.vertex_load(v as usize);
+    for rank in 0..nranks {
+        let acc = &partials[rank * width..(rank + 1) * width];
+        total_load += acc[0];
         for (axis, m) in mean.iter_mut().enumerate() {
-            *m += w * geocol.coord(axis, v as usize);
+            *m += acc[1 + axis];
         }
     }
     if total_load > 0.0 {
@@ -130,15 +180,33 @@ fn principal_axis(geocol: &GeoCoL, vertices: &[u32], iterations: usize) -> Vec<f
         }
     }
 
-    // Covariance (dim x dim, dim is 1..3 in practice).
+    // Moment scan 2: the covariance matrix (dim x dim, dim is 1..3 in
+    // practice), mean-centred using the first scan's result.
+    let cov_width = dim * dim;
+    let mean_ref = &mean;
+    let cov_partials = scans.scan(
+        vertices.len(),
+        cov_width,
+        (dim * dim) as f64,
+        &|_, range, acc: &mut [f64]| {
+            for &v in &vertices[range] {
+                let w = geocol.vertex_load(v as usize);
+                for i in 0..dim {
+                    let di = geocol.coord(i, v as usize) - mean_ref[i];
+                    for j in 0..dim {
+                        let dj = geocol.coord(j, v as usize) - mean_ref[j];
+                        acc[i * dim + j] += w * di * dj;
+                    }
+                }
+            }
+        },
+    );
     let mut cov = vec![vec![0.0; dim]; dim];
-    for &v in vertices {
-        let w = geocol.vertex_load(v as usize);
+    for rank in 0..nranks {
+        let acc = &cov_partials[rank * cov_width..(rank + 1) * cov_width];
         for i in 0..dim {
-            let di = geocol.coord(i, v as usize) - mean[i];
             for j in 0..dim {
-                let dj = geocol.coord(j, v as usize) - mean[j];
-                cov[i][j] += w * di * dj;
+                cov[i][j] += acc[i * dim + j];
             }
         }
     }

@@ -47,7 +47,7 @@ pub use geocol::{GeoCoL, GeoColBuilder, GeoColError};
 pub use inertial::InertialPartitioner;
 pub use kl::{refine as kl_refine, KlOptions, KlRefinedPartitioner};
 pub use metrics::PartitionQuality;
-pub use partition::{Partitioner, Partitioning};
+pub use partition::{scan_chunk, Partitioner, Partitioning, RankScans, ScanKernel, SerialScans};
 pub use rcb::RcbPartitioner;
 pub use registry::{partitioner_by_name, registered_partitioner_names};
 pub use rsb::RsbPartitioner;

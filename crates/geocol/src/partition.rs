@@ -86,6 +86,96 @@ impl Partitioning {
     }
 }
 
+/// The contiguous chunk of `0..n_items` assigned to `rank` by a
+/// [`RankScans`] executor: `ceil(n/nranks)`-sized blocks, the trailing ones
+/// possibly empty. Shared by every executor so that a scan's partial-sum
+/// grouping — and therefore its floating-point result — depends only on the
+/// rank count, never on the engine.
+pub fn scan_chunk(n_items: usize, nranks: usize, rank: usize) -> std::ops::Range<usize> {
+    let per = n_items.div_ceil(nranks.max(1));
+    let start = (rank * per).min(n_items);
+    let end = ((rank + 1) * per).min(n_items);
+    start..end
+}
+
+/// A rank-local fold kernel handed to [`RankScans::scan`]: called as
+/// `kernel(rank, range, partials)` with the rank's [`scan_chunk`] item range
+/// and its private accumulator slice.
+pub type ScanKernel<'a> = dyn Fn(usize, std::ops::Range<usize>, &mut [f64]) + Sync + 'a;
+
+/// Executor for rank-chunked reduction passes ("moment scans").
+///
+/// Partitioners that have been restructured rank-parallel express their
+/// per-vertex reduction passes against this object-safe interface; the
+/// runtime's mapper coupler hands them an implementation backed by the SPMD
+/// `Backend` (so the scans run one chunk per virtual processor and are
+/// charged to the simulated machine), while the pure
+/// [`Partitioner::partition`] entry point uses the driver-side
+/// [`SerialScans`]. Implementations must chunk with [`scan_chunk`] and
+/// return rank-major partials; callers combine them in ascending rank
+/// order, which keeps results engine-independent by construction.
+pub trait RankScans {
+    /// Number of ranks the scan is folded over.
+    fn nranks(&self) -> usize;
+
+    /// Run `kernel(rank, range, partials)` once per rank, where `range` is
+    /// [`scan_chunk`]`(n_items, nranks, rank)` and `partials` is that rank's
+    /// private zero-initialized `width`-wide accumulator slice. Charges
+    /// `ops_per_item` modeled compute units per item to the executing rank
+    /// (where a machine is attached) and returns the concatenated rank-major
+    /// partials.
+    fn scan(
+        &mut self,
+        n_items: usize,
+        width: usize,
+        ops_per_item: f64,
+        kernel: &ScanKernel<'_>,
+    ) -> Vec<f64>;
+}
+
+/// Driver-side [`RankScans`] executor: runs every chunk sequentially on the
+/// calling thread and charges nothing. With one rank (the default) a scan
+/// degenerates to the classic single-pass fold, which is what the pure
+/// `Partitioner::partition` entry points use.
+#[derive(Debug, Clone, Copy)]
+pub struct SerialScans {
+    /// Number of chunks the item range is folded over.
+    pub nranks: usize,
+}
+
+impl SerialScans {
+    /// A single-chunk executor (the classic sequential fold).
+    pub fn single() -> Self {
+        SerialScans { nranks: 1 }
+    }
+}
+
+impl Default for SerialScans {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl RankScans for SerialScans {
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn scan(
+        &mut self,
+        n_items: usize,
+        width: usize,
+        _ops_per_item: f64,
+        kernel: &ScanKernel<'_>,
+    ) -> Vec<f64> {
+        let mut partials = vec![0.0; width * self.nranks];
+        for (rank, acc) in partials.chunks_mut(width).enumerate() {
+            kernel(rank, scan_chunk(n_items, self.nranks, rank), acc);
+        }
+        partials
+    }
+}
+
 /// A data partitioner: maps a GeoCoL graph onto `nparts` parts.
 ///
 /// Implementations must be deterministic for a given input (the reproduction
@@ -98,6 +188,22 @@ pub trait Partitioner {
 
     /// Compute a partitioning of `geocol` into `nparts` parts.
     fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning;
+
+    /// Like [`Partitioner::partition`], but with a [`RankScans`] executor
+    /// the implementation may route its data-parallel reduction passes
+    /// through. The default ignores the executor (driver-side algorithms);
+    /// partitioners restructured rank-parallel (currently `INERTIAL`'s
+    /// moment scans) override it, making them scale with ranks when the
+    /// runtime passes a `Backend`-backed executor.
+    fn partition_with_scans(
+        &self,
+        geocol: &GeoCoL,
+        nparts: usize,
+        scans: &mut dyn RankScans,
+    ) -> Partitioning {
+        let _ = scans;
+        self.partition(geocol, nparts)
+    }
 
     /// A rough cost estimate, in abstract "operations", of running this
     /// partitioner on `geocol`. The mapper coupler divides this by the

@@ -29,7 +29,7 @@ use crate::kernel::{
     KernelEntry, RankState, SweepBuffers,
 };
 use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
-use chaos_dmsim::{Backend, Machine, MachineConfig, PhaseKind, ThreadedBackend};
+use chaos_dmsim::{Backend, Machine, MachineConfig, PhaseKind, PooledBackend, ThreadedBackend};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
     gather_into, scatter_reduce, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
@@ -127,7 +127,9 @@ struct CachedLoop {
 /// backend the runtime phases (index translation, dedup, gather, compute,
 /// scatter) run rank-serially on the driver thread; with a
 /// [`ThreadedBackend`] every virtual processor runs them on its own OS
-/// thread, with byte-identical results, clocks and statistics. The
+/// thread, and with a [`PooledBackend`] on a pool of long-lived workers
+/// (no per-phase spawn cost) — all with byte-identical results, clocks and
+/// statistics. The
 /// per-iteration arithmetic is compiled to register bytecode (see
 /// [`crate::kernel`]) and executed through `Backend::run_compute`, so whole
 /// programs run rank-parallel end-to-end; [`KernelMode::Interpreted`]
@@ -165,6 +167,30 @@ impl Executor<ThreadedBackend> {
     /// thread per virtual processor.
     pub fn new_threaded(config: MachineConfig, inputs: ProgramInputs) -> Self {
         Self::with_backend(ThreadedBackend::from_config(config), inputs)
+    }
+}
+
+impl Executor<PooledBackend> {
+    /// Create an executor whose runtime phases run rank-parallel on a pool
+    /// of long-lived workers (ranks striped over `min(nprocs, cores)`
+    /// lanes) — the low-per-phase-overhead engine, byte-identical to the
+    /// other two. Kernel sweeps, gathers, scatters, inspector passes and
+    /// REDISTRIBUTE all execute through the pool.
+    pub fn new_pooled(config: MachineConfig, inputs: ProgramInputs) -> Self {
+        Self::with_backend(PooledBackend::from_config(config), inputs)
+    }
+
+    /// [`Executor::new_pooled`] with an explicit worker count (which may
+    /// exceed the rank or core count; results never depend on it).
+    pub fn new_pooled_with_workers(
+        config: MachineConfig,
+        workers: usize,
+        inputs: ProgramInputs,
+    ) -> Self {
+        Self::with_backend(
+            PooledBackend::from_config_with_workers(config, workers),
+            inputs,
+        )
     }
 }
 
@@ -492,7 +518,7 @@ impl<B: Backend> Executor<B> {
                 chaos_geocol::registered_partitioner_names()
             ))
         })?;
-        let outcome = MapperCoupler.partition(self.backend.machine_mut(), p.as_ref(), g);
+        let outcome = MapperCoupler.partition(&mut self.backend, p.as_ref(), g);
         self.distfmts
             .insert(distfmt.to_string(), outcome.distribution);
         Ok(())
@@ -510,20 +536,10 @@ impl<B: Backend> Executor<B> {
             .collect();
         for name in aligned {
             if let Some(arr) = self.real.get_mut(&name) {
-                MapperCoupler.redistribute(
-                    self.backend.machine_mut(),
-                    &mut self.registry,
-                    arr,
-                    &new_dist,
-                );
+                MapperCoupler.redistribute(&mut self.backend, &mut self.registry, arr, &new_dist);
                 self.report.arrays_redistributed += 1;
             } else if let Some(arr) = self.int.get_mut(&name) {
-                MapperCoupler.redistribute(
-                    self.backend.machine_mut(),
-                    &mut self.registry,
-                    arr,
-                    &new_dist,
-                );
+                MapperCoupler.redistribute(&mut self.backend, &mut self.registry, arr, &new_dist);
                 self.report.arrays_redistributed += 1;
             }
         }
@@ -1162,6 +1178,41 @@ mod tests {
         assert_eq!(ss.bytes, st.bytes);
         assert_eq!(ss.phases, st.phases);
         assert_eq!(ss.comm_seconds.to_bits(), st.comm_seconds.to_bits());
+    }
+
+    #[test]
+    fn pooled_backend_runs_whole_programs_bit_identically() {
+        // The same program on the sequential engine and the persistent
+        // worker pool (with ranks deliberately striped over fewer lanes):
+        // identical values, identical modeled clocks, identical statistics.
+        let inputs = random_inputs(300, 1200);
+        let cp = compiled();
+        let mut seq = Executor::new(MachineConfig::ipsc860(4), inputs.clone());
+        let mut pool = Executor::new_pooled_with_workers(MachineConfig::ipsc860(4), 3, inputs);
+        seq.run(&cp).unwrap();
+        pool.run(&cp).unwrap();
+        for _ in 0..3 {
+            seq.execute_loop(&cp, "L1").unwrap();
+            pool.execute_loop(&cp, "L1").unwrap();
+        }
+        let ys = seq.real_global("y").unwrap();
+        let yp = pool.real_global("y").unwrap();
+        for (i, (a, b)) in ys.iter().zip(&yp).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "y[{i}] diverged: {a} vs {b}");
+        }
+        assert_eq!(seq.report(), pool.report());
+        let (es, ep) = (seq.machine().elapsed(), pool.machine().elapsed());
+        for p in 0..4 {
+            assert_eq!(es.per_proc[p].to_bits(), ep.per_proc[p].to_bits());
+        }
+        let (ss, sp) = (
+            seq.machine().stats().grand_totals(),
+            pool.machine().stats().grand_totals(),
+        );
+        assert_eq!(ss.messages, sp.messages);
+        assert_eq!(ss.bytes, sp.bytes);
+        assert_eq!(ss.phases, sp.phases);
+        assert_eq!(ss.comm_seconds.to_bits(), sp.comm_seconds.to_bits());
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! The threaded SPMD engine must be **byte-identical** to the sequential
+//! The parallel SPMD engines must be **byte-identical** to the sequential
 //! one — array values, ghost buffers, modeled clocks and communication
 //! statistics. Determinism is part of the `Backend` API, not best-effort:
 //! these tests drive randomized mesh-style pipelines and the full mesh / MD
-//! experiments through both engines and compare every observable, including
-//! the f64 bit patterns of the clocks, plus a stress configuration with far
-//! more virtual processors than the machine has cores.
+//! experiments through all three engines — `Machine` (sequential oracle),
+//! `ThreadedBackend` (scoped thread per rank) and `PooledBackend`
+//! (persistent worker pool) — and compare every observable, including the
+//! f64 bit patterns of the clocks, plus stress configurations with more
+//! virtual processors than cores, more ranks than pool workers, and more
+//! pool workers than cores.
 
-use chaos_repro::dmsim::{Backend, ThreadedBackend, Topology};
+use chaos_repro::dmsim::{Backend, PooledBackend, ThreadedBackend, Topology};
 use chaos_repro::prelude::*;
 use chaos_repro::runtime::{gather, scatter_add, scatter_op, Inspector, LocalRef, TTablePolicy};
 use proptest::prelude::*;
@@ -135,10 +138,13 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Property: over randomized irregular workloads (both translation-table
-    /// layouts), threaded ≡ sequential on values, ghost buffers, modeled
-    /// clocks and statistics — bit for bit.
+    /// layouts), all three engines — sequential, threaded, pooled — agree on
+    /// values, ghost buffers, modeled clocks and statistics, bit for bit.
+    /// The pool's worker count is derived from the seed so the sweep covers
+    /// ranks > workers (striping) and workers > ranks/cores (idle lanes,
+    /// timesharing).
     #[test]
-    fn threaded_equals_sequential_on_random_workloads(
+    fn all_three_engines_agree_on_random_workloads(
         (p, map, seed, refs_per_proc, distributed_sel) in workload_strategy(),
     ) {
         let n = map.len();
@@ -153,17 +159,23 @@ proptest! {
         let cfg = || MachineConfig::unit(p).with_topology(Topology::FullyConnected);
         let mut seq = Machine::new(cfg());
         let mut thr = ThreadedBackend::from_config(cfg());
+        // 1..=12 workers: below, at and above both the rank count (2..=8)
+        // and (on small containers) the hardware core count.
+        let workers = 1 + (seed as usize % 12);
+        let mut pool = PooledBackend::with_workers(Machine::new(cfg()), workers);
         let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
         let obs_thr = run_pipeline(&mut thr, &dist, &data, &pattern);
-        prop_assert_eq!(obs_seq, obs_thr);
+        let obs_pool = run_pipeline(&mut pool, &dist, &data, &pattern);
+        prop_assert_eq!(&obs_seq, &obs_thr);
+        prop_assert_eq!(&obs_seq, &obs_pool);
     }
 }
 
 /// Stress: more virtual processors (64) than this machine plausibly has
-/// cores — the scoped threads timeshare, and the ledgers must still replay
-/// to the exact sequential state.
+/// cores — the scoped threads timeshare, the pool stripes 64 ranks over 5
+/// lanes, and the ledgers must still replay to the exact sequential state.
 #[test]
-fn threaded_engine_with_more_ranks_than_cores_is_exact() {
+fn parallel_engines_with_more_ranks_than_cores_are_exact() {
     let p = 64;
     let n = 4096;
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -176,23 +188,45 @@ fn threaded_engine_with_more_ranks_than_cores_is_exact() {
     let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin() + 2.0).collect();
     let pattern = build_pattern(p, n, 0xC4A05, 512);
 
-    let mut seq = Machine::new(MachineConfig::unit(p).with_topology(Topology::FullyConnected));
-    let mut thr = ThreadedBackend::new(Machine::new(
-        MachineConfig::unit(p).with_topology(Topology::FullyConnected),
-    ));
+    let cfg = || MachineConfig::unit(p).with_topology(Topology::FullyConnected);
+    let mut seq = Machine::new(cfg());
+    let mut thr = ThreadedBackend::new(Machine::new(cfg()));
+    let mut pool = PooledBackend::with_workers(Machine::new(cfg()), 5);
     let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
     let obs_thr = run_pipeline(&mut thr, &dist, &data, &pattern);
+    let obs_pool = run_pipeline(&mut pool, &dist, &data, &pattern);
     assert_eq!(obs_seq, obs_thr);
+    assert_eq!(obs_seq, obs_pool);
     assert!(obs_seq.messages > 0, "the stress workload must communicate");
 }
 
+/// Stress the opposite imbalance: a pool with far more workers (32) than
+/// ranks (4) or plausible cores — the idle lanes run empty stripes through
+/// every barrier and must not perturb anything.
+#[test]
+fn pool_with_more_workers_than_cores_is_exact() {
+    let p = 4;
+    let n = 512;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 13 + 3) % p) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, p);
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos() - 1.0).collect();
+    let pattern = build_pattern(p, n, 0xBEEF, 96);
+
+    let cfg = || MachineConfig::unit(p).with_topology(Topology::FullyConnected);
+    let mut seq = Machine::new(cfg());
+    let mut pool = PooledBackend::with_workers(Machine::new(cfg()), 32);
+    let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
+    let obs_pool = run_pipeline(&mut pool, &dist, &data, &pattern);
+    assert_eq!(obs_seq, obs_pool);
+}
+
 /// The full mesh experiment end-to-end (partitioner, remap, inspector,
-/// repeated executor sweeps with schedule reuse) agrees across engines on a
-/// 16-rank machine.
+/// repeated executor sweeps with schedule reuse) agrees across all three
+/// engines on a 16-rank machine.
 #[test]
 fn mesh_workload_experiment_is_engine_independent() {
     use chaos_bench::experiment::{ExperimentConfig, Method};
-    use chaos_bench::handcoded::{run_handcoded, run_handcoded_threaded};
+    use chaos_bench::handcoded::{run_handcoded, run_handcoded_pooled, run_handcoded_threaded};
     use chaos_bench::workload::mesh_workload;
     use chaos_workloads::MeshConfig;
 
@@ -200,9 +234,12 @@ fn mesh_workload_experiment_is_engine_independent() {
     let cfg = ExperimentConfig::paper(16, Method::Rcb).with_iterations(4);
     let seq = run_handcoded(&w, &cfg);
     let thr = run_handcoded_threaded(&w, &cfg);
-    assert_eq!(seq.total.to_bits(), thr.total.to_bits());
-    assert_eq!(seq.executor.to_bits(), thr.executor.to_bits());
-    assert_eq!(seq.inspector.to_bits(), thr.inspector.to_bits());
-    assert_eq!(seq.messages, thr.messages);
-    assert_eq!(seq.bytes, thr.bytes);
+    let pooled = run_handcoded_pooled(&w, &cfg);
+    for other in [&thr, &pooled] {
+        assert_eq!(seq.total.to_bits(), other.total.to_bits());
+        assert_eq!(seq.executor.to_bits(), other.executor.to_bits());
+        assert_eq!(seq.inspector.to_bits(), other.inspector.to_bits());
+        assert_eq!(seq.messages, other.messages);
+        assert_eq!(seq.bytes, other.bytes);
+    }
 }
