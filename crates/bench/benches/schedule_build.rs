@@ -1,6 +1,6 @@
 //! Micro-benchmark of inspector schedule construction: index translation,
 //! deduplication of off-processor references and communication-schedule
-//! build (the ablation called out in DESIGN.md: hash-based dedup vs the
+//! build (the ablation: hash-based dedup vs the
 //! work the executor then saves).
 
 use chaos_dmsim::{Machine, MachineConfig};

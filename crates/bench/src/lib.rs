@@ -20,7 +20,10 @@
 //!   `thread_scaling` criterion bench and `perf_check`'s `BENCH_2.json`.
 //!
 //! Each binary prints one of the paper's tables; `all_tables` also writes a
-//! JSON record next to the text so EXPERIMENTS.md numbers are reproducible.
+//! JSON record next to the text so the reported numbers are reproducible.
+//! The `perf_check` binary writes the `BENCH_*.json` gate artifacts —
+//! `ARCHITECTURE.md` § "Performance gates" tabulates what each one gates
+//! and at which core count its gate arms.
 
 pub mod cli;
 pub mod compilergen;

@@ -76,9 +76,13 @@ impl<'a> GeoColSpec<'a> {
 /// fold kernel per rank (charging `ops_per_item` compute units per item to
 /// that rank's clock) and returns the rank-major partials for driver-side
 /// combination in ascending rank order. This is how partitioners that
-/// implement `partition_with_scans` (currently the inertial partitioner's
-/// moment scans) run rank-parallel on every engine while staying
-/// bit-deterministic.
+/// implement `partition_with_scans` — RSB's power-iteration matvecs and
+/// moment reductions, RCB's extent/histogram median scans, the inertial
+/// partitioner's moment scans — run rank-parallel on every engine. The
+/// partitioners build every pass from `chaos_geocol`'s `map_scan` /
+/// `block_scan` conventions (disjoint per-item writes; fixed-size-block
+/// partial sums), so the partitioning they produce through any backend is
+/// bit-identical to the pure serial `Partitioner::partition` oracle.
 struct BackendScans<'a, B: Backend> {
     backend: &'a mut B,
     /// Total compute units charged through the scans (all ranks), so the
@@ -206,9 +210,14 @@ impl MapperCoupler {
     /// estimated operation count is divided across the processors, and the
     /// resulting map array is exchanged so that every processor learns the
     /// new distribution. Partitioners that implement `partition_with_scans`
-    /// additionally run their per-vertex reduction passes rank-parallel
-    /// through the backend; the work those scans charge per rank is
-    /// deducted from the lump-sum estimate so it is never counted twice.
+    /// (RSB, RCB, inertial) additionally run their per-vertex map and
+    /// reduction passes rank-parallel through the backend — on the
+    /// threaded/pooled engines the `SET ... BY PARTITIONING` phase of a
+    /// program therefore executes on the worker ranks, not the driver. The
+    /// work those scans charge per rank is deducted from the lump-sum
+    /// estimate so it is never counted twice, and the partitioning is
+    /// bit-identical to the pure serial `Partitioner::partition` on every
+    /// engine and rank count.
     pub fn partition<B: Backend>(
         &self,
         backend: &mut B,
@@ -380,6 +389,38 @@ mod tests {
             rsb_time > 2.0 * rcb_time,
             "RSB ({rsb_time}) should cost much more than RCB ({rcb_time})"
         );
+    }
+
+    #[test]
+    fn scan_partitioners_match_the_serial_oracle_on_every_engine() {
+        use chaos_dmsim::{PooledBackend, ThreadedBackend};
+        use chaos_geocol::{InertialPartitioner, Partitioner};
+        // RSB, RCB and inertial route their scans through the backend; the
+        // resulting partitioning must equal the pure serial partition()
+        // bit for bit on all three engines, and the engines must agree on
+        // the modeled clocks.
+        let mut f = fixture(12, 4);
+        let spec = GeoColSpec::new(f.nnodes)
+            .with_geometry(vec![&f.xc, &f.yc])
+            .with_link(&f.e1, &f.e2);
+        let g = MapperCoupler.construct_geocol(&mut f.machine, &spec);
+        let rsb = RsbPartitioner::default();
+        let inertial = InertialPartitioner::default();
+        let partitioners: [&dyn Partitioner; 3] = [&RcbPartitioner, &rsb, &inertial];
+        for p in partitioners {
+            let oracle = p.partition(&g, 4);
+            let mut seq = Machine::new(MachineConfig::unit(4));
+            let mut thr = ThreadedBackend::from_config(MachineConfig::unit(4));
+            let mut pool = PooledBackend::with_workers(Machine::new(MachineConfig::unit(4)), 3);
+            let a = MapperCoupler.partition(&mut seq, p, &g);
+            let b = MapperCoupler.partition(&mut thr, p, &g);
+            let c = MapperCoupler.partition(&mut pool, p, &g);
+            assert_eq!(a.partitioning, oracle, "{} vs serial oracle", p.name());
+            assert_eq!(b.partitioning, oracle, "{} threaded", p.name());
+            assert_eq!(c.partitioning, oracle, "{} pooled", p.name());
+            assert_eq!(seq.elapsed(), thr.machine().elapsed(), "{}", p.name());
+            assert_eq!(seq.elapsed(), pool.machine().elapsed(), "{}", p.name());
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! | [`inspector`] | inspector: localize with hash-free sort+dedup over packed keys |
 //! | [`iterpart`] | loop-iteration partitioning (almost-owner-computes) |
 //! | [`executor`] | executor: gather → compute → scatter-add reduction, allocation-free in steady state |
-//! | [`remap`] | array remapping between distributions |
+//! | [`mod@remap`] | array remapping between distributions |
 //! | [`reuse`] | `nmod`, `last_mod`, per-loop inspector-reuse records |
 //! | [`coupler`] | CONSTRUCT / SET ... BY PARTITIONING / REDISTRIBUTE |
 //! | [`naive`] | retained nested-`Vec` reference implementation (property-test oracle) |
@@ -58,6 +58,8 @@
 //! through [`chaos_dmsim::Machine::charge_p2p`] and perform **no heap
 //! allocation** with reused buffers. The original nested-`Vec` formulation
 //! survives in [`naive`] as the oracle the property tests compare against.
+//! `ARCHITECTURE.md` § "The inspector → executor CSR data flow" draws the
+//! whole pipeline.
 
 #![warn(missing_docs)]
 

@@ -264,7 +264,7 @@ impl ReuseRegistry {
     /// global agreement it costs: every processor evaluates its local view of
     /// the conditions and the results are combined with a single-word
     /// all-reduce (all processors must agree before anyone may skip its
-    /// inspector). Returns the same decision as [`check`].
+    /// inspector). Returns the same decision as [`ReuseRegistry::check`].
     pub fn check_on_machine(
         &mut self,
         machine: &mut Machine,

@@ -11,7 +11,7 @@ use crate::exchange::ExchangePlan;
 use crate::machine::{Machine, ProcId};
 use crate::topology::binomial_tree_edges;
 
-/// Reduction operators supported by [`reduce`] and [`all_reduce`].
+/// Reduction operators supported by [`reduce_f64`] and [`all_reduce_f64`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
     /// Element-wise sum.

@@ -25,7 +25,9 @@
 //! charge through per-rank ledgers that are replayed in rank order — so the
 //! *modeled* time never depends on real execution order and every
 //! experiment is reproducible bit-for-bit on any engine (see [`backend`]
-//! and [`pool`] for the contract).
+//! and [`pool`] for the contract, and `ARCHITECTURE.md` § "The Backend /
+//! pool / charge-replay determinism contract" for the system-level
+//! picture).
 //!
 //! ## Quick example
 //!

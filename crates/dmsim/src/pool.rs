@@ -30,7 +30,7 @@
 //!   rebalancing, and a rank's charges always land in the same lane-local
 //!   arena.
 //! * **Scratch is per-worker and reusable.** Each lane owns a
-//!   [`ChargeArena`] — a small CSR log (flat event vector + one offset per
+//!   `ChargeArena` — a small CSR log (flat event vector + one offset per
 //!   processed rank) cleared, not freed, every phase. Steady state records
 //!   and replays charges with zero allocation.
 //!

@@ -3,9 +3,29 @@
 //! than a coordinate axis. The paper cites this family of geometric
 //! partitioners (Nour-Omid et al.) as one of the options a user can couple
 //! through the GeoCoL interface.
+//!
+//! # Rank-parallel structure
+//!
+//! The two O(n·dim) accumulation passes behind every principal-axis
+//! computation — total load + load-weighted coordinate sums, then the
+//! covariance moments (the partitioner's "moment scans") — run through the
+//! [`RankScans`] executor as [`block_scan`] fixed-size-block partial sums,
+//! folded driver-side in ascending block order; the tiny `dim × dim` power
+//! iteration and the projection sort stay driver-side. Because the block
+//! boundaries are independent of the rank count, the partitioning from the
+//! pure [`Partitioner::partition`] entry point is bit-identical to every
+//! backend-driven [`Partitioner::partition_with_scans`] run, on every
+//! engine.
+//!
+//! # Charge model
+//!
+//! Scan-routed moment work is charged per rank by the runtime's
+//! `Backend`-backed executor and deducted from
+//! [`Partitioner::cost_estimate`]'s lump sum (accumulation + power
+//! iteration + sort per level), so it is never double-charged.
 
 use crate::geocol::GeoCoL;
-use crate::partition::{Partitioner, Partitioning, RankScans, SerialScans};
+use crate::partition::{block_scan, Partitioner, Partitioning, RankScans, SerialScans};
 
 /// Recursive inertial bisection partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -34,10 +54,11 @@ impl Partitioner for InertialPartitioner {
 
     /// The rank-parallel entry point: the mean and covariance accumulations
     /// behind every principal-axis computation (the partitioner's "moment
-    /// scans") run as rank-chunked partial sums through `scans` — one chunk
-    /// per rank, combined in ascending rank order — so the runtime can
-    /// execute them through `Backend::run_compute` while the result stays
-    /// deterministic for a given rank count on every engine.
+    /// scans") run as fixed-size-block partial sums through `scans` — the
+    /// blocks chunked over the ranks, combined in ascending block order —
+    /// so the runtime can execute them through `Backend::run_compute` while
+    /// the partitioning stays bit-identical to [`Partitioner::partition`]
+    /// for every rank count and engine.
     fn partition_with_scans(
         &self,
         geocol: &GeoCoL,
@@ -137,9 +158,11 @@ fn project(geocol: &GeoCoL, vertex: usize, direction: &[f64]) -> f64 {
 /// degenerate point clouds.
 ///
 /// The two O(n·dim) accumulation passes — total load + load-weighted
-/// coordinate sums, then the covariance moments — run as rank-chunked
-/// partial sums through `scans`; the partials are combined in ascending
-/// rank order and the tiny `dim × dim` power iteration stays driver-side.
+/// coordinate sums, then the covariance moments — run as fixed-size-block
+/// partial sums through `scans` ([`block_scan`]); the partials are combined
+/// in ascending block order (making the result independent of the rank
+/// count, not just the engine) and the tiny `dim × dim` power iteration
+/// stays driver-side.
 fn principal_axis(
     geocol: &GeoCoL,
     vertices: &[u32],
@@ -147,16 +170,16 @@ fn principal_axis(
     scans: &mut dyn RankScans,
 ) -> Vec<f64> {
     let dim = geocol.geometry_dim();
-    let nranks = scans.nranks();
 
     // Moment scan 1: [total load, load-weighted coordinate sums].
     let width = 1 + dim;
-    let partials = scans.scan(
+    let blocks = block_scan(
+        scans,
         vertices.len(),
         width,
         (1 + dim) as f64,
-        &|_, range, acc: &mut [f64]| {
-            for &v in &vertices[range] {
+        &|items, acc: &mut [f64]| {
+            for &v in &vertices[items] {
                 let w = geocol.vertex_load(v as usize);
                 acc[0] += w;
                 for axis in 0..dim {
@@ -167,8 +190,7 @@ fn principal_axis(
     );
     let mut total_load = 0.0;
     let mut mean = vec![0.0; dim];
-    for rank in 0..nranks {
-        let acc = &partials[rank * width..(rank + 1) * width];
+    for acc in blocks.chunks_exact(width) {
         total_load += acc[0];
         for (axis, m) in mean.iter_mut().enumerate() {
             *m += acc[1 + axis];
@@ -184,12 +206,13 @@ fn principal_axis(
     // practice), mean-centred using the first scan's result.
     let cov_width = dim * dim;
     let mean_ref = &mean;
-    let cov_partials = scans.scan(
+    let cov_blocks = block_scan(
+        scans,
         vertices.len(),
         cov_width,
         (dim * dim) as f64,
-        &|_, range, acc: &mut [f64]| {
-            for &v in &vertices[range] {
+        &|items, acc: &mut [f64]| {
+            for &v in &vertices[items] {
                 let w = geocol.vertex_load(v as usize);
                 for i in 0..dim {
                     let di = geocol.coord(i, v as usize) - mean_ref[i];
@@ -202,8 +225,7 @@ fn principal_axis(
         },
     );
     let mut cov = vec![vec![0.0; dim]; dim];
-    for rank in 0..nranks {
-        let acc = &cov_partials[rank * cov_width..(rank + 1) * cov_width];
+    for acc in cov_blocks.chunks_exact(cov_width) {
         for i in 0..dim {
             for j in 0..dim {
                 cov[i][j] += acc[i * dim + j];
@@ -320,6 +342,22 @@ mod tests {
         let a = InertialPartitioner::default().partition(&g, 4);
         let b = InertialPartitioner::default().partition(&g, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moment_scans_are_rank_count_independent() {
+        let g = diagonal_strip(48);
+        for nparts in [2, 4, 5] {
+            let serial = InertialPartitioner::default().partition(&g, nparts);
+            for nranks in [2, 3, 9, 50] {
+                let chunked = InertialPartitioner::default().partition_with_scans(
+                    &g,
+                    nparts,
+                    &mut SerialScans { nranks },
+                );
+                assert_eq!(serial, chunked, "nparts={nparts} nranks={nranks}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! partitioning.
 //!
 //! The paper's partitioner bibliography includes Kernighan & Lin's heuristic
-//! (reference [15]); production mesh partitioners of the period (and METIS
+//! (reference \[15\]); production mesh partitioners of the period (and METIS
 //! later) run a KL/FM refinement pass after every bisection. This module
 //! provides that pass as a standalone operation ([`refine`]) and as a
 //! wrapper partitioner ([`KlRefinedPartitioner`]) so any base partitioner
@@ -181,6 +181,20 @@ impl<P: Partitioner> Partitioner for KlRefinedPartitioner<P> {
         refine(geocol, &initial, self.options)
     }
 
+    /// Forward the scans to the base partitioner — `RSB-KL`/`RCB-KL` run
+    /// the base's rank-parallel passes like the unwrapped partitioner
+    /// would; only the refinement pass itself stays driver-side (its cost
+    /// is the `refine_cost` share of [`Partitioner::cost_estimate`]).
+    fn partition_with_scans(
+        &self,
+        geocol: &GeoCoL,
+        nparts: usize,
+        scans: &mut dyn crate::partition::RankScans,
+    ) -> Partitioning {
+        let initial = self.base.partition_with_scans(geocol, nparts, scans);
+        refine(geocol, &initial, self.options)
+    }
+
     fn cost_estimate(&self, geocol: &GeoCoL, nparts: usize) -> f64 {
         // Refinement: each pass scans boundary vertices and their edges.
         let refine_cost = self.options.max_passes as f64
@@ -303,6 +317,25 @@ mod tests {
         let wrapped = KlRefinedPartitioner::new(RcbPartitioner);
         assert!(wrapped.cost_estimate(&g, 4) > RcbPartitioner.cost_estimate(&g, 4));
         assert_eq!(wrapped.name(), "KL-REFINED");
+    }
+
+    #[test]
+    fn wrapper_forwards_scans_to_the_base_partitioner() {
+        // RSB-KL must run the base's rank-parallel scans: chunking them
+        // over any rank count cannot change a bit of the result (the
+        // refinement pass is driver-side and deterministic either way).
+        use crate::partition::SerialScans;
+        use crate::rsb::RsbPartitioner;
+        let g = shuffled_grid(10);
+        let wrapped = KlRefinedPartitioner::new(RsbPartitioner {
+            power_iterations: 30,
+            ..Default::default()
+        });
+        let serial = wrapped.partition(&g, 4);
+        for nranks in [3, 8] {
+            let chunked = wrapped.partition_with_scans(&g, 4, &mut SerialScans { nranks });
+            assert_eq!(serial, chunked, "nranks={nranks}");
+        }
     }
 
     #[test]

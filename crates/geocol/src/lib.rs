@@ -26,9 +26,33 @@
 //! * a string-keyed [`registry`] so the `SET distfmt BY PARTITIONING G
 //!   USING RSB` directive can look partitioners up by name.
 //!
-//! Partitioners here are sequential graph algorithms; the CHAOS runtime
-//! charges their *modeled parallel* cost when it invokes them on the
-//! simulated machine (see `chaos-runtime`'s mapper coupler).
+//! # Rank-parallel partitioner passes
+//!
+//! The real PARTI/CHAOS partitioners ran data-parallel on the nodes, and so
+//! do the expensive ones here: partitioners that implement
+//! [`Partitioner::partition_with_scans`] express their per-vertex passes
+//! against the object-safe [`RankScans`] executor, which the runtime's
+//! mapper coupler backs with the SPMD `Backend` — one chunk per virtual
+//! processor, compute charged to that rank's clock and deducted from
+//! [`Partitioner::cost_estimate`]'s lump sum. Two conventions ([`map_scan`]
+//! for elementwise passes, [`block_scan`] for fixed-size-block reductions)
+//! make every scan independent of the rank count, so the pure
+//! [`Partitioner::partition`] entry point is a bit-exact oracle for any
+//! backend-driven run. Current status:
+//!
+//! | partitioner | rank-parallel passes | driver-side remainder |
+//! |---|---|---|
+//! | [`RsbPartitioner`] | power-iteration matvec, moment reductions, deflate/normalize | induced-CSR setup, median sort |
+//! | [`RcbPartitioner`] | extents + load scan, histogram median scan | boundary-bucket select, below-cutoff sorts |
+//! | [`InertialPartitioner`] | mean + covariance moment scans | `dim × dim` power iteration, projection sort |
+//! | [`BlockPartitioner`] / [`CyclicPartitioner`] / [`RandomPartitioner`] | — (O(n) arithmetic, charged as lump sum) | everything |
+//! | [`KlRefinedPartitioner`] | inherits its base partitioner's scans | the KL/FM refinement pass |
+//!
+//! The remaining driver-side cost of each partitioner is still charged to
+//! the simulated machine through the cost estimate, preserving the paper's
+//! Table 2 ordering (RSB orders of magnitude above RCB). See
+//! `ARCHITECTURE.md` § "Rank-parallel partitioners" for the system-level
+//! picture.
 
 #![warn(missing_docs)]
 
@@ -47,7 +71,10 @@ pub use geocol::{GeoCoL, GeoColBuilder, GeoColError};
 pub use inertial::InertialPartitioner;
 pub use kl::{refine as kl_refine, KlOptions, KlRefinedPartitioner};
 pub use metrics::PartitionQuality;
-pub use partition::{scan_chunk, Partitioner, Partitioning, RankScans, ScanKernel, SerialScans};
-pub use rcb::RcbPartitioner;
+pub use partition::{
+    block_scan, map_scan, scan_chunk, Partitioner, Partitioning, RangeKernel, RankScans,
+    ScanKernel, SerialScans, SCAN_BLOCK,
+};
+pub use rcb::{RcbPartitioner, SORT_CUTOFF};
 pub use registry::{partitioner_by_name, registered_partitioner_names};
 pub use rsb::RsbPartitioner;

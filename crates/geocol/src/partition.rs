@@ -103,17 +103,121 @@ pub fn scan_chunk(n_items: usize, nranks: usize, rank: usize) -> std::ops::Range
 /// and its private accumulator slice.
 pub type ScanKernel<'a> = dyn Fn(usize, std::ops::Range<usize>, &mut [f64]) + Sync + 'a;
 
-/// Executor for rank-chunked reduction passes ("moment scans").
+/// Number of consecutive items folded into one partial-accumulator block by
+/// [`block_scan`]. The block boundaries depend only on the item count —
+/// never on the rank count — which is what makes block-scan reductions
+/// bit-identical across every rank count and engine (see [`block_scan`]).
+pub const SCAN_BLOCK: usize = 1024;
+
+/// A per-item-range fold used by [`map_scan`] and [`block_scan`]: called as
+/// `fold(items, out)` where `out` has one slot per item ([`map_scan`]) or
+/// `width` slots for the whole block ([`block_scan`]).
+pub type RangeKernel<'a> = dyn Fn(std::ops::Range<usize>, &mut [f64]) + Sync + 'a;
+
+/// Run an elementwise map rank-parallel through `scans` and return the full
+/// `n_items`-long output vector.
+///
+/// Each rank computes `map(range, out)` for its [`scan_chunk`] item range,
+/// writing `out[k]` for item `range.start + k`. Because every item's value
+/// is computed by exactly one rank from shared inputs, the result is
+/// **bit-identical for every rank count and engine** — this is how the RSB
+/// partitioner's sparse matvec and deflate/normalize passes stay exact. The
+/// rank-major partials of a `width == ceil(n/nranks)` scan are laid out so
+/// that item `i` lands at global offset `i`, so no reassembly copy is
+/// needed.
+pub fn map_scan(
+    scans: &mut dyn RankScans,
+    n_items: usize,
+    ops_per_item: f64,
+    map: &RangeKernel<'_>,
+) -> Vec<f64> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let per = n_items.div_ceil(scans.nranks().max(1));
+    let mut out = scans.scan(n_items, per, ops_per_item, &|_rank, range, acc| {
+        let len = range.len();
+        map(range, &mut acc[..len]);
+    });
+    // Rank r's chunk is [r*per, (r+1)*per) and its accumulator starts at
+    // r*per, so the partials are already the output vector in item order.
+    out.truncate(n_items);
+    out
+}
+
+/// Run a reduction rank-parallel through `scans` as fixed-size-block partial
+/// sums, returning the per-block partials concatenated in ascending block
+/// order (`ceil(n_items / SCAN_BLOCK)` blocks of `width` values each).
+///
+/// Items are grouped into [`SCAN_BLOCK`]-sized blocks; the *blocks* (not
+/// the items) are chunked over the ranks with [`scan_chunk`], and each rank
+/// calls `fold(item_range, acc)` once per block it owns, filling the
+/// block's `width`-wide accumulator. Callers combine the returned blocks in
+/// ascending block order (sum, min, max, ...). Because the block boundaries
+/// and each block's fold order depend only on `n_items`, the combined
+/// result is **bit-identical for every rank count and engine** — the
+/// single-chunk [`SerialScans::single`] executor behind the pure
+/// [`Partitioner::partition`] entry points produces exactly the same
+/// floating-point values as a backend-driven scan over any number of ranks.
+///
+/// `ops_per_item` is the modeled compute charge per *item*: the per-block
+/// charge handed to [`RankScans::scan`] is `ops_per_item` times the average
+/// items per block, so the total charged over all ranks is exactly
+/// `ops_per_item * n_items` (a partial tail block never bills a full
+/// block's work).
+pub fn block_scan(
+    scans: &mut dyn RankScans,
+    n_items: usize,
+    width: usize,
+    ops_per_item: f64,
+    fold: &RangeKernel<'_>,
+) -> Vec<f64> {
+    assert!(width > 0, "block_scan needs at least one accumulator slot");
+    let nblocks = n_items.div_ceil(SCAN_BLOCK);
+    if nblocks == 0 {
+        return Vec::new();
+    }
+    let nranks = scans.nranks().max(1);
+    let blocks_per_rank = nblocks.div_ceil(nranks);
+    let partials = scans.scan(
+        nblocks,
+        width * blocks_per_rank,
+        ops_per_item * n_items as f64 / nblocks as f64,
+        &|_rank, block_range, acc| {
+            for (k, block) in block_range.enumerate() {
+                let items = block * SCAN_BLOCK..((block + 1) * SCAN_BLOCK).min(n_items);
+                fold(items, &mut acc[k * width..(k + 1) * width]);
+            }
+        },
+    );
+    // Compact the rank-major (padded) partials into block-major order.
+    let mut out = vec![0.0; nblocks * width];
+    for rank in 0..nranks {
+        let blocks = scan_chunk(nblocks, nranks, rank);
+        let acc = &partials[rank * blocks_per_rank * width..];
+        out[blocks.start * width..blocks.end * width].copy_from_slice(&acc[..blocks.len() * width]);
+    }
+    out
+}
+
+/// Executor for rank-chunked data-parallel passes (maps and reduction
+/// "scans").
 ///
 /// Partitioners that have been restructured rank-parallel express their
-/// per-vertex reduction passes against this object-safe interface; the
-/// runtime's mapper coupler hands them an implementation backed by the SPMD
+/// per-vertex passes against this object-safe interface; the runtime's
+/// mapper coupler hands them an implementation backed by the SPMD
 /// `Backend` (so the scans run one chunk per virtual processor and are
 /// charged to the simulated machine), while the pure
 /// [`Partitioner::partition`] entry point uses the driver-side
 /// [`SerialScans`]. Implementations must chunk with [`scan_chunk`] and
 /// return rank-major partials; callers combine them in ascending rank
 /// order, which keeps results engine-independent by construction.
+///
+/// Partitioner code does not usually call [`RankScans::scan`] raw: the
+/// [`map_scan`] and [`block_scan`] helpers wrap it with conventions
+/// (disjoint per-item writes; fixed-size-block partial sums) that make the
+/// combined result independent of the *rank count* too, so a partitioning
+/// computed through any backend is bit-identical to the pure serial one.
 pub trait RankScans {
     /// Number of ranks the scan is folded over.
     fn nranks(&self) -> usize;
@@ -190,11 +294,32 @@ pub trait Partitioner {
     fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning;
 
     /// Like [`Partitioner::partition`], but with a [`RankScans`] executor
-    /// the implementation may route its data-parallel reduction passes
-    /// through. The default ignores the executor (driver-side algorithms);
-    /// partitioners restructured rank-parallel (currently `INERTIAL`'s
-    /// moment scans) override it, making them scale with ranks when the
-    /// runtime passes a `Backend`-backed executor.
+    /// the implementation may route its data-parallel passes through. The
+    /// default ignores the executor (driver-side algorithms); partitioners
+    /// restructured rank-parallel — `RSB`'s power-iteration matvecs,
+    /// `RCB`'s extent/histogram median scans and `INERTIAL`'s moment scans
+    /// — override it, making them scale with ranks when the runtime passes
+    /// a `Backend`-backed executor.
+    ///
+    /// The restructured partitioners express every pass through
+    /// [`map_scan`] (disjoint per-item writes) or [`block_scan`]
+    /// (fixed-size-block partial sums), so their output is bit-identical
+    /// for **any** rank count — the pure [`Partitioner::partition`] entry
+    /// point (a single-chunk [`SerialScans`]) is an exact oracle for every
+    /// backend-driven run:
+    ///
+    /// ```
+    /// use chaos_geocol::{GeoColBuilder, Partitioner, RcbPartitioner, SerialScans};
+    ///
+    /// let g = GeoColBuilder::new(64)
+    ///     .geometry(vec![(0..64).map(|i| (i as f64 * 0.37).sin()).collect()])
+    ///     .build()
+    ///     .unwrap();
+    /// let serial = RcbPartitioner.partition(&g, 4);
+    /// // Folding the scans over 6 rank chunks instead of 1 changes nothing:
+    /// let chunked = RcbPartitioner.partition_with_scans(&g, 4, &mut SerialScans { nranks: 6 });
+    /// assert_eq!(serial, chunked);
+    /// ```
     fn partition_with_scans(
         &self,
         geocol: &GeoCoL,
@@ -261,5 +386,70 @@ mod tests {
         let p = Partitioning::new(vec![], 4);
         assert!(p.is_empty());
         assert_eq!(p.part_sizes(), vec![0; 4]);
+    }
+
+    #[test]
+    fn scan_chunks_cover_the_range_in_order() {
+        for (n, ranks) in [(10, 3), (7, 7), (3, 8), (0, 4), (4096, 5)] {
+            let mut next = 0;
+            for r in 0..ranks {
+                let c = scan_chunk(n, ranks, r);
+                assert_eq!(c.start, next.min(n));
+                next = c.end;
+            }
+            assert_eq!(next, n, "chunks must cover 0..{n} exactly");
+        }
+    }
+
+    #[test]
+    fn map_scan_is_rank_count_independent() {
+        let data: Vec<f64> = (0..777).map(|i| (i as f64 * 0.13).cos()).collect();
+        let expect: Vec<f64> = data.iter().map(|v| v * 3.0 - 1.0).collect();
+        for nranks in [1, 2, 5, 16, 1000] {
+            let got = map_scan(
+                &mut SerialScans { nranks },
+                data.len(),
+                2.0,
+                &|range, out| {
+                    for (k, i) in range.enumerate() {
+                        out[k] = data[i] * 3.0 - 1.0;
+                    }
+                },
+            );
+            assert_eq!(got.len(), expect.len());
+            for (a, b) in got.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "nranks={nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_sums_are_rank_count_independent() {
+        // Enough items for several blocks, awkwardly misaligned with both
+        // the block size and every chunking swept below.
+        let data: Vec<f64> = (0..SCAN_BLOCK * 3 + 517)
+            .map(|i| (i as f64 * 0.7).sin() + 0.01 * i as f64)
+            .collect();
+        let fold: &RangeKernel<'_> = &|items, acc| {
+            for i in items {
+                acc[0] += data[i];
+                acc[1] += data[i] * data[i];
+            }
+        };
+        let reference = block_scan(&mut SerialScans::single(), data.len(), 2, 2.0, fold);
+        assert_eq!(reference.len(), data.len().div_ceil(SCAN_BLOCK) * 2);
+        for nranks in [2, 3, 7, 64] {
+            let got = block_scan(&mut SerialScans { nranks }, data.len(), 2, 2.0, fold);
+            for (a, b) in got.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "nranks={nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn scans_handle_empty_inputs() {
+        let mut scans = SerialScans { nranks: 4 };
+        assert!(map_scan(&mut scans, 0, 1.0, &|_, _| {}).is_empty());
+        assert!(block_scan(&mut scans, 0, 3, 1.0, &|_, _| {}).is_empty());
     }
 }

@@ -2,15 +2,56 @@
 //! of Berger & Bokhari used throughout the paper's Tables 2 and 3
 //! ("recursive binary dissection" / "coordinate bisection").
 //!
+//! # Algorithm
+//!
 //! At each level the current vertex set is split along the coordinate axis
 //! with the largest extent, at the weighted median, so that the two halves
 //! carry (approximately) the target fraction of the computational load.
 //! Recursion continues until every group corresponds to one part. Part counts
 //! that are not powers of two are handled by splitting the target part range
 //! unevenly and weighting the median accordingly.
+//!
+//! # Rank-parallel structure
+//!
+//! The per-level passes over the active vertex set run through the
+//! [`RankScans`] executor:
+//!
+//! * **extents + load** — one [`block_scan`] computes per-axis min/max and
+//!   the total load as fixed-size-block partials, folded driver-side in
+//!   ascending block order (min/max are exact under any grouping; the load
+//!   sum is exact because the blocks are fixed);
+//! * **median selection** — for large sets, a second [`block_scan`] builds
+//!   a per-block **histogram** (count + load per coordinate bucket) over
+//!   the chosen axis; the driver then *selects* the bucket containing the
+//!   weighted median, sorts only that bucket's members, and walks their
+//!   prefix loads — replacing the full `O(m log m)` sort with a
+//!   rank-parallel `O(m)` scan plus a driver-side select over one bucket.
+//!   Sets at or below [`SORT_CUTOFF`] (and degenerate clouds with zero
+//!   extent) use the classic driver-side sort-select instead.
+//!
+//! Both paths are deterministic and depend only on the input — never on the
+//! rank count or engine — so the pure [`Partitioner::partition`] entry point
+//! (single-chunk [`SerialScans`]) is an exact oracle for `Machine`,
+//! `ThreadedBackend` and `PooledBackend` runs
+//! (`tests/backend_equivalence.rs` proptests this).
+//!
+//! # Charge model
+//!
+//! Scan-routed work is charged per rank through the coupler's
+//! `Backend`-backed executor and deducted from
+//! [`Partitioner::cost_estimate`]'s lump sum (`n log n` per level, the
+//! classic sort bound), so the cheap geometric partitioner stays one to two
+//! orders of magnitude below RSB as in Table 2.
 
 use crate::geocol::GeoCoL;
-use crate::partition::{Partitioner, Partitioning};
+use crate::partition::{block_scan, Partitioner, Partitioning, RankScans, SerialScans};
+
+/// Active-set size at or below which the weighted median is found by the
+/// classic driver-side sort instead of the rank-parallel histogram select.
+pub const SORT_CUTOFF: usize = 2048;
+
+/// Number of coordinate buckets in the histogram-select pass.
+const NBINS: usize = 128;
 
 /// Recursive coordinate bisection partitioner.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,6 +63,23 @@ impl Partitioner for RcbPartitioner {
     }
 
     fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning {
+        // Single-chunk scans degenerate to the classic sequential folds —
+        // and, because every scan is rank-count independent, this is also
+        // the bit-exact oracle for every backend-driven run.
+        self.partition_with_scans(geocol, nparts, &mut SerialScans::single())
+    }
+
+    /// The rank-parallel entry point: the extent/load scans and the
+    /// histogram median selection behind every split run through `scans`,
+    /// one chunk per rank, so the runtime can execute them through
+    /// `Backend::run_compute` while the partitioning stays bit-identical to
+    /// [`Partitioner::partition`].
+    fn partition_with_scans(
+        &self,
+        geocol: &GeoCoL,
+        nparts: usize,
+        scans: &mut dyn RankScans,
+    ) -> Partitioning {
         assert!(
             geocol.has_geometry(),
             "RCB requires a GEOMETRY section in the GeoCoL structure"
@@ -32,13 +90,14 @@ impl Partitioner for RcbPartitioner {
             return Partitioning::new(owners, nparts);
         }
         let mut vertices: Vec<u32> = (0..n as u32).collect();
-        bisect(geocol, &mut vertices, 0, nparts, &mut owners);
+        bisect(geocol, &mut vertices, 0, nparts, &mut owners, scans);
         Partitioning::new(owners, nparts)
     }
 
     fn cost_estimate(&self, geocol: &GeoCoL, nparts: usize) -> f64 {
-        // Each level sorts the active set along one axis: O(n log n) per
-        // level, log2(nparts) levels.
+        // Each level scans the active set along one axis (sort below the
+        // cutoff, histogram select above): O(n log n) per level keeps the
+        // classic bound, log2(nparts) levels.
         let n = geocol.nvertices().max(2) as f64;
         let levels = (nparts.max(2) as f64).log2().ceil();
         n * n.log2() * levels
@@ -52,6 +111,7 @@ fn bisect(
     part_lo: usize,
     nparts: usize,
     owners: &mut [u32],
+    scans: &mut dyn RankScans,
 ) {
     if nparts <= 1 || vertices.len() <= 1 {
         for &v in vertices.iter() {
@@ -59,69 +119,239 @@ fn bisect(
         }
         // A degenerate split (more parts than vertices) leaves the extra
         // parts empty, which Partitioning tolerates.
-        if !vertices.is_empty() && nparts > 1 {
-            // keep all on part_lo
-        }
         return;
     }
 
-    let axis = widest_axis(geocol, vertices);
-    // Sort the active vertices along the chosen axis (ties broken by vertex
-    // id for determinism).
+    let dim = geocol.geometry_dim();
+    let m = vertices.len();
+    let vs: &[u32] = vertices;
+
+    // Rank-parallel extents + load: per block, [lo, hi] per axis then the
+    // block's load sum. min/max fold exactly under any grouping; the load
+    // sum folds fixed blocks in ascending order.
+    let width = 2 * dim + 1;
+    let blocks = block_scan(
+        scans,
+        m,
+        width,
+        (2 * dim + 1) as f64,
+        &|items, acc: &mut [f64]| {
+            for a in 0..dim {
+                acc[2 * a] = f64::INFINITY;
+                acc[2 * a + 1] = f64::NEG_INFINITY;
+            }
+            for i in items {
+                let v = vs[i] as usize;
+                for a in 0..dim {
+                    let c = geocol.coord(a, v);
+                    acc[2 * a] = acc[2 * a].min(c);
+                    acc[2 * a + 1] = acc[2 * a + 1].max(c);
+                }
+                acc[2 * dim] += geocol.vertex_load(v);
+            }
+        },
+    );
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    let mut total_load = 0.0;
+    for b in blocks.chunks_exact(width) {
+        for a in 0..dim {
+            lo[a] = lo[a].min(b[2 * a]);
+            hi[a] = hi[a].max(b[2 * a + 1]);
+        }
+        total_load += b[2 * dim];
+    }
+    let mut axis = 0;
+    let mut best_extent = f64::NEG_INFINITY;
+    for a in 0..dim {
+        let extent = hi[a] - lo[a];
+        if extent > best_extent {
+            best_extent = extent;
+            axis = a;
+        }
+    }
+
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let target_left = total_load * left_parts as f64 / nparts as f64;
+
+    let histogram_usable = m > SORT_CUTOFF && best_extent.is_finite() && best_extent > 0.0;
+    let split = if !histogram_usable {
+        sort_select(geocol, vertices, axis, target_left)
+    } else {
+        histogram_select(
+            geocol,
+            vertices,
+            axis,
+            lo[axis],
+            hi[axis],
+            target_left,
+            scans,
+        )
+    };
+
+    let (left, right) = vertices.split_at_mut(split);
+    bisect(geocol, left, part_lo, left_parts, owners, scans);
+    bisect(
+        geocol,
+        right,
+        part_lo + left_parts,
+        right_parts,
+        owners,
+        scans,
+    );
+}
+
+/// Classic weighted-median selection: sort the active set along `axis`
+/// (ties broken by vertex id) and walk prefix loads until `target_left` is
+/// reached. Reorders `vertices` so the left group is `..split`; returns
+/// `split`, clamped so neither side is empty.
+fn sort_select(geocol: &GeoCoL, vertices: &mut [u32], axis: usize, target_left: f64) -> usize {
     vertices.sort_unstable_by(|&a, &b| {
         let ca = geocol.coord(axis, a as usize);
         let cb = geocol.coord(axis, b as usize);
         ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
     });
-
-    let left_parts = nparts / 2;
-    let right_parts = nparts - left_parts;
-    let total_load: f64 = vertices
-        .iter()
-        .map(|&v| geocol.vertex_load(v as usize))
-        .sum();
-    let target_left = total_load * left_parts as f64 / nparts as f64;
-
-    // Weighted median: find the split point where the prefix load first
-    // reaches the target.
     let mut acc = 0.0;
     let mut split = 0usize;
     for (i, &v) in vertices.iter().enumerate() {
         acc += geocol.vertex_load(v as usize);
+        split = i + 1;
         if acc >= target_left {
-            split = i + 1;
             break;
         }
-        split = i + 1;
     }
-    // Never produce an empty side unless unavoidable.
-    split = split.clamp(1, vertices.len() - 1).min(vertices.len());
-
-    let (left, right) = vertices.split_at_mut(split);
-    bisect(geocol, left, part_lo, left_parts, owners);
-    bisect(geocol, right, part_lo + left_parts, right_parts, owners);
+    split.clamp(1, vertices.len() - 1)
 }
 
-/// The coordinate axis with the largest extent over the given vertex set.
-fn widest_axis(geocol: &GeoCoL, vertices: &[u32]) -> usize {
-    let dim = geocol.geometry_dim();
-    let mut best_axis = 0;
-    let mut best_extent = f64::NEG_INFINITY;
-    for axis in 0..dim {
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &v in vertices {
-            let c = geocol.coord(axis, v as usize);
-            lo = lo.min(c);
-            hi = hi.max(c);
+/// Rank-parallel weighted-median selection: a per-block histogram scan over
+/// `NBINS` coordinate buckets feeds a driver-side select — pick the bucket
+/// where the cumulative load first reaches `target_left`, sort only that
+/// bucket's members and walk their prefix loads. Reorders `vertices`
+/// (stably, preserving the incoming relative order within each side) so the
+/// left group is `..split`; returns `split` with neither side empty.
+///
+/// Every step is a pure function of the input set — bucket boundaries come
+/// from the exact `lo`/`hi` extents, partial sums fold fixed blocks — so
+/// the result is bit-identical for every rank count and engine, and
+/// identical to what a full sort-select over the same bucket walk yields.
+fn histogram_select(
+    geocol: &GeoCoL,
+    vertices: &mut [u32],
+    axis: usize,
+    lo: f64,
+    hi: f64,
+    target_left: f64,
+    scans: &mut dyn RankScans,
+) -> usize {
+    let m = vertices.len();
+    let inv = NBINS as f64 / (hi - lo);
+    let bin_of = |v: u32| -> usize {
+        (((geocol.coord(axis, v as usize) - lo) * inv) as usize).min(NBINS - 1)
+    };
+
+    // Rank-parallel histogram: per block, [count, load] per bucket.
+    let vs: &[u32] = vertices;
+    let blocks = block_scan(scans, m, 2 * NBINS, 4.0, &|items, acc: &mut [f64]| {
+        for i in items {
+            let b = bin_of(vs[i]);
+            acc[2 * b] += 1.0;
+            acc[2 * b + 1] += geocol.vertex_load(vs[i] as usize);
         }
-        let extent = hi - lo;
-        if extent > best_extent {
-            best_extent = extent;
-            best_axis = axis;
+    });
+    let mut counts = [0usize; NBINS];
+    let mut loads = [0.0f64; NBINS];
+    for block in blocks.chunks_exact(2 * NBINS) {
+        for b in 0..NBINS {
+            counts[b] += block[2 * b] as usize;
+            loads[b] += block[2 * b + 1];
         }
     }
-    best_axis
+
+    // Driver-side select: the bucket where the cumulative load first
+    // reaches the target (or the last populated bucket if rounding never
+    // lets it).
+    let mut cum = 0.0;
+    let mut boundary = None;
+    for (b, &load) in loads.iter().enumerate() {
+        cum += load;
+        if cum >= target_left {
+            boundary = Some(b);
+            break;
+        }
+    }
+    let boundary =
+        boundary.unwrap_or_else(|| (0..NBINS).rev().find(|&b| counts[b] > 0).unwrap_or(0));
+    if counts[boundary] == 0 {
+        // Degenerate (e.g. all-zero loads landing in an empty bucket): the
+        // histogram cannot refine the split — fall back to the exact sort.
+        return sort_select(geocol, vertices, axis, target_left);
+    }
+    let below_count: usize = counts[..boundary].iter().sum();
+    let below_load: f64 = loads[..boundary].iter().sum();
+
+    // Sort only the boundary bucket's members and walk their prefix loads.
+    let mut candidates: Vec<u32> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| bin_of(v) == boundary)
+        .collect();
+    candidates.sort_unstable_by(|&a, &b| {
+        let ca = geocol.coord(axis, a as usize);
+        let cb = geocol.coord(axis, b as usize);
+        ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+    });
+    let mut acc = below_load;
+    let mut taken = 0usize;
+    for &v in &candidates {
+        acc += geocol.vertex_load(v as usize);
+        taken += 1;
+        if acc >= target_left {
+            break;
+        }
+    }
+    let split = (below_count + taken).clamp(1, m - 1);
+    if split < below_count {
+        // The clamp cannot reach back below the boundary bucket (the
+        // buckets before it hold at most m-1 vertices), but keep the exact
+        // fallback as a safety net.
+        return sort_select(geocol, vertices, axis, target_left);
+    }
+    let taken = split - below_count;
+
+    // Stable two-sided partition: left = buckets below the boundary plus
+    // the first `taken` sorted members of the boundary bucket.
+    let threshold = if taken == 0 {
+        None
+    } else {
+        let t = candidates[taken - 1];
+        Some((geocol.coord(axis, t as usize), t))
+    };
+    let mut left = Vec::with_capacity(split);
+    let mut right = Vec::with_capacity(m - split);
+    for &v in vertices.iter() {
+        let b = bin_of(v);
+        let is_left = match b.cmp(&boundary) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => match threshold {
+                None => false,
+                Some((tc, tv)) => {
+                    let c = geocol.coord(axis, v as usize);
+                    (c, v) <= (tc, tv)
+                }
+            },
+        };
+        if is_left {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    debug_assert_eq!(left.len(), split);
+    vertices[..split].copy_from_slice(&left);
+    vertices[split..].copy_from_slice(&right);
+    split
 }
 
 #[cfg(test)]
@@ -301,5 +531,81 @@ mod tests {
         let a = RcbPartitioner.partition(&g, 4);
         let b = RcbPartitioner.partition(&g, 4);
         assert_eq!(a, b);
+    }
+
+    /// A large pseudo-random point cloud with per-vertex loads — big enough
+    /// that the top bisection levels take the histogram-select path.
+    fn random_cloud(n: usize) -> GeoCoL {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut ws = Vec::with_capacity(n);
+        let mut state = 7u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            xs.push(next() * 100.0);
+            ys.push(next() * 40.0);
+            ws.push(0.5 + next());
+        }
+        GeoColBuilder::new(n)
+            .geometry(vec![xs, ys])
+            .load(ws)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rcb_histogram_select_is_rank_count_independent() {
+        // Above SORT_CUTOFF the split runs through the rank-parallel
+        // histogram; the partitioning must not depend on the rank count in
+        // any bit, so the pure partition() is an exact oracle for every
+        // backend.
+        let g = random_cloud(3 * SORT_CUTOFF);
+        for nparts in [2, 4, 6] {
+            let serial = RcbPartitioner.partition(&g, nparts);
+            let q = PartitionQuality::evaluate(&g, &serial);
+            assert!(
+                q.load_imbalance <= 1.05,
+                "nparts={nparts} imbalance {}",
+                q.load_imbalance
+            );
+            for nranks in [2, 5, 16, 200] {
+                let chunked =
+                    RcbPartitioner.partition_with_scans(&g, nparts, &mut SerialScans { nranks });
+                assert_eq!(serial, chunked, "nparts={nparts} nranks={nranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn rcb_histogram_select_matches_full_sort_balance() {
+        // The histogram path replaces the full sort; both must land the
+        // split at the same weighted-median balance (the sets can differ
+        // only among equal-coordinate ties, which a uniform cloud has none
+        // of at the top level).
+        let g = random_cloud(3 * SORT_CUTOFF);
+        let p = RcbPartitioner.partition(&g, 2);
+        let loads = p.part_loads(&g);
+        let imb = loads.iter().cloned().fold(0.0, f64::max) / (g.total_load() / 2.0);
+        assert!(imb < 1.01, "histogram select imbalance {imb}");
+    }
+
+    #[test]
+    fn rcb_degenerate_coordinates_fall_back_to_sort() {
+        // All points coincide: zero extent on every axis must take the
+        // sort path regardless of size and still split evenly.
+        let n = 3 * SORT_CUTOFF;
+        let g = GeoColBuilder::new(n)
+            .geometry(vec![vec![1.5; n], vec![-2.0; n]])
+            .build()
+            .unwrap();
+        let p = RcbPartitioner.partition(&g, 2);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), n);
+        assert!(sizes.iter().all(|&s| s == n / 2), "sizes {sizes:?}");
     }
 }

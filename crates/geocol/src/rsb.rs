@@ -2,6 +2,8 @@
 //! used in the paper's Table 2 ("a parallelized version of Simon's
 //! eigenvalue partitioner").
 //!
+//! # Algorithm
+//!
 //! Each recursion level computes an approximation to the **Fiedler vector**
 //! (the eigenvector of the graph Laplacian belonging to the second-smallest
 //! eigenvalue) of the current subgraph and splits the vertices at the
@@ -12,9 +14,42 @@
 //! dependency while keeping the characteristic behaviour the paper reports:
 //! much higher partitioning cost than coordinate bisection, in exchange for
 //! the lowest edge cut / fastest executor.
+//!
+//! # Rank-parallel structure (this is the expensive partitioner)
+//!
+//! The inner loops of [`fiedler_vector`](RsbPartitioner) dominate the whole
+//! preprocessing pipeline, so they run **rank-parallel** through the
+//! [`RankScans`] executor (the PARTI/CHAOS partitioners themselves ran
+//! data-parallel on the nodes — this is the reproduction's version of that):
+//!
+//! * the **sparse matvec** `y = Bx` over the induced-subgraph CSR adjacency
+//!   is a [`map_scan`] — each rank computes its `ceil(m/nranks)` chunk of
+//!   `y`, charging `~(3 + 2·avg_degree)` modeled ops per vertex;
+//! * the `deflate_constant` / `normalize` / `dot` **reductions** are one
+//!   [`block_scan`] per iteration computing `[Σy, Σy², Σy·x, Σx]` as
+//!   fixed-size-block partial sums, folded driver-side in ascending block
+//!   order;
+//! * the deflate + renormalize **update** `x ← (y − mean)/‖y − mean‖` is a
+//!   second [`map_scan`].
+//!
+//! Only O(1) scalar work and the (comparison-based, inherently sequential)
+//! median split stay on the driver between scans. Because maps write
+//! disjoint items and reductions fold fixed blocks, the Fiedler vector — and
+//! therefore the partitioning — is bit-identical for every rank count and
+//! engine: the pure [`Partitioner::partition`] entry point (single-chunk
+//! [`SerialScans`]) is an exact oracle for `Machine`, `ThreadedBackend` and
+//! `PooledBackend` runs (`tests/backend_equivalence.rs` proptests this).
+//!
+//! # Charge model
+//!
+//! When invoked through the mapper coupler, the scans charge their compute
+//! to the executing ranks' clocks and the coupler deducts those charged ops
+//! from [`Partitioner::cost_estimate`]'s lump sum, so routed work is never
+//! double-charged. The estimate (`iterations · (n + 2e) · log₂ nparts`)
+//! keeps RSB one to two orders of magnitude above RCB, matching Table 2.
 
 use crate::geocol::GeoCoL;
-use crate::partition::{Partitioner, Partitioning};
+use crate::partition::{block_scan, map_scan, Partitioner, Partitioning, RankScans, SerialScans};
 
 /// Recursive spectral bisection partitioner.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +75,23 @@ impl Partitioner for RsbPartitioner {
     }
 
     fn partition(&self, geocol: &GeoCoL, nparts: usize) -> Partitioning {
+        // Single-chunk scans degenerate to the classic sequential folds —
+        // and, because every scan is rank-count independent, this is also
+        // the bit-exact oracle for every backend-driven run.
+        self.partition_with_scans(geocol, nparts, &mut SerialScans::single())
+    }
+
+    /// The rank-parallel entry point: the power iteration behind every
+    /// Fiedler vector — sparse matvec, moment reductions and the
+    /// deflate/normalize update — runs through `scans`, one chunk per rank,
+    /// so the runtime can execute it through `Backend::run_compute` while
+    /// the partitioning stays bit-identical to [`Partitioner::partition`].
+    fn partition_with_scans(
+        &self,
+        geocol: &GeoCoL,
+        nparts: usize,
+        scans: &mut dyn RankScans,
+    ) -> Partitioning {
         assert!(
             geocol.has_connectivity(),
             "RSB requires a LINK (connectivity) section in the GeoCoL structure"
@@ -50,7 +102,16 @@ impl Partitioner for RsbPartitioner {
             return Partitioning::new(owners, nparts);
         }
         let mut vertices: Vec<u32> = (0..n as u32).collect();
-        self.bisect(geocol, &mut vertices, 0, nparts, &mut owners);
+        let mut local = vec![u32::MAX; n];
+        self.bisect(
+            geocol,
+            &mut vertices,
+            0,
+            nparts,
+            &mut owners,
+            &mut local,
+            scans,
+        );
         Partitioning::new(owners, nparts)
     }
 
@@ -68,6 +129,7 @@ impl Partitioner for RsbPartitioner {
 }
 
 impl RsbPartitioner {
+    #[allow(clippy::too_many_arguments)]
     fn bisect(
         &self,
         geocol: &GeoCoL,
@@ -75,6 +137,8 @@ impl RsbPartitioner {
         part_lo: usize,
         nparts: usize,
         owners: &mut [u32],
+        local: &mut [u32],
+        scans: &mut dyn RankScans,
     ) {
         if nparts <= 1 || vertices.len() <= 1 {
             for &v in vertices.iter() {
@@ -83,7 +147,7 @@ impl RsbPartitioner {
             return;
         }
 
-        let fiedler = self.fiedler_vector(geocol, vertices);
+        let fiedler = self.fiedler_vector(geocol, vertices, local, scans);
 
         // Sort by Fiedler component (ties by vertex id for determinism).
         let mut order: Vec<usize> = (0..vertices.len()).collect();
@@ -98,10 +162,14 @@ impl RsbPartitioner {
 
         let left_parts = nparts / 2;
         let right_parts = nparts - left_parts;
-        let total_load: f64 = vertices
-            .iter()
-            .map(|&v| geocol.vertex_load(v as usize))
-            .sum();
+        let vs: &[u32] = vertices;
+        let total_load = block_scan(scans, vs.len(), 1, 1.0, &|items, acc| {
+            for i in items {
+                acc[0] += geocol.vertex_load(vs[i] as usize);
+            }
+        })
+        .iter()
+        .sum::<f64>();
         let target_left = total_load * left_parts as f64 / nparts as f64;
         let mut acc = 0.0;
         let mut split = 0usize;
@@ -115,36 +183,70 @@ impl RsbPartitioner {
         split = split.clamp(1, vertices.len() - 1);
 
         let (left, right) = vertices.split_at_mut(split);
-        self.bisect(geocol, left, part_lo, left_parts, owners);
-        self.bisect(geocol, right, part_lo + left_parts, right_parts, owners);
+        self.bisect(geocol, left, part_lo, left_parts, owners, local, scans);
+        self.bisect(
+            geocol,
+            right,
+            part_lo + left_parts,
+            right_parts,
+            owners,
+            local,
+            scans,
+        );
     }
 
     /// Approximate Fiedler vector of the subgraph induced by `vertices`,
-    /// indexed by position within `vertices`.
-    fn fiedler_vector(&self, geocol: &GeoCoL, vertices: &[u32]) -> Vec<f64> {
+    /// indexed by position within `vertices`. The power iteration's matvec,
+    /// moment reductions and deflate/normalize update run through `scans`
+    /// (see the module docs); `local` is reusable global→local scratch.
+    fn fiedler_vector(
+        &self,
+        geocol: &GeoCoL,
+        vertices: &[u32],
+        local: &mut [u32],
+        scans: &mut dyn RankScans,
+    ) -> Vec<f64> {
         let m = vertices.len();
-        // Local index lookup.
-        let mut local = vec![usize::MAX; geocol.nvertices()];
+        // Local index lookup + induced CSR adjacency (local indices),
+        // driver-side setup: two counting passes, no per-vertex Vecs.
         for (i, &v) in vertices.iter().enumerate() {
-            local[v as usize] = i;
+            local[v as usize] = i as u32;
         }
-        // Induced adjacency (local indices) and degrees.
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut offsets = vec![0usize; m + 1];
         for (i, &v) in vertices.iter().enumerate() {
-            for &n in geocol.neighbors(v as usize) {
-                let l = local[n as usize];
-                if l != usize::MAX {
-                    adj[i].push(l as u32);
+            let mut deg = 0usize;
+            for &nb in geocol.neighbors(v as usize) {
+                if local[nb as usize] != u32::MAX {
+                    deg += 1;
+                }
+            }
+            offsets[i + 1] = offsets[i] + deg;
+        }
+        let mut targets = vec![0u32; offsets[m]];
+        let mut cursor = 0usize;
+        for &v in vertices {
+            for &nb in geocol.neighbors(v as usize) {
+                let l = local[nb as usize];
+                if l != u32::MAX {
+                    targets[cursor] = l;
+                    cursor += 1;
                 }
             }
         }
-        let max_degree = adj.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        let max_degree = (0..m)
+            .map(|i| offsets[i + 1] - offsets[i])
+            .max()
+            .unwrap_or(0) as f64;
         // Shift so that B = cI - L is positive semi-definite with the Fiedler
         // direction as its second-largest eigenvector; c = 2*max_degree + 1
         // comfortably bounds the Laplacian spectrum.
         let c = 2.0 * max_degree + 1.0;
+        // Modeled per-vertex cost of one matvec row: the diagonal term plus
+        // a multiply-add per incident edge.
+        let matvec_ops = 3.0 + 2.0 * offsets[m] as f64 / m as f64;
 
-        // Deterministic pseudo-random start vector, orthogonal to 1.
+        // Deterministic pseudo-random start vector, orthogonal to 1
+        // (driver-side: O(m) once per level, no scan state involved).
         let mut x: Vec<f64> = (0..m)
             .map(|i| {
                 let v = vertices[i] as u64;
@@ -157,40 +259,69 @@ impl RsbPartitioner {
 
         let mut prev_rayleigh = f64::INFINITY;
         for _ in 0..self.power_iterations {
-            // y = B x = c*x - L x = c*x - (deg(v)*x[v] - sum_neigh x[u])
-            let mut y = vec![0.0; m];
-            for i in 0..m {
-                let deg = adj[i].len() as f64;
-                let mut s = (c - deg) * x[i];
-                for &n in &adj[i] {
-                    s += x[n as usize];
+            // Rank-parallel matvec: y = B x = c*x - L x, one chunk per rank.
+            let (offs, tgts, xr) = (&offsets, &targets, &x);
+            let y = map_scan(scans, m, matvec_ops, &|range, out| {
+                for (k, i) in range.enumerate() {
+                    let row = offs[i]..offs[i + 1];
+                    let mut s = (c - row.len() as f64) * xr[i];
+                    for &nb in &tgts[row] {
+                        s += xr[nb as usize];
+                    }
+                    out[k] = s;
                 }
-                y[i] = s;
+            });
+
+            // Rank-parallel moments: [Σy, Σy², Σy·x, Σx] as fixed-block
+            // partial sums, folded in ascending block order.
+            let yr = &y;
+            let blocks = block_scan(scans, m, 4, 4.0, &|items, acc| {
+                for i in items {
+                    acc[0] += yr[i];
+                    acc[1] += yr[i] * yr[i];
+                    acc[2] += yr[i] * xr[i];
+                    acc[3] += xr[i];
+                }
+            });
+            let (mut sy, mut sy2, mut syx, mut sx) = (0.0, 0.0, 0.0, 0.0);
+            for b in blocks.chunks_exact(4) {
+                sy += b[0];
+                sy2 += b[1];
+                syx += b[2];
+                sx += b[3];
             }
-            deflate_constant(&mut y);
-            let norm = normalize(&mut y);
+            let mean = sy / m as f64;
+            // ‖y − mean‖² = Σy² − mean·Σy; with x deflated, mean stays tiny
+            // relative to the spread, so the identity is numerically safe.
+            let norm = (sy2 - mean * sy).max(0.0).sqrt();
             if norm < 1e-30 {
                 // Graph is (near-)complete or degenerate; keep current x.
                 break;
             }
-            // Rayleigh quotient of L: lambda = c - x^T B x (x normalized).
-            let rayleigh: f64 = c - dot(&y, &x) * norm;
-            x = y;
+            // Rayleigh quotient of L: lambda = c - (y - mean)·x.
+            let rayleigh = c - (syx - mean * sx);
+
+            // Rank-parallel deflate + renormalize: x ← (y − mean)/norm.
+            x = map_scan(scans, m, 2.0, &|range, out| {
+                for (k, i) in range.enumerate() {
+                    out[k] = (yr[i] - mean) / norm;
+                }
+            });
             if (rayleigh - prev_rayleigh).abs() < self.tolerance {
                 break;
             }
             prev_rayleigh = rayleigh;
         }
+        // Reset the scratch for the sibling/parent calls.
+        for &v in vertices {
+            local[v as usize] = u32::MAX;
+        }
         x
     }
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
 /// Remove the component along the constant vector (the trivial Laplacian
-/// eigenvector).
+/// eigenvector). Driver-side helper for the start vector.
 fn deflate_constant(x: &mut [f64]) {
     if x.is_empty() {
         return;
@@ -202,6 +333,7 @@ fn deflate_constant(x: &mut [f64]) {
 }
 
 /// Normalize to unit length, returning the pre-normalization norm.
+/// Driver-side helper for the start vector.
 fn normalize(x: &mut [f64]) -> f64 {
     let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
     if norm > 1e-30 {
@@ -345,6 +477,47 @@ mod tests {
         let a = RsbPartitioner::default().partition(&g, 4);
         let b = RsbPartitioner::default().partition(&g, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rsb_scans_are_rank_count_independent() {
+        // The whole point of the map/block scan structure: chunking the
+        // scans over any number of ranks must not change a single bit of
+        // the partitioning, so the pure partition() is an exact oracle for
+        // every backend. Swept over multiway counts and a disconnected
+        // graph.
+        let g = shuffled_grid(14);
+        for nparts in [2, 4, 7] {
+            let serial = RsbPartitioner::default().partition(&g, nparts);
+            for nranks in [2, 3, 5, 16, 64] {
+                let chunked = RsbPartitioner::default().partition_with_scans(
+                    &g,
+                    nparts,
+                    &mut SerialScans { nranks },
+                );
+                assert_eq!(serial, chunked, "nparts={nparts} nranks={nranks}");
+            }
+        }
+        let disconnected = {
+            let mut e1 = Vec::new();
+            let mut e2 = Vec::new();
+            for i in 0..30u32 {
+                if i % 15 != 14 {
+                    e1.push(i);
+                    e2.push(i + 1);
+                }
+            }
+            GeoColBuilder::new(30).link(e1, e2).build().unwrap()
+        };
+        let serial = RsbPartitioner::default().partition(&disconnected, 4);
+        for nranks in [3, 8] {
+            let chunked = RsbPartitioner::default().partition_with_scans(
+                &disconnected,
+                4,
+                &mut SerialScans { nranks },
+            );
+            assert_eq!(serial, chunked);
+        }
     }
 
     #[test]

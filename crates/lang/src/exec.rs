@@ -16,8 +16,7 @@
 //! record that L wrote its left-hand-side arrays
 //! ```
 //!
-//! Two simplifications relative to a production compiler are documented in
-//! DESIGN.md: indirection-array values are read from the shared address
+//! Two simplifications relative to a production compiler: indirection-array values are read from the shared address
 //! space when building access patterns (their translation/dedup/schedule
 //! costs are still charged), and assignments whose left-hand side lands
 //! off-processor are resolved with a last-writer-wins scatter.
@@ -1213,6 +1212,58 @@ mod tests {
         assert_eq!(ss.bytes, sp.bytes);
         assert_eq!(ss.phases, sp.phases);
         assert_eq!(ss.comm_seconds.to_bits(), sp.comm_seconds.to_bits());
+    }
+
+    #[test]
+    fn repartition_phases_run_rank_parallel_and_bit_identically() {
+        // The MAPPED_PROGRAM's CONSTRUCT → SET ... BY PARTITIONING (RSB) →
+        // REDISTRIBUTE preamble routes the partitioner's scans and the
+        // remap through the backend: the whole program must agree across
+        // Machine, ThreadedBackend and PooledBackend — values, modeled
+        // clocks and statistics, bit for bit — including the partitioner
+        // phase itself.
+        let inputs = ring_inputs(64);
+        let cp = lower_program(parse_program(MAPPED_PROGRAM).unwrap()).unwrap();
+        let mut seq = Executor::new(MachineConfig::ipsc860(4), inputs.clone());
+        let mut thr = Executor::new_threaded(MachineConfig::ipsc860(4), inputs.clone());
+        let mut pool = Executor::new_pooled_with_workers(MachineConfig::ipsc860(4), 3, inputs);
+        seq.run(&cp).unwrap();
+        thr.run(&cp).unwrap();
+        pool.run(&cp).unwrap();
+        for _ in 0..2 {
+            seq.execute_loop(&cp, "L1").unwrap();
+            thr.execute_loop(&cp, "L1").unwrap();
+            pool.execute_loop(&cp, "L1").unwrap();
+        }
+        // The node decomposition really was repartitioned (irregular now).
+        assert_eq!(seq.decomposition("reg").unwrap().kind_name(), "IRREGULAR");
+        let ys = seq.real_global("y").unwrap();
+        for other in [
+            &thr.real_global("y").unwrap(),
+            &pool.real_global("y").unwrap(),
+        ] {
+            for (i, (a, b)) in ys.iter().zip(other.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "y[{i}] diverged: {a} vs {b}");
+            }
+        }
+        let es = seq.machine().elapsed();
+        for elapsed in [thr.machine().elapsed(), pool.machine().elapsed()] {
+            for p in 0..4 {
+                assert_eq!(es.per_proc[p].to_bits(), elapsed.per_proc[p].to_bits());
+            }
+        }
+        let ss = seq.machine().stats().grand_totals();
+        for stats in [
+            thr.machine().stats().grand_totals(),
+            pool.machine().stats().grand_totals(),
+        ] {
+            assert_eq!(ss.messages, stats.messages);
+            assert_eq!(ss.bytes, stats.bytes);
+            assert_eq!(ss.phases, stats.phases);
+            assert_eq!(ss.comm_seconds.to_bits(), stats.comm_seconds.to_bits());
+        }
+        assert_eq!(seq.report(), thr.report());
+        assert_eq!(seq.report(), pool.report());
     }
 
     #[test]

@@ -6,14 +6,13 @@
 //! own shards of the written arrays, shared views of the read-only arrays
 //! and gathered ghost buffers, its rows of the off-processor write buffers,
 //! and its localized reference rows. A `RankState` is `Send`, so the
-//! executor hands one per rank to [`Backend::run_compute`]
-//! (`chaos_dmsim::Backend`) and the sweep runs on every engine — including
+//! executor hands one per rank to [`chaos_dmsim::Backend::run_compute`] and the sweep runs on every engine — including
 //! one OS thread per rank under `ThreadedBackend` — with byte-identical
 //! results.
 //!
 //! [`run_rank`] is the compiled hot path: a linear walk of the bytecode
 //! arena per iteration, registers in a flat `f64` file, every slot resolved
-//! through its precomputed [`SlotBinding`](crate::kernel::SlotBinding). Its
+//! through its precomputed [`SlotBinding`]. Its
 //! floating-point operation sequence is *identical* to the tree-walker's
 //! ([`run_rank_interpreted`]) — post-order emission preserves evaluation
 //! order — which is what makes the byte-for-byte differential tests

@@ -37,7 +37,8 @@
 //! The benchmark harness runs the same templates twice — once through this
 //! crate ("compiler-generated") and once hand-coded directly against
 //! `chaos-runtime` — to reproduce the paper's "within 10 % of hand-coded"
-//! claim (Table 2).
+//! claim (Table 2). `ARCHITECTURE.md` § "The kernel-compiler pipeline"
+//! documents the bytecode path end-to-end.
 
 #![warn(missing_docs)]
 

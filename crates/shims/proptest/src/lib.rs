@@ -182,7 +182,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    /// Length specification for [`fn@vec`]: a fixed size or a half-open range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive

@@ -23,7 +23,8 @@
 //!
 //! Both workloads expose their data in the form the CHAOS runtime consumes:
 //! coordinate arrays, endpoint (indirection) arrays and per-iteration
-//! reference lists.
+//! reference lists. `ARCHITECTURE.md` § "Crate map" places this crate in
+//! the system spine.
 
 #![warn(missing_docs)]
 

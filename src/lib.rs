@@ -17,8 +17,11 @@
 //! * [`workloads`] — synthetic unstructured-mesh and molecular-dynamics
 //!   workload generators.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md /
-//! EXPERIMENTS.md for the experiment-by-experiment reproduction notes.
+//! See `examples/quickstart.rs` for a five-minute tour, `ARCHITECTURE.md`
+//! for the documented system spine (crate map, CSR data flow, Backend
+//! determinism contract, kernel compiler, rank-parallel partitioners),
+//! `ROADMAP.md` for the open items and `CHANGES.md` for the PR-by-PR
+//! history.
 
 pub use chaos_dmsim as dmsim;
 pub use chaos_geocol as geocol;

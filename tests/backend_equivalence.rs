@@ -10,6 +10,9 @@
 //! pool workers than cores.
 
 use chaos_repro::dmsim::{Backend, PooledBackend, ThreadedBackend, Topology};
+use chaos_repro::geocol::{
+    GeoCoL, GeoColBuilder, Partitioner, Partitioning, RcbPartitioner, RsbPartitioner,
+};
 use chaos_repro::prelude::*;
 use chaos_repro::runtime::{gather, scatter_add, scatter_op, Inspector, LocalRef, TTablePolicy};
 use proptest::prelude::*;
@@ -218,6 +221,184 @@ fn pool_with_more_workers_than_cores_is_exact() {
     let obs_seq = run_pipeline(&mut seq, &dist, &data, &pattern);
     let obs_pool = run_pipeline(&mut pool, &dist, &data, &pattern);
     assert_eq!(obs_seq, obs_pool);
+}
+
+/// Everything one coupler-driven partitioning run observes on an engine.
+#[derive(Debug, PartialEq)]
+struct PartitionObservation {
+    owners: Vec<u32>,
+    clock_bits: Vec<(u64, u64, u64)>,
+    messages: usize,
+    bytes: usize,
+    comm_seconds_bits: u64,
+}
+
+/// Run `SET ... BY PARTITIONING` through the mapper coupler on any engine
+/// and snapshot the partitioning plus the machine state.
+fn run_partition<B: Backend>(
+    backend: &mut B,
+    partitioner: &dyn Partitioner,
+    geocol: &GeoCoL,
+) -> PartitionObservation {
+    let outcome = chaos_repro::runtime::MapperCoupler.partition(backend, partitioner, geocol);
+    let machine = backend.machine();
+    let elapsed = machine.elapsed();
+    let totals = machine.stats().grand_totals();
+    PartitionObservation {
+        owners: outcome.partitioning.owners().to_vec(),
+        clock_bits: (0..machine.nprocs())
+            .map(|p| {
+                (
+                    elapsed.compute[p].to_bits(),
+                    elapsed.comm[p].to_bits(),
+                    elapsed.idle[p].to_bits(),
+                )
+            })
+            .collect(),
+        messages: totals.messages,
+        bytes: totals.bytes,
+        comm_seconds_bits: totals.comm_seconds.to_bits(),
+    }
+}
+
+/// A random GeoCoL with geometry, loads and (possibly disconnected)
+/// connectivity, driven by one LCG seed.
+fn random_geocol(n: usize, seed: u64, components: usize) -> GeoCoL {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let xs: Vec<f64> = (0..n).map(|_| next() * 50.0).collect();
+    let ys: Vec<f64> = (0..n).map(|_| next() * 20.0).collect();
+    let ws: Vec<f64> = (0..n).map(|_| 0.25 + next()).collect();
+    // A chain per component (keeps every component connected internally,
+    // never across), plus random intra-component chords.
+    let comp = |v: usize| v * components / n;
+    let mut e1 = Vec::new();
+    let mut e2 = Vec::new();
+    for v in 0..n.saturating_sub(1) {
+        if comp(v) == comp(v + 1) {
+            e1.push(v as u32);
+            e2.push((v + 1) as u32);
+        }
+    }
+    for _ in 0..2 * n {
+        let a = (next() * n as f64) as usize % n;
+        let b = (next() * n as f64) as usize % n;
+        if a != b && comp(a) == comp(b) {
+            e1.push(a as u32);
+            e2.push(b as u32);
+        }
+    }
+    GeoColBuilder::new(n)
+        .geometry(vec![xs, ys])
+        .load(ws)
+        .link(e1, e2)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: the rank-parallel partitioners (RSB's power-iteration
+    /// matvecs and reductions, RCB's extent/histogram scans) agree across
+    /// all three engines — partitionings, modeled clocks and statistics,
+    /// bit for bit — and match the pure `partition()` serial oracle, over
+    /// random graphs including disconnected ones, with pool worker counts
+    /// swept below, at and above the rank count.
+    #[test]
+    fn partitioners_agree_across_engines_and_match_the_serial_oracle(
+        p in 2usize..=8,
+        n in 24usize..150,
+        seed in 0u64..1000,
+        components in 1usize..4,
+        which in 0usize..2,
+    ) {
+        let geocol = random_geocol(n, seed, components);
+        let rsb = RsbPartitioner { power_iterations: 40, ..Default::default() };
+        let partitioner: &dyn Partitioner = if which == 0 { &rsb } else { &RcbPartitioner };
+        let oracle: Partitioning = partitioner.partition(&geocol, p);
+
+        let cfg = || MachineConfig::unit(p).with_topology(Topology::FullyConnected);
+        let mut seq = Machine::new(cfg());
+        let mut thr = ThreadedBackend::from_config(cfg());
+        let workers = 1 + (seed as usize % 12); // ranks>workers and workers>ranks/cores
+        let mut pool = PooledBackend::with_workers(Machine::new(cfg()), workers);
+
+        let obs_seq = run_partition(&mut seq, partitioner, &geocol);
+        let obs_thr = run_partition(&mut thr, partitioner, &geocol);
+        let obs_pool = run_partition(&mut pool, partitioner, &geocol);
+        prop_assert_eq!(&obs_seq.owners, oracle.owners(), "engine vs pure partition()");
+        prop_assert_eq!(&obs_seq, &obs_thr);
+        prop_assert_eq!(&obs_seq, &obs_pool);
+    }
+}
+
+/// The proptest above keeps `n` small for runtime, which means every
+/// `block_scan` fits one `SCAN_BLOCK` and RCB stays on its sort path. Pin
+/// one deterministic *large* case — above `SORT_CUTOFF`, misaligned with
+/// the block size — so RCB's rank-parallel histogram select and the
+/// multi-block partial compaction run on all three real engines in the
+/// test suite, not only in `perf_check`.
+#[test]
+fn large_active_sets_agree_across_engines_and_match_the_serial_oracle() {
+    use chaos_repro::geocol::{SCAN_BLOCK, SORT_CUTOFF};
+    let n = 3 * SORT_CUTOFF + SCAN_BLOCK / 2 + 13;
+    let geocol = random_geocol(n, 0xB16, 1);
+    let rsb = RsbPartitioner {
+        power_iterations: 8,
+        ..Default::default()
+    };
+    let partitioners: [&dyn Partitioner; 2] = [&RcbPartitioner, &rsb];
+    for partitioner in partitioners {
+        let oracle = partitioner.partition(&geocol, 4);
+        let cfg = || MachineConfig::unit(4).with_topology(Topology::FullyConnected);
+        let mut seq = Machine::new(cfg());
+        let mut thr = ThreadedBackend::from_config(cfg());
+        let mut pool = PooledBackend::with_workers(Machine::new(cfg()), 3);
+        let obs_seq = run_partition(&mut seq, partitioner, &geocol);
+        let obs_thr = run_partition(&mut thr, partitioner, &geocol);
+        let obs_pool = run_partition(&mut pool, partitioner, &geocol);
+        assert_eq!(
+            obs_seq.owners,
+            oracle.owners(),
+            "{} large-set engine vs pure partition()",
+            partitioner.name()
+        );
+        assert_eq!(obs_seq, obs_thr, "{}", partitioner.name());
+        assert_eq!(obs_seq, obs_pool, "{}", partitioner.name());
+    }
+}
+
+/// The disconnected-graph edge case, pinned (the proptest also sweeps it):
+/// RSB on a graph with no edges across components must stay exact on every
+/// engine and cut nothing.
+#[test]
+fn disconnected_graph_partitioning_is_engine_independent() {
+    use chaos_repro::geocol::PartitionQuality;
+    let geocol = random_geocol(96, 0xD15C0, 3);
+    let rsb = RsbPartitioner::default();
+    let oracle = rsb.partition(&geocol, 4);
+    let cfg = || MachineConfig::unit(4).with_topology(Topology::FullyConnected);
+    let mut seq = Machine::new(cfg());
+    let mut thr = ThreadedBackend::from_config(cfg());
+    let mut pool = PooledBackend::with_workers(Machine::new(cfg()), 2);
+    let obs_seq = run_partition(&mut seq, &rsb, &geocol);
+    let obs_thr = run_partition(&mut thr, &rsb, &geocol);
+    let obs_pool = run_partition(&mut pool, &rsb, &geocol);
+    assert_eq!(obs_seq.owners, oracle.owners());
+    assert_eq!(obs_seq, obs_thr);
+    assert_eq!(obs_seq, obs_pool);
+    let q = PartitionQuality::evaluate(&geocol, &oracle);
+    assert!(
+        q.load_imbalance <= 1.5,
+        "imbalance {} on the disconnected graph",
+        q.load_imbalance
+    );
 }
 
 /// The full mesh experiment end-to-end (partitioner, remap, inspector,
