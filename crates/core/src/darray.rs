@@ -128,6 +128,37 @@ impl<T> DistArray<T> {
         self.local[p][off] = value;
     }
 
+    /// Overwrite this array's element values with `src`'s, shard by shard,
+    /// without touching the distribution.
+    ///
+    /// This is the checkpoint/rollback primitive: a checkpoint is a clone of
+    /// the array, and refreshing or restoring it is values-only — in steady
+    /// state (same shapes on both sides) `Vec::clone_from` reuses the
+    /// existing shard capacity, so no heap allocation occurs.
+    ///
+    /// # Panics
+    /// Panics if the two arrays have different shard counts or any shard
+    /// pair differs in length (i.e. the arrays were built from different
+    /// distributions, or one was remapped since the checkpoint was taken).
+    pub fn copy_values_from(&mut self, src: &Self)
+    where
+        T: Clone,
+    {
+        assert_eq!(
+            self.local.len(),
+            src.local.len(),
+            "copy_values_from: shard counts differ (array was redistributed)"
+        );
+        for (dst, s) in self.local.iter_mut().zip(src.local.iter()) {
+            assert_eq!(
+                dst.len(),
+                s.len(),
+                "copy_values_from: shard lengths differ (array was remapped)"
+            );
+            dst.clone_from(s);
+        }
+    }
+
     /// Replace the distribution and local segments wholesale (used by
     /// [`crate::remap::remap`]); the two must be consistent.
     pub(crate) fn replace_storage(&mut self, dist: Distribution, local: Vec<Vec<T>>) {

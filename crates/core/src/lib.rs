@@ -46,6 +46,7 @@
 //! | [`mod@remap`] | array remapping between distributions |
 //! | [`reuse`] | `nmod`, `last_mod`, per-loop inspector-reuse records |
 //! | [`coupler`] | CONSTRUCT / SET ... BY PARTITIONING / REDISTRIBUTE |
+//! | [`ckpt`] | modeled cost of epoch checkpoint/rollback (scan charges deducted from the lump estimate) |
 //! | [`naive`] | retained nested-`Vec` reference implementation (property-test oracle) |
 //!
 //! ## Hot-path layout
@@ -63,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod coupler;
 pub mod dad;
 pub mod darray;
@@ -76,6 +78,7 @@ pub mod reuse;
 pub mod schedule;
 pub mod ttable;
 
+pub use ckpt::{charge_checkpoint, checkpoint_cost_estimate};
 pub use coupler::{GeoColSpec, MapperCoupler, PartitionOutcome};
 pub use dad::{Dad, DadSignature};
 pub use darray::DistArray;

@@ -42,7 +42,10 @@
 //! The `tests/backend_equivalence.rs` property suite exercises this contract
 //! over randomized workloads, including with more ranks than hardware cores.
 
+use crate::fault::{self, CaughtPanic, FaultPlan, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge, ProcId};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// How an exchange phase is closed: recorded under a label (a
 /// [`PhaseRecord`](crate::stats::PhaseRecord) is kept) or quietly (totals
@@ -315,6 +318,103 @@ pub trait Backend {
         let n = self.nprocs();
         self.run_phase(end, pack, (0..n).map(|_| ()), |_, ()| {});
     }
+
+    /// [`Backend::run_compute`] with detection: rank panics (organic or
+    /// injected) are caught and returned as a typed [`PhaseError`] instead
+    /// of unwinding, and a post-phase flaw (a pool straggler report) is
+    /// surfaced the same way. On `Err` the failed region's charge ledgers
+    /// were never replayed, so a restored snapshot can rerun it as if it
+    /// never happened.
+    fn try_run_compute<St, I, F>(&mut self, state: I, kernel: F) -> Result<(), PhaseError>
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| self.run_compute(state, kernel)));
+        finish_attempt(self, result)
+    }
+
+    /// [`Backend::run_phase`] with detection (see
+    /// [`Backend::try_run_compute`]).
+    fn try_run_phase<St, I, A, B>(
+        &mut self,
+        end: PhaseEnd<'_>,
+        pack: A,
+        state: I,
+        unpack: B,
+    ) -> Result<(), PhaseError>
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.run_phase(end, pack, state, unpack)
+        }));
+        finish_attempt(self, result)
+    }
+
+    /// [`Backend::run_exchange`] with detection (see
+    /// [`Backend::try_run_compute`]).
+    fn try_run_exchange<T, St, I, A, B>(
+        &mut self,
+        end: PhaseEnd<'_>,
+        pack: A,
+        state: I,
+        unpack: B,
+    ) -> Result<(), PhaseError>
+    where
+        T: Send + Sync,
+        St: Send,
+        I: IntoIterator<Item = St>,
+        A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
+        B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
+    {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.run_exchange(end, pack, state, unpack)
+        }));
+        finish_attempt(self, result)
+    }
+
+    /// Take the flaw detected during the last completed region, if any —
+    /// the pool's barrier-deadline straggler report arrives here, because
+    /// the phase itself still completes (the driver waits out the real
+    /// arrival to keep the borrowed descriptor sound). Engines without
+    /// post-phase detection return `None`.
+    fn take_phase_flaw(&mut self) -> Option<PhaseError> {
+        None
+    }
+
+    /// Switch this engine to inline sequential execution (the
+    /// [`Machine`] oracle path) for all subsequent regions — the
+    /// [`RecoveryPolicy::DegradeToMachine`](crate::fault::RecoveryPolicy)
+    /// escape hatch. Returns `false` if the engine cannot degrade (the
+    /// default); bit-identical results are guaranteed by the determinism
+    /// contract when it can.
+    fn degrade(&mut self) -> bool {
+        false
+    }
+}
+
+/// Shared tail of the `try_run_*` detectors: convert a caught panic into a
+/// typed error and surface any post-phase flaw.
+fn finish_attempt<B: Backend + ?Sized>(
+    backend: &mut B,
+    result: Result<(), Box<dyn std::any::Any + Send>>,
+) -> Result<(), PhaseError> {
+    match result {
+        Ok(()) => match backend.take_phase_flaw() {
+            Some(flaw) => Err(flaw),
+            None => Ok(()),
+        },
+        Err(payload) => {
+            // A panic supersedes any straggler report from the same region.
+            let _ = backend.take_phase_flaw();
+            Err(PhaseError::from_payload(backend.machine().epoch(), payload))
+        }
+    }
 }
 
 /// Close a hand-charged phase per the requested [`PhaseEnd`].
@@ -346,6 +446,36 @@ pub(crate) fn replay_events(
     }
 }
 
+/// The sequential compute loop shared by [`Machine`]'s `run_compute` and the
+/// unpack half of its `run_phase` — factored out so each public `run_*`
+/// entry point advances the epoch exactly once.
+fn machine_compute<St, I, F>(machine: &mut Machine, state: I, kernel: F)
+where
+    St: Send,
+    I: IntoIterator<Item = St>,
+    F: Fn(&mut RankCtx<'_>, St) + Sync,
+{
+    let nprocs = machine.nprocs();
+    let plan = machine.fault_plan().cloned();
+    let epoch = machine.epoch();
+    let mut count = 0;
+    for (rank, st) in state.into_iter().enumerate() {
+        assert!(rank < nprocs, "state must yield one item per rank");
+        fault::fire_if(plan.as_deref(), epoch, rank);
+        let mut ctx = RankCtx {
+            rank,
+            nprocs,
+            sink: Sink::Direct {
+                machine,
+                phase: None,
+            },
+        };
+        kernel(&mut ctx, st);
+        count += 1;
+    }
+    assert_eq!(count, nprocs, "state must yield one item per rank");
+}
+
 /// The sequential engine: rank kernels run on the driver thread in ascending
 /// rank order, charging the machine directly. This is the deterministic
 /// oracle the threaded engine is checked against.
@@ -364,22 +494,8 @@ impl Backend for Machine {
         I: IntoIterator<Item = St>,
         F: Fn(&mut RankCtx<'_>, St) + Sync,
     {
-        let nprocs = self.nprocs();
-        let mut count = 0;
-        for (rank, st) in state.into_iter().enumerate() {
-            assert!(rank < nprocs, "state must yield one item per rank");
-            let mut ctx = RankCtx {
-                rank,
-                nprocs,
-                sink: Sink::Direct {
-                    machine: self,
-                    phase: None,
-                },
-            };
-            kernel(&mut ctx, st);
-            count += 1;
-        }
-        assert_eq!(count, nprocs, "state must yield one item per rank");
+        self.advance_epoch();
+        machine_compute(self, state, kernel);
     }
 
     fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -389,9 +505,12 @@ impl Backend for Machine {
         A: Fn(&mut RankCtx<'_>) + Sync,
         B: Fn(&mut RankCtx<'_>, St) + Sync,
     {
+        let epoch = self.advance_epoch();
         let nprocs = self.nprocs();
+        let plan = self.fault_plan().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
+            fault::fire_if(plan.as_deref(), epoch, rank);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -403,7 +522,7 @@ impl Backend for Machine {
             pack(&mut ctx);
         }
         close_phase(self, end, phase);
-        self.run_compute(state, unpack);
+        machine_compute(self, state, unpack);
     }
 
     fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -414,12 +533,15 @@ impl Backend for Machine {
         A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
         B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
     {
+        let epoch = self.advance_epoch();
         let nprocs = self.nprocs();
+        let plan = self.fault_plan().cloned();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
         let mut phase = PhaseCharge::new();
         for (rank, row) in matrix.iter_mut().enumerate() {
+            fault::fire_if(plan.as_deref(), epoch, rank);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -432,21 +554,15 @@ impl Backend for Machine {
         }
         close_phase(self, end, phase);
         let matrix = &matrix;
-        let mut count = 0;
-        for (rank, st) in state.into_iter().enumerate() {
-            assert!(rank < nprocs, "state must yield one item per rank");
-            let mut ctx = RankCtx {
-                rank,
-                nprocs,
-                sink: Sink::Direct {
-                    machine: self,
-                    phase: None,
-                },
-            };
-            unpack(&mut ctx, st, &Inbox { matrix, me: rank });
-            count += 1;
-        }
-        assert_eq!(count, nprocs, "state must yield one item per rank");
+        machine_compute(self, state, |ctx, st| {
+            let me = ctx.rank();
+            unpack(ctx, st, &Inbox { matrix, me });
+        });
+    }
+
+    fn degrade(&mut self) -> bool {
+        // Already the sequential oracle.
+        true
     }
 }
 
@@ -462,6 +578,9 @@ impl Backend for Machine {
 pub struct ThreadedBackend {
     machine: Machine,
     ledgers: Vec<RankLedger>,
+    /// Degraded mode: run every region inline on the sequential oracle path
+    /// (see [`Backend::degrade`]).
+    inline: bool,
 }
 
 impl ThreadedBackend {
@@ -471,6 +590,7 @@ impl ThreadedBackend {
         ThreadedBackend {
             machine,
             ledgers: (0..nprocs).map(|_| RankLedger::default()).collect(),
+            inline: false,
         }
     }
 
@@ -485,11 +605,16 @@ impl ThreadedBackend {
     }
 
     /// Fan one kernel out over all ranks, one scoped OS thread per rank,
-    /// recording each rank's charges into its ledger.
+    /// recording each rank's charges into its ledger. Rank panics are caught
+    /// per thread and re-raised after the join as one [`PanicBundle`] naming
+    /// every failing rank — in which case no ledger is replayed, so the
+    /// machine is left untouched by the failed region.
     fn fan_out<St, F>(
         nprocs: usize,
         ledgers: &mut [RankLedger],
         in_phase: bool,
+        plan: Option<&FaultPlan>,
+        epoch: u64,
         states: Vec<St>,
         kernel: &F,
     ) where
@@ -497,15 +622,34 @@ impl ThreadedBackend {
         F: Fn(&mut RankCtx<'_>, St) + Sync,
     {
         assert_eq!(states.len(), nprocs, "state must yield one item per rank");
+        let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for (rank, (ledger, st)) in ledgers.iter_mut().zip(states).enumerate() {
+                let caught = &caught;
                 scope.spawn(move || {
                     ledger.events.clear();
-                    let mut ctx = RankCtx::recording(rank, nprocs, &mut ledger.events, in_phase);
-                    kernel(&mut ctx, st);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        fault::fire_if(plan, epoch, rank);
+                        let mut ctx =
+                            RankCtx::recording(rank, nprocs, &mut ledger.events, in_phase);
+                        kernel(&mut ctx, st);
+                    }));
+                    if let Err(payload) = result {
+                        caught.lock().unwrap().push(CaughtPanic {
+                            epoch,
+                            rank: Some(rank),
+                            lane: Some(rank),
+                            payload,
+                        });
+                    }
                 });
             }
         });
+        let mut panics = caught.into_inner().unwrap();
+        if !panics.is_empty() {
+            panics.sort_by_key(|p| p.rank);
+            resume_unwind(Box::new(PanicBundle { panics }));
+        }
     }
 
     /// Replay the ledgers against the machine in ascending rank order —
@@ -532,9 +676,22 @@ impl Backend for ThreadedBackend {
         I: IntoIterator<Item = St>,
         F: Fn(&mut RankCtx<'_>, St) + Sync,
     {
+        if self.inline {
+            return self.machine.run_compute(state, kernel);
+        }
+        let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
+        let plan = self.machine.fault_plan().cloned();
         let states: Vec<St> = state.into_iter().collect();
-        Self::fan_out(nprocs, &mut self.ledgers, false, states, &kernel);
+        Self::fan_out(
+            nprocs,
+            &mut self.ledgers,
+            false,
+            plan.as_deref(),
+            epoch,
+            states,
+            &kernel,
+        );
         Self::replay(&mut self.machine, None, &self.ledgers);
     }
 
@@ -545,13 +702,19 @@ impl Backend for ThreadedBackend {
         A: Fn(&mut RankCtx<'_>) + Sync,
         B: Fn(&mut RankCtx<'_>, St) + Sync,
     {
+        if self.inline {
+            return self.machine.run_phase(end, pack, state, unpack);
+        }
+        let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
+        let plan = self.machine.fault_plan().cloned();
         // The pack stage only charges (it moves no data), so fanning it out
         // would parallelize nothing: run it on the driver thread, applying
         // charges directly — by construction the same sequence a record +
         // replay would produce.
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
+            fault::fire_if(plan.as_deref(), epoch, rank);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -565,7 +728,15 @@ impl Backend for ThreadedBackend {
         close_phase(&mut self.machine, end, phase);
         // The unpack stage does the real data movement: fan out.
         let states: Vec<St> = state.into_iter().collect();
-        Self::fan_out(nprocs, &mut self.ledgers, false, states, &unpack);
+        Self::fan_out(
+            nprocs,
+            &mut self.ledgers,
+            false,
+            plan.as_deref(),
+            epoch,
+            states,
+            &unpack,
+        );
         Self::replay(&mut self.machine, None, &self.ledgers);
     }
 
@@ -577,7 +748,12 @@ impl Backend for ThreadedBackend {
         A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
         B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
     {
+        if self.inline {
+            return self.machine.run_exchange(end, pack, state, unpack);
+        }
+        let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
+        let plan = self.machine.fault_plan().cloned();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
@@ -587,6 +763,8 @@ impl Backend for ThreadedBackend {
             nprocs,
             &mut self.ledgers,
             true,
+            plan.as_deref(),
+            epoch,
             rows,
             &|ctx: &mut RankCtx<'_>, row: &mut Vec<Vec<T>>| pack(ctx, &mut Outbox { row }),
         );
@@ -600,12 +778,19 @@ impl Backend for ThreadedBackend {
             nprocs,
             &mut self.ledgers,
             false,
+            plan.as_deref(),
+            epoch,
             states.into_iter().enumerate().collect(),
             &|ctx: &mut RankCtx<'_>, (rank, st): (usize, St)| {
                 unpack(ctx, st, &Inbox { matrix, me: rank })
             },
         );
         Self::replay(&mut self.machine, None, &self.ledgers);
+    }
+
+    fn degrade(&mut self) -> bool {
+        self.inline = true;
+        true
     }
 }
 

@@ -1,0 +1,478 @@
+//! Deterministic fault injection and typed phase failures.
+//!
+//! The CHAOS/PARTI lineage assumes every rank survives every phase; this
+//! module is the machinery that lets the reproduction *stop* assuming that
+//! without giving up its determinism contract:
+//!
+//! * **Injection** — a [`FaultPlan`] names faults at `(epoch, rank)`
+//!   coordinates. Every engine ([`Machine`](crate::Machine),
+//!   [`ThreadedBackend`](crate::ThreadedBackend),
+//!   [`PooledBackend`](crate::PooledBackend)) consults the installed plan at
+//!   every per-rank kernel entry, so the same plan produces the same fault
+//!   at the same point of the same phase on any engine.
+//! * **Detection** — the [`Backend`](crate::Backend) trait's `try_run_*`
+//!   methods catch rank panics (and the pool's barrier-deadline straggler
+//!   reports) and surface them as a typed [`PhaseError`] carrying
+//!   `(epoch, rank, lane, cause)` instead of unwinding through the driver.
+//! * **Recovery** — because kernels charge modeled costs only through their
+//!   [`RankCtx`](crate::RankCtx) ledgers, a phase whose ledgers were never
+//!   replayed left no trace on the machine: rerunning it from a restored
+//!   snapshot is bit-identical to having never failed. [`RecoveryPolicy`]
+//!   names the strategies the `chaos-lang` executor implements on top of
+//!   this (retry, checkpoint rollback, degrading to the sequential oracle).
+//!
+//! Faults are **consumed**: each planned fault fires at most once, and the
+//! consumed flags live in the plan itself (shared through the
+//! [`std::sync::Arc`] the machine holds), *outside* any checkpointed state —
+//! so restoring a snapshot taken before the fault does not re-arm it, which
+//! is exactly what makes retry terminate.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// The kinds of fault a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank's kernel panics at entry (a crashed node).
+    KernelPanic,
+    /// The rank's kernel sleeps for the plan's stall duration before
+    /// running (a straggling node). The stall is *wall-clock only* — it
+    /// charges nothing to the modeled clocks, so an undetected stall is
+    /// harmless to the simulation; the pool's barrier deadline turns a
+    /// detected one into [`PhaseError::Straggler`].
+    LaneStall,
+    /// The rank's mailbox payload is flagged as corrupted at kernel entry
+    /// (a failed integrity check), surfacing as [`PhaseError::Corruption`].
+    MailboxCorruption,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::KernelPanic => write!(f, "kernel panic"),
+            FaultKind::LaneStall => write!(f, "lane stall"),
+            FaultKind::MailboxCorruption => write!(f, "mailbox corruption"),
+        }
+    }
+}
+
+/// One planned fault: `kind` fires when rank `rank` enters a kernel during
+/// machine epoch `epoch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Machine epoch (one epoch per `run_*` call) the fault fires in.
+    pub epoch: u64,
+    /// The rank it fires on.
+    pub rank: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, deterministic schedule of injected faults.
+///
+/// Install a plan with
+/// [`Machine::install_fault_plan`](crate::Machine::install_fault_plan);
+/// every engine driving that machine
+/// then consults it at each per-rank kernel entry. Each fault fires at most
+/// once — the consumed flags are shared across machine clones, so snapshot /
+/// restore recovery does not re-arm a fault that already fired.
+///
+/// # Example: inject one panic and recover bit-identically
+///
+/// ```
+/// use chaos_dmsim::{Backend, FaultKind, FaultPlan, Machine, MachineConfig, PhaseError};
+/// use std::sync::Arc;
+///
+/// let mut machine = Machine::new(MachineConfig::ipsc860(4));
+/// let plan = Arc::new(FaultPlan::new().with_fault(1, 2, FaultKind::KernelPanic));
+/// machine.install_fault_plan(Some(plan));
+///
+/// // Checkpoint the pre-phase state (clones share the plan's consumed flags).
+/// let checkpoint = machine.clone();
+///
+/// let mut hits = vec![0u32; 4];
+/// let err = machine
+///     .try_run_compute(hits.iter_mut(), |ctx, h| {
+///         *h += 1;
+///         ctx.charge_compute(ctx.rank(), 1.0);
+///     })
+///     .unwrap_err();
+/// assert!(matches!(err, PhaseError::RankPanic { epoch: 1, .. }));
+///
+/// // The fault was consumed: restore the checkpoint and rerun — the retried
+/// // phase succeeds and the machine is bit-identical to a fault-free run.
+/// machine = checkpoint;
+/// let mut hits = vec![0u32; 4];
+/// machine
+///     .try_run_compute(hits.iter_mut(), |ctx, h| {
+///         *h += 1;
+///         ctx.charge_compute(ctx.rank(), 1.0);
+///     })
+///     .unwrap();
+/// assert_eq!(hits, vec![1; 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    consumed: Vec<AtomicBool>,
+    stall: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan with the default 20 ms stall duration.
+    pub fn new() -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            consumed: Vec::new(),
+            stall: Duration::from_millis(20),
+        }
+    }
+
+    /// A deterministic pseudo-random plan: `count` faults drawn from
+    /// `epochs` × `0..nprocs` × all three kinds by a seeded LCG. The same
+    /// `(seed, count, epochs, nprocs)` always yields the same plan.
+    pub fn randomized(
+        seed: u64,
+        count: usize,
+        epochs: std::ops::Range<u64>,
+        nprocs: usize,
+    ) -> Self {
+        assert!(!epochs.is_empty(), "empty epoch range");
+        assert!(nprocs > 0, "need at least one rank");
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let span = epochs.end - epochs.start;
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let epoch = epochs.start + lcg() % span;
+            let rank = (lcg() % nprocs as u64) as usize;
+            let kind = match lcg() % 3 {
+                0 => FaultKind::KernelPanic,
+                1 => FaultKind::LaneStall,
+                _ => FaultKind::MailboxCorruption,
+            };
+            plan = plan.with_fault(epoch, rank, kind);
+        }
+        plan
+    }
+
+    /// Add one fault at `(epoch, rank)`.
+    pub fn with_fault(mut self, epoch: u64, rank: usize, kind: FaultKind) -> Self {
+        self.faults.push(Fault { epoch, rank, kind });
+        self.consumed.push(AtomicBool::new(false));
+        self
+    }
+
+    /// Set the wall-clock duration a [`FaultKind::LaneStall`] sleeps for.
+    pub fn with_stall(mut self, stall: Duration) -> Self {
+        self.stall = stall;
+        self
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True once every planned fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.consumed.iter().all(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Consult the plan at a kernel entry: fire (at most once each) every
+    /// not-yet-consumed fault planned for `(epoch, rank)`. Panic-style
+    /// faults unwind with an [`InjectedFault`] payload; stalls sleep on the
+    /// calling thread and return normally.
+    pub fn fire(&self, epoch: u64, rank: usize) {
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.epoch == epoch && f.rank == rank && !self.consumed[i].swap(true, Ordering::AcqRel)
+            {
+                match f.kind {
+                    FaultKind::LaneStall => std::thread::sleep(self.stall),
+                    kind => std::panic::panic_any(InjectedFault { epoch, rank, kind }),
+                }
+            }
+        }
+    }
+}
+
+/// Fire the plan (if any) for `(epoch, rank)` — the helper every engine
+/// calls at kernel entry.
+#[inline]
+pub(crate) fn fire_if(plan: Option<&FaultPlan>, epoch: u64, rank: usize) {
+    if let Some(plan) = plan {
+        plan.fire(epoch, rank);
+    }
+}
+
+/// The panic payload an injected panic-style fault unwinds with; the
+/// `try_run_*` detectors downcast it back into a typed failure.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedFault {
+    /// Machine epoch the fault fired in.
+    pub epoch: u64,
+    /// Rank it fired on.
+    pub rank: usize,
+    /// What fired.
+    pub kind: FaultKind,
+}
+
+/// One caught panic with its execution coordinates — the unit the parallel
+/// engines aggregate so that a multi-rank failure names *every* failing
+/// rank, not just the first one caught.
+#[derive(Debug)]
+pub struct CaughtPanic {
+    /// Machine epoch (pool backstop entries: pool epoch) of the phase.
+    pub epoch: u64,
+    /// Failing rank, when the catch site knew it.
+    pub rank: Option<usize>,
+    /// Lane (worker) the panic was caught on, when applicable.
+    pub lane: Option<usize>,
+    /// The original panic payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Aggregated panic payload re-raised by the parallel engines after their
+/// barrier: every rank/lane panic caught during the phase.
+#[derive(Debug, Default)]
+pub struct PanicBundle {
+    /// The caught panics, sorted by rank at the re-raise site.
+    pub panics: Vec<CaughtPanic>,
+}
+
+/// Why a rank failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseCause {
+    /// A planned fault from the installed [`FaultPlan`].
+    Injected(FaultKind),
+    /// An organic kernel panic, with its (stringified) payload.
+    Panic(String),
+}
+
+impl fmt::Display for PhaseCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseCause::Injected(kind) => write!(f, "injected {kind}"),
+            PhaseCause::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// One rank's failure inside a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// Machine epoch of the failing phase.
+    pub epoch: u64,
+    /// The failing rank, when known at the catch site.
+    pub rank: Option<usize>,
+    /// The worker lane it ran on, when applicable.
+    pub lane: Option<usize>,
+    /// The cause.
+    pub cause: PhaseCause,
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rank {
+            Some(r) => write!(f, "rank {r}")?,
+            None => write!(f, "unknown rank")?,
+        }
+        if let Some(l) = self.lane {
+            write!(f, " (lane {l})")?;
+        }
+        write!(f, ": {}", self.cause)
+    }
+}
+
+/// A detected phase failure, returned by the [`Backend`](crate::Backend)
+/// trait's `try_run_*` methods in place of an unwinding panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseError {
+    /// One or more ranks panicked during the phase. `failures` names every
+    /// failing rank the engine could attribute.
+    RankPanic {
+        /// Machine epoch of the failing phase.
+        epoch: u64,
+        /// Every caught failure, sorted by rank.
+        failures: Vec<RankFailure>,
+    },
+    /// A rank's mailbox payload failed its (simulated) integrity check.
+    Corruption {
+        /// Machine epoch of the failing phase.
+        epoch: u64,
+        /// The rank whose payload was corrupted.
+        rank: usize,
+        /// The worker lane it ran on, when applicable.
+        lane: Option<usize>,
+    },
+    /// A worker lane blew the pool's barrier deadline. The phase still
+    /// completed (the driver waits out the real arrival so the borrowed
+    /// phase descriptor stays sound), but the straggler is reported so a
+    /// recovery policy can react.
+    Straggler {
+        /// Machine epoch of the slow phase.
+        epoch: u64,
+        /// The rank the straggling lane was executing (per its progress
+        /// counter) when the deadline passed.
+        rank: usize,
+        /// The straggling lane.
+        lane: usize,
+        /// How long the driver had waited when it reported.
+        waited: Duration,
+        /// Ranks completed per lane at the deadline — the per-lane progress
+        /// diagnostic.
+        progress: Vec<u64>,
+    },
+}
+
+impl PhaseError {
+    /// The machine epoch the failure was detected in.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            PhaseError::RankPanic { epoch, .. }
+            | PhaseError::Corruption { epoch, .. }
+            | PhaseError::Straggler { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Convert a caught panic payload into a typed error. `epoch` is the
+    /// fallback for payloads that do not carry their own coordinates.
+    pub fn from_payload(epoch: u64, payload: Box<dyn Any + Send>) -> PhaseError {
+        match payload.downcast::<PanicBundle>() {
+            Ok(bundle) => Self::from_failures(
+                epoch,
+                bundle
+                    .panics
+                    .into_iter()
+                    .map(|cp| rank_failure(cp.epoch, cp.rank, cp.lane, cp.payload))
+                    .collect(),
+            ),
+            Err(payload) => {
+                Self::from_failures(epoch, vec![rank_failure(epoch, None, None, payload)])
+            }
+        }
+    }
+
+    fn from_failures(epoch: u64, mut failures: Vec<RankFailure>) -> PhaseError {
+        failures.sort_by_key(|f| f.rank);
+        if failures.len() == 1
+            && failures[0].cause == PhaseCause::Injected(FaultKind::MailboxCorruption)
+        {
+            let f = &failures[0];
+            return PhaseError::Corruption {
+                epoch: f.epoch,
+                rank: f.rank.unwrap_or(0),
+                lane: f.lane,
+            };
+        }
+        let epoch = failures.first().map_or(epoch, |f| f.epoch);
+        PhaseError::RankPanic { epoch, failures }
+    }
+}
+
+fn rank_failure(
+    epoch: u64,
+    rank: Option<usize>,
+    lane: Option<usize>,
+    payload: Box<dyn Any + Send>,
+) -> RankFailure {
+    match payload.downcast::<InjectedFault>() {
+        Ok(f) => RankFailure {
+            epoch: f.epoch,
+            rank: rank.or(Some(f.rank)),
+            lane,
+            cause: PhaseCause::Injected(f.kind),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            RankFailure {
+                epoch,
+                rank,
+                lane,
+                cause: PhaseCause::Panic(msg),
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseError::RankPanic { epoch, failures } => {
+                write!(f, "phase failed in epoch {epoch}: ")?;
+                for (i, failure) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{failure}")?;
+                }
+                Ok(())
+            }
+            PhaseError::Corruption { epoch, rank, lane } => {
+                write!(
+                    f,
+                    "corrupted mailbox payload on rank {rank} in epoch {epoch}"
+                )?;
+                if let Some(l) = lane {
+                    write!(f, " (lane {l})")?;
+                }
+                Ok(())
+            }
+            PhaseError::Straggler {
+                epoch,
+                rank,
+                lane,
+                waited,
+                progress,
+            } => write!(
+                f,
+                "straggler in epoch {epoch}: lane {lane} (rank {rank}) missed the barrier \
+                 deadline after {waited:?}; per-lane progress {progress:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PhaseError {}
+
+/// What the executor does when a phase fails.
+///
+/// Recovery exploits the determinism contract: a failed phase whose charge
+/// ledgers were never replayed left the machine untouched, and the executor
+/// snapshots the rest of the program state (array shards, clocks, stats)
+/// before each sweep — so *retry is a no-op under determinism*: the
+/// recovered run is bit-identical (values, clock f64 bits, statistics) to a
+/// run in which the fault never fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Surface the failure to the caller (the default).
+    #[default]
+    Abort,
+    /// Restore the pre-sweep snapshot and rerun the failed sweep, up to
+    /// `max_attempts` times, sleeping `backoff` between attempts.
+    RetryPhase {
+        /// Attempts before giving up (0 behaves like [`RecoveryPolicy::Abort`]).
+        max_attempts: u32,
+        /// Wall-clock sleep between attempts.
+        backoff: Duration,
+    },
+    /// Restore the last every-K-epochs checkpoint, replay the journalled
+    /// sweeps since it, then rerun the failed sweep.
+    RollbackToCheckpoint,
+    /// Switch the backend to inline sequential execution (the
+    /// [`Machine`](crate::Machine) oracle path) and rerun from the
+    /// pre-sweep snapshot — bit-identical by the determinism contract.
+    DegradeToMachine,
+}

@@ -51,6 +51,7 @@ pub mod backend;
 pub mod collectives;
 pub mod config;
 pub mod exchange;
+pub mod fault;
 pub mod machine;
 pub mod pool;
 pub mod stats;
@@ -61,7 +62,10 @@ pub use backend::{Backend, Inbox, Outbox, PhaseEnd, RankCtx, ThreadedBackend};
 pub use collectives::ReduceOp;
 pub use config::{CostModel, MachineConfig, SyncModel, Topology};
 pub use exchange::{Delivered, ExchangePlan, Message};
-pub use machine::{Machine, PhaseCharge, ProcId};
+pub use fault::{
+    Fault, FaultKind, FaultPlan, InjectedFault, PhaseCause, PhaseError, RankFailure, RecoveryPolicy,
+};
+pub use machine::{Machine, MachineSnapshot, PhaseCharge, ProcId};
 pub use pool::PooledBackend;
-pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry};
+pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry, StatsSnapshot};
 pub use time::{ElapsedReport, ProcClock, SimTime};

@@ -3,10 +3,12 @@
 
 use crate::config::{MachineConfig, SyncModel};
 use crate::exchange::{Delivered, ExchangePlan};
-use crate::stats::{CommStats, PhaseKind, StatsRegistry};
+use crate::fault::FaultPlan;
+use crate::stats::{copy_btree_values, CommStats, PhaseKind, StatsRegistry, StatsSnapshot};
 use crate::time::{ElapsedReport, ProcClock};
 use crate::topology::hops;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Identifier of a virtual processor (`0 .. nprocs`).
 pub type ProcId = usize;
@@ -56,6 +58,45 @@ pub struct Machine {
     phase_elapsed: BTreeMap<PhaseKind, f64>,
     /// Clock reading at the last phase-kind change.
     last_phase_sample: f64,
+    /// Count of SPMD regions run so far: every public `Backend::run_*` call
+    /// advances it exactly once, on every engine — the coordinate system
+    /// fault plans and checkpoints are keyed on.
+    epoch: u64,
+    /// The installed fault schedule, consulted at every per-rank kernel
+    /// entry. Shared (not deep-cloned) across machine clones so consumed
+    /// faults stay consumed through snapshot / restore.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// A reusable snapshot of a [`Machine`]'s mutable state (clocks, statistics,
+/// phase attribution, epoch) for checkpoint / rollback recovery.
+///
+/// Refreshing an existing snapshot with [`Machine::snapshot_into`] and
+/// rolling back with [`Machine::restore_from`] are allocation-free in steady
+/// state (once the snapshot's buffers have grown to the machine's working
+/// set and no *new* phase-kind keys or labelled records appear between
+/// refreshes). Restore relies on the machine having evolved forward from
+/// the snapshot without an intervening [`Machine::reset`]: labelled records
+/// are append-only, so rollback just truncates them.
+#[derive(Debug, Clone, Default)]
+pub struct MachineSnapshot {
+    clocks: Vec<ProcClock>,
+    stats: StatsSnapshot,
+    phase_elapsed: BTreeMap<PhaseKind, f64>,
+    last_phase_sample: f64,
+    epoch: u64,
+}
+
+impl MachineSnapshot {
+    /// An empty snapshot; fill it with [`Machine::snapshot_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The machine epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 impl Machine {
@@ -75,7 +116,66 @@ impl Machine {
             stats: StatsRegistry::new(),
             phase_elapsed: BTreeMap::new(),
             last_phase_sample: 0.0,
+            epoch: 0,
+            faults: None,
         }
+    }
+
+    /// The current machine epoch: how many SPMD regions (`Backend::run_*`
+    /// calls) have started so far. Identical across engines by construction,
+    /// which is what makes `(epoch, rank)` fault coordinates portable.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Start a new SPMD region. Called exactly once at the top of every
+    /// public `Backend::run_*` entry point, on every engine.
+    #[inline]
+    pub(crate) fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Install (or clear) the fault schedule consulted at every per-rank
+    /// kernel entry. The plan is shared, not cloned: machine clones and
+    /// snapshot restores see the same consumed-fault flags, so a fired fault
+    /// stays fired across recovery.
+    pub fn install_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Write this machine's mutable state into `snap`, reusing its buffers
+    /// (allocation-free in steady state — see [`MachineSnapshot`]).
+    pub fn snapshot_into(&self, snap: &mut MachineSnapshot) {
+        snap.clocks.clear();
+        snap.clocks.extend_from_slice(&self.clocks);
+        self.stats.snapshot_into(&mut snap.stats);
+        copy_btree_values(&self.phase_elapsed, &mut snap.phase_elapsed);
+        snap.last_phase_sample = self.last_phase_sample;
+        snap.epoch = self.epoch;
+    }
+
+    /// Roll this machine back to `snap`. The machine must have evolved
+    /// forward from the snapshot without [`Machine::reset`] in between
+    /// (labelled phase records are restored by truncation). Allocation-free
+    /// in steady state; the installed fault plan is left as-is.
+    pub fn restore_from(&mut self, snap: &MachineSnapshot) {
+        assert_eq!(
+            snap.clocks.len(),
+            self.clocks.len(),
+            "snapshot taken on a different machine size"
+        );
+        self.clocks.copy_from_slice(&snap.clocks);
+        self.stats.restore_from(&snap.stats);
+        copy_btree_values(&snap.phase_elapsed, &mut self.phase_elapsed);
+        self.last_phase_sample = snap.last_phase_sample;
+        self.epoch = snap.epoch;
     }
 
     /// Change the phase kind attributed to subsequent work.
@@ -155,6 +255,7 @@ impl Machine {
         self.stats.clear();
         self.phase_elapsed.clear();
         self.last_phase_sample = 0.0;
+        self.epoch = 0;
     }
 
     /// Charge `units` of local computation on processor `proc`.

@@ -46,17 +46,32 @@ use crate::backend::{
     close_phase, replay_events, Backend, ChargeEvent, Inbox, Outbox, PhaseEnd, RankCtx,
 };
 use crate::config::MachineConfig;
+use crate::fault::{self, CaughtPanic, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge};
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// How long each side of the barrier spins before parking on its condvar.
 /// Back-to-back phases (the executor's steady state) stay in the spin
 /// window; an idle pool parks and costs nothing.
 const SPIN_ROUNDS: u32 = 1 << 14;
+
+/// How long [`WorkerPool`]'s `Drop` waits for the lanes to exit before
+/// detaching them (see [`WorkerPool::shutdown_with_deadline`]).
+const DEFAULT_SHUTDOWN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// What the driver learned when a completion-barrier deadline passed: which
+/// lane had not arrived, how long it had waited, and how many ranks each
+/// lane had completed by then.
+struct StragglerReport {
+    lane: usize,
+    waited: Duration,
+    progress: Vec<u64>,
+}
 
 /// A type-erased phase descriptor: the closure every lane runs once per
 /// phase, handed its lane index. The `'static` in the pointee type is a
@@ -84,8 +99,16 @@ struct PoolShared {
     /// Park support for the driver waiting on the completion barrier.
     done_lock: Mutex<()>,
     done_cv: Condvar,
-    /// First panic payload caught in a worker during the current phase.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Backstop: every panic payload that escaped a lane's phase closure,
+    /// with the lane it was caught on and the pool epoch it happened in.
+    panics: Mutex<Vec<CaughtPanic>>,
+    /// Ranks completed per lane during the current phase (the straggler
+    /// diagnostic). Reset by the driver while the pool is quiescent.
+    progress: Vec<AtomicU64>,
+    /// Per-lane completion flags for the current phase, so a blown barrier
+    /// deadline can name the lane that has not arrived. Driver lane included
+    /// (set by the driver itself).
+    lane_done: Vec<AtomicBool>,
     /// Number of spawned workers (lanes excluding the driver's).
     spawned: usize,
 }
@@ -117,7 +140,8 @@ impl PoolShared {
     }
 
     /// Completion side, worker half: arrive, waking the driver on last.
-    fn arrive(&self) {
+    fn arrive(&self, lane: usize) {
+        self.lane_done[lane].store(true, Ordering::Release);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.spawned {
             let _guard = self.done_lock.lock().unwrap();
             self.done_cv.notify_one();
@@ -125,17 +149,51 @@ impl PoolShared {
     }
 
     /// Completion side, driver half: wait for every worker to arrive.
-    fn wait_for_workers(&self) {
+    ///
+    /// With a `deadline`, a worker that has not arrived by then is reported
+    /// as a straggler (with the per-lane progress counters at that moment)
+    /// — but the driver still waits out the real arrival, because the
+    /// workers hold borrowed pointers into the driver's stack; surfacing
+    /// the hang must not make lending the phase descriptor unsound.
+    fn wait_for_workers(&self, deadline: Option<Duration>) -> Option<StragglerReport> {
         for _ in 0..SPIN_ROUNDS {
             if self.arrived.load(Ordering::Acquire) == self.spawned {
-                return;
+                return None;
             }
             std::hint::spin_loop();
         }
+        let start = Instant::now();
+        let mut report = None;
         let mut guard = self.done_lock.lock().unwrap();
         while self.arrived.load(Ordering::Acquire) != self.spawned {
-            guard = self.done_cv.wait(guard).unwrap();
+            match deadline {
+                Some(d) if report.is_none() => {
+                    let remaining = d.saturating_sub(start.elapsed());
+                    if remaining.is_zero() {
+                        let progress: Vec<u64> = self
+                            .progress
+                            .iter()
+                            .map(|p| p.load(Ordering::Acquire))
+                            .collect();
+                        let lane = self
+                            .lane_done
+                            .iter()
+                            .take(self.spawned)
+                            .position(|done| !done.load(Ordering::Acquire))
+                            .unwrap_or(0);
+                        report = Some(StragglerReport {
+                            lane,
+                            waited: start.elapsed(),
+                            progress,
+                        });
+                        continue;
+                    }
+                    guard = self.done_cv.wait_timeout(guard, remaining).unwrap().0;
+                }
+                _ => guard = self.done_cv.wait(guard).unwrap(),
+            }
         }
+        report
     }
 }
 
@@ -152,9 +210,17 @@ fn worker_main(shared: Arc<PoolShared>, lane: usize) {
         let job = unsafe { (*shared.job.get()).expect("pool epoch bumped with no job") };
         let job = unsafe { &*job };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(lane))) {
-            shared.panic.lock().unwrap().get_or_insert(payload);
+            // Backstop for panics that escape the phase closure's own
+            // per-rank catch: keep *every* payload, tagged with its lane and
+            // pool epoch, so multi-lane failures lose nothing.
+            shared.panics.lock().unwrap().push(CaughtPanic {
+                epoch: seen,
+                rank: None,
+                lane: Some(lane),
+                payload,
+            });
         }
-        shared.arrive();
+        shared.arrive(lane);
     }
 }
 
@@ -180,7 +246,9 @@ impl WorkerPool {
             wake_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
-            panic: Mutex::new(None),
+            panics: Mutex::new(Vec::new()),
+            progress: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            lane_done: (0..lanes).map(|_| AtomicBool::new(false)).collect(),
             spawned,
         });
         let handles = (0..spawned)
@@ -202,14 +270,28 @@ impl WorkerPool {
     /// Run `job(lane)` once per lane — spawned workers take lanes
     /// `0..lanes-1`, the driver takes the last — returning only after every
     /// lane has finished. Worker panics are re-raised here, after the
-    /// barrier, so the borrowed descriptor is never outlived.
-    fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    /// barrier, so the borrowed descriptor is never outlived; when several
+    /// lanes panicked, *all* their payloads are re-raised together as one
+    /// [`PanicBundle`]. A blown `deadline` on the completion barrier is
+    /// returned as a straggler report (the phase still completes).
+    fn run(
+        &self,
+        job: &(dyn Fn(usize) + Sync),
+        deadline: Option<Duration>,
+    ) -> Option<StragglerReport> {
         let shared = &*self.shared;
         let driver_lane = shared.spawned;
         if shared.spawned == 0 {
             // Single-lane pool: no synchronization, no catch — just run.
             job(driver_lane);
-            return;
+            return None;
+        }
+        // Reset the per-phase diagnostics while every worker is quiescent.
+        for p in &shared.progress {
+            p.store(0, Ordering::Relaxed);
+        }
+        for d in &shared.lane_done {
+            d.store(false, Ordering::Relaxed);
         }
         // Publish, then release. Safety: every worker is quiescent between
         // phases (the previous completion barrier has passed), so the slot
@@ -227,29 +309,63 @@ impl WorkerPool {
         // theirs. A panic here must still wait out the barrier (the workers
         // hold pointers into the driver's stack), hence the catch.
         let mine = catch_unwind(AssertUnwindSafe(|| job(driver_lane)));
-        shared.wait_for_workers();
+        shared.lane_done[driver_lane].store(true, Ordering::Release);
+        let straggler = shared.wait_for_workers(deadline);
         // Safety: completion barrier passed; the slot is quiescent again.
         unsafe {
             *shared.job.get() = None;
         }
-        if let Some(payload) = shared.panic.lock().unwrap().take() {
-            resume_unwind(payload);
+        let mut caught: Vec<CaughtPanic> = std::mem::take(&mut *shared.panics.lock().unwrap());
+        match mine {
+            Err(payload) if !caught.is_empty() => caught.push(CaughtPanic {
+                epoch: shared.epoch.load(Ordering::Acquire),
+                rank: None,
+                lane: Some(driver_lane),
+                payload,
+            }),
+            Err(payload) => resume_unwind(payload),
+            Ok(()) => {}
         }
-        if let Err(payload) = mine {
-            resume_unwind(payload);
+        if !caught.is_empty() {
+            resume_unwind(Box::new(PanicBundle { panics: caught }));
         }
+        straggler
+    }
+
+    /// Explicit bounded shutdown: wake every parked lane, then join each
+    /// worker, polling up to `deadline` overall. A worker that still has
+    /// not exited by then is detached rather than joined — safe because
+    /// workers check the shutdown flag before dereferencing the job slot,
+    /// and no phase is in flight when this runs (every `run` waits out its
+    /// completion barrier). Returns `true` when every worker was joined.
+    fn shutdown_with_deadline(&mut self, deadline: Duration) -> bool {
+        if self.handles.is_empty() {
+            return true;
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        drop(self.shared.wake_lock.lock().unwrap());
+        self.shared.wake_cv.notify_all();
+        let start = Instant::now();
+        let mut all_joined = true;
+        for handle in self.handles.drain(..) {
+            while !handle.is_finished() && start.elapsed() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                // Detach: the worker holds only an Arc of the shared state.
+                all_joined = false;
+            }
+        }
+        all_joined
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.epoch.fetch_add(1, Ordering::Release);
-        drop(self.shared.wake_lock.lock().unwrap());
-        self.shared.wake_cv.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown_with_deadline(DEFAULT_SHUTDOWN_DEADLINE);
     }
 }
 
@@ -301,6 +417,14 @@ pub struct PooledBackend {
     machine: Machine,
     pool: WorkerPool,
     arenas: Vec<ChargeArena>,
+    /// Completion-barrier deadline; `None` disables straggler detection.
+    deadline: Option<Duration>,
+    /// Straggler detected during the last completed region, surfaced
+    /// through [`Backend::take_phase_flaw`].
+    pending_flaw: Option<PhaseError>,
+    /// Degraded mode: run every region inline on the sequential oracle path
+    /// (see [`Backend::degrade`]).
+    inline: bool,
 }
 
 impl std::fmt::Debug for PooledBackend {
@@ -335,7 +459,26 @@ impl PooledBackend {
             machine,
             pool: WorkerPool::new(workers),
             arenas,
+            deadline: None,
+            pending_flaw: None,
+            inline: false,
         }
+    }
+
+    /// Enable straggler detection: a worker lane that has not reached the
+    /// completion barrier within `deadline` (measured after the spin window)
+    /// is reported as a [`PhaseError::Straggler`] through
+    /// [`Backend::take_phase_flaw`] / the `try_run_*` methods. The phase
+    /// itself still completes — the driver waits out the real arrival so
+    /// the borrowed phase descriptor stays sound.
+    pub fn with_barrier_deadline(mut self, deadline: Duration) -> Self {
+        self.set_barrier_deadline(deadline);
+        self
+    }
+
+    /// In-place form of [`PooledBackend::with_barrier_deadline`].
+    pub fn set_barrier_deadline(&mut self, deadline: Duration) {
+        self.deadline = Some(deadline);
     }
 
     /// Build a pooled engine over a fresh machine with this configuration.
@@ -358,30 +501,84 @@ impl PooledBackend {
         self.machine
     }
 
+    /// Explicit bounded shutdown of the worker lanes (the satellite of
+    /// [`PooledBackend::into_machine`] for callers that need to know the
+    /// join succeeded): wakes every parked lane and joins each worker,
+    /// waiting at most `deadline` overall; stuck workers are detached.
+    /// Returns the machine and whether every worker was joined.
+    pub fn shutdown(mut self, deadline: Duration) -> (Machine, bool) {
+        let joined = self.pool.shutdown_with_deadline(deadline);
+        (self.machine, joined)
+    }
+
     /// Broadcast one phase over the pool: lane `w` runs ranks `w`,
     /// `w + workers`, `w + 2*workers`, … (static striping), recording each
     /// rank's charges as one span in the lane's arena.
+    ///
+    /// Rank panics (organic or injected) are caught per rank, aggregated,
+    /// and re-raised as one [`PanicBundle`] naming every failing rank; in
+    /// that case the arenas are never replayed, so the machine is untouched
+    /// by the failed region. A blown barrier deadline is parked in
+    /// `pending_flaw` as a [`PhaseError::Straggler`].
     fn fan_out_ranks<F>(&mut self, in_phase: bool, run_rank: F)
     where
         F: Fn(&mut RankCtx<'_>, usize) + Sync,
     {
         let nprocs = self.machine.nprocs();
         let lanes = self.pool.lanes;
+        let epoch = self.machine.epoch();
+        let plan = self.machine.fault_plan().cloned();
+        let plan = plan.as_deref();
+        let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
+        let progress = &self.pool.shared.progress;
         let arenas = RawCells::new(&mut self.arenas);
-        self.pool.run(&|lane: usize| {
-            // Safety: lane indices are distinct across the pool's lanes.
-            let arena = unsafe { arenas.get_mut(lane) };
-            arena.events.clear();
-            arena.starts.clear();
-            let mut rank = lane;
-            while rank < nprocs {
+        let straggler = self.pool.run(
+            &|lane: usize| {
+                // Safety: lane indices are distinct across the pool's lanes.
+                let arena = unsafe { arenas.get_mut(lane) };
+                arena.events.clear();
+                arena.starts.clear();
+                let mut rank = lane;
+                while rank < nprocs {
+                    arena.starts.push(arena.events.len() as u32);
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        fault::fire_if(plan, epoch, rank);
+                        let mut ctx = RankCtx::recording(rank, nprocs, &mut arena.events, in_phase);
+                        run_rank(&mut ctx, rank);
+                    }));
+                    if let Err(payload) = result {
+                        caught.lock().unwrap().push(CaughtPanic {
+                            epoch,
+                            rank: Some(rank),
+                            lane: Some(lane),
+                            payload,
+                        });
+                    }
+                    progress[lane].fetch_add(1, Ordering::Release);
+                    rank += lanes;
+                }
                 arena.starts.push(arena.events.len() as u32);
-                let mut ctx = RankCtx::recording(rank, nprocs, &mut arena.events, in_phase);
-                run_rank(&mut ctx, rank);
-                rank += lanes;
-            }
-            arena.starts.push(arena.events.len() as u32);
-        });
+            },
+            self.deadline,
+        );
+        if let Some(report) = straggler {
+            // The straggling lane was executing (or about to execute) the
+            // rank its progress counter points at in its stripe.
+            let done = report.progress[report.lane] as usize;
+            let rank = (report.lane + done * lanes).min(nprocs.saturating_sub(1));
+            self.pending_flaw = Some(PhaseError::Straggler {
+                epoch,
+                rank,
+                lane: report.lane,
+                waited: report.waited,
+                progress: report.progress,
+            });
+        }
+        let mut panics = caught.into_inner().unwrap();
+        if !panics.is_empty() {
+            panics.sort_by_key(|p| p.rank);
+            resume_unwind(Box::new(PanicBundle { panics }));
+        }
     }
 
     /// Replay the lanes' arenas against the machine in ascending **rank**
@@ -411,6 +608,27 @@ impl PooledBackend {
         );
         states
     }
+
+    /// The compute-region body shared by `run_compute` and the unpack half
+    /// of `run_phase` — factored out so each public `run_*` entry point
+    /// advances the machine epoch exactly once.
+    fn compute_impl<St, I, F>(&mut self, state: I, kernel: F)
+    where
+        St: Send,
+        I: IntoIterator<Item = St>,
+        F: Fn(&mut RankCtx<'_>, St) + Sync,
+    {
+        let mut states = self.collect_states(state);
+        {
+            let cells = RawCells::new(&mut states);
+            self.fan_out_ranks(false, |ctx, rank| {
+                // Safety: each rank index is visited exactly once per phase.
+                let st = unsafe { cells.get_mut(rank) }.take().expect("state slot");
+                kernel(ctx, st);
+            });
+        }
+        self.replay(None);
+    }
 }
 
 impl Backend for PooledBackend {
@@ -428,16 +646,11 @@ impl Backend for PooledBackend {
         I: IntoIterator<Item = St>,
         F: Fn(&mut RankCtx<'_>, St) + Sync,
     {
-        let mut states = self.collect_states(state);
-        {
-            let cells = RawCells::new(&mut states);
-            self.fan_out_ranks(false, |ctx, rank| {
-                // Safety: each rank index is visited exactly once per phase.
-                let st = unsafe { cells.get_mut(rank) }.take().expect("state slot");
-                kernel(ctx, st);
-            });
+        if self.inline {
+            return self.machine.run_compute(state, kernel);
         }
-        self.replay(None);
+        self.machine.advance_epoch();
+        self.compute_impl(state, kernel);
     }
 
     fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -447,18 +660,24 @@ impl Backend for PooledBackend {
         A: Fn(&mut RankCtx<'_>) + Sync,
         B: Fn(&mut RankCtx<'_>, St) + Sync,
     {
+        if self.inline {
+            return self.machine.run_phase(end, pack, state, unpack);
+        }
+        let epoch = self.machine.advance_epoch();
         // The pack stage only charges (it moves no data): run it inline on
         // the driver, exactly as the threaded engine does — by construction
         // the same charge sequence a record + replay would produce.
         let nprocs = self.machine.nprocs();
+        let plan = self.machine.fault_plan().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
+            fault::fire_if(plan.as_deref(), epoch, rank);
             let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
             pack(&mut ctx);
         }
         close_phase(&mut self.machine, end, phase);
         // The unpack stage does the real data movement: broadcast it.
-        self.run_compute(state, unpack);
+        self.compute_impl(state, unpack);
     }
 
     fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -469,6 +688,10 @@ impl Backend for PooledBackend {
         A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
         B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync,
     {
+        if self.inline {
+            return self.machine.run_exchange(end, pack, state, unpack);
+        }
+        self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
@@ -497,6 +720,15 @@ impl Backend for PooledBackend {
             });
         }
         self.replay(None);
+    }
+
+    fn take_phase_flaw(&mut self) -> Option<PhaseError> {
+        self.pending_flaw.take()
+    }
+
+    fn degrade(&mut self) -> bool {
+        self.inline = true;
+        true
     }
 }
 
@@ -671,13 +903,49 @@ mod tests {
             });
         }));
         let payload = result.expect_err("worker panic must reach the driver");
-        let msg = payload
+        let bundle = payload
+            .downcast_ref::<PanicBundle>()
+            .expect("pool re-raises an aggregated PanicBundle");
+        assert_eq!(bundle.panics.len(), 1);
+        let caught = &bundle.panics[0];
+        assert_eq!(caught.rank, Some(1));
+        let msg = caught
+            .payload
             .downcast_ref::<&str>()
             .copied()
-            .map(str::to_string)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("kernel exploded"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn multi_rank_panics_name_every_failing_rank() {
+        // Two ranks explode in the same phase on different lanes: the
+        // aggregated bundle (and the typed error built from it) must name
+        // both, sorted by rank — not just the first payload caught.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(8), 3);
+            let mut out = [0u8; 8];
+            pool.run_compute(out.iter_mut(), |ctx, _| {
+                if ctx.rank() == 2 || ctx.rank() == 5 {
+                    panic!("boom on rank {}", ctx.rank());
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panics must reach the driver");
+        let err = PhaseError::from_payload(0, payload);
+        match err {
+            PhaseError::RankPanic { failures, .. } => {
+                let ranks: Vec<_> = failures.iter().map(|f| f.rank).collect();
+                assert_eq!(ranks, vec![Some(2), Some(5)]);
+                for f in &failures {
+                    assert!(f.lane.is_some(), "lane recorded with every payload");
+                    assert!(
+                        matches!(&f.cause, crate::fault::PhaseCause::Panic(m) if m.contains("boom"))
+                    );
+                }
+            }
+            other => panic!("expected RankPanic, got {other:?}"),
+        }
     }
 
     #[test]
@@ -693,5 +961,87 @@ mod tests {
         let pool = PooledBackend::from_config_with_workers(MachineConfig::unit(2), 6);
         let machine = pool.into_machine();
         assert_eq!(machine.nprocs(), 2);
+    }
+
+    #[test]
+    fn barrier_deadline_surfaces_a_straggler() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        // Two lanes: the driver takes the last lane, so rank 0 runs on the
+        // spawned worker (lane 0). Stall it well past the barrier deadline:
+        // the phase still completes (a stall is a delay, not a crash) but the
+        // typed error names the hung rank with its lane and progress.
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(2), 2)
+            .with_barrier_deadline(Duration::from_millis(5));
+        let plan = FaultPlan::new()
+            .with_stall(Duration::from_millis(120))
+            .with_fault(1, 0, FaultKind::LaneStall);
+        pool.machine_mut().install_fault_plan(Some(Arc::new(plan)));
+
+        let mut out = [0u64; 2];
+        let err = pool
+            .try_run_compute(out.iter_mut(), |ctx, slot| *slot = ctx.rank() as u64 + 1)
+            .unwrap_err();
+        match err {
+            PhaseError::Straggler {
+                epoch,
+                rank,
+                lane,
+                waited,
+                ref progress,
+            } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(rank, 0);
+                assert_eq!(lane, 0);
+                assert!(waited >= Duration::from_millis(5));
+                assert_eq!(progress.len(), 2);
+            }
+            other => panic!("expected Straggler, got {other:?}"),
+        }
+        // The stalled lane finished the work before the error was built.
+        assert_eq!(out, [1, 2]);
+
+        // The next phase is flaw-free: the fault was consumed.
+        let mut out = [0u64; 2];
+        pool.try_run_compute(out.iter_mut(), |ctx, slot| *slot = ctx.rank() as u64)
+            .unwrap();
+        assert_eq!(out, [0, 1]);
+    }
+
+    #[test]
+    fn bounded_shutdown_joins_all_lanes() {
+        use std::time::Duration;
+
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(4), 3);
+        let mut out = [0u8; 4];
+        pool.run_compute(out.iter_mut(), |ctx, slot| *slot = ctx.rank() as u8);
+        let (machine, all_joined) = pool.shutdown(Duration::from_secs(5));
+        assert!(all_joined, "idle workers must join within the deadline");
+        assert_eq!(machine.nprocs(), 4);
+        assert_eq!(out, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shutdown_after_caught_worker_panic_is_bounded() {
+        use std::time::Duration;
+
+        // Regression for the mid-epoch drop path: a worker panicked during a
+        // phase, the driver caught the bundle, and the backend is then torn
+        // down. The workers must still be parked at the next-epoch wait and
+        // join promptly — the pool may not deadlock on the poisoned phase.
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(4), 4);
+        let mut out = [0u8; 4];
+        let err = pool
+            .try_run_compute(out.iter_mut(), |ctx, _| {
+                if ctx.rank() == 3 {
+                    panic!("mid-epoch failure");
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, PhaseError::RankPanic { .. }));
+        let (_, all_joined) = pool.shutdown(Duration::from_secs(5));
+        assert!(all_joined, "workers must join after a caught panic");
     }
 }

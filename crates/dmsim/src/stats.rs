@@ -170,6 +170,57 @@ impl StatsRegistry {
         self.records.clear();
         self.by_kind.clear();
     }
+
+    /// Write this registry's state into `snap`, reusing its buffers.
+    ///
+    /// Labelled records are append-only (only [`StatsRegistry::clear`]
+    /// removes them), so the snapshot stores just their count and restore
+    /// truncates — no record contents are copied, which keeps steady-state
+    /// checkpointing allocation-free.
+    pub fn snapshot_into(&self, snap: &mut StatsSnapshot) {
+        snap.records_len = self.records.len();
+        copy_btree_values(&self.by_kind, &mut snap.by_kind);
+        snap.current_kind = self.current_kind;
+    }
+
+    /// Roll this registry back to `snap`. Valid only if the registry evolved
+    /// forward from the snapshot without an intervening
+    /// [`StatsRegistry::clear`].
+    pub fn restore_from(&mut self, snap: &StatsSnapshot) {
+        debug_assert!(
+            self.records.len() >= snap.records_len,
+            "registry was cleared since the snapshot was taken"
+        );
+        self.records.truncate(snap.records_len);
+        copy_btree_values(&snap.by_kind, &mut self.by_kind);
+        self.current_kind = snap.current_kind;
+    }
+}
+
+/// A reusable snapshot of a [`StatsRegistry`] (see
+/// [`StatsRegistry::snapshot_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    records_len: usize,
+    by_kind: BTreeMap<PhaseKind, CommStats>,
+    current_kind: Option<PhaseKind>,
+}
+
+/// Copy `src`'s entries into `dst`, overwriting values in place when the key
+/// sets already match (the steady state — no allocation) and rebuilding the
+/// map otherwise.
+pub(crate) fn copy_btree_values<K: Ord + Copy, V: Copy>(
+    src: &BTreeMap<K, V>,
+    dst: &mut BTreeMap<K, V>,
+) {
+    if dst.len() == src.len() && dst.keys().eq(src.keys()) {
+        for (d, s) in dst.values_mut().zip(src.values()) {
+            *d = *s;
+        }
+    } else {
+        dst.clear();
+        dst.extend(src.iter().map(|(k, v)| (*k, *v)));
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,11 @@ pub enum LangError {
     Semantic(String),
     /// Error raised while executing the lowered program.
     Runtime(String),
+    /// An execution phase failed (injected fault, kernel panic or straggler)
+    /// and the configured [`chaos_dmsim::RecoveryPolicy`] did not — or was
+    /// not allowed to — recover it. Carries the typed
+    /// `(epoch, rank, lane, cause)` diagnosis.
+    Phase(chaos_dmsim::PhaseError),
 }
 
 impl LangError {
@@ -34,6 +39,11 @@ impl LangError {
     pub fn runtime(message: impl Into<String>) -> Self {
         LangError::Runtime(message.into())
     }
+
+    /// Wrap an unrecovered phase failure.
+    pub fn phase(err: chaos_dmsim::PhaseError) -> Self {
+        LangError::Phase(err)
+    }
 }
 
 impl std::fmt::Display for LangError {
@@ -44,6 +54,7 @@ impl std::fmt::Display for LangError {
             }
             LangError::Semantic(m) => write!(f, "semantic error: {m}"),
             LangError::Runtime(m) => write!(f, "runtime error: {m}"),
+            LangError::Phase(e) => write!(f, "unrecovered phase failure: {e}"),
         }
     }
 }

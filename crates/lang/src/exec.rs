@@ -28,15 +28,28 @@ use crate::kernel::{
     KernelEntry, RankState, SweepBuffers,
 };
 use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
-use chaos_dmsim::{Backend, Machine, MachineConfig, PhaseKind, PooledBackend, ThreadedBackend};
+use chaos_dmsim::{
+    Backend, FaultPlan, Machine, MachineConfig, PhaseError, PhaseKind, PooledBackend,
+    RecoveryPolicy, ThreadedBackend,
+};
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
-    gather_into, scatter_reduce, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
-    InspectorResult, IterPartitionPolicy, IterationPartition, LocalizeScratch, LoopId,
-    MapperCoupler, ReuseRegistry,
+    charge_checkpoint, gather_into, scatter_reduce, AccessPattern, DistArray, Distribution,
+    GeoColSpec, Inspector, InspectorResult, IterPartitionPolicy, IterationPartition,
+    LocalizeScratch, LoopId, MapperCoupler, ReuseRegistry,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Hard cap on total attempts of one FORALL across every recovery policy —
+/// a backstop against non-injected (organic) panics that would otherwise
+/// retry forever, set far above any plausible `max_attempts`.
+const OVERALL_ATTEMPT_CAP: u32 = 32;
+
+/// Checkpoint cadence used when [`RecoveryPolicy::RollbackToCheckpoint`] is
+/// selected without an explicit `with_checkpoint_every`.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
 
 /// Values bound to the program's symbolic sizes and `READ_DATA` arrays.
 #[derive(Debug, Clone, Default)]
@@ -120,6 +133,29 @@ struct CachedLoop {
     groups: BTreeMap<String, (Vec<usize>, InspectorResult)>,
 }
 
+/// A restorable copy of everything a FORALL sweep can touch: the machine
+/// (clocks, statistics, epoch), the program's distributed arrays, the reuse
+/// registry, the kernel cache (so recompile/reuse counters replay
+/// identically) and the executor's own bookkeeping. Restoring a snapshot
+/// and re-running the same statements is bit-identical to never having
+/// failed, because failed regions never replay their charge ledgers and
+/// every consumed fault stays consumed (the machine clone shares the fault
+/// plan's flags).
+#[derive(Debug, Clone)]
+struct ExecSnapshot {
+    machine: Machine,
+    registry: ReuseRegistry,
+    kernels: KernelCache,
+    real: HashMap<String, DistArray<f64>>,
+    int: HashMap<String, DistArray<u32>>,
+    decomp_dist: HashMap<String, Distribution>,
+    array_decomp: HashMap<String, String>,
+    geocols: HashMap<String, chaos_geocol::GeoCoL>,
+    distfmts: HashMap<String, Distribution>,
+    cache: HashMap<String, CachedLoop>,
+    report: ExecReport,
+}
+
 /// The interpreter / generated-code driver.
 ///
 /// Generic over the SPMD execution engine: with the default [`Machine`]
@@ -152,6 +188,23 @@ pub struct Executor<B: Backend = Machine> {
     distfmts: HashMap<String, Distribution>,
     cache: HashMap<String, CachedLoop>,
     report: ExecReport,
+
+    // --- fault recovery (see ARCHITECTURE.md § "Fault model & recovery") ---
+    policy: RecoveryPolicy,
+    /// Checkpoint cadence in machine epochs; 0 disables checkpointing.
+    checkpoint_every: u64,
+    checkpoint: Option<Box<ExecSnapshot>>,
+    /// FORALLs executed since the checkpoint, in order — rollback restores
+    /// the checkpoint and replays these (deterministically, since consumed
+    /// faults never refire) before re-running the failed loop.
+    journal: Vec<LoopPlan>,
+    /// REAL/INTEGER arrays written since the last checkpoint refresh: only
+    /// these are re-copied (values-only, allocation-free in steady state)
+    /// and only their words are charged.
+    dirty: HashSet<String>,
+    /// A directive changed distributions/alignments since the checkpoint:
+    /// the next refresh must re-clone everything, not just dirty values.
+    structural_change: bool,
 }
 
 impl Executor<Machine> {
@@ -191,6 +244,15 @@ impl Executor<PooledBackend> {
             inputs,
         )
     }
+
+    /// Arm the pool's barrier deadline: a worker lane that fails to arrive
+    /// within `deadline` (e.g. an injected [`chaos_dmsim::FaultKind::LaneStall`])
+    /// surfaces as [`chaos_dmsim::PhaseError::Straggler`] naming the hung
+    /// rank, its lane and each lane's progress, instead of blocking silently.
+    pub fn with_barrier_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.backend.set_barrier_deadline(deadline);
+        self
+    }
 }
 
 impl<B: Backend> Executor<B> {
@@ -213,6 +275,12 @@ impl<B: Backend> Executor<B> {
             distfmts: HashMap::new(),
             cache: HashMap::new(),
             report: ExecReport::default(),
+            policy: RecoveryPolicy::default(),
+            checkpoint_every: 0,
+            checkpoint: None,
+            journal: Vec::new(),
+            dirty: HashSet::new(),
+            structural_change: false,
         }
     }
 
@@ -244,6 +312,38 @@ impl<B: Backend> Executor<B> {
     /// exchange instead of one per schedule.
     pub fn with_schedule_merging(mut self, enabled: bool) -> Self {
         self.merge_schedules = enabled;
+        self
+    }
+
+    /// Install a deterministic [`FaultPlan`] on the machine: every engine
+    /// consults it at each per-rank kernel entry, and FORALL execution is
+    /// guarded so failures surface as [`LangError::Phase`] (or are recovered
+    /// per the [`RecoveryPolicy`]).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.backend.machine_mut().install_fault_plan(Some(plan));
+        self
+    }
+
+    /// Select what happens when a FORALL phase fails (default:
+    /// [`RecoveryPolicy::Abort`]). Selecting
+    /// [`RecoveryPolicy::RollbackToCheckpoint`] enables epoch checkpointing
+    /// at the default cadence if [`Executor::with_checkpoint_every`] was not
+    /// called.
+    pub fn with_recovery_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        if matches!(policy, RecoveryPolicy::RollbackToCheckpoint) && self.checkpoint_every == 0 {
+            self.checkpoint_every = DEFAULT_CHECKPOINT_EVERY;
+        }
+        self
+    }
+
+    /// Checkpoint the execution state every `epochs` machine epochs (0
+    /// disables checkpointing). A checkpoint copies the machine's clocks /
+    /// statistics and the program's arrays (values-only for arrays dirtied
+    /// since the previous checkpoint) and charges the modeled scan cost
+    /// through [`chaos_runtime::charge_checkpoint`].
+    pub fn with_checkpoint_every(mut self, epochs: u64) -> Self {
+        self.checkpoint_every = epochs;
         self
     }
 
@@ -298,12 +398,16 @@ impl<B: Backend> Executor<B> {
             .get(label)
             .ok_or_else(|| LangError::runtime(format!("no FORALL labelled '{label}'")))?
             .clone();
-        self.run_forall(&plan)
+        self.run_forall_recovered(&plan)
     }
 
     fn run_stmt(&mut self, program: &CompiledProgram, stmt: &Stmt) -> Result<(), LangError> {
-        match stmt {
-            Stmt::Declare { .. } | Stmt::Decomposition { .. } => Ok(()),
+        if let Stmt::Forall { label, .. } = stmt {
+            let plan = program.plans[label].clone();
+            return self.run_forall_recovered(&plan);
+        }
+        let result = match stmt {
+            Stmt::Declare { .. } | Stmt::Decomposition { .. } => return Ok(()),
             Stmt::Distribute { decomp, format } => self.run_distribute(program, decomp, format),
             Stmt::Align { arrays, decomp } => self.run_align(program, arrays, decomp),
             Stmt::ReadData { arrays } => self.run_read_data(arrays),
@@ -318,11 +422,16 @@ impl<B: Backend> Executor<B> {
                 partitioner,
             } => self.run_set_partition(distfmt, geocol, partitioner),
             Stmt::Redistribute { decomp, distfmt } => self.run_redistribute(decomp, distfmt),
-            Stmt::Forall { label, .. } => {
-                let plan = program.plans[label].clone();
-                self.run_forall(&plan)
-            }
+            Stmt::Forall { .. } => unreachable!("handled above"),
+        };
+        // Directives change distributions, alignments or array storage, so
+        // the journal's only-FORALLs-since-checkpoint invariant would break:
+        // force a full checkpoint refresh right after any of them.
+        if result.is_ok() && self.checkpoint_every > 0 {
+            self.structural_change = true;
+            self.refresh_checkpoint();
         }
+        result
     }
 
     fn eval_size(&self, size: &SizeExpr) -> Result<usize, LangError> {
@@ -544,6 +653,297 @@ impl<B: Backend> Executor<B> {
         }
         self.decomp_dist.insert(decomp.to_string(), new_dist);
         Ok(())
+    }
+
+    // ----- fault recovery ---------------------------------------------------
+
+    /// Clone everything a sweep can touch into a restorable snapshot.
+    fn take_snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            machine: self.backend.machine().clone(),
+            registry: self.registry.clone(),
+            kernels: self.kernels.clone(),
+            real: self.real.clone(),
+            int: self.int.clone(),
+            decomp_dist: self.decomp_dist.clone(),
+            array_decomp: self.array_decomp.clone(),
+            geocols: self.geocols.clone(),
+            distfmts: self.distfmts.clone(),
+            cache: self.cache.clone(),
+            report: self.report.clone(),
+        }
+    }
+
+    /// Roll the executor (and its machine) back to `snap`. The fault plan's
+    /// consumed flags live outside the snapshot (shared `Arc`), so faults
+    /// that already fired stay consumed after the restore.
+    fn restore_snapshot(&mut self, snap: &ExecSnapshot) {
+        *self.backend.machine_mut() = snap.machine.clone();
+        self.registry = snap.registry.clone();
+        self.kernels = snap.kernels.clone();
+        self.real = snap.real.clone();
+        self.int = snap.int.clone();
+        self.decomp_dist = snap.decomp_dist.clone();
+        self.array_decomp = snap.array_decomp.clone();
+        self.geocols = snap.geocols.clone();
+        self.distfmts = snap.distfmts.clone();
+        self.cache = snap.cache.clone();
+        self.report = snap.report.clone();
+    }
+
+    /// Modeled words each rank scans to copy the dirty (or, on a structural
+    /// refresh, all) arrays into the checkpoint.
+    fn checkpoint_rank_words(&self, everything: bool) -> Vec<usize> {
+        let mut words = vec![0usize; self.backend.nprocs()];
+        let include = |name: &str| everything || self.dirty.contains(name);
+        for (name, arr) in &self.real {
+            if include(name) {
+                for (p, w) in words.iter_mut().enumerate() {
+                    *w += arr.local(p).len();
+                }
+            }
+        }
+        for (name, arr) in &self.int {
+            if include(name) {
+                for (p, w) in words.iter_mut().enumerate() {
+                    *w += arr.local(p).len();
+                }
+            }
+        }
+        words
+    }
+
+    /// Take (or incrementally refresh) the epoch checkpoint, charging the
+    /// modeled scan cost of the words actually copied. Unchanged arrays are
+    /// left alone — only dirty shards are re-copied, values-only, reusing
+    /// the checkpoint's existing storage.
+    fn refresh_checkpoint(&mut self) {
+        let full = self.structural_change || self.checkpoint.is_none();
+        let rank_words = self.checkpoint_rank_words(full);
+        charge_checkpoint(&mut self.backend, &rank_words);
+
+        match self.checkpoint.as_deref_mut() {
+            Some(ckpt) if !full => {
+                for name in &self.dirty {
+                    if let (Some(dst), Some(src)) = (ckpt.real.get_mut(name), self.real.get(name)) {
+                        dst.copy_values_from(src);
+                    }
+                    if let (Some(dst), Some(src)) = (ckpt.int.get_mut(name), self.int.get(name)) {
+                        dst.copy_values_from(src);
+                    }
+                }
+                ckpt.machine = self.backend.machine().clone();
+                ckpt.registry = self.registry.clone();
+                ckpt.kernels = self.kernels.clone();
+                ckpt.cache = self.cache.clone();
+                ckpt.report = self.report.clone();
+            }
+            _ => self.checkpoint = Some(Box::new(self.take_snapshot())),
+        }
+        self.journal.clear();
+        self.dirty.clear();
+        self.structural_change = false;
+    }
+
+    /// Refresh the checkpoint if the cadence says one is due.
+    fn maybe_checkpoint(&mut self) {
+        if self.checkpoint_every == 0 {
+            return;
+        }
+        let due = match &self.checkpoint {
+            None => true,
+            Some(c) => {
+                let (cur, ck) = (self.backend.machine().epoch(), c.machine.epoch());
+                // `ck > cur`: the checkpoint was refreshed during an attempt
+                // that then failed and was rolled back to a pre-refresh
+                // snapshot — redo the refresh (and its modeled charges) so
+                // the recovered timeline matches the fault-free one.
+                ck > cur || cur - ck >= self.checkpoint_every
+            }
+        };
+        if due {
+            self.refresh_checkpoint();
+        }
+    }
+
+    /// Record a successfully executed FORALL for rollback replay.
+    fn note_sweep(&mut self, plan: &LoopPlan) {
+        if self.checkpoint_every == 0 {
+            return;
+        }
+        self.journal.push(plan.clone());
+        for a in &plan.written_arrays {
+            self.dirty.insert(a.clone());
+        }
+    }
+
+    /// Run one FORALL attempt with panic containment: a panic (injected or
+    /// organic) or a pending flaw (straggler) becomes a typed
+    /// [`PhaseError`]. Mirrors `Backend::try_run_*`, but wraps the whole
+    /// gather → compute → scatter sweep.
+    fn attempt_forall(&mut self, plan: &LoopPlan) -> Result<Result<(), LangError>, PhaseError> {
+        match catch_unwind(AssertUnwindSafe(|| self.run_forall(plan))) {
+            Ok(inner) => match self.backend.take_phase_flaw() {
+                Some(flaw) => Err(flaw),
+                None => Ok(inner),
+            },
+            Err(payload) => {
+                let _ = self.backend.take_phase_flaw();
+                Err(PhaseError::from_payload(
+                    self.backend.machine().epoch(),
+                    payload,
+                ))
+            }
+        }
+    }
+
+    /// Like [`Self::attempt_forall`], but also covers the epoch-checkpoint
+    /// refresh: the refresh charges modeled scan cost through the backend
+    /// (a real SPMD phase), so an injected fault can fire inside it. A
+    /// failure leaves the previous checkpoint and journal intact — the
+    /// retry path restores a snapshot and redoes refresh + sweep.
+    fn attempt_checkpoint_and_forall(
+        &mut self,
+        plan: &LoopPlan,
+    ) -> Result<Result<(), LangError>, PhaseError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.maybe_checkpoint();
+            self.run_forall(plan)
+        })) {
+            Ok(inner) => match self.backend.take_phase_flaw() {
+                Some(flaw) => Err(flaw),
+                None => Ok(inner),
+            },
+            Err(payload) => {
+                let _ = self.backend.take_phase_flaw();
+                Err(PhaseError::from_payload(
+                    self.backend.machine().epoch(),
+                    payload,
+                ))
+            }
+        }
+    }
+
+    /// Execute a FORALL under the configured recovery policy.
+    ///
+    /// Recovery is *discard and re-run*: a failed region's charge ledgers
+    /// were never replayed onto the machine, and restoring a snapshot
+    /// rewinds whatever the driver-side phases did commit, so a recovered
+    /// run is bit-identical (values, clock bits, statistics) to a fault-free
+    /// run — the property `tests/fault_recovery.rs` and the backend
+    /// equivalence proptest check on all three engines.
+    fn run_forall_recovered(&mut self, plan: &LoopPlan) -> Result<(), LangError> {
+        // Fast path: nothing to guard against and no recovery requested —
+        // run unwrapped, exactly as before this subsystem existed.
+        let guarded = self.backend.machine().fault_plan().is_some()
+            || !matches!(self.policy, RecoveryPolicy::Abort);
+        if !guarded {
+            self.maybe_checkpoint();
+            let result = self.run_forall(plan);
+            if result.is_ok() {
+                self.note_sweep(plan);
+            }
+            return result;
+        }
+
+        // The pre-sweep snapshot is taken *before* the checkpoint refresh:
+        // the refresh charges modeled scan cost through the backend, so a
+        // fault can fire inside it too — the attempt below therefore covers
+        // checkpoint + sweep, and a retry redoes both from this snapshot.
+        let presweep: Option<Box<ExecSnapshot>> = match self.policy {
+            RecoveryPolicy::RetryPhase { .. } | RecoveryPolicy::DegradeToMachine => {
+                Some(Box::new(self.take_snapshot()))
+            }
+            _ => None,
+        };
+        // The checkpoint bookkeeping lives outside ExecSnapshot (the
+        // snapshot must not nest a second full copy of the state), so stash
+        // it separately: if the attempt's checkpoint refresh succeeds but
+        // the sweep then fails, the retry must redo the refresh with the
+        // same dirty set to charge the same modeled scan cost.
+        let premarks = presweep.as_ref().map(|_| {
+            (
+                self.journal.clone(),
+                self.dirty.clone(),
+                self.structural_change,
+            )
+        });
+        let restore_marks = |slf: &mut Self| {
+            if let Some((journal, dirty, structural)) = &premarks {
+                slf.journal.clone_from(journal);
+                slf.dirty.clone_from(dirty);
+                slf.structural_change = *structural;
+            }
+        };
+
+        let mut attempts: u32 = 0;
+        loop {
+            match self.attempt_checkpoint_and_forall(plan) {
+                Ok(inner) => {
+                    if inner.is_ok() {
+                        self.note_sweep(plan);
+                    }
+                    return inner;
+                }
+                Err(flaw) => {
+                    attempts += 1;
+                    if attempts >= OVERALL_ATTEMPT_CAP {
+                        return Err(LangError::phase(flaw));
+                    }
+                    match self.policy {
+                        RecoveryPolicy::Abort => return Err(LangError::phase(flaw)),
+                        RecoveryPolicy::RetryPhase {
+                            max_attempts,
+                            backoff,
+                        } => {
+                            if attempts > max_attempts {
+                                return Err(LangError::phase(flaw));
+                            }
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            self.restore_snapshot(presweep.as_ref().expect("taken above"));
+                            restore_marks(self);
+                        }
+                        RecoveryPolicy::RollbackToCheckpoint => {
+                            let Some(ckpt) = self.checkpoint.take() else {
+                                return Err(LangError::phase(flaw));
+                            };
+                            self.restore_snapshot(&ckpt);
+                            self.checkpoint = Some(ckpt);
+                            // Replay the journal: the loops that ran since
+                            // the checkpoint re-execute deterministically
+                            // (their faults are consumed). A failure during
+                            // replay is not retried further.
+                            let journal = std::mem::take(&mut self.journal);
+                            let mut replay_err = None;
+                            for replayed in &journal {
+                                match self.attempt_forall(replayed) {
+                                    Ok(Ok(())) => {}
+                                    Ok(Err(e)) => {
+                                        replay_err = Some(e);
+                                        break;
+                                    }
+                                    Err(f) => {
+                                        replay_err = Some(LangError::phase(f));
+                                        break;
+                                    }
+                                }
+                            }
+                            self.journal = journal;
+                            if let Some(e) = replay_err {
+                                return Err(e);
+                            }
+                        }
+                        RecoveryPolicy::DegradeToMachine => {
+                            self.backend.degrade();
+                            self.restore_snapshot(presweep.as_ref().expect("taken above"));
+                            restore_marks(self);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ----- FORALL execution -------------------------------------------------

@@ -52,6 +52,7 @@ pub mod parser;
 
 pub use analyze::analyze_program;
 pub use ast::{Program, Stmt};
+pub use chaos_dmsim::{Fault, FaultKind, FaultPlan, PhaseError, RecoveryPolicy};
 pub use error::LangError;
 pub use exec::{ExecReport, Executor, KernelMode, ProgramInputs};
 pub use kernel::{compile_kernel, CompiledKernel, KernelCache};

@@ -424,3 +424,162 @@ fn mesh_workload_experiment_is_engine_independent() {
         assert_eq!(seq.bytes, other.bytes);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Randomized fault schedules through the language executor: recovery is
+// bit-identical to a fault-free run on every engine.
+// ---------------------------------------------------------------------------
+
+mod randomized_faults {
+    use super::*;
+    use chaos_repro::dmsim::{FaultPlan, RecoveryPolicy};
+    use chaos_repro::lang::CompiledProgram;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SRC: &str = r#"
+        REAL*8 x(nnode), y(nnode)
+        INTEGER end_pt1(nedge), end_pt2(nedge)
+        DYNAMIC, DECOMPOSITION reg(nnode), reg2(nedge)
+        DISTRIBUTE reg(BLOCK)
+        DISTRIBUTE reg2(BLOCK)
+        ALIGN x, y WITH reg
+        ALIGN end_pt1, end_pt2 WITH reg2
+        CALL READ_DATA(x, y, end_pt1, end_pt2)
+        FORALL i = 1, nedge
+          REDUCE(ADD, y(end_pt1(i)), EFLUX1(x(end_pt1(i)), x(end_pt2(i))))
+          REDUCE(ADD, y(end_pt2(i)), EFLUX2(x(end_pt1(i)), x(end_pt2(i))))
+        END FORALL
+    "#;
+    const NP: usize = 4;
+    const SWEEPS: usize = 5;
+
+    fn program() -> CompiledProgram {
+        lower_program(parse_program(SRC).unwrap()).unwrap()
+    }
+
+    fn inputs() -> ProgramInputs {
+        let (nnode, nedge) = (96usize, 384usize);
+        let mut state = 0xBEEF_CAFEu64;
+        let mut next = |m: usize| -> u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % m) as u32 + 1
+        };
+        let mut e1 = Vec::with_capacity(nedge);
+        let mut e2 = Vec::with_capacity(nedge);
+        for _ in 0..nedge {
+            let a = next(nnode);
+            let mut b = next(nnode);
+            if b == a {
+                b = a % nnode as u32 + 1;
+            }
+            e1.push(a);
+            e2.push(b);
+        }
+        ProgramInputs::new()
+            .scalar("nnode", nnode)
+            .scalar("nedge", nedge)
+            .real(
+                "x",
+                (0..nnode).map(|i| (i as f64 * 0.7).cos() + 2.0).collect(),
+            )
+            .real("y", vec![0.0; nnode])
+            .int("end_pt1", e1)
+            .int("end_pt2", e2)
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Obs {
+        y: Vec<u64>,
+        clocks: Vec<u64>,
+        messages: usize,
+        bytes: usize,
+        phases: usize,
+        comm: u64,
+        report: chaos_repro::lang::ExecReport,
+    }
+
+    fn drive<B: Backend>(exec: &mut Executor<B>, cp: &CompiledProgram) -> Obs {
+        exec.run(cp).unwrap();
+        for _ in 0..SWEEPS {
+            exec.execute_loop(cp, "L1").unwrap();
+        }
+        let e = exec.machine().elapsed();
+        let s = exec.machine().stats().grand_totals();
+        Obs {
+            y: exec
+                .real_global("y")
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+            clocks: e.per_proc.iter().map(|v| v.to_bits()).collect(),
+            messages: s.messages,
+            bytes: s.bytes,
+            phases: s.phases,
+            comm: s.comm_seconds.to_bits(),
+            report: exec.report().clone(),
+        }
+    }
+
+    /// Epochs spanned by the executor sweeps (past the directive preamble),
+    /// so randomized faults land where there is work to fail.
+    fn sweep_epochs(cp: &CompiledProgram) -> std::ops::Range<u64> {
+        let mut probe = Executor::new(MachineConfig::ipsc860(NP), inputs());
+        probe.run(cp).unwrap();
+        let start = probe.machine().epoch();
+        for _ in 0..SWEEPS {
+            probe.execute_loop(cp, "L1").unwrap();
+        }
+        start + 1..probe.machine().epoch() + 1
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any seeded schedule of panics, stalls and corruptions is
+        /// recovered bit-identically — values, clock bits, statistics and
+        /// the execution report — on all three engines.
+        #[test]
+        fn random_fault_schedules_recover_bit_identically(
+            seed in 0u64..u64::MAX,
+            count in 1usize..4,
+        ) {
+            let cp = program();
+            let epochs = sweep_epochs(&cp);
+            let plan = || {
+                Arc::new(
+                    FaultPlan::randomized(seed, count, epochs.clone(), NP)
+                        .with_stall(Duration::from_millis(1)),
+                )
+            };
+            // Worst case every fault lands on the same (epoch, rank) and
+            // must be burned through one retry at a time.
+            let policy = || RecoveryPolicy::RetryPhase {
+                max_attempts: count as u32 + 1,
+                backoff: Duration::ZERO,
+            };
+
+            let mut clean = Executor::new(MachineConfig::ipsc860(NP), inputs());
+            let want = drive(&mut clean, &cp);
+
+            let mut seq = Executor::new(MachineConfig::ipsc860(NP), inputs())
+                .with_fault_plan(plan())
+                .with_recovery_policy(policy());
+            prop_assert_eq!(&drive(&mut seq, &cp), &want, "sequential engine");
+
+            let mut thr = Executor::new_threaded(MachineConfig::ipsc860(NP), inputs())
+                .with_fault_plan(plan())
+                .with_recovery_policy(policy());
+            prop_assert_eq!(&drive(&mut thr, &cp), &want, "threaded engine");
+
+            let mut pool =
+                Executor::new_pooled_with_workers(MachineConfig::ipsc860(NP), 3, inputs())
+                    .with_fault_plan(plan())
+                    .with_recovery_policy(policy());
+            prop_assert_eq!(&drive(&mut pool, &cp), &want, "pooled engine");
+        }
+    }
+}

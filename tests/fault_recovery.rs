@@ -1,0 +1,409 @@
+//! Fault injection, detection and recovery, end-to-end through the
+//! language executor on all three engines.
+//!
+//! The recovery contract is *discard and re-run*: a failed phase never
+//! replayed its charge ledgers onto the machine, and the executor restores
+//! a pre-sweep (or checkpoint) snapshot before re-running, so a recovered
+//! run must be **bit-identical** — array values, per-processor clock f64
+//! bits, communication statistics, execution report — to a fault-free run
+//! of the same program under the same checkpoint configuration.
+
+use chaos_repro::dmsim::{Backend, FaultKind, FaultPlan, PhaseError, RecoveryPolicy};
+use chaos_repro::lang::{CompiledProgram, LangError};
+use chaos_repro::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const EDGE_PROGRAM: &str = r#"
+    REAL*8 x(nnode), y(nnode)
+    INTEGER end_pt1(nedge), end_pt2(nedge)
+    DYNAMIC, DECOMPOSITION reg(nnode), reg2(nedge)
+    DISTRIBUTE reg(BLOCK)
+    DISTRIBUTE reg2(BLOCK)
+    ALIGN x, y WITH reg
+    ALIGN end_pt1, end_pt2 WITH reg2
+    CALL READ_DATA(x, y, end_pt1, end_pt2)
+    FORALL i = 1, nedge
+      REDUCE(ADD, y(end_pt1(i)), EFLUX1(x(end_pt1(i)), x(end_pt2(i))))
+      REDUCE(ADD, y(end_pt2(i)), EFLUX2(x(end_pt1(i)), x(end_pt2(i))))
+    END FORALL
+"#;
+
+const NPROCS: usize = 4;
+const SWEEPS: usize = 4;
+
+fn program() -> CompiledProgram {
+    lower_program(parse_program(EDGE_PROGRAM).unwrap()).unwrap()
+}
+
+/// Randomly connected edges so the inspector and executor move real
+/// off-processor data.
+fn inputs(nnode: usize, nedge: usize) -> ProgramInputs {
+    let mut state = 0xFA_17u64;
+    let mut next = |m: usize| -> u32 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize % m) as u32 + 1
+    };
+    let mut e1 = Vec::with_capacity(nedge);
+    let mut e2 = Vec::with_capacity(nedge);
+    for _ in 0..nedge {
+        let a = next(nnode);
+        let mut b = next(nnode);
+        if b == a {
+            b = a % nnode as u32 + 1;
+        }
+        e1.push(a);
+        e2.push(b);
+    }
+    let x: Vec<f64> = (0..nnode).map(|i| (i as f64 * 0.41).sin() + 2.0).collect();
+    ProgramInputs::new()
+        .scalar("nnode", nnode)
+        .scalar("nedge", nedge)
+        .real("x", x)
+        .real("y", vec![0.0; nnode])
+        .int("end_pt1", e1)
+        .int("end_pt2", e2)
+}
+
+/// Everything that must match between a recovered run and a fault-free one.
+#[derive(Debug, PartialEq)]
+struct Observation {
+    y_bits: Vec<u64>,
+    clock_bits: Vec<(u64, u64, u64)>,
+    messages: usize,
+    bytes: usize,
+    phases: usize,
+    comm_seconds_bits: u64,
+    report: chaos_repro::lang::ExecReport,
+    epoch: u64,
+}
+
+fn observe<B: Backend>(exec: &Executor<B>) -> Observation {
+    let elapsed = exec.machine().elapsed();
+    let stats = exec.machine().stats().grand_totals();
+    Observation {
+        y_bits: exec
+            .real_global("y")
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+        clock_bits: (0..exec.machine().nprocs())
+            .map(|p| {
+                (
+                    elapsed.per_proc[p].to_bits(),
+                    elapsed.comm[p].to_bits(),
+                    elapsed.idle[p].to_bits(),
+                )
+            })
+            .collect(),
+        messages: stats.messages,
+        bytes: stats.bytes,
+        phases: stats.phases,
+        comm_seconds_bits: stats.comm_seconds.to_bits(),
+        report: exec.report().clone(),
+        epoch: exec.machine().epoch(),
+    }
+}
+
+/// Drive a full run plus `SWEEPS` extra executor sweeps and snapshot it.
+fn drive<B: Backend>(
+    exec: &mut Executor<B>,
+    cp: &CompiledProgram,
+) -> Result<Observation, LangError> {
+    exec.run(cp)?;
+    for _ in 0..SWEEPS {
+        exec.execute_loop(cp, "L1")?;
+    }
+    Ok(observe(exec))
+}
+
+/// Epoch range spanned by the post-preamble sweeps under a given checkpoint
+/// cadence (faults scheduled inside this range hit the executor sweeps, not
+/// the directive preamble).
+fn sweep_epochs(cp: &CompiledProgram, checkpoint_every: u64) -> (u64, u64) {
+    let mut probe = Executor::new(MachineConfig::ipsc860(NPROCS), inputs(120, 480))
+        .with_checkpoint_every(checkpoint_every);
+    probe.run(cp).unwrap();
+    let start = probe.machine().epoch();
+    for _ in 0..SWEEPS {
+        probe.execute_loop(cp, "L1").unwrap();
+    }
+    (start, probe.machine().epoch())
+}
+
+fn retry() -> RecoveryPolicy {
+    RecoveryPolicy::RetryPhase {
+        max_attempts: 3,
+        backoff: Duration::ZERO,
+    }
+}
+
+#[test]
+fn injected_panic_recovers_bit_identically_on_all_three_engines() {
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    assert!(e1 > e0 + 2, "sweeps must span several epochs");
+    let mid = e0 + (e1 - e0) / 2;
+    let plan = || {
+        Arc::new(
+            FaultPlan::new()
+                .with_fault(e0 + 1, 1, FaultKind::KernelPanic)
+                .with_fault(mid, NPROCS - 1, FaultKind::KernelPanic),
+        )
+    };
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(120, 480);
+
+    let mut clean = Executor::new(cfg(), ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut seq = Executor::new(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut seq, &cp).unwrap(), want, "sequential engine");
+
+    let mut thr = Executor::new_threaded(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut thr, &cp).unwrap(), want, "threaded engine");
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 3, ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want, "pooled engine");
+}
+
+#[test]
+fn corruption_recovers_bit_identically_on_all_three_engines() {
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    let mid = e0 + (e1 - e0) / 2;
+    let plan = || Arc::new(FaultPlan::new().with_fault(mid, 0, FaultKind::MailboxCorruption));
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(100, 400);
+
+    let mut clean = Executor::new(cfg(), ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut seq = Executor::new(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut seq, &cp).unwrap(), want, "sequential engine");
+
+    let mut thr = Executor::new_threaded(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut thr, &cp).unwrap(), want, "threaded engine");
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 3, ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want, "pooled engine");
+}
+
+#[test]
+fn stall_is_detected_by_the_pool_deadline_and_recovered_bit_identically() {
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    let mid = e0 + (e1 - e0) / 2;
+    // Rank 0 runs on a spawned worker lane (the driver takes the last
+    // lane), so the stall leaves the driver waiting at the barrier.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .with_stall(Duration::from_millis(100))
+            .with_fault(mid, 0, FaultKind::LaneStall),
+    );
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(100, 400);
+
+    let mut clean = Executor::new_pooled_with_workers(cfg(), 2, ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 2, ins())
+        .with_barrier_deadline(Duration::from_millis(5))
+        .with_fault_plan(plan)
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want, "straggler recovery");
+}
+
+#[test]
+fn stall_without_a_deadline_is_harmless_wall_clock_delay() {
+    // No barrier deadline armed: the stall slows the real run but charges
+    // nothing to the modeled clocks, so the run completes identically with
+    // no error.
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    let mid = e0 + (e1 - e0) / 2;
+    let plan = Arc::new(
+        FaultPlan::new()
+            .with_stall(Duration::from_millis(30))
+            .with_fault(mid, 1, FaultKind::LaneStall),
+    );
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(100, 400);
+
+    let mut clean = Executor::new(cfg(), ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut seq = Executor::new(cfg(), ins()).with_fault_plan(plan);
+    assert_eq!(drive(&mut seq, &cp).unwrap(), want);
+}
+
+#[test]
+fn abort_policy_surfaces_a_typed_phase_error() {
+    let cp = program();
+    let (e0, _) = sweep_epochs(&cp, 0);
+    let plan = Arc::new(FaultPlan::new().with_fault(e0 + 1, 2, FaultKind::KernelPanic));
+    let mut exec = Executor::new(MachineConfig::ipsc860(NPROCS), inputs(120, 480))
+        .with_fault_plan(Arc::clone(&plan));
+    exec.run(&cp).unwrap();
+    let err = exec.execute_loop(&cp, "L1").unwrap_err();
+    match err {
+        LangError::Phase(PhaseError::RankPanic { epoch, failures }) => {
+            assert_eq!(epoch, e0 + 1);
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].rank, Some(2));
+        }
+        other => panic!("expected a typed RankPanic, got {other:?}"),
+    }
+    assert!(plan.exhausted(), "the fault was consumed");
+}
+
+#[test]
+fn rollback_to_checkpoint_recovers_bit_identically() {
+    const EVERY: u64 = 6;
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, EVERY);
+    let late = e0 + 3 * (e1 - e0) / 4;
+    let plan = || Arc::new(FaultPlan::new().with_fault(late, 2, FaultKind::KernelPanic));
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(120, 480);
+
+    let mut clean = Executor::new(cfg(), ins()).with_checkpoint_every(EVERY);
+    let want = drive(&mut clean, &cp).unwrap();
+
+    for engine in 0..3usize {
+        let obs = match engine {
+            0 => {
+                let mut e = Executor::new(cfg(), ins())
+                    .with_checkpoint_every(EVERY)
+                    .with_fault_plan(plan())
+                    .with_recovery_policy(RecoveryPolicy::RollbackToCheckpoint);
+                drive(&mut e, &cp).unwrap()
+            }
+            1 => {
+                let mut e = Executor::new_threaded(cfg(), ins())
+                    .with_checkpoint_every(EVERY)
+                    .with_fault_plan(plan())
+                    .with_recovery_policy(RecoveryPolicy::RollbackToCheckpoint);
+                drive(&mut e, &cp).unwrap()
+            }
+            _ => {
+                let mut e = Executor::new_pooled_with_workers(cfg(), 3, ins())
+                    .with_checkpoint_every(EVERY)
+                    .with_fault_plan(plan())
+                    .with_recovery_policy(RecoveryPolicy::RollbackToCheckpoint);
+                drive(&mut e, &cp).unwrap()
+            }
+        };
+        assert_eq!(obs, want, "engine {engine}");
+    }
+}
+
+#[test]
+fn degrade_to_machine_recovers_bit_identically() {
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    let mid = e0 + (e1 - e0) / 2;
+    let plan = || Arc::new(FaultPlan::new().with_fault(mid, 1, FaultKind::KernelPanic));
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(100, 400);
+
+    let mut clean = Executor::new(cfg(), ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    // After the failure the pooled/threaded engines fall back to inline
+    // sequential execution — still bit-identical by the engine-equivalence
+    // contract.
+    let mut thr = Executor::new_threaded(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(RecoveryPolicy::DegradeToMachine);
+    assert_eq!(drive(&mut thr, &cp).unwrap(), want, "threaded degrade");
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 3, ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(RecoveryPolicy::DegradeToMachine);
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want, "pooled degrade");
+}
+
+#[test]
+fn retry_attempts_are_bounded() {
+    // max_attempts = 0 means the first failure is final even under
+    // RetryPhase.
+    let cp = program();
+    let (e0, _) = sweep_epochs(&cp, 0);
+    let plan = Arc::new(FaultPlan::new().with_fault(e0 + 1, 0, FaultKind::KernelPanic));
+    let mut exec = Executor::new(MachineConfig::ipsc860(NPROCS), inputs(120, 480))
+        .with_fault_plan(plan)
+        .with_recovery_policy(RecoveryPolicy::RetryPhase {
+            max_attempts: 0,
+            backoff: Duration::ZERO,
+        });
+    exec.run(&cp).unwrap();
+    let err = exec.execute_loop(&cp, "L1").unwrap_err();
+    assert!(matches!(
+        err,
+        LangError::Phase(PhaseError::RankPanic { .. })
+    ));
+}
+
+#[test]
+fn all_three_fault_kinds_in_one_pooled_run_recover_bit_identically() {
+    // The acceptance scenario: one pooled run with an injected panic, a
+    // stall (caught by the barrier deadline) and a corruption, all
+    // recovered, final state bit-identical to fault-free.
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    assert!(e1 - e0 >= 4, "need at least four sweep epochs");
+    let span = e1 - e0;
+    let plan = Arc::new(
+        FaultPlan::new()
+            .with_stall(Duration::from_millis(60))
+            .with_fault(e0 + 1, 1, FaultKind::KernelPanic)
+            .with_fault(e0 + span / 2, 0, FaultKind::LaneStall)
+            .with_fault(e0 + 3 * span / 4, 2, FaultKind::MailboxCorruption),
+    );
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(140, 560);
+
+    let mut clean = Executor::new_pooled_with_workers(cfg(), 2, ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 2, ins())
+        .with_barrier_deadline(Duration::from_millis(5))
+        .with_fault_plan(Arc::clone(&plan))
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want);
+    assert!(plan.exhausted(), "every scheduled fault fired");
+}
+
+#[test]
+fn machine_backend_is_the_degraded_target_already() {
+    // DegradeToMachine on the sequential engine: degrade() is a no-op that
+    // reports success, and the retry still recovers.
+    let cp = program();
+    let (e0, _) = sweep_epochs(&cp, 0);
+    let plan = Arc::new(FaultPlan::new().with_fault(e0 + 1, 0, FaultKind::KernelPanic));
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+
+    let mut clean = Executor::new(cfg(), inputs(80, 320));
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut seq = Executor::new(cfg(), inputs(80, 320))
+        .with_fault_plan(plan)
+        .with_recovery_policy(RecoveryPolicy::DegradeToMachine);
+    assert_eq!(drive(&mut seq, &cp).unwrap(), want);
+}

@@ -132,3 +132,77 @@ fn steady_state_executor_iteration_is_allocation_free() {
     assert!(messages_after > messages_before);
     assert!(machine.elapsed().max_seconds() > 0.0);
 }
+
+/// Checkpoint / rollback of a steady epoch must also be allocation-free:
+/// `Machine::snapshot_into` / `restore_from` reuse the snapshot's buffers,
+/// and `DistArray::copy_values_from` overwrites shard values in place. This
+/// is what keeps the executor's epoch-checkpoint cadence from perturbing the
+/// steady-state heap profile.
+#[test]
+fn checkpoint_and_rollback_of_a_steady_epoch_are_allocation_free() {
+    use chaos_repro::dmsim::MachineSnapshot;
+    use chaos_repro::runtime::charge_checkpoint;
+
+    let nprocs = 8;
+    let n = 4096usize;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 5 + i / 11) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 0.5 + (i % 89) as f64).collect();
+    let mut y = DistArray::from_global("y", dist.clone(), &data);
+    let mut ckpt_y = y.clone();
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+    let mut snap = MachineSnapshot::new();
+    let rank_words: Vec<usize> = (0..nprocs).map(|p| y.local(p).len()).collect();
+
+    let iteration = |machine: &mut Machine,
+                     y: &mut DistArray<f64>,
+                     ckpt_y: &mut DistArray<f64>,
+                     snap: &mut MachineSnapshot| {
+        // Refresh the checkpoint: charge the modeled scan cost, then copy
+        // the machine state and the array values into the reused buffers.
+        charge_checkpoint(machine, &rank_words);
+        machine.snapshot_into(snap);
+        ckpt_y.copy_values_from(y);
+        // One epoch of work that dirties both the values and the clocks.
+        for p in 0..nprocs {
+            let y_local = y.local_mut(p);
+            for v in y_local.iter_mut() {
+                *v = *v * 1.0001 + 0.25;
+            }
+            machine.charge_compute(p, y.local(p).len() as f64);
+        }
+        // Injected failure: roll the epoch back.
+        machine.restore_from(snap);
+        y.copy_values_from(ckpt_y);
+    };
+
+    // Warm-up grows the snapshot buffers and the per-kind stats entries.
+    for _ in 0..3 {
+        iteration(&mut machine, &mut y, &mut ckpt_y, &mut snap);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let epoch_before = machine.epoch();
+    for _ in 0..10 {
+        iteration(&mut machine, &mut y, &mut ckpt_y, &mut snap);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state checkpoint/rollback allocated {} times",
+        after - before
+    );
+    // The rollbacks really happened: values match the checkpoint bit for
+    // bit, and only the checkpoint-scan epochs advanced the machine.
+    for p in 0..nprocs {
+        for (a, b) in y.local(p).iter().zip(ckpt_y.local(p)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    assert_eq!(machine.epoch(), epoch_before + 10);
+    assert!(machine.elapsed().max_seconds() > 0.0);
+}
