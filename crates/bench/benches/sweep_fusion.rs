@@ -1,0 +1,49 @@
+//! Sweep-fusion microbenchmarks: one steady-state lang executor sweep with
+//! the fused gather → compute → scatter path (a single `Backend::run_sweep`
+//! epoch — one pooled broadcast release, one completion barrier) vs the
+//! split path (one engine phase per gather / compute / scatter), on both
+//! the pooled and the sequential engine, at the small N where the per-phase
+//! hand-off dominates.
+//!
+//! The fixture is shared with `perf_check`'s `BENCH_7.json` rows — see
+//! [`chaos_bench::kernel_bench::edge_executor_pooled`] — so the two can
+//! never measure different things.
+
+use chaos_bench::kernel_bench::{edge_executor, edge_executor_pooled, edge_program_inputs};
+use chaos_lang::KernelMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sweep_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_fusion");
+
+    // Same shape as BENCH_7: small enough that the per-phase engine
+    // hand-off dominates the sweep's data movement.
+    let (nprocs, workers, nnode, nedge) = (4usize, 3usize, 3_000usize, 6_000usize);
+    let inputs = edge_program_inputs(nnode, nedge);
+
+    let (mut fused_pool, cp, label) =
+        edge_executor_pooled(KernelMode::Compiled, nprocs, workers, true, &inputs);
+    group.bench_function("pooled/fused", |b| {
+        b.iter(|| fused_pool.execute_loop(&cp, &label).unwrap())
+    });
+    let (mut split_pool, cp, label) =
+        edge_executor_pooled(KernelMode::Compiled, nprocs, workers, false, &inputs);
+    group.bench_function("pooled/split", |b| {
+        b.iter(|| split_pool.execute_loop(&cp, &label).unwrap())
+    });
+
+    let (mut fused_seq, cp, label) = edge_executor(KernelMode::Compiled, nprocs, &inputs);
+    group.bench_function("sequential/fused", |b| {
+        b.iter(|| fused_seq.execute_loop(&cp, &label).unwrap())
+    });
+    let (split_seq, cp, label) = edge_executor(KernelMode::Compiled, nprocs, &inputs);
+    let mut split_seq = split_seq.with_phase_fusion(false);
+    group.bench_function("sequential/split", |b| {
+        b.iter(|| split_seq.execute_loop(&cp, &label).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_fusion);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! `perf_check`'s `BENCH_3.json` rows so the two can never measure
 //! different things.
 
-use chaos_dmsim::MachineConfig;
+use chaos_dmsim::{MachineConfig, PooledBackend};
 use chaos_lang::{
     lower_program, parse_program, CompiledProgram, Executor, KernelMode, ProgramInputs,
 };
@@ -81,6 +81,34 @@ pub fn edge_executor(
         .to_string();
     let mut exec =
         Executor::new(MachineConfig::ipsc860(nprocs), inputs.clone()).with_kernel_mode(mode);
+    exec.run(&cp).expect("program runs");
+    (exec, cp, label)
+}
+
+/// Pooled-engine variant of [`edge_executor`] with the fused sweep toggled:
+/// the shared fixture behind `perf_check`'s `BENCH_7.json` rows and the
+/// `sweep_fusion` criterion bench, so the two can never measure different
+/// things. With `fusion` the steady-state sweep runs gather → compute →
+/// scatter as one pooled epoch (one broadcast release, one completion
+/// barrier); without it each phase pays its own pool hand-off.
+pub fn edge_executor_pooled(
+    mode: KernelMode,
+    nprocs: usize,
+    workers: usize,
+    fusion: bool,
+    inputs: &ProgramInputs,
+) -> (Executor<PooledBackend>, CompiledProgram, String) {
+    let cp = lower_program(parse_program(EDGE_PROGRAM).expect("parse")).expect("lower");
+    let label = cp
+        .program
+        .loop_labels()
+        .last()
+        .expect("template has a FORALL")
+        .to_string();
+    let mut exec =
+        Executor::new_pooled_with_workers(MachineConfig::ipsc860(nprocs), workers, inputs.clone())
+            .with_kernel_mode(mode)
+            .with_phase_fusion(fusion);
     exec.run(&cp).expect("program runs");
     (exec, cp, label)
 }

@@ -119,8 +119,10 @@ fn gather_unpack_kernel<T: Clone>(
 
 /// Rank-local pack kernel of [`scatter_op`]: the executing rank, as an
 /// *owner*, charges each requester's packing and the reverse transfer of
-/// its ghost contributions.
-fn scatter_pack_kernel(ctx: &mut RankCtx<'_>, schedule: &CommSchedule) {
+/// its ghost contributions. Public so a fused-sweep driver can charge the
+/// same pack stage inside `Backend::run_sweep` — call it only inside an
+/// exchange phase's pack stage (it charges p2p).
+pub fn scatter_pack_kernel(ctx: &mut RankCtx<'_>, schedule: &CommSchedule) {
     debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
     let owner = ctx.rank();
     for send in schedule.sends(owner) {
@@ -131,24 +133,27 @@ fn scatter_pack_kernel(ctx: &mut RankCtx<'_>, schedule: &CommSchedule) {
     }
 }
 
-/// Rank-local combine kernel of [`scatter_op`]: the executing rank, as an
-/// *owner*, folds every requester's ghost contributions (shared reads) into
-/// its own array shard with `combine`.
-fn scatter_combine_kernel<T, F>(
+/// Rank-local combine of one scatter stage, reading each requester's
+/// contribution row through `row_of` — the generalized form used by both
+/// [`scatter_op`] (rows in one rank-major matrix) and the fused sweep
+/// (rows inside per-rank sweep areas). Charge order and combine order are
+/// identical either way: the owner's schedule send-list order.
+pub fn scatter_combine_rows<'a, T, F, G>(
     ctx: &mut RankCtx<'_>,
     schedule: &CommSchedule,
-    contributions: &[Vec<T>],
+    row_of: G,
     local: &mut [T],
     combine: &F,
 ) where
-    T: Clone,
+    T: Clone + 'a,
     F: Fn(&mut T, T),
+    G: Fn(usize) -> &'a [T],
 {
     debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
     let owner = ctx.rank();
     let mut updates = 0usize;
     for send in schedule.sends(owner) {
-        let from = &contributions[send.to as usize];
+        let from = row_of(send.to as usize);
         updates += send.ghost_slots.len();
         for (&off, &slot) in send.offsets.iter().zip(send.ghost_slots) {
             combine(&mut local[off as usize], from[slot as usize].clone());
@@ -216,6 +221,71 @@ pub fn gather_into<B, T>(
     );
 }
 
+/// [`gather_into`] with the ghost rows supplied by an iterator (one row per
+/// rank) instead of one rank-major matrix — the form the language executor
+/// uses when rows are embedded in per-rank sweep areas. Charges are
+/// identical to [`gather_into`]'s.
+pub fn gather_rows<'g, B, T, I>(
+    backend: &mut B,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    ghosts: I,
+) where
+    B: Backend,
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    check_schedule(backend.nprocs(), schedule);
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            assert_eq!(
+                ghost.len(),
+                schedule.ghost_count(ctx.rank()),
+                "processor {} ghost buffer length mismatch",
+                ctx.rank()
+            );
+            gather_unpack_kernel(ctx, schedule, array, ghost);
+        },
+    );
+}
+
+/// [`gather_into`] folded into an *enclosing* backend region: runs the same
+/// pack/unpack kernels driver-side via
+/// [`run_phase_inline`](chaos_dmsim::run_phase_inline), charging the exact
+/// same sequence but advancing **no** epoch — the fused sweep uses this to
+/// make gather → compute → scatter a single epoch. The ghost rows come from
+/// an iterator so callers can hand out rows embedded in per-rank sweep
+/// areas rather than one rank-major matrix.
+pub fn gather_inline<'g, T, I>(
+    machine: &mut Machine,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    ghosts: I,
+) where
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    check_schedule(machine.nprocs(), schedule);
+    chaos_dmsim::run_phase_inline(
+        machine,
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            assert_eq!(
+                ghost.len(),
+                schedule.ghost_count(ctx.rank()),
+                "processor {} ghost buffer length mismatch",
+                ctx.rank()
+            );
+            gather_unpack_kernel(ctx, schedule, array, ghost);
+        },
+    );
+}
+
 /// Scatter ghost-buffer contributions back to their owners, adding them into
 /// the owned elements (`y(owner) += contribution`).
 pub fn scatter_add<B: Backend>(
@@ -271,7 +341,13 @@ pub fn scatter_op<B, T, F>(
         |ctx| scatter_pack_kernel(ctx, schedule),
         array.par_shards_mut(),
         |ctx, local: &mut [T]| {
-            scatter_combine_kernel(ctx, schedule, contributions, local, &combine)
+            scatter_combine_rows(
+                ctx,
+                schedule,
+                |p| contributions[p].as_slice(),
+                local,
+                &combine,
+            )
         },
     );
 }
@@ -338,6 +414,39 @@ pub fn scatter_reduce<B: Backend>(
     });
 }
 
+/// [`scatter_reduce`] with each requester's contribution row supplied by a
+/// lookup instead of one rank-major matrix — the form the language executor
+/// uses when rows are embedded in per-rank sweep areas. Charges, combine
+/// order and panic contract are identical to [`scatter_reduce`]'s.
+pub fn scatter_reduce_rows<'a, B, G>(
+    backend: &mut B,
+    schedule: &CommSchedule,
+    array: &mut DistArray<f64>,
+    row_of: G,
+    kind: ScatterKind,
+) where
+    B: Backend,
+    G: Fn(usize) -> &'a [f64] + Sync,
+{
+    let nprocs = backend.nprocs();
+    check_schedule(nprocs, schedule);
+    for p in 0..nprocs {
+        assert_eq!(
+            row_of(p).len(),
+            schedule.ghost_count(p),
+            "processor {p} ghost contribution length mismatch"
+        );
+    }
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| scatter_pack_kernel(ctx, schedule),
+        array.par_shards_mut(),
+        |ctx, local: &mut [f64]| {
+            scatter_combine_rows(ctx, schedule, &row_of, local, &|a, b| kind.apply(a, b))
+        },
+    );
+}
+
 /// Charge `ops_per_proc[p]` computation units to each processor — the local
 /// arithmetic of the executor's compute section.
 pub fn charge_local_compute(machine: &mut Machine, ops_per_proc: &[f64]) {
@@ -399,6 +508,24 @@ mod tests {
         ghosts[0][0] = -1.0;
         gather_into(&mut m, "L", &r.schedule, &x, &mut ghosts);
         assert_eq!(ghosts[0], vec![40.0, 50.0]);
+    }
+
+    #[test]
+    fn gather_inline_matches_gather_into_without_an_epoch() {
+        let (_, x, r) = setup();
+        let mut a = Machine::new(MachineConfig::unit(2));
+        let mut b = Machine::new(MachineConfig::unit(2));
+        let mut ga: Vec<Vec<f64>> = (0..2)
+            .map(|p| vec![0.0; r.schedule.ghost_count(p)])
+            .collect();
+        let mut gb = ga.clone();
+        gather_into(&mut a, "L", &r.schedule, &x, &mut ga);
+        gather_inline(&mut b, &r.schedule, &x, gb.iter_mut());
+        assert_eq!(ga, gb);
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.stats().grand_totals(), b.stats().grand_totals());
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(b.epoch(), 0, "inline gather advances no epoch");
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub use dad::{Dad, DadSignature};
 pub use darray::DistArray;
 pub use dist::Distribution;
 pub use executor::{
-    charge_local_compute, gather, gather_into, scatter_add, scatter_op, scatter_reduce, ScatterKind,
+    charge_local_compute, gather, gather_inline, gather_into, gather_rows, scatter_add,
+    scatter_combine_rows, scatter_op, scatter_pack_kernel, scatter_reduce, scatter_reduce_rows,
+    ScatterKind,
 };
 pub use inspector::{AccessPattern, Inspector, InspectorResult, LocalRef, LocalizeScratch};
 pub use iterpart::{IterPartitionPolicy, IterationPartition};

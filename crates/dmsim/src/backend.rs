@@ -299,6 +299,53 @@ pub trait Backend {
         A: Fn(&mut RankCtx<'_>, &mut Outbox<'_, T>) + Sync,
         B: Fn(&mut RankCtx<'_>, St, &Inbox<'_, T>) + Sync;
 
+    /// Run one **fused executor sweep** — compute plus every scatter stage —
+    /// as a *single* backend region: one epoch advance, one engine
+    /// release/hand-off, one fault-injection point per rank (at compute
+    /// entry), instead of the 1 + W separate phases the unfused path pays.
+    ///
+    /// Stages, in order:
+    ///
+    /// 1. **Compute** — `compute` runs once per rank with `&mut` borrows of
+    ///    the rank's `scratch[r]` (in-place state, e.g. array shards) and
+    ///    `posted[r]` (the rank's owned sweep area: the data other ranks
+    ///    will read later). This is the only stage guarded by
+    ///    [`FaultPlan`] injection, so the fused
+    ///    sweep's `(epoch, rank)` fault coordinates stay well-defined.
+    /// 2. Per scatter buffer `j in 0..nscatter`, skipped entirely when
+    ///    `scatter_active(posted, j)` is false (reading the *post-compute*
+    ///    areas): a charge-only **pack** stage runs driver-side per rank
+    ///    with a live phase accumulator (so `charge_p2p` is legal), the
+    ///    phase closes quietly, then the **combine** stage runs once per
+    ///    rank with `&mut scratch[r]` and a shared view of *all* posted
+    ///    areas.
+    ///
+    /// The charge sequence equals the unfused gather-precharged +
+    /// `run_compute` + per-buffer `run_phase` sequence event for event, so
+    /// values, clock bits and [`CommStats`](crate::stats::CommStats) are
+    /// byte-identical across engines and fusion settings; only the epoch
+    /// count differs (one per fused sweep — the defined way the fused phase
+    /// advances fault coordinates). On panic, recording engines replay
+    /// nothing, so a restored snapshot can re-run the sweep as if it never
+    /// happened.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sweep<Sc, Px, C, A, P, S>(
+        &mut self,
+        scratch: &mut [Sc],
+        posted: &mut [Px],
+        compute: C,
+        nscatter: usize,
+        scatter_active: A,
+        scatter_pack: P,
+        combine: S,
+    ) where
+        Sc: Send,
+        Px: Send + Sync,
+        C: Fn(&mut RankCtx<'_>, &mut Sc, &mut Px) + Sync,
+        A: Fn(&[Px], usize) -> bool + Sync,
+        P: Fn(&mut RankCtx<'_>, usize),
+        S: Fn(&mut RankCtx<'_>, usize, &mut Sc, &[Px]) + Sync;
+
     /// [`Backend::run_compute`] for charge-only kernels that need no
     /// per-rank state.
     fn run_charges<F>(&mut self, kernel: F)
@@ -476,6 +523,59 @@ where
     assert_eq!(count, nprocs, "state must yield one item per rank");
 }
 
+/// Run one communication phase **inline on the driver**, against the shared
+/// machine, with *no* epoch advance and *no* fault-injection point: `pack`
+/// charges per rank into a live phase accumulator, the phase closes per
+/// `end`, then `unpack` runs per rank charging directly.
+///
+/// This is the building block the fused sweep driver uses to fold gather
+/// phases into the surrounding [`Backend::run_sweep`] epoch: because it only
+/// touches the shared [`Machine`], it produces the same charge sequence under
+/// every engine by construction, and fault coordinates stay pinned to the
+/// enclosing region's `(epoch, rank)` points.
+pub fn run_phase_inline<St, I, A, B>(
+    machine: &mut Machine,
+    end: PhaseEnd<'_>,
+    pack: A,
+    state: I,
+    unpack: B,
+) where
+    St: Send,
+    I: IntoIterator<Item = St>,
+    A: Fn(&mut RankCtx<'_>),
+    B: Fn(&mut RankCtx<'_>, St),
+{
+    let nprocs = machine.nprocs();
+    let mut phase = PhaseCharge::new();
+    for rank in 0..nprocs {
+        let mut ctx = RankCtx {
+            rank,
+            nprocs,
+            sink: Sink::Direct {
+                machine,
+                phase: Some(&mut phase),
+            },
+        };
+        pack(&mut ctx);
+    }
+    close_phase(machine, end, phase);
+    let mut count = 0;
+    for (rank, st) in state.into_iter().enumerate() {
+        assert!(rank < nprocs, "state must yield one item per rank");
+        let mut ctx = RankCtx {
+            rank,
+            nprocs,
+            sink: Sink::Direct {
+                machine,
+                phase: None,
+            },
+        };
+        unpack(&mut ctx, st);
+        count += 1;
+    }
+    assert_eq!(count, nprocs, "state must yield one item per rank");
+}
+
 /// The sequential engine: rank kernels run on the driver thread in ascending
 /// rank order, charging the machine directly. This is the deterministic
 /// oracle the threaded engine is checked against.
@@ -558,6 +658,71 @@ impl Backend for Machine {
             let me = ctx.rank();
             unpack(ctx, st, &Inbox { matrix, me });
         });
+    }
+
+    fn run_sweep<Sc, Px, C, A, P, S>(
+        &mut self,
+        scratch: &mut [Sc],
+        posted: &mut [Px],
+        compute: C,
+        nscatter: usize,
+        scatter_active: A,
+        scatter_pack: P,
+        combine: S,
+    ) where
+        Sc: Send,
+        Px: Send + Sync,
+        C: Fn(&mut RankCtx<'_>, &mut Sc, &mut Px) + Sync,
+        A: Fn(&[Px], usize) -> bool + Sync,
+        P: Fn(&mut RankCtx<'_>, usize),
+        S: Fn(&mut RankCtx<'_>, usize, &mut Sc, &[Px]) + Sync,
+    {
+        let epoch = self.advance_epoch();
+        let nprocs = self.nprocs();
+        assert_eq!(scratch.len(), nprocs, "one scratch item per rank");
+        assert_eq!(posted.len(), nprocs, "one posted area per rank");
+        let plan = self.fault_plan().cloned();
+        for (rank, (sc, px)) in scratch.iter_mut().zip(posted.iter_mut()).enumerate() {
+            fault::fire_if(plan.as_deref(), epoch, rank);
+            let mut ctx = RankCtx {
+                rank,
+                nprocs,
+                sink: Sink::Direct {
+                    machine: self,
+                    phase: None,
+                },
+            };
+            compute(&mut ctx, sc, px);
+        }
+        for j in 0..nscatter {
+            if !scatter_active(posted, j) {
+                continue;
+            }
+            let mut phase = PhaseCharge::new();
+            for rank in 0..nprocs {
+                let mut ctx = RankCtx {
+                    rank,
+                    nprocs,
+                    sink: Sink::Direct {
+                        machine: self,
+                        phase: Some(&mut phase),
+                    },
+                };
+                scatter_pack(&mut ctx, j);
+            }
+            close_phase(self, PhaseEnd::Quiet, phase);
+            for (rank, sc) in scratch.iter_mut().enumerate() {
+                let mut ctx = RankCtx {
+                    rank,
+                    nprocs,
+                    sink: Sink::Direct {
+                        machine: self,
+                        phase: None,
+                    },
+                };
+                combine(&mut ctx, j, sc, &*posted);
+            }
+        }
     }
 
     fn degrade(&mut self) -> bool {
@@ -788,6 +953,89 @@ impl Backend for ThreadedBackend {
         Self::replay(&mut self.machine, None, &self.ledgers);
     }
 
+    fn run_sweep<Sc, Px, C, A, P, S>(
+        &mut self,
+        scratch: &mut [Sc],
+        posted: &mut [Px],
+        compute: C,
+        nscatter: usize,
+        scatter_active: A,
+        scatter_pack: P,
+        combine: S,
+    ) where
+        Sc: Send,
+        Px: Send + Sync,
+        C: Fn(&mut RankCtx<'_>, &mut Sc, &mut Px) + Sync,
+        A: Fn(&[Px], usize) -> bool + Sync,
+        P: Fn(&mut RankCtx<'_>, usize),
+        S: Fn(&mut RankCtx<'_>, usize, &mut Sc, &[Px]) + Sync,
+    {
+        if self.inline {
+            return self.machine.run_sweep(
+                scratch,
+                posted,
+                compute,
+                nscatter,
+                scatter_active,
+                scatter_pack,
+                combine,
+            );
+        }
+        let epoch = self.machine.advance_epoch();
+        let nprocs = self.machine.nprocs();
+        assert_eq!(scratch.len(), nprocs, "one scratch item per rank");
+        assert_eq!(posted.len(), nprocs, "one posted area per rank");
+        let plan = self.machine.fault_plan().cloned();
+        // Compute: one thread per rank, the sweep's only fault-injection
+        // point. A rank panic re-raises from fan_out before any replay, so
+        // the machine keeps only the epoch advance from the failed sweep.
+        let states: Vec<(&mut Sc, &mut Px)> = scratch.iter_mut().zip(posted.iter_mut()).collect();
+        Self::fan_out(
+            nprocs,
+            &mut self.ledgers,
+            false,
+            plan.as_deref(),
+            epoch,
+            states,
+            &|ctx: &mut RankCtx<'_>, (sc, px): (&mut Sc, &mut Px)| compute(ctx, sc, px),
+        );
+        Self::replay(&mut self.machine, None, &self.ledgers);
+        for j in 0..nscatter {
+            if !scatter_active(posted, j) {
+                continue;
+            }
+            // Pack only charges (see run_phase): run it on the driver.
+            let mut phase = PhaseCharge::new();
+            for rank in 0..nprocs {
+                let mut ctx = RankCtx {
+                    rank,
+                    nprocs,
+                    sink: Sink::Direct {
+                        machine: &mut self.machine,
+                        phase: Some(&mut phase),
+                    },
+                };
+                scatter_pack(&mut ctx, j);
+            }
+            close_phase(&mut self.machine, PhaseEnd::Quiet, phase);
+            // Combine: every rank reads the frozen posted areas and mutates
+            // its own scratch. No fault plan here — the sequential engine
+            // fires only at compute entry, and injection points must agree.
+            let states: Vec<&mut Sc> = scratch.iter_mut().collect();
+            let posted_ref: &[Px] = posted;
+            Self::fan_out(
+                nprocs,
+                &mut self.ledgers,
+                false,
+                None,
+                epoch,
+                states,
+                &|ctx: &mut RankCtx<'_>, sc: &mut Sc| combine(ctx, j, sc, posted_ref),
+            );
+            Self::replay(&mut self.machine, None, &self.ledgers);
+        }
+    }
+
     fn degrade(&mut self) -> bool {
         self.inline = true;
         true
@@ -849,6 +1097,123 @@ mod tests {
         assert_eq!(sa.phases, sb.phases);
         assert_eq!(sa.comm_seconds.to_bits(), sb.comm_seconds.to_bits());
         assert_eq!(seq.stats().records(), thr.machine().stats().records());
+    }
+
+    /// A fused sweep over two scatter buffers: compute posts per-rank
+    /// contributions (buffer 1 stays untouched), the active buffer charges
+    /// a ring of messages, and combine folds every rank's contribution into
+    /// the local scratch.
+    fn fused_sweep<B: Backend>(backend: &mut B, out: &mut [f64]) -> Vec<f64> {
+        let n = backend.nprocs();
+        let mut posted: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; 2]).collect();
+        backend.run_sweep(
+            out,
+            &mut posted,
+            |ctx, sc: &mut f64, px: &mut Vec<f64>| {
+                let r = ctx.rank();
+                ctx.charge_compute(r, 1.0 + r as f64);
+                px[0] = (r as f64 + 1.0) * 0.25;
+                px[1] = 1.0;
+                *sc = r as f64;
+            },
+            2,
+            |posted, j| j == 0 && posted.iter().any(|p| p[1] != 0.0),
+            |ctx, _j| {
+                let r = ctx.rank();
+                ctx.charge_memory(r, 2.0);
+                ctx.charge_p2p(r, (r + 1) % ctx.nprocs(), 2);
+            },
+            |ctx, _j, sc, posted| {
+                ctx.charge_compute(ctx.rank(), 0.5);
+                *sc += posted.iter().map(|p| p[0]).sum::<f64>();
+            },
+        );
+        posted.into_iter().map(|p| p[0]).collect()
+    }
+
+    #[test]
+    fn threaded_fused_sweep_is_bit_identical_to_sequential() {
+        let (mut seq, mut thr) = machines(8);
+        let mut out_a = vec![0.0; 8];
+        let mut out_b = vec![0.0; 8];
+        let pa = fused_sweep(&mut seq, &mut out_a);
+        let pb = fused_sweep(&mut thr, &mut out_b);
+        assert_eq!(out_a, out_b);
+        assert_eq!(pa, pb);
+        // The whole sweep is one epoch on both engines.
+        assert_eq!(seq.epoch(), 1);
+        assert_eq!(thr.machine().epoch(), 1);
+        let (ea, eb) = (seq.elapsed(), thr.machine().elapsed());
+        for p in 0..8 {
+            assert_eq!(ea.per_proc[p].to_bits(), eb.per_proc[p].to_bits());
+            assert_eq!(ea.comm[p].to_bits(), eb.comm[p].to_bits());
+            assert_eq!(ea.idle[p].to_bits(), eb.idle[p].to_bits());
+        }
+        assert_eq!(
+            seq.stats().grand_totals(),
+            thr.machine().stats().grand_totals()
+        );
+        assert_eq!(seq.stats().records(), thr.machine().stats().records());
+    }
+
+    #[test]
+    fn fused_sweep_with_no_active_buffer_equals_plain_compute() {
+        // With every scatter buffer inactive, a fused sweep must degenerate
+        // to exactly one compute region: same charges, same single epoch.
+        let (mut a, _) = machines(4);
+        let (mut b, _) = machines(4);
+        let mut sc = vec![0.0f64; 4];
+        let mut px = vec![0u8; 4];
+        a.run_sweep(
+            &mut sc,
+            &mut px,
+            |ctx, sc: &mut f64, _px: &mut u8| {
+                ctx.charge_compute(ctx.rank(), 3.0);
+                *sc = 1.0;
+            },
+            3,
+            |_, _| false,
+            |_, _| panic!("pack must not run for inactive buffers"),
+            |_, _, _, _| panic!("combine must not run for inactive buffers"),
+        );
+        let mut out = [0.0f64; 4];
+        b.run_compute(out.iter_mut(), |ctx, slot| {
+            ctx.charge_compute(ctx.rank(), 3.0);
+            *slot = 1.0;
+        });
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.stats().grand_totals(), b.stats().grand_totals());
+    }
+
+    #[test]
+    fn inline_phase_matches_run_phase_without_an_epoch() {
+        // run_phase_inline charges exactly like Machine::run_phase but
+        // advances no epoch and has no fault-injection point.
+        let (mut a, _) = machines(4);
+        let (mut b, _) = machines(4);
+        let mut out_a = vec![0.0; 4];
+        let mut out_b = vec![0.0; 4];
+        ring_phase(&mut a, &mut out_a);
+        run_phase_inline(
+            &mut b,
+            PhaseEnd::Labelled("ring"),
+            |ctx| {
+                let r = ctx.rank();
+                ctx.charge_memory(r, 3.0);
+                ctx.charge_p2p(r, (r + 1) % ctx.nprocs(), 3);
+            },
+            out_b.iter_mut(),
+            |ctx, slot| {
+                ctx.charge_compute(ctx.rank(), 2.0);
+                *slot = ctx.rank() as f64 * 10.0;
+            },
+        );
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.stats().grand_totals(), b.stats().grand_totals());
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(b.epoch(), 0, "inline phases advance no epoch");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use backend::{Backend, Inbox, Outbox, PhaseEnd, RankCtx, ThreadedBackend};
+pub use backend::{run_phase_inline, Backend, Inbox, Outbox, PhaseEnd, RankCtx, ThreadedBackend};
 pub use collectives::ReduceOp;
 pub use config::{CostModel, MachineConfig, SyncModel, Topology};
 pub use exchange::{Delivered, ExchangePlan, Message};

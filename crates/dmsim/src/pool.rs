@@ -373,10 +373,57 @@ impl Drop for WorkerPool {
 /// this phase, stored contiguously, with one start offset per processed rank
 /// (CSR-style; a trailing sentinel closes the last span). Cleared — never
 /// freed — each phase, so steady-state phases record without allocating.
+///
+/// The fused sweep generalizes the layout to multiple *stages* per phase:
+/// stage `s`'s span for the lane's `i`-th stripe rank is span
+/// `s * stripe_len + i`, with inactive stages contributing empty spans so
+/// the indexing stays uniform.
 #[derive(Debug, Default)]
 struct ChargeArena {
     events: Vec<ChargeEvent>,
     starts: Vec<u32>,
+}
+
+/// A reusable sense-reversing spin barrier for the lanes *inside* one pool
+/// job — the fused sweep uses it to separate the compute stage (lanes write
+/// their own ranks' posted areas) from the combine stages (lanes read
+/// everyone's). Spins briefly then yields, so a stalled peer degrades to
+/// timesharing instead of burning a core.
+struct StageBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    parties: usize,
+}
+
+impl StageBarrier {
+    fn new(parties: usize) -> Self {
+        StageBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            parties,
+        }
+    }
+
+    /// Arrive and wait for all parties. The last arrival resets the counter
+    /// (visible before the generation bump releases the waiters), so the
+    /// barrier is immediately reusable.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut rounds = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                rounds = rounds.saturating_add(1);
+                if rounds < SPIN_ROUNDS {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
 }
 
 /// A `&mut [T]` smuggled to the pool's lanes as disjointly-indexed cells.
@@ -405,6 +452,14 @@ impl<T> RawCells<T> {
     unsafe fn get_mut(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len);
         &mut *self.ptr.add(i)
+    }
+
+    /// A shared view of the whole slice. Safety: no lane holds a `&mut`
+    /// into the slice for as long as the view is read — in the fused sweep
+    /// the stage barrier separates the mutating compute stage from the
+    /// read-only combine stages.
+    unsafe fn as_slice(&self) -> &[T] {
+        std::slice::from_raw_parts(self.ptr, self.len)
     }
 }
 
@@ -598,6 +653,34 @@ impl PooledBackend {
         }
     }
 
+    /// Number of ranks striped onto `lane` (`rank % lanes == lane`).
+    fn stripe_len(nprocs: usize, lanes: usize, lane: usize) -> usize {
+        if lane >= nprocs {
+            0
+        } else {
+            (nprocs - lane).div_ceil(lanes)
+        }
+    }
+
+    /// Replay one fused-sweep stage's spans in ascending rank order (stage
+    /// `0` is compute, stage `1 + j` is scatter buffer `j`'s combine — see
+    /// the span layout note on [`ChargeArena`]).
+    fn replay_stage(&mut self, stage: usize, mut phase: Option<&mut PhaseCharge>) {
+        let lanes = self.pool.lanes;
+        let nprocs = self.machine.nprocs();
+        for rank in 0..nprocs {
+            let lane = rank % lanes;
+            let arena = &self.arenas[lane];
+            let i = stage * Self::stripe_len(nprocs, lanes, lane) + rank / lanes;
+            let (start, end) = (arena.starts[i] as usize, arena.starts[i + 1] as usize);
+            replay_events(
+                &mut self.machine,
+                phase.as_deref_mut(),
+                &arena.events[start..end],
+            );
+        }
+    }
+
     /// Collect a state iterator into per-rank slots, checking arity.
     fn collect_states<St, I: IntoIterator<Item = St>>(&self, state: I) -> Vec<Option<St>> {
         let states: Vec<Option<St>> = state.into_iter().map(Some).collect();
@@ -720,6 +803,166 @@ impl Backend for PooledBackend {
             });
         }
         self.replay(None);
+    }
+
+    fn run_sweep<Sc, Px, C, A, P, S>(
+        &mut self,
+        scratch: &mut [Sc],
+        posted: &mut [Px],
+        compute: C,
+        nscatter: usize,
+        scatter_active: A,
+        scatter_pack: P,
+        combine: S,
+    ) where
+        Sc: Send,
+        Px: Send + Sync,
+        C: Fn(&mut RankCtx<'_>, &mut Sc, &mut Px) + Sync,
+        A: Fn(&[Px], usize) -> bool + Sync,
+        P: Fn(&mut RankCtx<'_>, usize),
+        S: Fn(&mut RankCtx<'_>, usize, &mut Sc, &[Px]) + Sync,
+    {
+        if self.inline {
+            return self.machine.run_sweep(
+                scratch,
+                posted,
+                compute,
+                nscatter,
+                scatter_active,
+                scatter_pack,
+                combine,
+            );
+        }
+        let epoch = self.machine.advance_epoch();
+        let nprocs = self.machine.nprocs();
+        assert_eq!(scratch.len(), nprocs, "one scratch item per rank");
+        assert_eq!(posted.len(), nprocs, "one posted area per rank");
+        let lanes = self.pool.lanes;
+        let plan = self.machine.fault_plan().cloned();
+        let plan = plan.as_deref();
+        let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
+        let panicked = AtomicBool::new(false);
+        let barrier = StageBarrier::new(lanes);
+        let progress = &self.pool.shared.progress;
+        let arenas = RawCells::new(&mut self.arenas);
+        let scratch_cells = RawCells::new(&mut *scratch);
+        let posted_cells = RawCells::new(&mut *posted);
+        // One broadcast release runs the whole sweep: every lane computes
+        // its stripe, crosses the stage barrier (after which the posted
+        // areas are frozen), then records every combine stage.
+        let straggler = self.pool.run(
+            &|lane: usize| {
+                // Safety: lane indices are distinct across the pool's lanes.
+                let arena = unsafe { arenas.get_mut(lane) };
+                arena.events.clear();
+                arena.starts.clear();
+                // Compute stage: per-rank caught, the sweep's only
+                // fault-injection points.
+                let pre = catch_unwind(AssertUnwindSafe(|| {
+                    let mut rank = lane;
+                    while rank < nprocs {
+                        arena.starts.push(arena.events.len() as u32);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            fault::fire_if(plan, epoch, rank);
+                            let mut ctx =
+                                RankCtx::recording(rank, nprocs, &mut arena.events, false);
+                            // Safety: rank → lane striping is a partition.
+                            let sc = unsafe { scratch_cells.get_mut(rank) };
+                            let px = unsafe { posted_cells.get_mut(rank) };
+                            compute(&mut ctx, sc, px);
+                        }));
+                        if let Err(payload) = result {
+                            panicked.store(true, Ordering::Release);
+                            caught.lock().unwrap().push(CaughtPanic {
+                                epoch,
+                                rank: Some(rank),
+                                lane: Some(lane),
+                                payload,
+                            });
+                        }
+                        progress[lane].fetch_add(1, Ordering::Release);
+                        rank += lanes;
+                    }
+                }));
+                if pre.is_err() {
+                    panicked.store(true, Ordering::Release);
+                }
+                // Every lane must arrive — re-raising before the barrier
+                // would deadlock the peers — so a pre-barrier escape is
+                // deferred until after arrival (the lane-level backstop in
+                // `worker_main` / `WorkerPool::run` keeps the payload).
+                barrier.wait();
+                if let Err(payload) = pre {
+                    resume_unwind(payload);
+                }
+                if panicked.load(Ordering::Acquire) {
+                    // Some rank failed: the sweep re-raises and never
+                    // replays, so combine stages are skipped pool-wide.
+                    return;
+                }
+                // Combine stages: the posted areas are frozen now; every
+                // lane records one span per stripe rank per scatter buffer
+                // (empty when the buffer is inactive) so span indexing
+                // stays uniform for the replayer.
+                // Safety: the barrier retired every `&mut` from compute.
+                let posted_view = unsafe { posted_cells.as_slice() };
+                for j in 0..nscatter {
+                    let active = scatter_active(posted_view, j);
+                    let mut rank = lane;
+                    while rank < nprocs {
+                        arena.starts.push(arena.events.len() as u32);
+                        if active {
+                            let mut ctx =
+                                RankCtx::recording(rank, nprocs, &mut arena.events, false);
+                            // Safety: striping partitions scratch too.
+                            let sc = unsafe { scratch_cells.get_mut(rank) };
+                            combine(&mut ctx, j, sc, posted_view);
+                        }
+                        progress[lane].fetch_add(1, Ordering::Release);
+                        rank += lanes;
+                    }
+                }
+                arena.starts.push(arena.events.len() as u32);
+            },
+            self.deadline,
+        );
+        if let Some(report) = straggler {
+            // Progress counts rank-executions across all stages; fold it
+            // back onto the lane's stripe for the rank attribution.
+            let stripe = Self::stripe_len(nprocs, lanes, report.lane);
+            let done = report.progress[report.lane] as usize;
+            let pos = if stripe == 0 { 0 } else { done % stripe };
+            let rank = (report.lane + pos * lanes).min(nprocs.saturating_sub(1));
+            self.pending_flaw = Some(PhaseError::Straggler {
+                epoch,
+                rank,
+                lane: report.lane,
+                waited: report.waited,
+                progress: report.progress,
+            });
+        }
+        let mut panics = caught.into_inner().unwrap();
+        if !panics.is_empty() {
+            panics.sort_by_key(|p| p.rank);
+            resume_unwind(Box::new(PanicBundle { panics }));
+        }
+        // Replay compute, then per active buffer: a driver-side pack stage
+        // (charges only, like `run_phase`'s), a quiet close, and the
+        // buffer's combine spans — ascending rank order throughout, the
+        // exact sequence the sequential engine produces.
+        self.replay_stage(0, None);
+        for j in 0..nscatter {
+            if !scatter_active(posted, j) {
+                continue;
+            }
+            let mut phase = PhaseCharge::new();
+            for rank in 0..nprocs {
+                let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
+                scatter_pack(&mut ctx, j);
+            }
+            close_phase(&mut self.machine, PhaseEnd::Quiet, phase);
+            self.replay_stage(1 + j, None);
+        }
     }
 
     fn take_phase_flaw(&mut self) -> Option<PhaseError> {
@@ -889,6 +1132,108 @@ mod tests {
         ring_phase(&mut pool, &mut b);
         assert_eq!(a, b);
         assert_eq!(thr.machine().elapsed(), pool.machine().elapsed());
+    }
+
+    /// A fused sweep over two scatter buffers: compute posts per-rank
+    /// contributions (buffer 1 stays untouched), the active buffer charges
+    /// a ring of messages, and combine folds every rank's contribution into
+    /// the local scratch.
+    fn fused_sweep<B: Backend>(backend: &mut B, out: &mut [f64]) -> Vec<f64> {
+        let n = backend.nprocs();
+        let mut posted: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; 2]).collect();
+        backend.run_sweep(
+            out,
+            &mut posted,
+            |ctx, sc: &mut f64, px: &mut Vec<f64>| {
+                let r = ctx.rank();
+                ctx.charge_compute(r, 1.0 + r as f64);
+                px[0] = (r as f64 + 1.0) * 0.25;
+                px[1] = 1.0;
+                *sc = r as f64;
+            },
+            2,
+            |posted, j| j == 0 && posted.iter().any(|p| p[1] != 0.0),
+            |ctx, _j| {
+                let r = ctx.rank();
+                ctx.charge_memory(r, 2.0);
+                ctx.charge_p2p(r, (r + 1) % ctx.nprocs(), 2);
+            },
+            |ctx, _j, sc, posted| {
+                ctx.charge_compute(ctx.rank(), 0.5);
+                *sc += posted.iter().map(|p| p[0]).sum::<f64>();
+            },
+        );
+        posted.into_iter().map(|p| p[0]).collect()
+    }
+
+    #[test]
+    fn pooled_fused_sweep_is_bit_identical_to_sequential() {
+        for workers in [1, 2, 3, 8] {
+            let (mut seq, mut pool) = engines(8, workers);
+            let mut out_a = vec![0.0; 8];
+            let mut out_b = vec![0.0; 8];
+            let pa = fused_sweep(&mut seq, &mut out_a);
+            let pb = fused_sweep(&mut pool, &mut out_b);
+            assert_eq!(out_a, out_b, "workers={workers}");
+            assert_eq!(pa, pb, "workers={workers}");
+            assert_eq!(seq.epoch(), pool.machine().epoch(), "one epoch per sweep");
+            assert_bit_identical(&seq, &pool);
+        }
+    }
+
+    #[test]
+    fn fused_sweep_stripes_ranks_onto_the_pool() {
+        // 16 ranks on 3 lanes: the stage-major span layout must still
+        // replay back in ascending rank order, across several sweeps so
+        // the arenas are reused.
+        let (mut seq, mut pool) = engines(16, 3);
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        for _ in 0..5 {
+            fused_sweep(&mut seq, &mut a);
+            fused_sweep(&mut pool, &mut b);
+        }
+        assert_eq!(a, b);
+        assert_bit_identical(&seq, &pool);
+    }
+
+    #[test]
+    fn fused_sweep_rank_panic_leaves_the_machine_untouched() {
+        let mut pool = PooledBackend::from_config_with_workers(MachineConfig::unit(8), 3);
+        let mut sc = vec![0.0f64; 8];
+        let mut px = vec![0u8; 8];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_sweep(
+                &mut sc,
+                &mut px,
+                |ctx, _sc: &mut f64, _px: &mut u8| {
+                    ctx.charge_compute(ctx.rank(), 1.0);
+                    if ctx.rank() == 5 {
+                        panic!("kernel exploded on rank 5");
+                    }
+                },
+                1,
+                |_, _| true,
+                |_, _| {},
+                |_, _, _, _| {},
+            );
+        }));
+        let payload = result.expect_err("rank panic must reach the driver");
+        let err = PhaseError::from_payload(1, payload);
+        match err {
+            PhaseError::RankPanic { failures, .. } => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].rank, Some(5));
+            }
+            other => panic!("expected RankPanic, got {other:?}"),
+        }
+        // Nothing replayed: the machine saw only the epoch advance.
+        assert_eq!(pool.machine().epoch(), 1);
+        assert_eq!(pool.machine().elapsed().max_seconds(), 0.0);
+        // The pool is reusable: the next sweep completes and replays.
+        let mut out = vec![0.0; 8];
+        fused_sweep(&mut pool, &mut out);
+        assert!(pool.machine().elapsed().max_seconds() > 0.0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::ast::*;
 use crate::error::LangError;
 use crate::kernel::{
     compile_kernel, run_rank, run_rank_interpreted, GroupSpec, KernelBindings, KernelCache,
-    KernelEntry, RankState, SweepBuffers,
+    KernelEntry, RankState, RankSweepArea, SweepBuffers,
 };
 use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
 use chaos_dmsim::{
@@ -34,9 +34,10 @@ use chaos_dmsim::{
 };
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
-    charge_checkpoint, gather_into, scatter_reduce, AccessPattern, DistArray, Distribution,
-    GeoColSpec, Inspector, InspectorResult, IterPartitionPolicy, IterationPartition,
-    LocalizeScratch, LoopId, MapperCoupler, ReuseRegistry,
+    charge_checkpoint, gather_inline, gather_rows, scatter_combine_rows, scatter_pack_kernel,
+    scatter_reduce_rows, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
+    InspectorResult, IterPartitionPolicy, IterationPartition, LocalizeScratch, LoopId,
+    MapperCoupler, ReuseRegistry,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -176,6 +177,11 @@ pub struct Executor<B: Backend = Machine> {
     kernels: KernelCache,
     kernel_mode: KernelMode,
     merge_schedules: bool,
+    /// Run each sweep as one fused `Backend::run_sweep` region (default) —
+    /// gathers folded in driver-side, one epoch, one engine release — or,
+    /// when disabled, as the historical per-phase sequence (the escape
+    /// hatch, and the baseline arm of the BENCH_7 gate).
+    phase_fusion: bool,
     inputs: ProgramInputs,
     reuse_enabled: bool,
     iter_policy: IterPartitionPolicy,
@@ -264,6 +270,7 @@ impl<B: Backend> Executor<B> {
             kernels: KernelCache::new(),
             kernel_mode: KernelMode::default(),
             merge_schedules: true,
+            phase_fusion: true,
             inputs,
             reuse_enabled: true,
             iter_policy: IterPartitionPolicy::AlmostOwnerComputes,
@@ -303,6 +310,19 @@ impl<B: Backend> Executor<B> {
     /// produce byte-identical values, clocks and statistics.
     pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
         self.kernel_mode = mode;
+        self
+    }
+
+    /// Enable or disable sweep phase fusion (default: enabled). Fused,
+    /// every executor sweep runs gather → compute → scatter as a *single*
+    /// backend region — one epoch, one engine release, one completion
+    /// barrier — instead of one region per phase. Values, virtual clocks
+    /// and communication statistics are byte-identical either way (only
+    /// epoch counts differ, which shifts `(epoch, rank)` fault
+    /// coordinates); disabling is the escape hatch and the baseline arm of
+    /// the fusion benchmark gate.
+    pub fn with_phase_fusion(mut self, enabled: bool) -> Self {
+        self.phase_fusion = enabled;
         self
     }
 
@@ -1296,10 +1316,13 @@ impl<B: Backend> Executor<B> {
                     }
                 };
                 let kernel = Arc::clone(&entry.kernel);
-                let res =
-                    self.run_sweep(plan, cached, &kernel.bindings, &mut entry.buffers, |st| {
-                        run_rank(&kernel, st)
-                    });
+                let res = self.run_sweep(
+                    plan,
+                    cached,
+                    &kernel.bindings,
+                    &mut entry.buffers,
+                    |st, area| run_rank(&kernel, st, area),
+                );
                 self.kernels.put(loop_id, entry);
                 res
             }
@@ -1315,8 +1338,8 @@ impl<B: Backend> Executor<B> {
                     .map(|(_, r)| r.ghost_counts.clone())
                     .collect();
                 let mut buffers = SweepBuffers::for_bindings(&bindings, &ghost_counts);
-                self.run_sweep(plan, cached, &bindings, &mut buffers, |st| {
-                    run_rank_interpreted(plan, &bindings, st)
+                self.run_sweep(plan, cached, &bindings, &mut buffers, |st, area| {
+                    run_rank_interpreted(plan, &bindings, st, area)
                 })
             }
         }
@@ -1335,10 +1358,16 @@ impl<B: Backend> Executor<B> {
     }
 
     /// The executor sweep shared by both kernel modes: gather every bound
-    /// ghost buffer, run the body rank-parallel through
-    /// [`Backend::run_compute`], then scatter the touched write buffers —
-    /// all in the bindings' deterministic order, so the two modes (and the
-    /// two engines) agree byte-for-byte on values, clocks and statistics.
+    /// ghost buffer, run the body rank-parallel, then scatter the touched
+    /// write buffers — all in the bindings' deterministic order, so the two
+    /// modes (and all three engines, fused or not) agree byte-for-byte on
+    /// values, clocks and statistics.
+    ///
+    /// With phase fusion on (default) the whole sweep is *one*
+    /// [`Backend::run_sweep`] region: gathers are folded in driver-side via
+    /// [`gather_inline`] and the scatters run as the region's pack/combine
+    /// stages — one epoch, one engine release. With fusion off each phase
+    /// is its own backend region, exactly as the original driver loop.
     fn run_sweep<K>(
         &mut self,
         plan: &LoopPlan,
@@ -1348,7 +1377,7 @@ impl<B: Backend> Executor<B> {
         body: K,
     ) -> Result<(), LangError>
     where
-        K: Fn(&mut RankState<'_>) + Sync,
+        K: Fn(&mut RankState<'_>, &mut RankSweepArea) + Sync,
     {
         let nprocs = self.backend.nprocs();
         let group_results: Vec<&InspectorResult> = cached.groups.values().map(|(_, r)| r).collect();
@@ -1363,17 +1392,17 @@ impl<B: Backend> Executor<B> {
         }
 
         // Gather phase: one gather per bound ghost buffer, into the cached
-        // steady-state buffers.
+        // steady-state rows. Fused, the gathers run driver-side inside the
+        // sweep's single epoch; unfused, each is its own backend region.
         for (gid, gb) in bindings.ghosts.iter().enumerate() {
             let result = group_results[gb.group as usize];
             let arr = self.real.get(&gb.array).expect("checked above");
-            gather_into(
-                &mut self.backend,
-                &plan.label,
-                &result.schedule,
-                arr,
-                &mut bufs.ghosts[gid],
-            );
+            let rows = bufs.areas.iter_mut().map(|a| &mut a.ghosts[gid]);
+            if self.phase_fusion {
+                gather_inline(self.backend.machine_mut(), &result.schedule, arr, rows);
+            } else {
+                gather_rows(&mut self.backend, &result.schedule, arr, rows);
+            }
         }
 
         // Move the written arrays out of the environment so their shards
@@ -1383,6 +1412,19 @@ impl<B: Backend> Executor<B> {
             .iter()
             .map(|name| self.real.remove(name).expect("checked above"))
             .collect();
+        // Write buffer `j` combines into the shard of the array it is bound
+        // to — written names are unique, so the position is well-defined.
+        let wb_shard: Vec<usize> = bindings
+            .write_bufs
+            .iter()
+            .map(|w| {
+                bindings
+                    .written
+                    .iter()
+                    .position(|n| *n == w.array)
+                    .expect("write buffer binds a written array")
+            })
+            .collect();
 
         {
             let real = &self.real;
@@ -1391,20 +1433,12 @@ impl<B: Backend> Executor<B> {
                 .iter()
                 .map(|name| real.get(name).expect("checked above"))
                 .collect();
-            let SweepBuffers {
-                ghosts,
-                write_bufs,
-                touched,
-            } = bufs;
             let mut states: Vec<RankState<'_>> = (0..nprocs)
                 .map(|p| RankState {
                     rank: p,
                     iters: cached.iter_part.iters(p),
                     shards: Vec::with_capacity(written.len()),
                     read_shards: read_arrays.iter().map(|a| a.local(p)).collect(),
-                    ghost_rows: ghosts.iter().map(|g| g[p].as_slice()).collect(),
-                    wb_rows: Vec::with_capacity(write_bufs.len()),
-                    touched: &mut [],
                     localized: group_results
                         .iter()
                         .map(|r| r.localized[p].as_slice())
@@ -1416,35 +1450,66 @@ impl<B: Backend> Executor<B> {
                     states[p].shards.push(shard);
                 }
             }
-            for wb in write_bufs.iter_mut() {
-                for (p, row) in wb.iter_mut().enumerate() {
-                    states[p].wb_rows.push(row.as_mut_slice());
-                }
-            }
-            for (p, t) in touched.iter_mut().enumerate() {
-                states[p].touched = t.as_mut_slice();
-            }
 
-            // Compute phase: the body runs rank-parallel; each rank charges
-            // its own iterations' arithmetic.
             let ops_per_iteration = plan.ops_per_iteration;
-            self.backend
-                .run_compute(states, |ctx, mut st: RankState<'_>| {
-                    let iters = st.iters.len();
-                    body(&mut st);
-                    ctx.charge_compute(ctx.rank(), iters as f64 * ops_per_iteration);
-                });
+            if self.phase_fusion {
+                // One region for the rest of the sweep: compute plus every
+                // scatter's pack/combine, with one epoch and one release.
+                self.backend.run_sweep(
+                    &mut states,
+                    &mut bufs.areas,
+                    |ctx, st: &mut RankState<'_>, area: &mut RankSweepArea| {
+                        let iters = st.iters.len();
+                        body(st, area);
+                        ctx.charge_compute(ctx.rank(), iters as f64 * ops_per_iteration);
+                    },
+                    bindings.write_bufs.len(),
+                    |areas: &[RankSweepArea], j| areas.iter().any(|a| a.touched[j]),
+                    |ctx, j| {
+                        let binding = &bindings.write_bufs[j];
+                        scatter_pack_kernel(ctx, &group_results[binding.group as usize].schedule);
+                    },
+                    |ctx, j, st: &mut RankState<'_>, areas: &[RankSweepArea]| {
+                        let binding = &bindings.write_bufs[j];
+                        let kind = binding.kind;
+                        scatter_combine_rows(
+                            ctx,
+                            &group_results[binding.group as usize].schedule,
+                            |p| areas[p].contrib[j].as_slice(),
+                            &mut st.shards[wb_shard[j]][..],
+                            &|a, b| kind.apply(a, b),
+                        );
+                    },
+                );
+            } else {
+                // Compute phase: the body runs rank-parallel; each rank
+                // charges its own iterations' arithmetic.
+                let paired: Vec<(RankState<'_>, &mut RankSweepArea)> =
+                    states.into_iter().zip(bufs.areas.iter_mut()).collect();
+                self.backend.run_compute(
+                    paired,
+                    |ctx, (mut st, area): (RankState<'_>, &mut RankSweepArea)| {
+                        let iters = st.iters.len();
+                        body(&mut st, area);
+                        ctx.charge_compute(ctx.rank(), iters as f64 * ops_per_iteration);
+                    },
+                );
+            }
         }
 
         for (name, arr) in bindings.written.iter().zip(written) {
             self.real.insert(name.clone(), arr);
+        }
+        if self.phase_fusion {
+            // The scatters already ran inside the fused region.
+            return Ok(());
         }
 
         // Scatter phase: touched write buffers only (untouched buffers
         // carry nothing but identities — the lazily-created buffers of the
         // original driver loop never existed), in binding order.
         for (wb, binding) in bindings.write_bufs.iter().enumerate() {
-            if !bufs.touched.iter().any(|t| t[wb]) {
+            if !bufs.areas.iter().any(|a| a.touched[wb]) {
                 continue;
             }
             let result = group_results[binding.group as usize];
@@ -1452,12 +1517,12 @@ impl<B: Backend> Executor<B> {
                 .real
                 .get_mut(&binding.array)
                 .expect("written array restored above");
-            scatter_reduce(
+            let areas = &bufs.areas;
+            scatter_reduce_rows(
                 &mut self.backend,
-                &plan.label,
                 &result.schedule,
                 arr,
-                &bufs.write_bufs[wb],
+                |p| areas[p].contrib[wb].as_slice(),
                 binding.kind,
             );
         }

@@ -9,28 +9,25 @@
 //! that loop's inspector. Iteration 2+ of every FORALL skips compilation
 //! exactly like it skips inspection.
 //!
-//! An entry also owns the loop's steady-state sweep buffers (ghost buffers
-//! and off-processor write buffers sized to the cached schedules), so
+//! An entry also owns the loop's steady-state sweep buffers (one
+//! [`RankSweepArea`] per rank: gathered ghost rows, off-processor write
+//! buffers and the VM register file, sized to the cached schedules), so
 //! reused sweeps never re-allocate the workload-sized buffers — per-sweep
 //! work allocates only O(ranks) small state vectors.
 
 use super::compile::CompiledKernel;
+use super::vm::RankSweepArea;
 use chaos_runtime::LoopId;
 use std::sync::Arc;
 
-/// Reusable per-loop sweep storage: gathered ghost values and off-processor
-/// write buffers, shaped by the kernel's bindings and the cached schedules'
-/// ghost counts.
+/// Reusable per-loop sweep storage: one owned [`RankSweepArea`] per rank,
+/// shaped by the kernel's bindings and the cached schedules' ghost counts.
+/// Rank-major so the fused sweep can hand rank `p` `&mut areas[p]` during
+/// compute and share `&areas` with every rank during scatter-combine.
 #[derive(Debug, Clone, Default)]
 pub struct SweepBuffers {
-    /// `ghosts[gid][rank][slot]` — one buffer per
-    /// [`GhostBinding`](crate::kernel::GhostBinding).
-    pub ghosts: Vec<Vec<Vec<f64>>>,
-    /// `write_bufs[wb][rank][slot]` — one buffer per
-    /// [`WriteBinding`](crate::kernel::WriteBinding).
-    pub write_bufs: Vec<Vec<Vec<f64>>>,
-    /// `touched[rank][wb]` — which write buffers each rank wrote this sweep.
-    pub touched: Vec<Vec<bool>>,
+    /// Per-rank sweep areas, indexed by rank.
+    pub areas: Vec<RankSweepArea>,
 }
 
 impl SweepBuffers {
@@ -38,17 +35,23 @@ impl SweepBuffers {
     /// ghost counts (`ghost_counts[group][rank]`).
     pub fn for_bindings(b: &super::compile::KernelBindings, ghost_counts: &[Vec<usize>]) -> Self {
         let nprocs = ghost_counts.first().map_or(0, Vec::len);
-        let shaped = |group: u16| -> Vec<Vec<f64>> {
-            ghost_counts[group as usize]
-                .iter()
-                .map(|&n| vec![0.0; n])
-                .collect()
-        };
-        SweepBuffers {
-            ghosts: b.ghosts.iter().map(|g| shaped(g.group)).collect(),
-            write_bufs: b.write_bufs.iter().map(|w| shaped(w.group)).collect(),
-            touched: vec![vec![false; b.write_bufs.len()]; nprocs],
-        }
+        let areas = (0..nprocs)
+            .map(|p| RankSweepArea {
+                ghosts: b
+                    .ghosts
+                    .iter()
+                    .map(|g| vec![0.0; ghost_counts[g.group as usize][p]])
+                    .collect(),
+                contrib: b
+                    .write_bufs
+                    .iter()
+                    .map(|w| vec![0.0; ghost_counts[w.group as usize][p]])
+                    .collect(),
+                touched: vec![false; b.write_bufs.len()],
+                regs: Vec::new(),
+            })
+            .collect();
+        SweepBuffers { areas }
     }
 }
 
@@ -146,14 +149,18 @@ mod tests {
     #[test]
     fn buffers_are_shaped_by_ghost_counts() {
         let e = dummy_entry();
-        assert_eq!(e.buffers.ghosts.len(), e.kernel.bindings.ghosts.len());
-        for g in &e.buffers.ghosts {
-            assert_eq!(g.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 3]);
+        // One area per rank, each shaped by its rank's ghost count.
+        assert_eq!(e.buffers.areas.len(), 2);
+        for (p, area) in e.buffers.areas.iter().enumerate() {
+            assert_eq!(area.ghosts.len(), e.kernel.bindings.ghosts.len());
+            for g in &area.ghosts {
+                assert_eq!(g.len(), [2, 3][p]);
+            }
+            assert_eq!(area.contrib.len(), e.kernel.bindings.write_bufs.len());
+            for c in &area.contrib {
+                assert_eq!(c.len(), [2, 3][p]);
+            }
+            assert_eq!(area.touched.len(), e.kernel.bindings.write_bufs.len());
         }
-        assert_eq!(
-            e.buffers.write_bufs.len(),
-            e.kernel.bindings.write_bufs.len()
-        );
-        assert_eq!(e.buffers.touched.len(), 2);
     }
 }

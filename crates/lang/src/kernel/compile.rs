@@ -14,10 +14,24 @@
 //!
 //! Instructions live in a struct-of-arrays arena: four parallel vectors
 //! `ops` / `dst` / `a` / `b` (opcode, destination register, operands), plus
-//! a deduplicated `consts` pool. Registers are allocated stack-style during
-//! post-order emission — an expression of depth *d* uses registers
-//! `0..=d` — so evaluation order, and therefore every floating-point
-//! rounding, is identical to the tree-walking interpreter's.
+//! a deduplicated `consts` pool.
+//!
+//! The register file is split into three banks. Registers `0..nconsts`
+//! hold the body's literal pool, loaded by a *setup region*
+//! (`ops[..iter_start]`) the VM runs once per rank per sweep. Registers
+//! `nconsts..nconsts+npinned` pin the body's common subexpressions: every
+//! distinct slot the body reads whose array is never written is loaded
+//! exactly once per iteration by a preamble at the head of the
+//! per-iteration region, and all its uses read the pinned register (slot
+//! CSE — the classic `LoadSlot` re-resolution cost drops from one per use
+//! to one per iteration). Slots of *written* arrays are excluded: a store
+//! earlier in the iteration may change what a later read observes, so
+//! their loads stay in source position. Scratch registers sit above both
+//! banks and are allocated stack-style during post-order emission — an
+//! expression of depth *d* uses scratch registers `0..=d` — and since
+//! loads never round, evaluation order (and therefore every
+//! floating-point rounding) is identical to the tree-walking
+//! interpreter's.
 //!
 //! | op         | dst         | a          | b               |
 //! |------------|-------------|------------|-----------------|
@@ -303,10 +317,16 @@ pub struct CompiledKernel {
     pub consts: Vec<f64>,
     /// Register-file size.
     pub nregs: u16,
+    /// First instruction of the per-iteration region: `ops[..iter_start]`
+    /// is the setup region (const loads) the VM runs once per rank per
+    /// sweep; `ops[iter_start..]` (pinned-slot preamble + statements) runs
+    /// every iteration.
+    pub iter_start: usize,
 }
 
 impl CompiledKernel {
-    /// Number of instructions executed per iteration.
+    /// Total number of instructions, including the once-per-sweep setup
+    /// region `ops[..iter_start]`.
     pub fn len(&self) -> usize {
         self.ops.len()
     }
@@ -324,6 +344,10 @@ struct Emitter {
     b: Vec<u16>,
     consts: Vec<f64>,
     nregs: u16,
+    /// First scratch register: consts and pinned slots sit below it.
+    scratch_base: u16,
+    /// Pinned slots (slot id → pinned register), first-encounter order.
+    pinned: Vec<(usize, u16)>,
 }
 
 impl Emitter {
@@ -334,39 +358,45 @@ impl Emitter {
         self.b.push(b);
     }
 
-    fn const_idx(&mut self, v: f64) -> Result<u16, String> {
+    /// Register of literal `v` — also its index in the (pre-scanned, fully
+    /// populated) const pool, since consts occupy registers `0..nconsts`.
+    fn const_reg(&self, v: f64) -> u16 {
         let bits = v.to_bits();
-        let idx = match self.consts.iter().position(|c| c.to_bits() == bits) {
-            Some(i) => i,
-            None => {
-                self.consts.push(v);
-                self.consts.len() - 1
-            }
-        };
-        u16::try_from(idx).map_err(|_| "constant pool overflow".to_string())
+        self.consts
+            .iter()
+            .position(|c| c.to_bits() == bits)
+            .expect("pre-scan visited every literal") as u16
     }
 
     fn reg(&mut self, depth: usize) -> Result<u16, String> {
-        let r = u16::try_from(depth).map_err(|_| "expression too deep".to_string())?;
+        let r = u16::try_from(depth)
+            .ok()
+            .and_then(|d| d.checked_add(self.scratch_base))
+            .ok_or_else(|| "expression too deep".to_string())?;
         self.nregs = self.nregs.max(r + 1);
         Ok(r)
     }
 
-    /// Post-order emission: the expression's value lands in register
-    /// `depth`; registers above `depth` are scratch. Left-to-right operand
-    /// order matches the tree-walker's evaluation order exactly.
+    /// Post-order emission: the expression's value lands in scratch
+    /// register `scratch_base + depth` — except literals and pinned slots,
+    /// which resolve to their dedicated registers without emitting an
+    /// instruction. Left-to-right operand order matches the tree-walker's
+    /// evaluation order exactly, and loads never round, so the elision
+    /// cannot change any floating-point result.
     fn emit_expr(&mut self, e: &CompiledExpr, depth: usize) -> Result<u16, String> {
-        let dst = self.reg(depth)?;
         match e {
-            CompiledExpr::Lit(v) => {
-                let c = self.const_idx(*v)?;
-                self.push(Op::LoadConst, dst, c, 0);
-            }
+            CompiledExpr::Lit(v) => Ok(self.const_reg(*v)),
             CompiledExpr::Slot(s) => {
+                if let Some(&(_, r)) = self.pinned.iter().find(|(sid, _)| sid == s) {
+                    return Ok(r);
+                }
+                let dst = self.reg(depth)?;
                 let slot = u16::try_from(*s).map_err(|_| "slot id overflow".to_string())?;
                 self.push(Op::LoadSlot, dst, slot, 0);
+                Ok(dst)
             }
             CompiledExpr::Binary { op, lhs, rhs } => {
+                let dst = self.reg(depth)?;
                 let a = self.emit_expr(lhs, depth)?;
                 let b = self.emit_expr(rhs, depth + 1)?;
                 let opcode = match op {
@@ -377,8 +407,10 @@ impl Emitter {
                     other => return Err(format!("unknown binary operator '{other}'")),
                 };
                 self.push(opcode, dst, a, b);
+                Ok(dst)
             }
             CompiledExpr::Call { intrinsic, args } => {
+                let dst = self.reg(depth)?;
                 let mut regs = Vec::with_capacity(args.len());
                 for (i, arg) in args.iter().enumerate() {
                     regs.push(self.emit_expr(arg, depth + i)?);
@@ -397,24 +429,85 @@ impl Emitter {
                 }
                 let b = if arity == 2 { regs[1] } else { 0 };
                 self.push(opcode, dst, regs[0], b);
+                Ok(dst)
             }
         }
-        Ok(dst)
+    }
+}
+
+/// Pre-scan one expression in the emitter's exact DFS order, collecting the
+/// literal pool (bit-pattern deduplicated, first-encounter order — the same
+/// pool the per-use emission historically built) and the pinnable slots:
+/// reads whose array is never written by the body, so an iteration's
+/// earlier stores cannot change what the load observes.
+fn prescan(
+    e: &CompiledExpr,
+    bindings: &KernelBindings,
+    consts: &mut Vec<f64>,
+    pinned: &mut Vec<usize>,
+) {
+    match e {
+        CompiledExpr::Lit(v) => {
+            let bits = v.to_bits();
+            if !consts.iter().any(|c| c.to_bits() == bits) {
+                consts.push(*v);
+            }
+        }
+        CompiledExpr::Slot(s) => {
+            if matches!(bindings.slots[*s].arr, ArrLoc::ReadOnly(_)) && !pinned.contains(s) {
+                pinned.push(*s);
+            }
+        }
+        CompiledExpr::Binary { lhs, rhs, .. } => {
+            prescan(lhs, bindings, consts, pinned);
+            prescan(rhs, bindings, consts, pinned);
+        }
+        CompiledExpr::Call { args, .. } => {
+            for arg in args {
+                prescan(arg, bindings, consts, pinned);
+            }
+        }
     }
 }
 
 /// Compile a loop body against the cached inspector layout: bind every slot
-/// and buffer, then flatten the statements into the bytecode arena.
+/// and buffer, pre-scan the statements for the const pool and the pinnable
+/// slots, then flatten the statements into the bytecode arena — a
+/// once-per-sweep const-load setup region followed by the per-iteration
+/// region (pinned-slot preamble, then the statements).
 pub fn compile_kernel(plan: &LoopPlan, groups: &[GroupSpec]) -> Result<CompiledKernel, String> {
     let bindings = KernelBindings::bind(plan, groups)?;
+    let mut consts = Vec::new();
+    let mut pinned_slots = Vec::new();
+    for stmt in &plan.stmts {
+        prescan(stmt.value(), &bindings, &mut consts, &mut pinned_slots);
+    }
+    let nconsts = u16::try_from(consts.len()).map_err(|_| "constant pool overflow".to_string())?;
+    let scratch_base = u16::try_from(consts.len() + pinned_slots.len())
+        .map_err(|_| "register file overflow".to_string())?;
     let mut e = Emitter {
         ops: Vec::new(),
         dst: Vec::new(),
         a: Vec::new(),
         b: Vec::new(),
-        consts: Vec::new(),
-        nregs: 0,
+        consts,
+        nregs: scratch_base,
+        scratch_base,
+        pinned: Vec::with_capacity(pinned_slots.len()),
     };
+    // Setup region: load the const pool into its register bank once per
+    // rank per sweep.
+    for c in 0..nconsts {
+        e.push(Op::LoadConst, c, c, 0);
+    }
+    let iter_start = e.ops.len();
+    // Per-iteration preamble: pin each read-only slot into its register.
+    for (j, &s) in pinned_slots.iter().enumerate() {
+        let r = nconsts + j as u16;
+        let slot = u16::try_from(s).map_err(|_| "slot id overflow".to_string())?;
+        e.push(Op::LoadSlot, r, slot, 0);
+        e.pinned.push((s, r));
+    }
     for stmt in &plan.stmts {
         let src = e.emit_expr(stmt.value(), 0)?;
         let target = u16::try_from(stmt.target()).map_err(|_| "slot id overflow".to_string())?;
@@ -435,6 +528,7 @@ pub fn compile_kernel(plan: &LoopPlan, groups: &[GroupSpec]) -> Result<CompiledK
         b: e.b,
         consts: e.consts,
         nregs: e.nregs,
+        iter_start,
     })
 }
 
@@ -514,17 +608,31 @@ mod tests {
     fn bytecode_shape_of_the_edge_loop() {
         let plan = edge_plan();
         let k = compile_kernel(&plan, &edge_groups(&plan)).unwrap();
-        // Per statement: two LoadSlots, one Eflux, one Store → 8 total.
-        assert_eq!(k.len(), 8);
+        // Slot CSE: the two x reads are pinned once by the per-iteration
+        // preamble, then both EFLUX statements read the pinned registers —
+        // 2 preamble loads + (Eflux + Store) per statement = 6 total,
+        // versus 8 with per-use LoadSlots.
+        assert_eq!(k.len(), 6);
         assert!(!k.is_empty());
-        assert_eq!(k.ops[0], Op::LoadSlot);
-        assert_eq!(k.ops[2], Op::Eflux1);
-        assert_eq!(k.ops[3], Op::StoreAdd);
-        assert_eq!(k.ops[6], Op::Eflux2);
-        assert_eq!(k.ops[7], Op::StoreAdd);
-        // Two argument registers.
-        assert_eq!(k.nregs, 2);
+        // No literals → no setup region; the per-iteration region is the
+        // whole program.
+        assert_eq!(k.iter_start, 0);
         assert!(k.consts.is_empty());
+        assert_eq!(
+            k.ops,
+            vec![
+                Op::LoadSlot, // pin x(end_pt1) → r0
+                Op::LoadSlot, // pin x(end_pt2) → r1
+                Op::Eflux1,
+                Op::StoreAdd,
+                Op::Eflux2,
+                Op::StoreAdd,
+            ]
+        );
+        // Both Eflux ops read the pinned bank and land in scratch r2.
+        assert_eq!(k.nregs, 3);
+        assert_eq!((k.a[2], k.b[2], k.dst[2]), (0, 1, 2));
+        assert_eq!((k.a[4], k.b[4], k.dst[4]), (0, 1, 2));
         // SoA arenas stay parallel.
         assert_eq!(k.dst.len(), k.len());
         assert_eq!(k.a.len(), k.len());
@@ -549,9 +657,21 @@ mod tests {
             slot_ids: (0..plan.slots.len()).collect(),
         }];
         let k = compile_kernel(plan, &groups).unwrap();
+        // The two uses of 2.0 share one pool entry, loaded into r0 by the
+        // once-per-sweep setup region.
         assert_eq!(k.consts, vec![2.0]);
-        // (x*2) accumulates in r0 while each right operand sits in r1.
-        assert_eq!(k.nregs, 2);
+        assert_eq!(k.iter_start, 1);
+        assert_eq!(k.ops[0], Op::LoadConst);
+        // Per iteration: pin x → r1, then Mul / Add in scratch r2, Store.
+        assert_eq!(
+            k.ops[1..],
+            [Op::LoadSlot, Op::Mul, Op::Add, Op::StoreAssign]
+        );
+        assert_eq!(k.len(), 5);
+        assert_eq!(k.nregs, 3);
+        // Both arithmetic ops read the shared const register r0.
+        assert_eq!((k.a[2], k.b[2], k.dst[2]), (1, 0, 2));
+        assert_eq!((k.a[3], k.b[3], k.dst[3]), (2, 0, 2));
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //!   small register file, with every array slot, ghost buffer and
 //!   off-processor write buffer resolved against the cached CSR schedules
 //!   at compile time;
-//! * [`vm`] — the [`RankState`] rank-local sweep state and the two
-//!   executors over it: [`run_rank`] (the bytecode VM) and
-//!   [`run_rank_interpreted`] (the retained tree-walking oracle). Both run
-//!   inside `Backend::run_compute`, so interpreted programs execute
-//!   rank-parallel end-to-end on both `Machine` and `ThreadedBackend`;
+//! * [`vm`] — the [`RankState`] rank-local borrows plus the
+//!   [`RankSweepArea`] owned per-rank sweep storage, and the two executors
+//!   over them: [`run_rank`] (the bytecode VM, with slot CSE: a
+//!   per-iteration preamble pins each distinct read-only slot into a
+//!   dedicated register once) and [`run_rank_interpreted`] (the retained
+//!   tree-walking oracle). Both run inside `Backend::run_compute` or the
+//!   fused `Backend::run_sweep`, so interpreted programs execute
+//!   rank-parallel end-to-end on every engine;
 //! * [`cache`] — the [`KernelCache`], keyed by dense
 //!   [`LoopId`](chaos_runtime::LoopId) handles alongside the schedule-reuse
 //!   registry: a loop recompiles exactly when it re-inspects, and reused
@@ -37,4 +40,4 @@ pub use compile::{
     compile_kernel, ArrLoc, CompiledKernel, GhostBinding, GroupSpec, KernelBindings, Op,
     SlotBinding, WriteBinding, NO_GHOST,
 };
-pub use vm::{eflux, run_rank, run_rank_interpreted, RankState};
+pub use vm::{eflux, run_rank, run_rank_interpreted, RankState, RankSweepArea};

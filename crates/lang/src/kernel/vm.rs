@@ -1,22 +1,29 @@
 //! The register VM that executes compiled kernels rank-parallel, and the
 //! retained tree-walking interpreter it is differentially checked against.
 //!
-//! Both executors consume the same [`RankState`] — the rank-local borrow of
-//! everything one virtual processor may touch during a compute phase: its
-//! own shards of the written arrays, shared views of the read-only arrays
-//! and gathered ghost buffers, its rows of the off-processor write buffers,
-//! and its localized reference rows. A `RankState` is `Send`, so the
-//! executor hands one per rank to [`chaos_dmsim::Backend::run_compute`] and the sweep runs on every engine — including
-//! one OS thread per rank under `ThreadedBackend` — with byte-identical
+//! Both executors consume the same pair of per-rank structures:
+//! [`RankState`] borrows everything one virtual processor reads or writes
+//! *in place* during a compute phase (its own shards of the written arrays,
+//! shared views of the read-only arrays, its localized reference rows),
+//! while [`RankSweepArea`] *owns* the rank's sweep-scoped storage — gathered
+//! ghost rows, off-processor write-buffer rows, touched flags and the
+//! register file — so the fused sweep can hand each rank `&mut` its area
+//! during compute and then share all areas immutably with every rank during
+//! the scatter-combine stage. Both are `Send`, so the executor hands one
+//! pair per rank to [`chaos_dmsim::Backend::run_compute`] /
+//! `Backend::run_sweep` and the sweep runs on every engine — including one
+//! OS thread per rank under `ThreadedBackend` — with byte-identical
 //! results.
 //!
-//! [`run_rank`] is the compiled hot path: a linear walk of the bytecode
-//! arena per iteration, registers in a flat `f64` file, every slot resolved
-//! through its precomputed [`SlotBinding`]. Its
-//! floating-point operation sequence is *identical* to the tree-walker's
-//! ([`run_rank_interpreted`]) — post-order emission preserves evaluation
-//! order — which is what makes the byte-for-byte differential tests
-//! possible.
+//! [`run_rank`] is the compiled hot path: the once-per-sweep setup region
+//! (`ops[..iter_start]`, const loads) runs first, then a linear walk of the
+//! per-iteration region per iteration — pinned-slot preamble (slot CSE:
+//! each distinct read-only slot loads once per iteration) followed by the
+//! statements — with registers in a flat `f64` file persisted in the
+//! rank's [`RankSweepArea`]. Its floating-point operation sequence is
+//! *identical* to the tree-walker's ([`run_rank_interpreted`]) — post-order
+//! emission preserves evaluation order, and loads never round — which is
+//! what makes the byte-for-byte differential tests possible.
 
 use super::compile::{ArrLoc, CompiledKernel, KernelBindings, Op, SlotBinding};
 use crate::ast::Intrinsic;
@@ -50,9 +57,10 @@ fn combine_in_loop(kind: ScatterKind, cell: &mut f64, v: f64) {
     }
 }
 
-/// Everything rank `rank` may touch during one compute phase. Built by the
-/// executor from the cached inspector state and handed through
-/// `Backend::run_compute`, so the borrows are provably rank-disjoint.
+/// Everything rank `rank` reads or writes *in place* during one compute
+/// phase. Built by the executor from the cached inspector state and handed
+/// through `Backend::run_compute` / `Backend::run_sweep`, so the borrows
+/// are provably rank-disjoint.
 pub struct RankState<'a> {
     /// The executing rank.
     pub rank: usize,
@@ -64,19 +72,52 @@ pub struct RankState<'a> {
     /// Shared shards of the read-only arrays, indexed like
     /// [`KernelBindings::read_only`].
     pub read_shards: Vec<&'a [f64]>,
-    /// The rank's row of each gathered ghost buffer, indexed like
-    /// [`KernelBindings::ghosts`].
-    pub ghost_rows: Vec<&'a [f64]>,
-    /// The rank's row of each off-processor write buffer, indexed like
-    /// [`KernelBindings::write_bufs`].
-    pub wb_rows: Vec<&'a mut [f64]>,
-    /// `touched[wb]` is set when the rank wrote write buffer `wb` (untouched
-    /// buffers are not scattered, exactly like the lazily-created buffers of
-    /// the original driver loop).
-    pub touched: &'a mut [bool],
     /// The rank's localized reference row per decomposition group, indexed
     /// like [`KernelBindings::groups`].
     pub localized: Vec<&'a [LocalRef]>,
+}
+
+/// The rank's *owned* sweep-scoped storage, split from [`RankState`] so the
+/// fused sweep's stages can alias it stage-appropriately: during compute
+/// each rank holds `&mut` its own area; during the scatter-combine stage
+/// every rank reads all areas through a shared `&[RankSweepArea]` while
+/// mutating only its [`RankState`] shards. Rows are indexed like the
+/// corresponding [`KernelBindings`] tables.
+#[derive(Debug, Clone, Default)]
+pub struct RankSweepArea {
+    /// The rank's row of each gathered ghost buffer, indexed like
+    /// [`KernelBindings::ghosts`].
+    pub ghosts: Vec<Vec<f64>>,
+    /// The rank's row of each off-processor write buffer, indexed like
+    /// [`KernelBindings::write_bufs`].
+    pub contrib: Vec<Vec<f64>>,
+    /// `touched[wb]` is set when the rank wrote write buffer `wb` (untouched
+    /// buffers are not scattered, exactly like the lazily-created buffers of
+    /// the original driver loop).
+    pub touched: Vec<bool>,
+    /// The VM's register file, persisted across sweeps so steady-state
+    /// iterations are allocation-free (lazily grown to the kernel's
+    /// `nregs`).
+    pub regs: Vec<f64>,
+}
+
+impl RankSweepArea {
+    /// Reset the write-buffer rows to their identities and clear the touched
+    /// flags — the per-sweep prologue both executors share.
+    pub fn reset_write_buffers(&mut self, bindings: &KernelBindings) {
+        for (wb, row) in self.contrib.iter_mut().enumerate() {
+            row.fill(bindings.write_bufs[wb].kind.identity());
+        }
+        self.touched.fill(false);
+    }
+
+    /// Grow the register file to at least `nregs` slots (no-op in steady
+    /// state).
+    fn ensure_regs(&mut self, nregs: usize) {
+        if self.regs.len() < nregs {
+            self.regs.resize(nregs, 0.0);
+        }
+    }
 }
 
 impl RankState<'_> {
@@ -89,7 +130,7 @@ impl RankState<'_> {
 
     /// Read the value of `slot` at the rank's `iter_pos`-th iteration.
     #[inline]
-    fn read_slot(&self, sb: &SlotBinding, iter_pos: usize) -> f64 {
+    fn read_slot(&self, sb: &SlotBinding, iter_pos: usize, ghosts: &[Vec<f64>]) -> f64 {
         match self.slot_ref(sb, iter_pos) {
             LocalRef::Owned(off) => match sb.arr {
                 ArrLoc::Written(w) => self.shards[w as usize][off as usize],
@@ -97,7 +138,7 @@ impl RankState<'_> {
             },
             LocalRef::Ghost(g) => {
                 debug_assert_ne!(sb.ghost, super::compile::NO_GHOST, "write-only slot read");
-                self.ghost_rows[sb.ghost as usize][g as usize]
+                ghosts[sb.ghost as usize][g as usize]
             }
         }
     }
@@ -105,6 +146,7 @@ impl RankState<'_> {
     /// Combine `v` into `slot`'s target cell: the rank's own shard when the
     /// element is owned, the statement's write buffer when it is not.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn write_slot(
         &mut self,
         sb: &SlotBinding,
@@ -112,6 +154,8 @@ impl RankState<'_> {
         wb: usize,
         kind: ScatterKind,
         v: f64,
+        contrib: &mut [Vec<f64>],
+        touched: &mut [bool],
     ) {
         match self.slot_ref(sb, iter_pos) {
             LocalRef::Owned(off) => {
@@ -121,42 +165,50 @@ impl RankState<'_> {
                 combine_in_loop(kind, &mut self.shards[w as usize][off as usize], v);
             }
             LocalRef::Ghost(g) => {
-                self.touched[wb] = true;
-                combine_in_loop(kind, &mut self.wb_rows[wb][g as usize], v);
+                touched[wb] = true;
+                combine_in_loop(kind, &mut contrib[wb][g as usize], v);
             }
         }
-    }
-
-    /// Reset the rank's write-buffer rows to their identities and clear the
-    /// touched flags — the per-sweep prologue both executors share.
-    fn reset_write_buffers(&mut self, bindings: &KernelBindings) {
-        for (wb, row) in self.wb_rows.iter_mut().enumerate() {
-            row.fill(bindings.write_bufs[wb].kind.identity());
-        }
-        self.touched.fill(false);
     }
 }
 
 /// Execute the compiled kernel over the rank's iterations: the executor's
-/// compute phase on the bytecode hot path. The instruction arena is walked
-/// as zipped slices (one linear pass, no per-operand bounds checks) and the
-/// register file lives in a flat `f64` vector reused across iterations.
-pub fn run_rank(kernel: &CompiledKernel, st: &mut RankState<'_>) {
-    st.reset_write_buffers(&kernel.bindings);
-    let mut regs = vec![0.0f64; kernel.nregs.max(1) as usize];
+/// compute phase on the bytecode hot path. The setup region runs once (its
+/// const loads persist in the area's register file), then the per-iteration
+/// region is walked as zipped slices (one linear pass, no per-operand
+/// bounds checks) per iteration.
+pub fn run_rank(kernel: &CompiledKernel, st: &mut RankState<'_>, area: &mut RankSweepArea) {
+    area.reset_write_buffers(&kernel.bindings);
+    area.ensure_regs(kernel.nregs.max(1) as usize);
+    let RankSweepArea {
+        ghosts,
+        contrib,
+        touched,
+        regs,
+    } = area;
     let slots = &kernel.bindings.slots;
+    let setup = kernel
+        .ops
+        .iter()
+        .zip(&kernel.dst)
+        .zip(&kernel.a)
+        .take(kernel.iter_start);
+    for ((&op, &d), &x) in setup {
+        debug_assert_eq!(op, Op::LoadConst, "setup region is const loads only");
+        let _ = op;
+        regs[d as usize] = kernel.consts[x as usize];
+    }
     for iter_pos in 0..st.iters.len() {
-        let instrs = kernel
-            .ops
+        let instrs = kernel.ops[kernel.iter_start..]
             .iter()
-            .zip(&kernel.dst)
-            .zip(&kernel.a)
-            .zip(&kernel.b);
+            .zip(&kernel.dst[kernel.iter_start..])
+            .zip(&kernel.a[kernel.iter_start..])
+            .zip(&kernel.b[kernel.iter_start..]);
         for (((&op, &d), &x), &y) in instrs {
             let (d, x, y) = (d as usize, x as usize, y as usize);
             match op {
                 Op::LoadConst => regs[d] = kernel.consts[x],
-                Op::LoadSlot => regs[d] = st.read_slot(&slots[x], iter_pos),
+                Op::LoadSlot => regs[d] = st.read_slot(&slots[x], iter_pos, ghosts),
                 Op::Add => regs[d] = regs[x] + regs[y],
                 Op::Sub => regs[d] = regs[x] - regs[y],
                 Op::Mul => regs[d] = regs[x] * regs[y],
@@ -165,59 +217,82 @@ pub fn run_rank(kernel: &CompiledKernel, st: &mut RankState<'_>) {
                 Op::Abs => regs[d] = regs[x].abs(),
                 Op::Eflux1 => regs[d] = eflux(regs[x], regs[y]).0,
                 Op::Eflux2 => regs[d] = eflux(regs[x], regs[y]).1,
-                Op::StoreAssign => {
-                    st.write_slot(&slots[d], iter_pos, y, ScatterKind::Store, regs[x])
-                }
-                Op::StoreAdd => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Add, regs[x]),
-                Op::StoreMax => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Max, regs[x]),
-                Op::StoreMin => st.write_slot(&slots[d], iter_pos, y, ScatterKind::Min, regs[x]),
+                Op::StoreAssign => st.write_slot(
+                    &slots[d],
+                    iter_pos,
+                    y,
+                    ScatterKind::Store,
+                    regs[x],
+                    contrib,
+                    touched,
+                ),
+                Op::StoreAdd => st.write_slot(
+                    &slots[d],
+                    iter_pos,
+                    y,
+                    ScatterKind::Add,
+                    regs[x],
+                    contrib,
+                    touched,
+                ),
+                Op::StoreMax => st.write_slot(
+                    &slots[d],
+                    iter_pos,
+                    y,
+                    ScatterKind::Max,
+                    regs[x],
+                    contrib,
+                    touched,
+                ),
+                Op::StoreMin => st.write_slot(
+                    &slots[d],
+                    iter_pos,
+                    y,
+                    ScatterKind::Min,
+                    regs[x],
+                    contrib,
+                    touched,
+                ),
             }
         }
     }
 }
 
-/// The interpreter's per-rank name-resolution environment — a faithful
-/// retention of the seed interpreter's per-element behavior, which is
-/// exactly the overhead the kernel compiler removes: every slot read
-/// resolves its array by *name* (a `String`-keyed map lookup per read),
-/// every ghost access builds a `(decomposition, array)` key pair (two
-/// `String` clones per access, as the original driver loop did), and every
-/// localized reference walks a name-keyed group map. The hoists mandated by
-/// the oracle-fix satellite are applied — the per-statement combine kind
-/// and write-buffer resolution happen once per sweep, and no per-element
-/// closure is constructed — but per-read resolution stays name-based so the
-/// two modes resolve through genuinely different paths (a binding bug
-/// cannot cancel out of the differential tests).
-struct OracleEnv<'a> {
-    plan: &'a LoopPlan,
-    /// Group index by decomposition name (the seed's `cached.groups` map).
-    group_of: std::collections::BTreeMap<String, usize>,
-    /// Slot → (decomposition name, pos, stride) — the seed's `slot_group`.
-    slot_meta: Vec<(String, u32, u32)>,
-    /// Array location by name (the seed's `self.real[...]` map).
-    arr_of: std::collections::HashMap<String, ArrLoc>,
-    /// Ghost buffer by `(decomposition, array)` (the seed's `ghosts` map).
-    ghost_of: std::collections::HashMap<(String, String), usize>,
+/// The interpreter's per-rank name-resolution environment. The seed
+/// interpreter resolved every slot read by *name* per element (a
+/// `String`-keyed map lookup per read, two `String` clones per ghost
+/// access); the oracle-hoist satellite moves that resolution behind a
+/// one-time binding table built here, once per sweep: the constructor
+/// still walks the name-keyed maps (decomposition-name group map,
+/// array-name location map, `(decomposition, array)` ghost map — so the
+/// two modes still resolve through genuinely different paths and a binding
+/// bug cannot cancel out of the differential tests), but the per-read hot
+/// path indexes the resolved per-slot tables. Output is byte-identical:
+/// resolution is pure lookup, so hoisting it cannot change a value. The
+/// per-statement combine kind and write-buffer resolution are likewise
+/// hoisted once per sweep, and no per-element closure is constructed.
+struct OracleEnv {
+    /// Slot → group index, resolved through the decomposition-name map.
+    slot_group: Vec<usize>,
+    /// Slot → (pos, stride) inside its group's localization row.
+    slot_pos: Vec<(u32, u32)>,
+    /// Slot → array location, resolved through the array-name map.
+    slot_arr: Vec<ArrLoc>,
+    /// Slot → ghost buffer id, resolved through the
+    /// `(decomposition, array)` map (`usize::MAX` for write-only slots,
+    /// which never read).
+    slot_ghost: Vec<usize>,
 }
 
-impl<'a> OracleEnv<'a> {
-    fn new(plan: &'a LoopPlan, bindings: &KernelBindings) -> Self {
-        let group_of = bindings
+impl OracleEnv {
+    fn new(plan: &LoopPlan, bindings: &KernelBindings) -> Self {
+        // The seed's name-keyed maps, now built and consulted exactly once
+        // per sweep instead of once per element read.
+        let group_of: std::collections::BTreeMap<String, usize> = bindings
             .groups
             .iter()
             .enumerate()
             .map(|(g, spec)| (spec.decomp.clone(), g))
-            .collect();
-        let slot_meta = bindings
-            .slots
-            .iter()
-            .map(|sb| {
-                (
-                    bindings.groups[sb.group as usize].decomp.clone(),
-                    sb.pos,
-                    sb.stride,
-                )
-            })
             .collect();
         let mut arr_of = std::collections::HashMap::new();
         for (w, name) in bindings.written.iter().enumerate() {
@@ -226,7 +301,7 @@ impl<'a> OracleEnv<'a> {
         for (r, name) in bindings.read_only.iter().enumerate() {
             arr_of.insert(name.clone(), ArrLoc::ReadOnly(r as u16));
         }
-        let ghost_of = bindings
+        let ghost_of: std::collections::HashMap<(String, String), usize> = bindings
             .ghosts
             .iter()
             .enumerate()
@@ -240,37 +315,54 @@ impl<'a> OracleEnv<'a> {
                 )
             })
             .collect();
+
+        let mut slot_group = Vec::with_capacity(bindings.slots.len());
+        let mut slot_pos = Vec::with_capacity(bindings.slots.len());
+        let mut slot_arr = Vec::with_capacity(bindings.slots.len());
+        let mut slot_ghost = Vec::with_capacity(bindings.slots.len());
+        for (sid, sb) in bindings.slots.iter().enumerate() {
+            let decomp = &bindings.groups[sb.group as usize].decomp;
+            let array = &plan.slots[sid].array;
+            slot_group.push(group_of[decomp]);
+            slot_pos.push((sb.pos, sb.stride));
+            slot_arr.push(arr_of[array]);
+            slot_ghost.push(
+                ghost_of
+                    .get(&(decomp.clone(), array.clone()))
+                    .copied()
+                    .unwrap_or(usize::MAX),
+            );
+        }
         OracleEnv {
-            plan,
-            group_of,
-            slot_meta,
-            arr_of,
-            ghost_of,
+            slot_group,
+            slot_pos,
+            slot_arr,
+            slot_ghost,
         }
     }
 
     /// The seed's `resolve`: localized reference of a slot, through the
-    /// name-keyed group map.
+    /// hoisted group table.
     fn resolve(&self, st: &RankState<'_>, sid: usize, iter_pos: usize) -> LocalRef {
-        let (decomp, pos, stride) = &self.slot_meta[sid];
-        let g = self.group_of[decomp];
-        st.localized[g][iter_pos * *stride as usize + *pos as usize]
+        let (pos, stride) = self.slot_pos[sid];
+        st.localized[self.slot_group[sid]][iter_pos * stride as usize + pos as usize]
     }
 
     /// The seed's `read_slot`: resolve, then fetch the value through the
-    /// name-keyed array / ghost maps.
-    fn read_slot(&self, st: &RankState<'_>, sid: usize, iter_pos: usize) -> f64 {
-        let slot = &self.plan.slots[sid];
+    /// hoisted array / ghost tables.
+    fn read_slot(
+        &self,
+        st: &RankState<'_>,
+        ghosts: &[Vec<f64>],
+        sid: usize,
+        iter_pos: usize,
+    ) -> f64 {
         match self.resolve(st, sid, iter_pos) {
-            LocalRef::Owned(off) => match self.arr_of[&slot.array] {
+            LocalRef::Owned(off) => match self.slot_arr[sid] {
                 ArrLoc::Written(w) => st.shards[w as usize][off as usize],
                 ArrLoc::ReadOnly(r) => st.read_shards[r as usize][off as usize],
             },
-            LocalRef::Ghost(g) => {
-                let (decomp, _, _) = &self.slot_meta[sid];
-                let gid = self.ghost_of[&(decomp.clone(), slot.array.clone())];
-                st.ghost_rows[gid][g as usize]
-            }
+            LocalRef::Ghost(g) => ghosts[self.slot_ghost[sid]][g as usize],
         }
     }
 }
@@ -279,13 +371,19 @@ impl<'a> OracleEnv<'a> {
 /// per-element interpreter the VM is checked against (and measured against
 /// in `perf_check`'s BENCH_3 rows). Intrinsic calls collect their arguments
 /// into a fresh vector, as the seed interpreter did.
-fn eval_tree(e: &CompiledExpr, env: &OracleEnv<'_>, st: &RankState<'_>, iter_pos: usize) -> f64 {
+fn eval_tree(
+    e: &CompiledExpr,
+    env: &OracleEnv,
+    st: &RankState<'_>,
+    ghosts: &[Vec<f64>],
+    iter_pos: usize,
+) -> f64 {
     match e {
         CompiledExpr::Lit(v) => *v,
-        CompiledExpr::Slot(s) => env.read_slot(st, *s, iter_pos),
+        CompiledExpr::Slot(s) => env.read_slot(st, ghosts, *s, iter_pos),
         CompiledExpr::Binary { op, lhs, rhs } => {
-            let a = eval_tree(lhs, env, st, iter_pos);
-            let b = eval_tree(rhs, env, st, iter_pos);
+            let a = eval_tree(lhs, env, st, ghosts, iter_pos);
+            let b = eval_tree(rhs, env, st, ghosts, iter_pos);
             match op {
                 '+' => a + b,
                 '-' => a - b,
@@ -297,7 +395,7 @@ fn eval_tree(e: &CompiledExpr, env: &OracleEnv<'_>, st: &RankState<'_>, iter_pos
         CompiledExpr::Call { intrinsic, args } => {
             let v: Vec<f64> = args
                 .iter()
-                .map(|arg| eval_tree(arg, env, st, iter_pos))
+                .map(|arg| eval_tree(arg, env, st, ghosts, iter_pos))
                 .collect();
             match intrinsic {
                 Intrinsic::Eflux1 => eflux(v[0], v[1]).0,
@@ -313,10 +411,23 @@ fn eval_tree(e: &CompiledExpr, env: &OracleEnv<'_>, st: &RankState<'_>, iter_pos
 /// the differential oracle. The statements' targets, combine kinds and
 /// write buffers are hoisted out of the iteration loop (they are
 /// plan-static, the satellite fix over the seed's per-statement
-/// re-derivation), while each read still resolves arrays and ghost buffers
-/// by name, as the seed's driver loop did.
-pub fn run_rank_interpreted(plan: &LoopPlan, bindings: &KernelBindings, st: &mut RankState<'_>) {
-    st.reset_write_buffers(bindings);
+/// re-derivation), and each read resolves arrays and ghost buffers through
+/// the tree-walker environment's once-per-sweep binding table
+/// (`OracleEnv`) built from the seed's
+/// name-keyed maps.
+pub fn run_rank_interpreted(
+    plan: &LoopPlan,
+    bindings: &KernelBindings,
+    st: &mut RankState<'_>,
+    area: &mut RankSweepArea,
+) {
+    area.reset_write_buffers(bindings);
+    let RankSweepArea {
+        ghosts,
+        contrib,
+        touched,
+        ..
+    } = area;
     let env = OracleEnv::new(plan, bindings);
     // Hoisted per-statement data: target slot, combine kind, write buffer.
     let stmt_ops: Vec<(usize, ScatterKind, u16)> = plan
@@ -326,20 +437,19 @@ pub fn run_rank_interpreted(plan: &LoopPlan, bindings: &KernelBindings, st: &mut
         .collect();
     for iter_pos in 0..st.iters.len() {
         for (stmt, &(target, kind, wb)) in plan.stmts.iter().zip(&stmt_ops) {
-            let v = eval_tree(stmt.value(), &env, st, iter_pos);
-            // The write applies through the target's resolved location; the
-            // resolution itself still walks the name-keyed maps.
+            let v = eval_tree(stmt.value(), &env, st, ghosts, iter_pos);
+            // The write applies through the target's resolved location.
             let lr = env.resolve(st, target, iter_pos);
             match lr {
                 LocalRef::Owned(off) => {
-                    let ArrLoc::Written(w) = env.arr_of[&plan.slots[target].array] else {
+                    let ArrLoc::Written(w) = env.slot_arr[target] else {
                         unreachable!("store target bound to a read-only array")
                     };
                     combine_in_loop(kind, &mut st.shards[w as usize][off as usize], v);
                 }
                 LocalRef::Ghost(g) => {
-                    st.touched[wb as usize] = true;
-                    combine_in_loop(kind, &mut st.wb_rows[wb as usize][g as usize], v);
+                    touched[wb as usize] = true;
+                    combine_in_loop(kind, &mut contrib[wb as usize][g as usize], v);
                 }
             }
         }
@@ -392,29 +502,28 @@ mod tests {
         let run = |use_vm: bool| -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<bool>) {
             let mut y = vec![1.0, 2.0];
             let x = vec![0.5, -0.25];
-            let ghosts_x = vec![1.5];
-            let ghosts_y = vec![-0.75];
             let nwb = kernel.bindings.write_bufs.len();
-            let mut wbs: Vec<Vec<f64>> = (0..nwb).map(|_| vec![0.0; 1]).collect();
-            let mut touched = vec![false; nwb];
+            let mut area = RankSweepArea {
+                ghosts: vec![vec![1.5], vec![-0.75]],
+                contrib: (0..nwb).map(|_| vec![0.0; 1]).collect(),
+                touched: vec![false; nwb],
+                regs: Vec::new(),
+            };
             {
                 let mut st = RankState {
                     rank: 0,
                     iters: &[0, 1, 2],
                     shards: vec![&mut y],
                     read_shards: vec![&x],
-                    ghost_rows: vec![&ghosts_x, &ghosts_y],
-                    wb_rows: wbs.iter_mut().map(|w| w.as_mut_slice()).collect(),
-                    touched: &mut touched,
                     localized: vec![&localized],
                 };
                 if use_vm {
-                    run_rank(&kernel, &mut st);
+                    run_rank(&kernel, &mut st, &mut area);
                 } else {
-                    run_rank_interpreted(plan, &kernel.bindings, &mut st);
+                    run_rank_interpreted(plan, &kernel.bindings, &mut st, &mut area);
                 }
             }
-            (y, x, wbs.concat(), touched)
+            (y, x, area.contrib.concat(), area.touched)
         };
         let a = run(true);
         let b = run(false);

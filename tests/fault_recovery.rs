@@ -391,6 +391,56 @@ fn all_three_fault_kinds_in_one_pooled_run_recover_bit_identically() {
 }
 
 #[test]
+fn panic_inside_a_fused_sweep_recovers_bit_identically() {
+    let cp = program();
+    let (e0, e1) = sweep_epochs(&cp, 0);
+    assert_eq!(
+        e1 - e0,
+        SWEEPS as u64,
+        "the fused sweep advances exactly one epoch per sweep"
+    );
+
+    // A fault inside a fused sweep fires at the compute entry of the single
+    // gather→compute→scatter epoch; nothing replays onto the machine and
+    // RetryPhase re-runs the whole sweep from the pre-sweep snapshot.
+    let target = e0 + 2;
+    let plan = || Arc::new(FaultPlan::new().with_fault(target, 2, FaultKind::KernelPanic));
+    let cfg = || MachineConfig::ipsc860(NPROCS);
+    let ins = || inputs(120, 480);
+
+    let mut clean = Executor::new(cfg(), ins());
+    let want = drive(&mut clean, &cp).unwrap();
+
+    let mut seq = Executor::new(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut seq, &cp).unwrap(), want, "sequential engine");
+
+    let mut thr = Executor::new_threaded(cfg(), ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut thr, &cp).unwrap(), want, "threaded engine");
+
+    let mut pool = Executor::new_pooled_with_workers(cfg(), 3, ins())
+        .with_fault_plan(plan())
+        .with_recovery_policy(retry());
+    assert_eq!(drive(&mut pool, &cp).unwrap(), want, "pooled engine");
+
+    // The split path pays one epoch per phase, so its sweeps span more
+    // epochs — fault coordinates are defined against a fixed fusion setting.
+    let mut split = Executor::new(cfg(), ins()).with_phase_fusion(false);
+    split.run(&cp).unwrap();
+    let s0 = split.machine().epoch();
+    for _ in 0..SWEEPS {
+        split.execute_loop(&cp, "L1").unwrap();
+    }
+    assert!(
+        split.machine().epoch() - s0 > SWEEPS as u64,
+        "the split path advances one epoch per phase"
+    );
+}
+
+#[test]
 fn machine_backend_is_the_degraded_target_already() {
     // DegradeToMachine on the sequential engine: degrade() is a no-op that
     // reports success, and the retry still recovers.

@@ -133,6 +133,119 @@ fn steady_state_executor_iteration_is_allocation_free() {
     assert!(machine.elapsed().max_seconds() > 0.0);
 }
 
+/// The fused sweep path must be just as allocation-free as the split one:
+/// `gather_inline` + `Backend::run_sweep` drive the same pack / compute /
+/// combine kernels through driver-side contexts and a stack-local
+/// `PhaseCharge`, so a steady-state fused sweep — one epoch for the whole
+/// gather → compute → scatter — performs exactly zero allocations once the
+/// per-rank sweep areas exist.
+#[test]
+fn steady_state_fused_sweep_is_allocation_free() {
+    use chaos_repro::runtime::{gather_inline, scatter_combine_rows, scatter_pack_kernel};
+
+    struct RankArea {
+        ghosts: Vec<f64>,
+        contrib: Vec<f64>,
+    }
+
+    let nprocs = 8;
+    let n = 4096usize;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 7 + i / 13) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 1.0 + (i % 97) as f64).collect();
+    let x = DistArray::from_global("x", dist.clone(), &data);
+
+    let mut pattern = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for k in 0..512 {
+            pattern.refs[p].push(((p * 131 + k * 17) % n) as u32);
+        }
+    }
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let inspect = Inspector.localize(&mut machine, "L", &dist, &pattern);
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+
+    // Persistent state: per-rank y shards (the sweep scratch) and per-rank
+    // sweep areas holding ghost values and ghost contributions (the posted
+    // halves, frozen during combine).
+    let mut y: Vec<Vec<f64>> = (0..nprocs).map(|p| vec![0.0; x.local(p).len()]).collect();
+    let mut areas: Vec<RankArea> = (0..nprocs)
+        .map(|p| RankArea {
+            ghosts: vec![0.0; inspect.ghost_counts[p]],
+            contrib: vec![0.0; inspect.ghost_counts[p]],
+        })
+        .collect();
+
+    let sweep = |machine: &mut Machine, y: &mut Vec<Vec<f64>>, areas: &mut Vec<RankArea>| {
+        gather_inline(
+            machine,
+            &inspect.schedule,
+            &x,
+            areas.iter_mut().map(|a| &mut a.ghosts),
+        );
+        machine.run_sweep(
+            &mut y[..],
+            &mut areas[..],
+            |ctx, y_local, area| {
+                let rank = ctx.rank();
+                area.contrib.fill(0.0);
+                let x_local = x.local(rank);
+                let mut owned = 0u32;
+                for r in &inspect.localized[rank] {
+                    match *r {
+                        LocalRef::Owned(off) => {
+                            y_local[off as usize] += 2.0 * x_local[off as usize];
+                            owned += 1;
+                        }
+                        LocalRef::Ghost(slot) => {
+                            area.contrib[slot as usize] += 2.0 * area.ghosts[slot as usize];
+                        }
+                    }
+                }
+                ctx.charge_compute(rank, owned as f64);
+            },
+            1,
+            |_areas, _j| true,
+            |ctx, _j| scatter_pack_kernel(ctx, &inspect.schedule),
+            |ctx, _j, y_local, areas| {
+                scatter_combine_rows(
+                    ctx,
+                    &inspect.schedule,
+                    |p| areas[p].contrib.as_slice(),
+                    &mut y_local[..],
+                    &|a, b| *a += b,
+                );
+            },
+        );
+    };
+
+    // Warm-up: grows per-kind stats entries and any lazily-sized state.
+    for _ in 0..3 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let epoch_before = machine.epoch();
+    let messages_before = machine.stats().grand_totals().messages;
+    for _ in 0..10 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state fused sweeps allocated {} times",
+        after - before
+    );
+    // Ten sweeps advanced exactly ten epochs (one per fused sweep) and
+    // really communicated.
+    assert_eq!(machine.epoch(), epoch_before + 10);
+    assert!(machine.stats().grand_totals().messages > messages_before);
+    assert!(machine.elapsed().max_seconds() > 0.0);
+}
+
 /// Checkpoint / rollback of a steady epoch must also be allocation-free:
 /// `Machine::snapshot_into` / `restore_from` reuse the snapshot's buffers,
 /// and `DistArray::copy_values_from` overwrites shard values in place. This
