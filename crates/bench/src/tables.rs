@@ -36,6 +36,22 @@ impl TextTable {
         self.rows.push(cells);
     }
 
+    /// Machine-readable twin of [`TextTable::render`]: the same title,
+    /// header and rows as one JSON object, so harnesses can diff table
+    /// contents without scraping the aligned text.
+    pub fn to_json(&self) -> String {
+        let value = serde_json::json!({
+            "title": self.title.clone(),
+            "header": self.header.clone(),
+            "rows": self
+                .rows
+                .iter()
+                .map(serde_json::ToValue::to_value)
+                .collect::<Vec<_>>(),
+        });
+        serde_json::to_string(&value).unwrap_or_default()
+    }
+
     /// Render to a string.
     pub fn render(&self) -> String {
         let ncols = self
@@ -99,6 +115,16 @@ pub fn format_seconds(v: f64) -> String {
     }
 }
 
+/// The standard per-phase rows as a JSON object keyed by phase label — the
+/// machine-readable emit path for the per-phase breakdowns the tables print.
+pub fn phase_rows_json(t: &PhaseTimes, include_graph_and_partitioner: bool) -> String {
+    let fields: Vec<(String, serde_json::Value)> = phase_rows(t, include_graph_and_partitioner)
+        .into_iter()
+        .map(|(label, v)| (label.to_string(), serde_json::Value::Num(v)))
+        .collect();
+    serde_json::to_string(&serde_json::Value::Object(fields)).unwrap_or_default()
+}
+
 /// The standard per-phase rows (Tables 2–4): returns `(label, value)` pairs
 /// in the paper's order.
 pub fn phase_rows(t: &PhaseTimes, include_graph_and_partitioner: bool) -> Vec<(&'static str, f64)> {
@@ -139,6 +165,30 @@ mod tests {
         let exec_line = s.lines().find(|l| l.contains("Executor")).unwrap();
         let total_line = s.lines().find(|l| l.contains("Total")).unwrap();
         assert_eq!(exec_line.find("12.7"), total_line.find("17.6"));
+    }
+
+    #[test]
+    fn table_emits_json_twin() {
+        let mut t = TextTable::new("Table X", vec!["".into(), "4".into()]);
+        t.seconds_row("Executor", &[12.7]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\":\"Table X\""));
+        assert!(json.contains("\"Executor\""));
+        assert!(json.contains("\"12.7\""));
+    }
+
+    #[test]
+    fn phase_rows_json_keys_by_label() {
+        let t = PhaseTimes {
+            inspector: 4.25,
+            executor: 13.0,
+            total: 22.5,
+            ..Default::default()
+        };
+        let json = phase_rows_json(&t, false);
+        assert!(json.contains("\"Inspector\":4.25"));
+        assert!(json.contains("\"Total\":22.5"));
+        assert!(!json.contains("Partitioner"));
     }
 
     #[test]

@@ -44,8 +44,14 @@
 
 use crate::fault::{self, CaughtPanic, FaultPlan, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge, ProcId};
+use crate::trace::{TraceEventKind, TraceSink};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// The label bucket every engine's fused executor sweep attributes its
+/// scatter phases to (via [`PhaseEnd::QuietLabelled`]), so fused and split
+/// runs stay distinguishable in recorded phase tables.
+pub const FUSED_SWEEP_LABEL: &str = "executor:fused-sweep";
 
 /// How an exchange phase is closed: recorded under a label (a
 /// [`PhaseRecord`](crate::stats::PhaseRecord) is kept) or quietly (totals
@@ -56,6 +62,12 @@ pub enum PhaseEnd<'a> {
     Quiet,
     /// Record the phase under this label.
     Labelled(&'a str),
+    /// Merge the phase into the per-kind totals *and* a static label bucket
+    /// (see [`StatsRegistry::record_quiet_labelled`]) without keeping a
+    /// record — quiet-path cost, but attributable.
+    ///
+    /// [`StatsRegistry::record_quiet_labelled`]: crate::stats::StatsRegistry::record_quiet_labelled
+    QuietLabelled(&'static str),
 }
 
 /// One recorded charge, replayed against the machine in rank order.
@@ -453,15 +465,28 @@ fn finish_attempt<B: Backend + ?Sized>(
 ) -> Result<(), PhaseError> {
     match result {
         Ok(()) => match backend.take_phase_flaw() {
-            Some(flaw) => Err(flaw),
+            Some(flaw) => Err(diagnose(backend.machine(), flaw)),
             None => Ok(()),
         },
         Err(payload) => {
             // A panic supersedes any straggler report from the same region.
             let _ = backend.take_phase_flaw();
-            Err(PhaseError::from_payload(backend.machine().epoch(), payload))
+            let err = PhaseError::from_payload(backend.machine().epoch(), payload);
+            Err(diagnose(backend.machine(), err))
         }
     }
+}
+
+/// Stamp a freshly diagnosed [`PhaseError`] into the flight recorder: an
+/// `ErrorDiagnosed` instant on the driver ring, then a capture of every
+/// ring's retained tail (see [`TraceSink::error_tail`]) so the error comes
+/// with its timeline attached.
+fn diagnose(machine: &Machine, err: PhaseError) -> PhaseError {
+    if let Some(t) = machine.tracer() {
+        t.record_driver(TraceEventKind::ErrorDiagnosed, 0);
+        t.capture_error_tail();
+    }
+    err
 }
 
 /// Close a hand-charged phase per the requested [`PhaseEnd`].
@@ -469,6 +494,26 @@ pub(crate) fn close_phase(machine: &mut Machine, end: PhaseEnd<'_>, phase: Phase
     match end {
         PhaseEnd::Quiet => machine.end_phase_quiet(phase),
         PhaseEnd::Labelled(label) => machine.end_phase(label, phase),
+        PhaseEnd::QuietLabelled(label) => machine.end_phase_quiet_labelled(label, phase),
+    }
+}
+
+/// Open a driver-side charge-replay span (no-op when tracing is off).
+#[inline]
+pub(crate) fn trace_replay_begin(trace: &Option<Arc<TraceSink>>) {
+    if let Some(t) = trace {
+        t.record_driver(TraceEventKind::ReplayBegin, 0);
+    }
+}
+
+/// Close a driver-side charge-replay span, publishing the post-replay
+/// modeled clock so subsequent events correlate against it (no-op when
+/// tracing is off).
+#[inline]
+pub(crate) fn trace_replay_end(trace: &Option<Arc<TraceSink>>, machine: &Machine) {
+    if let Some(t) = trace {
+        t.publish_modeled(machine.modeled_now());
+        t.record_driver(TraceEventKind::ReplayEnd, 0);
     }
 }
 
@@ -504,11 +549,15 @@ where
 {
     let nprocs = machine.nprocs();
     let plan = machine.fault_plan().cloned();
+    let trace = machine.tracer().cloned();
     let epoch = machine.epoch();
     let mut count = 0;
     for (rank, st) in state.into_iter().enumerate() {
         assert!(rank < nprocs, "state must yield one item per rank");
-        fault::fire_if(plan.as_deref(), epoch, rank);
+        fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+        if let Some(t) = &trace {
+            t.record_driver(TraceEventKind::KernelEnter, rank as u32);
+        }
         let mut ctx = RankCtx {
             rank,
             nprocs,
@@ -518,6 +567,9 @@ where
             },
         };
         kernel(&mut ctx, st);
+        if let Some(t) = &trace {
+            t.record_driver(TraceEventKind::KernelExit, rank as u32);
+        }
         count += 1;
     }
     assert_eq!(count, nprocs, "state must yield one item per rank");
@@ -608,9 +660,10 @@ impl Backend for Machine {
         let epoch = self.advance_epoch();
         let nprocs = self.nprocs();
         let plan = self.fault_plan().cloned();
+        let trace = self.tracer().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_if(plan.as_deref(), epoch, rank);
+            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -636,12 +689,13 @@ impl Backend for Machine {
         let epoch = self.advance_epoch();
         let nprocs = self.nprocs();
         let plan = self.fault_plan().cloned();
+        let trace = self.tracer().cloned();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
         let mut phase = PhaseCharge::new();
         for (rank, row) in matrix.iter_mut().enumerate() {
-            fault::fire_if(plan.as_deref(), epoch, rank);
+            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -682,8 +736,12 @@ impl Backend for Machine {
         assert_eq!(scratch.len(), nprocs, "one scratch item per rank");
         assert_eq!(posted.len(), nprocs, "one posted area per rank");
         let plan = self.fault_plan().cloned();
+        let trace = self.tracer().cloned();
         for (rank, (sc, px)) in scratch.iter_mut().zip(posted.iter_mut()).enumerate() {
-            fault::fire_if(plan.as_deref(), epoch, rank);
+            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            if let Some(t) = &trace {
+                t.record_driver(TraceEventKind::KernelEnter, rank as u32);
+            }
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -693,6 +751,9 @@ impl Backend for Machine {
                 },
             };
             compute(&mut ctx, sc, px);
+            if let Some(t) = &trace {
+                t.record_driver(TraceEventKind::KernelExit, rank as u32);
+            }
         }
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
@@ -710,8 +771,11 @@ impl Backend for Machine {
                 };
                 scatter_pack(&mut ctx, j);
             }
-            close_phase(self, PhaseEnd::Quiet, phase);
+            close_phase(self, PhaseEnd::QuietLabelled(FUSED_SWEEP_LABEL), phase);
             for (rank, sc) in scratch.iter_mut().enumerate() {
+                if let Some(t) = &trace {
+                    t.record_driver(TraceEventKind::CombineEnter, rank as u32);
+                }
                 let mut ctx = RankCtx {
                     rank,
                     nprocs,
@@ -721,6 +785,9 @@ impl Backend for Machine {
                     },
                 };
                 combine(&mut ctx, j, sc, &*posted);
+                if let Some(t) = &trace {
+                    t.record_driver(TraceEventKind::CombineExit, rank as u32);
+                }
             }
         }
     }
@@ -774,12 +841,20 @@ impl ThreadedBackend {
     /// per thread and re-raised after the join as one [`PanicBundle`] naming
     /// every failing rank — in which case no ledger is replayed, so the
     /// machine is left untouched by the failed region.
+    ///
+    /// When tracing is on, each rank's thread brackets its kernel with a
+    /// `span` Begin/End pair on ring `rank` (the End is recorded even when
+    /// the kernel unwinds, keeping span nesting consistent) and faults are
+    /// fired through the traced path.
+    #[allow(clippy::too_many_arguments)]
     fn fan_out<St, F>(
         nprocs: usize,
         ledgers: &mut [RankLedger],
         in_phase: bool,
         plan: Option<&FaultPlan>,
         epoch: u64,
+        trace: Option<&TraceSink>,
+        span: TraceEventKind,
         states: Vec<St>,
         kernel: &F,
     ) where
@@ -793,12 +868,19 @@ impl ThreadedBackend {
                 let caught = &caught;
                 scope.spawn(move || {
                     ledger.events.clear();
+                    if let Some(t) = trace {
+                        t.record(rank, span, rank as u32);
+                    }
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        fault::fire_if(plan, epoch, rank);
+                        fault::fire_traced(plan, epoch, rank, trace, Some(rank));
                         let mut ctx =
                             RankCtx::recording(rank, nprocs, &mut ledger.events, in_phase);
                         kernel(&mut ctx, st);
                     }));
+                    if let Some(t) = trace {
+                        let end = span.span_partner().unwrap_or(span);
+                        t.record(rank, end, rank as u32);
+                    }
                     if let Err(payload) = result {
                         caught.lock().unwrap().push(CaughtPanic {
                             epoch,
@@ -847,6 +929,7 @@ impl Backend for ThreadedBackend {
         let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
+        let trace = self.machine.tracer().cloned();
         let states: Vec<St> = state.into_iter().collect();
         Self::fan_out(
             nprocs,
@@ -854,10 +937,14 @@ impl Backend for ThreadedBackend {
             false,
             plan.as_deref(),
             epoch,
+            trace.as_deref(),
+            TraceEventKind::KernelEnter,
             states,
             &kernel,
         );
+        trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
+        trace_replay_end(&trace, &self.machine);
     }
 
     fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -873,13 +960,14 @@ impl Backend for ThreadedBackend {
         let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
+        let trace = self.machine.tracer().cloned();
         // The pack stage only charges (it moves no data), so fanning it out
         // would parallelize nothing: run it on the driver thread, applying
         // charges directly — by construction the same sequence a record +
         // replay would produce.
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_if(plan.as_deref(), epoch, rank);
+            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -899,10 +987,14 @@ impl Backend for ThreadedBackend {
             false,
             plan.as_deref(),
             epoch,
+            trace.as_deref(),
+            TraceEventKind::KernelEnter,
             states,
             &unpack,
         );
+        trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
+        trace_replay_end(&trace, &self.machine);
     }
 
     fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -919,6 +1011,7 @@ impl Backend for ThreadedBackend {
         let epoch = self.machine.advance_epoch();
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
+        let trace = self.machine.tracer().cloned();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
@@ -930,11 +1023,15 @@ impl Backend for ThreadedBackend {
             true,
             plan.as_deref(),
             epoch,
+            trace.as_deref(),
+            TraceEventKind::KernelEnter,
             rows,
             &|ctx: &mut RankCtx<'_>, row: &mut Vec<Vec<T>>| pack(ctx, &mut Outbox { row }),
         );
         let mut phase = PhaseCharge::new();
+        trace_replay_begin(&trace);
         Self::replay(&mut self.machine, Some(&mut phase), &self.ledgers);
+        trace_replay_end(&trace, &self.machine);
         close_phase(&mut self.machine, end, phase);
         // Unpack in parallel: rank r reads column r.
         let states: Vec<St> = state.into_iter().collect();
@@ -945,12 +1042,16 @@ impl Backend for ThreadedBackend {
             false,
             plan.as_deref(),
             epoch,
+            trace.as_deref(),
+            TraceEventKind::KernelEnter,
             states.into_iter().enumerate().collect(),
             &|ctx: &mut RankCtx<'_>, (rank, st): (usize, St)| {
                 unpack(ctx, st, &Inbox { matrix, me: rank })
             },
         );
+        trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
+        trace_replay_end(&trace, &self.machine);
     }
 
     fn run_sweep<Sc, Px, C, A, P, S>(
@@ -986,6 +1087,7 @@ impl Backend for ThreadedBackend {
         assert_eq!(scratch.len(), nprocs, "one scratch item per rank");
         assert_eq!(posted.len(), nprocs, "one posted area per rank");
         let plan = self.machine.fault_plan().cloned();
+        let trace = self.machine.tracer().cloned();
         // Compute: one thread per rank, the sweep's only fault-injection
         // point. A rank panic re-raises from fan_out before any replay, so
         // the machine keeps only the epoch advance from the failed sweep.
@@ -996,10 +1098,14 @@ impl Backend for ThreadedBackend {
             false,
             plan.as_deref(),
             epoch,
+            trace.as_deref(),
+            TraceEventKind::KernelEnter,
             states,
             &|ctx: &mut RankCtx<'_>, (sc, px): (&mut Sc, &mut Px)| compute(ctx, sc, px),
         );
+        trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
+        trace_replay_end(&trace, &self.machine);
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
                 continue;
@@ -1017,7 +1123,11 @@ impl Backend for ThreadedBackend {
                 };
                 scatter_pack(&mut ctx, j);
             }
-            close_phase(&mut self.machine, PhaseEnd::Quiet, phase);
+            close_phase(
+                &mut self.machine,
+                PhaseEnd::QuietLabelled(FUSED_SWEEP_LABEL),
+                phase,
+            );
             // Combine: every rank reads the frozen posted areas and mutates
             // its own scratch. No fault plan here — the sequential engine
             // fires only at compute entry, and injection points must agree.
@@ -1029,10 +1139,14 @@ impl Backend for ThreadedBackend {
                 false,
                 None,
                 epoch,
+                trace.as_deref(),
+                TraceEventKind::CombineEnter,
                 states,
                 &|ctx: &mut RankCtx<'_>, sc: &mut Sc| combine(ctx, j, sc, posted_ref),
             );
+            trace_replay_begin(&trace);
             Self::replay(&mut self.machine, None, &self.ledgers);
+            trace_replay_end(&trace, &self.machine);
         }
     }
 

@@ -186,6 +186,16 @@ impl FaultPlan {
         self.consumed.iter().all(|c| c.load(Ordering::Acquire))
     }
 
+    /// True if any not-yet-consumed fault is planned for `(epoch, rank)`.
+    /// Non-consuming: a subsequent [`FaultPlan::fire`] still fires it. The
+    /// trace subsystem uses this to record a `FaultFired` event *before*
+    /// the fault unwinds or stalls.
+    pub fn scheduled(&self, epoch: u64, rank: usize) -> bool {
+        self.faults.iter().enumerate().any(|(i, f)| {
+            f.epoch == epoch && f.rank == rank && !self.consumed[i].load(Ordering::Acquire)
+        })
+    }
+
     /// Consult the plan at a kernel entry: fire (at most once each) every
     /// not-yet-consumed fault planned for `(epoch, rank)`. Panic-style
     /// faults unwind with an [`InjectedFault`] payload; stalls sleep on the
@@ -204,10 +214,29 @@ impl FaultPlan {
 }
 
 /// Fire the plan (if any) for `(epoch, rank)` — the helper every engine
-/// calls at kernel entry.
+/// calls at kernel entry — with a trace hook: when a fault is about to fire at
+/// `(epoch, rank)` and a sink is installed, record a
+/// [`FaultFired`](crate::trace::TraceEventKind::FaultFired) event first —
+/// on `lane`'s ring, or the driver's when `lane` is `None` — so the flight
+/// recorder sees the injection even when the fault unwinds the kernel.
 #[inline]
-pub(crate) fn fire_if(plan: Option<&FaultPlan>, epoch: u64, rank: usize) {
+pub(crate) fn fire_traced(
+    plan: Option<&FaultPlan>,
+    epoch: u64,
+    rank: usize,
+    trace: Option<&crate::trace::TraceSink>,
+    lane: Option<usize>,
+) {
     if let Some(plan) = plan {
+        if let Some(t) = trace {
+            if plan.scheduled(epoch, rank) {
+                let kind = crate::trace::TraceEventKind::FaultFired;
+                match lane {
+                    Some(l) => t.record(l, kind, rank as u32),
+                    None => t.record_driver(kind, rank as u32),
+                }
+            }
+        }
         plan.fire(epoch, rank);
     }
 }

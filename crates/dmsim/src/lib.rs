@@ -57,6 +57,12 @@ pub mod pool;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
+
+// The trace exports speak `serde_json::Value` (the vendored shim);
+// re-export the crate so downstream users can consume them without adding
+// their own dependency on it.
+pub use serde_json;
 
 pub use backend::{run_phase_inline, Backend, Inbox, Outbox, PhaseEnd, RankCtx, ThreadedBackend};
 pub use collectives::ReduceOp;
@@ -69,3 +75,4 @@ pub use machine::{Machine, MachineSnapshot, PhaseCharge, ProcId};
 pub use pool::PooledBackend;
 pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry, StatsSnapshot};
 pub use time::{ElapsedReport, ProcClock, SimTime};
+pub use trace::{LaneSummary, TraceEvent, TraceEventKind, TraceSink, TraceSummary};

@@ -7,6 +7,7 @@ use crate::fault::FaultPlan;
 use crate::stats::{copy_btree_values, CommStats, PhaseKind, StatsRegistry, StatsSnapshot};
 use crate::time::{ElapsedReport, ProcClock};
 use crate::topology::hops;
+use crate::trace::{TraceEventKind, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -66,6 +67,11 @@ pub struct Machine {
     /// entry. Shared (not deep-cloned) across machine clones so consumed
     /// faults stay consumed through snapshot / restore.
     faults: Option<Arc<FaultPlan>>,
+    /// The installed trace sink, fed by every engine when present. `None`
+    /// (the default) keeps every hook on the disabled fast path: one
+    /// pointer test, no allocation, no clock effect. Shared across machine
+    /// clones like the fault plan.
+    trace: Option<Arc<TraceSink>>,
 }
 
 /// A reusable snapshot of a [`Machine`]'s mutable state (clocks, statistics,
@@ -118,6 +124,7 @@ impl Machine {
             last_phase_sample: 0.0,
             epoch: 0,
             faults: None,
+            trace: None,
         }
     }
 
@@ -134,7 +141,36 @@ impl Machine {
     #[inline]
     pub(crate) fn advance_epoch(&mut self) -> u64 {
         self.epoch += 1;
+        if self.trace.is_some() {
+            self.trace_epoch_boundary();
+        }
         self.epoch
+    }
+
+    /// Out-of-line traced side of [`Machine::advance_epoch`]: close the
+    /// previous epoch's span, publish the modeled clock and the new epoch
+    /// stamp, and open the new span — all on the driver's ring. Kept
+    /// `#[cold]` so the disabled path stays a single predictable branch.
+    #[cold]
+    fn trace_epoch_boundary(&self) {
+        let Some(t) = &self.trace else { return };
+        t.publish_modeled(self.modeled_now());
+        if self.epoch > 1 {
+            t.record_driver(TraceEventKind::EpochEnd, 0);
+        }
+        t.set_epoch(self.epoch);
+        t.record_driver(TraceEventKind::EpochBegin, 0);
+    }
+
+    /// The modeled clock "now": the maximum per-processor total, in
+    /// seconds. This is the value the trace subsystem correlates against
+    /// measured wall time.
+    #[inline]
+    pub fn modeled_now(&self) -> f64 {
+        self.clocks
+            .iter()
+            .map(|c| c.total().as_seconds())
+            .fold(0.0, f64::max)
     }
 
     /// Install (or clear) the fault schedule consulted at every per-rank
@@ -148,6 +184,20 @@ impl Machine {
     /// The installed fault schedule, if any.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.faults.as_ref()
+    }
+
+    /// Install (or clear) the trace sink every engine feeds. Like the
+    /// fault plan, the sink is shared rather than cloned, so machine
+    /// clones and snapshot restores keep appending to the same timeline.
+    /// Installing a sink never changes modeled clocks, values or
+    /// statistics — the sink only observes them.
+    pub fn install_trace(&mut self, sink: Option<Arc<TraceSink>>) {
+        self.trace = sink;
+    }
+
+    /// The installed trace sink, if any.
+    pub fn tracer(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Write this machine's mutable state into `snap`, reusing its buffers
@@ -164,7 +214,8 @@ impl Machine {
     /// Roll this machine back to `snap`. The machine must have evolved
     /// forward from the snapshot without [`Machine::reset`] in between
     /// (labelled phase records are restored by truncation). Allocation-free
-    /// in steady state; the installed fault plan is left as-is.
+    /// in steady state; the installed fault plan and trace sink are left
+    /// as-is.
     pub fn restore_from(&mut self, snap: &MachineSnapshot) {
         assert_eq!(
             snap.clocks.len(),
@@ -384,6 +435,19 @@ impl Machine {
     /// per-iteration gather/scatter relies on.
     pub fn end_phase_quiet(&mut self, phase: PhaseCharge) {
         self.stats.record_quiet(phase.stats);
+        if self.cfg.sync == SyncModel::BarrierPerPhase {
+            self.synchronize_clocks();
+        }
+    }
+
+    /// Finish a hand-charged message phase without a per-phase record, but
+    /// with its totals additionally attributed to a static label bucket
+    /// (see [`StatsRegistry::record_quiet_labelled`]) — how fused sweeps
+    /// stay distinguishable from split phases in recorded tables. Clocks
+    /// and grand totals evolve exactly as [`Machine::end_phase_quiet`];
+    /// allocation-free in steady state once the label's bucket exists.
+    pub fn end_phase_quiet_labelled(&mut self, label: &'static str, phase: PhaseCharge) {
+        self.stats.record_quiet_labelled(label, phase.stats);
         if self.cfg.sync == SyncModel::BarrierPerPhase {
             self.synchronize_clocks();
         }

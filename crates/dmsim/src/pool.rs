@@ -43,11 +43,13 @@
 //! count, on any core count.
 
 use crate::backend::{
-    close_phase, replay_events, Backend, ChargeEvent, Inbox, Outbox, PhaseEnd, RankCtx,
+    close_phase, replay_events, trace_replay_begin, trace_replay_end, Backend, ChargeEvent, Inbox,
+    Outbox, PhaseEnd, RankCtx, FUSED_SWEEP_LABEL,
 };
 use crate::config::MachineConfig;
 use crate::fault::{self, CaughtPanic, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge};
+use crate::trace::TraceEventKind;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -74,12 +76,14 @@ struct StragglerReport {
 }
 
 /// A type-erased phase descriptor: the closure every lane runs once per
-/// phase, handed its lane index. The `'static` in the pointee type is a
-/// lie the pool is structured to keep harmless — the driver never returns
-/// from [`WorkerPool::run`] until every worker has passed the completion
-/// barrier, so the borrow the pointer was created from is still live
-/// whenever a worker dereferences it.
-type Job = *const (dyn Fn(usize) + Sync);
+/// phase, handed its lane index and whether the lane had to park (fall off
+/// the spin window onto the condvar) while waiting for this release — the
+/// flight recorder turns that flag into a `WorkerRelease` annotation. The
+/// `'static` in the pointee type is a lie the pool is structured to keep
+/// harmless — the driver never returns from [`WorkerPool::run`] until every
+/// worker has passed the completion barrier, so the borrow the pointer was
+/// created from is still live whenever a worker dereferences it.
+type Job = *const (dyn Fn(usize, bool) + Sync);
 
 /// State shared between the driver and the spawned workers.
 struct PoolShared {
@@ -121,11 +125,13 @@ unsafe impl Sync for PoolShared {}
 
 impl PoolShared {
     /// Release side of the barrier: wait until the epoch moves past `seen`.
-    fn wait_for_epoch(&self, seen: u64) -> u64 {
+    /// The second return is `true` when the wait fell out of the spin window
+    /// and parked on the condvar (the flight recorder's park-vs-spin signal).
+    fn wait_for_epoch(&self, seen: u64) -> (u64, bool) {
         for _ in 0..SPIN_ROUNDS {
             let e = self.epoch.load(Ordering::Acquire);
             if e != seen {
-                return e;
+                return (e, false);
             }
             std::hint::spin_loop();
         }
@@ -133,7 +139,7 @@ impl PoolShared {
         loop {
             let e = self.epoch.load(Ordering::Acquire);
             if e != seen {
-                return e;
+                return (e, true);
             }
             guard = self.wake_cv.wait(guard).unwrap();
         }
@@ -201,7 +207,8 @@ impl PoolShared {
 fn worker_main(shared: Arc<PoolShared>, lane: usize) {
     let mut seen = 0u64;
     loop {
-        seen = shared.wait_for_epoch(seen);
+        let (epoch, parked) = shared.wait_for_epoch(seen);
+        seen = epoch;
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
@@ -209,7 +216,7 @@ fn worker_main(shared: Arc<PoolShared>, lane: usize) {
         // keeps the underlying closure alive until after `arrive`.
         let job = unsafe { (*shared.job.get()).expect("pool epoch bumped with no job") };
         let job = unsafe { &*job };
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(lane))) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(lane, parked))) {
             // Backstop for panics that escape the phase closure's own
             // per-rank catch: keep *every* payload, tagged with its lane and
             // pool epoch, so multi-lane failures lose nothing.
@@ -276,14 +283,14 @@ impl WorkerPool {
     /// returned as a straggler report (the phase still completes).
     fn run(
         &self,
-        job: &(dyn Fn(usize) + Sync),
+        job: &(dyn Fn(usize, bool) + Sync),
         deadline: Option<Duration>,
     ) -> Option<StragglerReport> {
         let shared = &*self.shared;
         let driver_lane = shared.spawned;
         if shared.spawned == 0 {
             // Single-lane pool: no synchronization, no catch — just run.
-            job(driver_lane);
+            job(driver_lane, false);
             return None;
         }
         // Reset the per-phase diagnostics while every worker is quiescent.
@@ -297,18 +304,20 @@ impl WorkerPool {
         // phases (the previous completion barrier has passed), so the slot
         // is ours to write.
         unsafe {
-            *shared.job.get() = Some(std::mem::transmute::<*const (dyn Fn(usize) + Sync), Job>(
-                job,
-            ));
+            *shared.job.get() = Some(std::mem::transmute::<
+                *const (dyn Fn(usize, bool) + Sync),
+                Job,
+            >(job));
         }
         shared.arrived.store(0, Ordering::Relaxed);
         shared.epoch.fetch_add(1, Ordering::Release);
         drop(shared.wake_lock.lock().unwrap());
         shared.wake_cv.notify_all();
         // The driver is a lane too: run its stripe while the workers run
-        // theirs. A panic here must still wait out the barrier (the workers
-        // hold pointers into the driver's stack), hence the catch.
-        let mine = catch_unwind(AssertUnwindSafe(|| job(driver_lane)));
+        // theirs (never parked — it released this epoch itself). A panic
+        // here must still wait out the barrier (the workers hold pointers
+        // into the driver's stack), hence the catch.
+        let mine = catch_unwind(AssertUnwindSafe(|| job(driver_lane, false)));
         shared.lane_done[driver_lane].store(true, Ordering::Release);
         let straggler = shared.wait_for_workers(deadline);
         // Safety: completion barrier passed; the slot is quiescent again.
@@ -584,11 +593,16 @@ impl PooledBackend {
         let epoch = self.machine.epoch();
         let plan = self.machine.fault_plan().cloned();
         let plan = plan.as_deref();
+        let trace = self.machine.tracer().cloned();
+        let trace = trace.as_deref();
         let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
         let progress = &self.pool.shared.progress;
         let arenas = RawCells::new(&mut self.arenas);
         let straggler = self.pool.run(
-            &|lane: usize| {
+            &|lane: usize, parked: bool| {
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::WorkerRelease, parked as u32);
+                }
                 // Safety: lane indices are distinct across the pool's lanes.
                 let arena = unsafe { arenas.get_mut(lane) };
                 arena.events.clear();
@@ -596,11 +610,17 @@ impl PooledBackend {
                 let mut rank = lane;
                 while rank < nprocs {
                     arena.starts.push(arena.events.len() as u32);
+                    if let Some(t) = trace {
+                        t.record(lane, TraceEventKind::KernelEnter, rank as u32);
+                    }
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        fault::fire_if(plan, epoch, rank);
+                        fault::fire_traced(plan, epoch, rank, trace, Some(lane));
                         let mut ctx = RankCtx::recording(rank, nprocs, &mut arena.events, in_phase);
                         run_rank(&mut ctx, rank);
                     }));
+                    if let Some(t) = trace {
+                        t.record(lane, TraceEventKind::KernelExit, rank as u32);
+                    }
                     if let Err(payload) = result {
                         caught.lock().unwrap().push(CaughtPanic {
                             epoch,
@@ -613,6 +633,9 @@ impl PooledBackend {
                     rank += lanes;
                 }
                 arena.starts.push(arena.events.len() as u32);
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::BarrierArrive, lane as u32);
+                }
             },
             self.deadline,
         );
@@ -710,7 +733,10 @@ impl PooledBackend {
                 kernel(ctx, st);
             });
         }
+        let trace = self.machine.tracer().cloned();
+        trace_replay_begin(&trace);
         self.replay(None);
+        trace_replay_end(&trace, &self.machine);
     }
 }
 
@@ -752,9 +778,10 @@ impl Backend for PooledBackend {
         // the same charge sequence a record + replay would produce.
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
+        let trace = self.machine.tracer().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_if(plan.as_deref(), epoch, rank);
+            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
             let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
             pack(&mut ctx);
         }
@@ -788,8 +815,11 @@ impl Backend for PooledBackend {
                 pack(ctx, &mut Outbox::new(row));
             });
         }
+        let trace = self.machine.tracer().cloned();
         let mut phase = PhaseCharge::new();
+        trace_replay_begin(&trace);
         self.replay(Some(&mut phase));
+        trace_replay_end(&trace, &self.machine);
         close_phase(&mut self.machine, end, phase);
         // Unpack: rank r reads column r of the (now frozen) matrix.
         let mut states = self.collect_states(state);
@@ -802,7 +832,9 @@ impl Backend for PooledBackend {
                 unpack(ctx, st, &Inbox::new(matrix, rank));
             });
         }
+        trace_replay_begin(&trace);
         self.replay(None);
+        trace_replay_end(&trace, &self.machine);
     }
 
     fn run_sweep<Sc, Px, C, A, P, S>(
@@ -840,6 +872,8 @@ impl Backend for PooledBackend {
         let lanes = self.pool.lanes;
         let plan = self.machine.fault_plan().cloned();
         let plan = plan.as_deref();
+        let trace = self.machine.tracer().cloned();
+        let trace = trace.as_deref();
         let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
         let panicked = AtomicBool::new(false);
         let barrier = StageBarrier::new(lanes);
@@ -851,7 +885,10 @@ impl Backend for PooledBackend {
         // its stripe, crosses the stage barrier (after which the posted
         // areas are frozen), then records every combine stage.
         let straggler = self.pool.run(
-            &|lane: usize| {
+            &|lane: usize, parked: bool| {
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::WorkerRelease, parked as u32);
+                }
                 // Safety: lane indices are distinct across the pool's lanes.
                 let arena = unsafe { arenas.get_mut(lane) };
                 arena.events.clear();
@@ -862,8 +899,11 @@ impl Backend for PooledBackend {
                     let mut rank = lane;
                     while rank < nprocs {
                         arena.starts.push(arena.events.len() as u32);
+                        if let Some(t) = trace {
+                            t.record(lane, TraceEventKind::KernelEnter, rank as u32);
+                        }
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            fault::fire_if(plan, epoch, rank);
+                            fault::fire_traced(plan, epoch, rank, trace, Some(lane));
                             let mut ctx =
                                 RankCtx::recording(rank, nprocs, &mut arena.events, false);
                             // Safety: rank → lane striping is a partition.
@@ -871,6 +911,9 @@ impl Backend for PooledBackend {
                             let px = unsafe { posted_cells.get_mut(rank) };
                             compute(&mut ctx, sc, px);
                         }));
+                        if let Some(t) = trace {
+                            t.record(lane, TraceEventKind::KernelExit, rank as u32);
+                        }
                         if let Err(payload) = result {
                             panicked.store(true, Ordering::Release);
                             caught.lock().unwrap().push(CaughtPanic {
@@ -891,7 +934,13 @@ impl Backend for PooledBackend {
                 // would deadlock the peers — so a pre-barrier escape is
                 // deferred until after arrival (the lane-level backstop in
                 // `worker_main` / `WorkerPool::run` keeps the payload).
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::StageWaitBegin, 0);
+                }
                 barrier.wait();
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::StageWaitEnd, 0);
+                }
                 if let Err(payload) = pre {
                     resume_unwind(payload);
                 }
@@ -908,6 +957,11 @@ impl Backend for PooledBackend {
                 let posted_view = unsafe { posted_cells.as_slice() };
                 for j in 0..nscatter {
                     let active = scatter_active(posted_view, j);
+                    if active {
+                        if let Some(t) = trace {
+                            t.record(lane, TraceEventKind::CombineEnter, j as u32);
+                        }
+                    }
                     let mut rank = lane;
                     while rank < nprocs {
                         arena.starts.push(arena.events.len() as u32);
@@ -921,8 +975,16 @@ impl Backend for PooledBackend {
                         progress[lane].fetch_add(1, Ordering::Release);
                         rank += lanes;
                     }
+                    if active {
+                        if let Some(t) = trace {
+                            t.record(lane, TraceEventKind::CombineExit, j as u32);
+                        }
+                    }
                 }
                 arena.starts.push(arena.events.len() as u32);
+                if let Some(t) = trace {
+                    t.record(lane, TraceEventKind::BarrierArrive, lane as u32);
+                }
             },
             self.deadline,
         );
@@ -947,10 +1009,13 @@ impl Backend for PooledBackend {
             resume_unwind(Box::new(PanicBundle { panics }));
         }
         // Replay compute, then per active buffer: a driver-side pack stage
-        // (charges only, like `run_phase`'s), a quiet close, and the
-        // buffer's combine spans — ascending rank order throughout, the
+        // (charges only, like `run_phase`'s), a labelled quiet close, and
+        // the buffer's combine spans — ascending rank order throughout, the
         // exact sequence the sequential engine produces.
+        let trace = self.machine.tracer().cloned();
+        trace_replay_begin(&trace);
         self.replay_stage(0, None);
+        trace_replay_end(&trace, &self.machine);
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
                 continue;
@@ -960,8 +1025,14 @@ impl Backend for PooledBackend {
                 let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
                 scatter_pack(&mut ctx, j);
             }
-            close_phase(&mut self.machine, PhaseEnd::Quiet, phase);
+            close_phase(
+                &mut self.machine,
+                PhaseEnd::QuietLabelled(FUSED_SWEEP_LABEL),
+                phase,
+            );
+            trace_replay_begin(&trace);
             self.replay_stage(1 + j, None);
+            trace_replay_end(&trace, &self.machine);
         }
     }
 

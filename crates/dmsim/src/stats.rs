@@ -22,6 +22,8 @@ pub enum PhaseKind {
     Remap,
     /// Executor (communication + computation of the actual loop).
     Executor,
+    /// Checkpoint refresh / rollback bookkeeping for recovery.
+    Checkpoint,
     /// Anything else.
     Other,
 }
@@ -35,6 +37,7 @@ impl PhaseKind {
             PhaseKind::Inspector => "inspector",
             PhaseKind::Remap => "remap",
             PhaseKind::Executor => "executor",
+            PhaseKind::Checkpoint => "checkpoint",
             PhaseKind::Other => "other",
         }
     }
@@ -79,6 +82,10 @@ pub struct PhaseRecord {
 pub struct StatsRegistry {
     records: Vec<PhaseRecord>,
     by_kind: BTreeMap<PhaseKind, CommStats>,
+    /// Totals for quiet phases that carried a static label (e.g. the fused
+    /// sweep's `executor:fused-sweep`) — a sub-attribution of `by_kind`,
+    /// never added on top of it.
+    by_label: BTreeMap<&'static str, CommStats>,
     current_kind: Option<PhaseKind>,
 }
 
@@ -119,6 +126,28 @@ impl StatsRegistry {
     pub fn record_quiet(&mut self, stats: CommStats) {
         let kind = self.current_kind.unwrap_or(PhaseKind::Other);
         self.by_kind.entry(kind).or_default().merge(&stats);
+    }
+
+    /// [`StatsRegistry::record_quiet`], additionally attributing the
+    /// phase's statistics to a `'static` label bucket so families of quiet
+    /// phases (fused sweeps vs split per-stage phases) stay distinguishable
+    /// in recorded tables. The label totals are a *sub-attribution* of the
+    /// per-kind totals: [`StatsRegistry::grand_totals`] is unchanged. After
+    /// the first phase with a given label this allocates nothing.
+    pub fn record_quiet_labelled(&mut self, label: &'static str, stats: CommStats) {
+        self.record_quiet(stats);
+        self.by_label.entry(label).or_default().merge(&stats);
+    }
+
+    /// Aggregate statistics for every quiet phase recorded under `label`
+    /// via [`StatsRegistry::record_quiet_labelled`].
+    pub fn totals_labelled(&self, label: &str) -> CommStats {
+        self.by_label.get(label).copied().unwrap_or_default()
+    }
+
+    /// The per-label quiet-phase totals, in label order.
+    pub fn labelled_totals(&self) -> impl Iterator<Item = (&'static str, CommStats)> + '_ {
+        self.by_label.iter().map(|(l, s)| (*l, *s))
     }
 
     /// All phase records in execution order.
@@ -169,6 +198,7 @@ impl StatsRegistry {
     pub fn clear(&mut self) {
         self.records.clear();
         self.by_kind.clear();
+        self.by_label.clear();
     }
 
     /// Write this registry's state into `snap`, reusing its buffers.
@@ -180,6 +210,7 @@ impl StatsRegistry {
     pub fn snapshot_into(&self, snap: &mut StatsSnapshot) {
         snap.records_len = self.records.len();
         copy_btree_values(&self.by_kind, &mut snap.by_kind);
+        copy_btree_values(&self.by_label, &mut snap.by_label);
         snap.current_kind = self.current_kind;
     }
 
@@ -193,6 +224,7 @@ impl StatsRegistry {
         );
         self.records.truncate(snap.records_len);
         copy_btree_values(&snap.by_kind, &mut self.by_kind);
+        copy_btree_values(&snap.by_label, &mut self.by_label);
         self.current_kind = snap.current_kind;
     }
 }
@@ -203,7 +235,57 @@ impl StatsRegistry {
 pub struct StatsSnapshot {
     records_len: usize,
     by_kind: BTreeMap<PhaseKind, CommStats>,
+    by_label: BTreeMap<&'static str, CommStats>,
     current_kind: Option<PhaseKind>,
+}
+
+impl serde_json::ToValue for CommStats {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "phases": self.phases,
+            "comm_seconds": self.comm_seconds,
+        })
+    }
+}
+
+impl serde_json::ToValue for PhaseRecord {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "label": self.label.clone(),
+            "kind": self.kind.label(),
+            "stats": serde_json::ToValue::to_value(&self.stats),
+        })
+    }
+}
+
+impl serde_json::ToValue for StatsRegistry {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "records": self.records.clone(),
+            "by_kind": self
+                .by_kind
+                .iter()
+                .map(|(k, s)| {
+                    serde_json::json!({
+                        "kind": k.label(),
+                        "stats": serde_json::ToValue::to_value(s),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "by_label": self
+                .by_label
+                .iter()
+                .map(|(l, s)| {
+                    serde_json::json!({
+                        "label": *l,
+                        "stats": serde_json::ToValue::to_value(s),
+                    })
+                })
+                .collect::<Vec<_>>(),
+        })
+    }
 }
 
 /// Copy `src`'s entries into `dst`, overwriting values in place when the key
@@ -285,5 +367,50 @@ mod tests {
     fn labels_are_human_readable() {
         assert_eq!(PhaseKind::Executor.label(), "executor");
         assert_eq!(PhaseKind::GraphGeneration.label(), "graph generation");
+        assert_eq!(PhaseKind::Checkpoint.label(), "checkpoint");
+    }
+
+    #[test]
+    fn quiet_labelled_subattributes_without_double_counting() {
+        let mut reg = StatsRegistry::new();
+        reg.set_current_kind(Some(PhaseKind::Executor));
+        reg.record_quiet_labelled("executor:fused-sweep", stats(4, 40));
+        reg.record_quiet(stats(1, 10));
+        assert_eq!(reg.totals_labelled("executor:fused-sweep").messages, 4);
+        assert_eq!(reg.totals_for(PhaseKind::Executor).messages, 5);
+        assert_eq!(reg.grand_totals().messages, 5, "labels never double count");
+        assert_eq!(
+            reg.labelled_totals().collect::<Vec<_>>(),
+            vec![("executor:fused-sweep", stats(4, 40))]
+        );
+        assert!(
+            reg.records().is_empty(),
+            "labelled quiet phases keep no record"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_label_buckets() {
+        let mut reg = StatsRegistry::new();
+        reg.record_quiet_labelled("a", stats(1, 8));
+        let mut snap = StatsSnapshot::default();
+        reg.snapshot_into(&mut snap);
+        reg.record_quiet_labelled("a", stats(2, 16));
+        reg.restore_from(&snap);
+        assert_eq!(reg.totals_labelled("a").messages, 1);
+        reg.clear();
+        assert_eq!(reg.totals_labelled("a").messages, 0);
+    }
+
+    #[test]
+    fn registry_renders_to_json() {
+        let mut reg = StatsRegistry::new();
+        reg.set_current_kind(Some(PhaseKind::Inspector));
+        reg.record("build", stats(3, 24));
+        reg.record_quiet_labelled("executor:fused-sweep", stats(1, 8));
+        let json = serde_json::to_string(&serde_json::ToValue::to_value(&reg)).unwrap();
+        assert!(json.contains("\"build\""));
+        assert!(json.contains("executor:fused-sweep"));
+        assert!(json.contains("\"comm_seconds\""));
     }
 }

@@ -171,6 +171,13 @@ impl ElapsedReport {
         }
     }
 
+    /// Machine-readable JSON form of the report (the harness-facing
+    /// counterpart of the text tables): per-processor vectors plus the
+    /// derived aggregates.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&serde_json::ToValue::to_value(self)).unwrap_or_default()
+    }
+
     /// Element-wise difference `self - earlier`, used to isolate a phase.
     pub fn since(&self, earlier: &ElapsedReport) -> ElapsedReport {
         fn diff(a: &[f64], b: &[f64]) -> Vec<f64> {
@@ -185,6 +192,21 @@ impl ElapsedReport {
             comm: diff(&self.comm, &earlier.comm),
             idle: diff(&self.idle, &earlier.idle),
         }
+    }
+}
+
+impl serde_json::ToValue for ElapsedReport {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "per_proc": self.per_proc.clone(),
+            "compute": self.compute.clone(),
+            "comm": self.comm.clone(),
+            "idle": self.idle.clone(),
+            "max_seconds": self.max_seconds(),
+            "mean_seconds": self.mean_seconds(),
+            "total_proc_seconds": self.total_proc_seconds(),
+            "compute_imbalance": self.compute_imbalance(),
+        })
     }
 }
 
@@ -250,5 +272,19 @@ mod tests {
     #[test]
     fn imbalance_of_empty_is_one() {
         assert_eq!(ElapsedReport::default().compute_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn elapsed_report_emits_json() {
+        let r = ElapsedReport {
+            per_proc: vec![1.0, 3.0],
+            compute: vec![1.0, 2.0],
+            comm: vec![0.0, 1.0],
+            idle: vec![0.0, 0.0],
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"per_proc\""));
+        assert!(json.contains("\"max_seconds\":3"));
+        assert!(json.contains("\"compute_imbalance\""));
     }
 }

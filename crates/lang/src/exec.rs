@@ -30,7 +30,7 @@ use crate::kernel::{
 use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
 use chaos_dmsim::{
     Backend, FaultPlan, Machine, MachineConfig, PhaseError, PhaseKind, PooledBackend,
-    RecoveryPolicy, ThreadedBackend,
+    RecoveryPolicy, ThreadedBackend, TraceEventKind, TraceSink,
 };
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
@@ -341,6 +341,19 @@ impl<B: Backend> Executor<B> {
     /// per the [`RecoveryPolicy`]).
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.backend.machine_mut().install_fault_plan(Some(plan));
+        self
+    }
+
+    /// Install a [`TraceSink`] flight recorder on the machine: every engine
+    /// records span events (epoch boundaries, kernel enter/exit, pool
+    /// release/arrival, stage-barrier waits, replays, checkpoint refreshes,
+    /// fault firings, recovery attempts) stamped with both measured wall
+    /// time and the modeled clock. Tracing never changes modeled clocks,
+    /// values or statistics; with no sink installed the hooks are a single
+    /// branch. Share the `Arc` to read the timeline afterwards — see
+    /// [`TraceSink::chrome_trace_json`] and [`TraceSink::summary`].
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.backend.machine_mut().install_trace(Some(sink));
         self
     }
 
@@ -740,7 +753,18 @@ impl<B: Backend> Executor<B> {
     fn refresh_checkpoint(&mut self) {
         let full = self.structural_change || self.checkpoint.is_none();
         let rank_words = self.checkpoint_rank_words(full);
+        // The refresh is a real SPMD phase: classify it as Checkpoint (not
+        // whatever kind the surrounding code had active) so the registry
+        // attributes its scan cost to the checkpoint subsystem.
+        let prev_kind = self
+            .backend
+            .machine_mut()
+            .set_phase_kind(Some(PhaseKind::Checkpoint));
         charge_checkpoint(&mut self.backend, &rank_words);
+        self.backend.machine_mut().set_phase_kind(prev_kind);
+        if let Some(t) = self.backend.machine().tracer() {
+            t.record_driver(TraceEventKind::CheckpointRefresh, full as u32);
+        }
 
         match self.checkpoint.as_deref_mut() {
             Some(ckpt) if !full => {
@@ -797,12 +821,24 @@ impl<B: Backend> Executor<B> {
         }
     }
 
+    /// Flight-recorder hook for a failed attempt: record the diagnosis on
+    /// the driver ring and freeze the recorder's tail, so every
+    /// [`PhaseError`] path leaves the events leading up to the failure
+    /// inspectable through [`TraceSink::error_tail`]. A no-op when no sink
+    /// is installed.
+    fn trace_diagnosed(&self, err: &PhaseError) {
+        if let Some(t) = self.backend.machine().tracer() {
+            t.record_driver(TraceEventKind::ErrorDiagnosed, err.epoch() as u32);
+            t.capture_error_tail();
+        }
+    }
+
     /// Run one FORALL attempt with panic containment: a panic (injected or
     /// organic) or a pending flaw (straggler) becomes a typed
     /// [`PhaseError`]. Mirrors `Backend::try_run_*`, but wraps the whole
     /// gather → compute → scatter sweep.
     fn attempt_forall(&mut self, plan: &LoopPlan) -> Result<Result<(), LangError>, PhaseError> {
-        match catch_unwind(AssertUnwindSafe(|| self.run_forall(plan))) {
+        let attempt = match catch_unwind(AssertUnwindSafe(|| self.run_forall(plan))) {
             Ok(inner) => match self.backend.take_phase_flaw() {
                 Some(flaw) => Err(flaw),
                 None => Ok(inner),
@@ -814,7 +850,11 @@ impl<B: Backend> Executor<B> {
                     payload,
                 ))
             }
+        };
+        if let Err(flaw) = &attempt {
+            self.trace_diagnosed(flaw);
         }
+        attempt
     }
 
     /// Like [`Self::attempt_forall`], but also covers the epoch-checkpoint
@@ -826,7 +866,7 @@ impl<B: Backend> Executor<B> {
         &mut self,
         plan: &LoopPlan,
     ) -> Result<Result<(), LangError>, PhaseError> {
-        match catch_unwind(AssertUnwindSafe(|| {
+        let attempt = match catch_unwind(AssertUnwindSafe(|| {
             self.maybe_checkpoint();
             self.run_forall(plan)
         })) {
@@ -841,7 +881,11 @@ impl<B: Backend> Executor<B> {
                     payload,
                 ))
             }
+        };
+        if let Err(flaw) = &attempt {
+            self.trace_diagnosed(flaw);
         }
+        attempt
     }
 
     /// Execute a FORALL under the configured recovery policy.
@@ -922,6 +966,9 @@ impl<B: Backend> Executor<B> {
                             if !backoff.is_zero() {
                                 std::thread::sleep(backoff);
                             }
+                            if let Some(t) = self.backend.machine().tracer() {
+                                t.record_driver(TraceEventKind::RetryAttempt, attempts);
+                            }
                             self.restore_snapshot(presweep.as_ref().expect("taken above"));
                             restore_marks(self);
                         }
@@ -929,6 +976,9 @@ impl<B: Backend> Executor<B> {
                             let Some(ckpt) = self.checkpoint.take() else {
                                 return Err(LangError::phase(flaw));
                             };
+                            if let Some(t) = self.backend.machine().tracer() {
+                                t.record_driver(TraceEventKind::Rollback, attempts);
+                            }
                             self.restore_snapshot(&ckpt);
                             self.checkpoint = Some(ckpt);
                             // Replay the journal: the loops that ran since
@@ -956,6 +1006,9 @@ impl<B: Backend> Executor<B> {
                             }
                         }
                         RecoveryPolicy::DegradeToMachine => {
+                            if let Some(t) = self.backend.machine().tracer() {
+                                t.record_driver(TraceEventKind::Degrade, attempts);
+                            }
                             self.backend.degrade();
                             self.restore_snapshot(presweep.as_ref().expect("taken above"));
                             restore_marks(self);

@@ -52,7 +52,10 @@ pub mod parser;
 
 pub use analyze::analyze_program;
 pub use ast::{Program, Stmt};
-pub use chaos_dmsim::{Fault, FaultKind, FaultPlan, PhaseError, RecoveryPolicy};
+pub use chaos_dmsim::{
+    Fault, FaultKind, FaultPlan, PhaseError, RecoveryPolicy, TraceEvent, TraceEventKind, TraceSink,
+    TraceSummary,
+};
 pub use error::LangError;
 pub use exec::{ExecReport, Executor, KernelMode, ProgramInputs};
 pub use kernel::{compile_kernel, CompiledKernel, KernelCache};

@@ -15,6 +15,7 @@
 use chaos_lang::{
     lower_program, parse_program, Executor, FaultKind, FaultPlan, ProgramInputs, RecoveryPolicy,
 };
+use chaos_repro::dmsim::{serde_json::Value, TraceSink};
 use chaos_repro::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,10 +49,13 @@ struct CaseResult {
 }
 
 /// Run preamble + sweeps on a fresh pooled executor; optionally inject the
-/// fault schedule with the given recovery policy.
+/// fault schedule with the given recovery policy and/or install a trace
+/// sink (tracing must never change the result — the traced case below is
+/// asserted bit-identical to the untraced one).
 fn run_case(
     inputs: &ProgramInputs,
     faults: Option<(Arc<FaultPlan>, RecoveryPolicy)>,
+    trace: Option<Arc<TraceSink>>,
 ) -> CaseResult {
     let cp = lower_program(parse_program(EDGE_TEMPLATE).expect("parse")).expect("lower");
     let mut exec =
@@ -60,6 +64,9 @@ fn run_case(
             .with_barrier_deadline(Duration::from_millis(10));
     if let Some((plan, policy)) = faults {
         exec = exec.with_fault_plan(plan).with_recovery_policy(policy);
+    }
+    if let Some(sink) = trace {
+        exec = exec.with_trace(sink);
     }
     exec.run(&cp).expect("program runs");
     for _ in 0..SWEEPS {
@@ -123,6 +130,57 @@ fn assert_bit_identical(name: &str, clean: &CaseResult, recovered: &CaseResult) 
     );
 }
 
+/// Validate the exported Chrome trace: the JSON value tree has the trace
+/// event array with one object per retained event, every event carries the
+/// keys `chrome://tracing` requires (`name`, `ph`, `pid`, `tid`, `ts`), and
+/// the serialized string is non-trivial. Prints the per-lane summary table.
+fn validate_chrome_trace(sink: &TraceSink) {
+    let doc = sink.chrome_trace();
+    let Value::Object(fields) = &doc else {
+        panic!("chrome trace must serialize as a JSON object");
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("chrome trace must carry a traceEvents key");
+    let Value::Array(items) = events else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!items.is_empty(), "traced run exported no events");
+    let mut spans = 0usize;
+    for item in items {
+        let Value::Object(event) = item else {
+            panic!("every trace event must be an object");
+        };
+        for key in ["name", "ph", "pid", "tid", "ts"] {
+            assert!(
+                event.iter().any(|(k, _)| k == key),
+                "trace event is missing the required key {key:?}"
+            );
+        }
+        if event
+            .iter()
+            .any(|(k, v)| k == "ph" && matches!(v, Value::Str(s) if s == "B"))
+        {
+            spans += 1;
+        }
+    }
+    assert!(spans > 0, "the exported trace contains no duration spans");
+    let serialized = sink.chrome_trace_json();
+    assert!(
+        serialized.starts_with('{') && serialized.ends_with('}'),
+        "chrome trace JSON must be one object"
+    );
+    println!(
+        "trace: {} events ({} span begins), {} bytes of Chrome-trace JSON",
+        items.len(),
+        spans,
+        serialized.len()
+    );
+    print!("{}", sink.summary());
+}
+
 fn mesh_inputs() -> ProgramInputs {
     let mesh = UnstructuredMesh::generate(MeshConfig::tiny(4_000));
     ProgramInputs::new()
@@ -174,29 +232,42 @@ fn main() {
     // Case 1: unstructured-mesh edge sweep, RetryPhase recovery.
     let mesh = mesh_inputs();
     let (e0, e1) = sweep_epochs(&mesh);
-    let clean = run_case(&mesh, None);
+    let clean = run_case(&mesh, None, None);
     let plan = smoke_plan(e0, e1);
-    let recovered = run_case(
-        &mesh,
-        Some((
-            Arc::clone(&plan),
-            RecoveryPolicy::RetryPhase {
-                max_attempts: 3,
-                backoff: Duration::ZERO,
-            },
-        )),
-    );
+    let retry = || RecoveryPolicy::RetryPhase {
+        max_attempts: 3,
+        backoff: Duration::ZERO,
+    };
+    let recovered = run_case(&mesh, Some((Arc::clone(&plan), retry())), None);
     assert!(plan.exhausted(), "mesh: every scheduled fault fired");
     assert_bit_identical("mesh/retry-phase", &clean, &recovered);
+
+    // Case 1b: the same recovered run with the flight recorder enabled.
+    // Tracing is an observer — the traced run must be bit-identical to the
+    // untraced one — and the recorded timeline must export as well-formed
+    // Chrome-trace JSON with monotone span nesting on every lane.
+    let sink = Arc::new(TraceSink::new(WORKERS));
+    let plan = smoke_plan(e0, e1);
+    let traced = run_case(
+        &mesh,
+        Some((Arc::clone(&plan), retry())),
+        Some(Arc::clone(&sink)),
+    );
+    assert!(plan.exhausted(), "mesh/traced: every scheduled fault fired");
+    assert_bit_identical("mesh/traced-vs-untraced", &recovered, &traced);
+    sink.finish();
+    sink.check_span_nesting().expect("span nesting");
+    validate_chrome_trace(&sink);
 
     // Case 2: MD non-bonded pair sweep, RollbackToCheckpoint recovery.
     let md = md_inputs();
     let (e0, e1) = sweep_epochs(&md);
-    let clean = run_case(&md, None);
+    let clean = run_case(&md, None, None);
     let plan = smoke_plan(e0, e1);
     let recovered = run_case(
         &md,
         Some((Arc::clone(&plan), RecoveryPolicy::RollbackToCheckpoint)),
+        None,
     );
     assert!(plan.exhausted(), "md: every scheduled fault fired");
     assert_bit_identical("md/rollback-to-checkpoint", &clean, &recovered);

@@ -246,6 +246,134 @@ fn steady_state_fused_sweep_is_allocation_free() {
     assert!(machine.elapsed().max_seconds() > 0.0);
 }
 
+/// Tracing must be zero-cost in the heap sense on both sides of the switch:
+/// with no `TraceSink` installed the steady-state sweep's only trace cost is
+/// one `Option` check per hook (zero allocations — the contract that lets
+/// the hooks live on the hot path at all), and with a sink *installed* the
+/// preallocated per-lane rings absorb every recorded event, so steady-state
+/// recording is allocation-free too (the rings wrap; they never grow).
+#[test]
+fn steady_state_sweep_is_allocation_free_with_tracing_disabled_and_enabled() {
+    use chaos_repro::dmsim::TraceSink;
+    use chaos_repro::runtime::{gather_inline, scatter_combine_rows, scatter_pack_kernel};
+    use std::sync::Arc;
+
+    struct RankArea {
+        ghosts: Vec<f64>,
+        contrib: Vec<f64>,
+    }
+
+    let nprocs = 8;
+    let n = 4096usize;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 3 + i / 17) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 2.0 + (i % 61) as f64).collect();
+    let x = DistArray::from_global("x", dist.clone(), &data);
+
+    let mut pattern = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for k in 0..512 {
+            pattern.refs[p].push(((p * 127 + k * 19) % n) as u32);
+        }
+    }
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let inspect = Inspector.localize(&mut machine, "L", &dist, &pattern);
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+
+    let mut y: Vec<Vec<f64>> = (0..nprocs).map(|p| vec![0.0; x.local(p).len()]).collect();
+    let mut areas: Vec<RankArea> = (0..nprocs)
+        .map(|p| RankArea {
+            ghosts: vec![0.0; inspect.ghost_counts[p]],
+            contrib: vec![0.0; inspect.ghost_counts[p]],
+        })
+        .collect();
+
+    let sweep = |machine: &mut Machine, y: &mut Vec<Vec<f64>>, areas: &mut Vec<RankArea>| {
+        gather_inline(
+            machine,
+            &inspect.schedule,
+            &x,
+            areas.iter_mut().map(|a| &mut a.ghosts),
+        );
+        machine.run_sweep(
+            &mut y[..],
+            &mut areas[..],
+            |ctx, y_local, area| {
+                let rank = ctx.rank();
+                area.contrib.fill(0.0);
+                let x_local = x.local(rank);
+                let mut owned = 0u32;
+                for r in &inspect.localized[rank] {
+                    match *r {
+                        LocalRef::Owned(off) => {
+                            y_local[off as usize] += 2.0 * x_local[off as usize];
+                            owned += 1;
+                        }
+                        LocalRef::Ghost(slot) => {
+                            area.contrib[slot as usize] += 2.0 * area.ghosts[slot as usize];
+                        }
+                    }
+                }
+                ctx.charge_compute(rank, owned as f64);
+            },
+            1,
+            |_areas, _j| true,
+            |ctx, _j| scatter_pack_kernel(ctx, &inspect.schedule),
+            |ctx, _j, y_local, areas| {
+                scatter_combine_rows(
+                    ctx,
+                    &inspect.schedule,
+                    |p| areas[p].contrib.as_slice(),
+                    &mut y_local[..],
+                    &|a, b| *a += b,
+                );
+            },
+        );
+    };
+
+    // Disabled trace: a sink was installed once and then removed, so the
+    // `None` branch of every hook is the one actually running.
+    let sink = Arc::new(TraceSink::new(0));
+    machine.install_trace(Some(Arc::clone(&sink)));
+    machine.install_trace(None);
+    for _ in 0..3 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let disabled_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        disabled_allocs, 0,
+        "disabled-trace steady-state sweeps allocated {disabled_allocs} times"
+    );
+
+    // Enabled trace: the rings were preallocated at construction and wrap
+    // in place, so recording every sweep's events still allocates nothing.
+    machine.install_trace(Some(Arc::clone(&sink)));
+    for _ in 0..3 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let events_before: usize = (0..sink.lanes()).map(|l| sink.events(l).len()).sum();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let enabled_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    let events_after: usize = (0..sink.lanes()).map(|l| sink.events(l).len()).sum();
+    assert_eq!(
+        enabled_allocs, 0,
+        "enabled-trace steady-state sweeps allocated {enabled_allocs} times"
+    );
+    // The traced sweeps really recorded (ring growth or wrap, not silence).
+    assert!(
+        events_after > events_before || sink.dropped() > 0,
+        "traced sweeps recorded no events"
+    );
+}
+
 /// Checkpoint / rollback of a steady epoch must also be allocation-free:
 /// `Machine::snapshot_into` / `restore_from` reuse the snapshot's buffers,
 /// and `DistArray::copy_values_from` overwrites shard values in place. This
