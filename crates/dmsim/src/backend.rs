@@ -44,9 +44,12 @@
 
 use crate::fault::{self, CaughtPanic, FaultPlan, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge, ProcId};
+use crate::metrics::{Counter, EngineKind, MetricsRegistry, SpanKind};
+use crate::stats::PhaseKind;
 use crate::trace::{TraceEventKind, TraceSink};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// The label bucket every engine's fused executor sweep attributes its
 /// scatter phases to (via [`PhaseEnd::QuietLabelled`]), so fused and split
@@ -486,6 +489,9 @@ fn diagnose(machine: &Machine, err: PhaseError) -> PhaseError {
         t.record_driver(TraceEventKind::ErrorDiagnosed, 0);
         t.capture_error_tail();
     }
+    if let Some(m) = machine.metrics() {
+        m.incr(None, Counter::ErrorsDiagnosed, 1);
+    }
     err
 }
 
@@ -496,6 +502,42 @@ pub(crate) fn close_phase(machine: &mut Machine, end: PhaseEnd<'_>, phase: Phase
         PhaseEnd::Labelled(label) => machine.end_phase(label, phase),
         PhaseEnd::QuietLabelled(label) => machine.end_phase_quiet_labelled(label, phase),
     }
+}
+
+/// Start timing a metrics span: `Some(Instant)` only when a registry is
+/// installed, so the disabled path never reads the clock.
+#[inline]
+pub(crate) fn metrics_span_begin(metrics: &Option<Arc<MetricsRegistry>>) -> Option<Instant> {
+    metrics.as_ref().map(|_| Instant::now())
+}
+
+/// Close a driver-side replay span opened with [`metrics_span_begin`]:
+/// record its duration into the `engine` × replay × `kind` histogram and
+/// bump the replay counter (no-op when metrics are off).
+#[inline]
+pub(crate) fn metrics_replay_end(
+    metrics: &Option<Arc<MetricsRegistry>>,
+    engine: EngineKind,
+    kind: PhaseKind,
+    t0: Option<Instant>,
+) {
+    if let (Some(m), Some(t0)) = (metrics, t0) {
+        m.incr(None, Counter::ReplayRuns, 1);
+        m.record_span(
+            None,
+            engine,
+            SpanKind::Replay,
+            kind,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
+}
+
+/// The phase kind metrics spans recorded during the current region are
+/// keyed by: the machine's current kind, `Other` when none is set.
+#[inline]
+pub(crate) fn metrics_phase_kind(machine: &Machine) -> PhaseKind {
+    machine.stats().current_kind().unwrap_or(PhaseKind::Other)
 }
 
 /// Open a driver-side charge-replay span (no-op when tracing is off).
@@ -550,11 +592,21 @@ where
     let nprocs = machine.nprocs();
     let plan = machine.fault_plan().cloned();
     let trace = machine.tracer().cloned();
+    let metrics = machine.metrics().cloned();
+    let kind = metrics_phase_kind(machine);
     let epoch = machine.epoch();
+    let t0 = metrics_span_begin(&metrics);
     let mut count = 0;
     for (rank, st) in state.into_iter().enumerate() {
         assert!(rank < nprocs, "state must yield one item per rank");
-        fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+        fault::fire_traced(
+            plan.as_deref(),
+            epoch,
+            rank,
+            trace.as_deref(),
+            metrics.as_deref(),
+            None,
+        );
         if let Some(t) = &trace {
             t.record_driver(TraceEventKind::KernelEnter, rank as u32);
         }
@@ -573,6 +625,18 @@ where
         count += 1;
     }
     assert_eq!(count, nprocs, "state must yield one item per rank");
+    if let (Some(m), Some(t0)) = (&metrics, t0) {
+        // The sequential oracle runs every rank on the driver: one kernel
+        // span covering the whole loop, on the driver shard.
+        m.incr(None, Counter::KernelRuns, nprocs as u64);
+        m.record_span(
+            None,
+            EngineKind::Machine,
+            SpanKind::Kernel,
+            kind,
+            t0.elapsed().as_nanos() as u64,
+        );
+    }
 }
 
 /// Run one communication phase **inline on the driver**, against the shared
@@ -661,9 +725,17 @@ impl Backend for Machine {
         let nprocs = self.nprocs();
         let plan = self.fault_plan().cloned();
         let trace = self.tracer().cloned();
+        let metrics = self.metrics().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            fault::fire_traced(
+                plan.as_deref(),
+                epoch,
+                rank,
+                trace.as_deref(),
+                metrics.as_deref(),
+                None,
+            );
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -690,12 +762,20 @@ impl Backend for Machine {
         let nprocs = self.nprocs();
         let plan = self.fault_plan().cloned();
         let trace = self.tracer().cloned();
+        let metrics = self.metrics().cloned();
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
         let mut phase = PhaseCharge::new();
         for (rank, row) in matrix.iter_mut().enumerate() {
-            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            fault::fire_traced(
+                plan.as_deref(),
+                epoch,
+                rank,
+                trace.as_deref(),
+                metrics.as_deref(),
+                None,
+            );
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -737,8 +817,18 @@ impl Backend for Machine {
         assert_eq!(posted.len(), nprocs, "one posted area per rank");
         let plan = self.fault_plan().cloned();
         let trace = self.tracer().cloned();
+        let metrics = self.metrics().cloned();
+        let kind = metrics_phase_kind(self);
+        let t0 = metrics_span_begin(&metrics);
         for (rank, (sc, px)) in scratch.iter_mut().zip(posted.iter_mut()).enumerate() {
-            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            fault::fire_traced(
+                plan.as_deref(),
+                epoch,
+                rank,
+                trace.as_deref(),
+                metrics.as_deref(),
+                None,
+            );
             if let Some(t) = &trace {
                 t.record_driver(TraceEventKind::KernelEnter, rank as u32);
             }
@@ -754,6 +844,16 @@ impl Backend for Machine {
             if let Some(t) = &trace {
                 t.record_driver(TraceEventKind::KernelExit, rank as u32);
             }
+        }
+        if let (Some(m), Some(t0)) = (&metrics, t0) {
+            m.incr(None, Counter::KernelRuns, nprocs as u64);
+            m.record_span(
+                None,
+                EngineKind::Machine,
+                SpanKind::Kernel,
+                kind,
+                t0.elapsed().as_nanos() as u64,
+            );
         }
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
@@ -772,6 +872,7 @@ impl Backend for Machine {
                 scatter_pack(&mut ctx, j);
             }
             close_phase(self, PhaseEnd::QuietLabelled(FUSED_SWEEP_LABEL), phase);
+            let t0 = metrics_span_begin(&metrics);
             for (rank, sc) in scratch.iter_mut().enumerate() {
                 if let Some(t) = &trace {
                     t.record_driver(TraceEventKind::CombineEnter, rank as u32);
@@ -788,6 +889,16 @@ impl Backend for Machine {
                 if let Some(t) = &trace {
                     t.record_driver(TraceEventKind::CombineExit, rank as u32);
                 }
+            }
+            if let (Some(m), Some(t0)) = (&metrics, t0) {
+                m.incr(None, Counter::CombineRuns, nprocs as u64);
+                m.record_span(
+                    None,
+                    EngineKind::Machine,
+                    SpanKind::Combine,
+                    kind,
+                    t0.elapsed().as_nanos() as u64,
+                );
             }
         }
     }
@@ -845,7 +956,9 @@ impl ThreadedBackend {
     /// When tracing is on, each rank's thread brackets its kernel with a
     /// `span` Begin/End pair on ring `rank` (the End is recorded even when
     /// the kernel unwinds, keeping span nesting consistent) and faults are
-    /// fired through the traced path.
+    /// fired through the traced path. When metrics are on, each rank
+    /// records one kernel/combine span and counter tick into shard `rank`
+    /// (the threaded engine's lane), keyed by `kind`.
     #[allow(clippy::too_many_arguments)]
     fn fan_out<St, F>(
         nprocs: usize,
@@ -854,6 +967,8 @@ impl ThreadedBackend {
         plan: Option<&FaultPlan>,
         epoch: u64,
         trace: Option<&TraceSink>,
+        metrics: Option<&MetricsRegistry>,
+        kind: PhaseKind,
         span: TraceEventKind,
         states: Vec<St>,
         kernel: &F,
@@ -871,8 +986,9 @@ impl ThreadedBackend {
                     if let Some(t) = trace {
                         t.record(rank, span, rank as u32);
                     }
+                    let mt0 = metrics.map(|_| Instant::now());
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        fault::fire_traced(plan, epoch, rank, trace, Some(rank));
+                        fault::fire_traced(plan, epoch, rank, trace, metrics, Some(rank));
                         let mut ctx =
                             RankCtx::recording(rank, nprocs, &mut ledger.events, in_phase);
                         kernel(&mut ctx, st);
@@ -880,6 +996,21 @@ impl ThreadedBackend {
                     if let Some(t) = trace {
                         let end = span.span_partner().unwrap_or(span);
                         t.record(rank, end, rank as u32);
+                    }
+                    if let (Some(m), Some(t0)) = (metrics, mt0) {
+                        let (sk, counter) = if span == TraceEventKind::CombineEnter {
+                            (SpanKind::Combine, Counter::CombineRuns)
+                        } else {
+                            (SpanKind::Kernel, Counter::KernelRuns)
+                        };
+                        m.incr(Some(rank), counter, 1);
+                        m.record_span(
+                            Some(rank),
+                            EngineKind::Threaded,
+                            sk,
+                            kind,
+                            t0.elapsed().as_nanos() as u64,
+                        );
                     }
                     if let Err(payload) = result {
                         caught.lock().unwrap().push(CaughtPanic {
@@ -930,6 +1061,8 @@ impl Backend for ThreadedBackend {
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
         let states: Vec<St> = state.into_iter().collect();
         Self::fan_out(
             nprocs,
@@ -938,13 +1071,17 @@ impl Backend for ThreadedBackend {
             plan.as_deref(),
             epoch,
             trace.as_deref(),
+            metrics.as_deref(),
+            kind,
             TraceEventKind::KernelEnter,
             states,
             &kernel,
         );
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
     }
 
     fn run_phase<St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -961,13 +1098,22 @@ impl Backend for ThreadedBackend {
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
         // The pack stage only charges (it moves no data), so fanning it out
         // would parallelize nothing: run it on the driver thread, applying
         // charges directly — by construction the same sequence a record +
         // replay would produce.
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            fault::fire_traced(
+                plan.as_deref(),
+                epoch,
+                rank,
+                trace.as_deref(),
+                metrics.as_deref(),
+                None,
+            );
             let mut ctx = RankCtx {
                 rank,
                 nprocs,
@@ -988,13 +1134,17 @@ impl Backend for ThreadedBackend {
             plan.as_deref(),
             epoch,
             trace.as_deref(),
+            metrics.as_deref(),
+            kind,
             TraceEventKind::KernelEnter,
             states,
             &unpack,
         );
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
     }
 
     fn run_exchange<T, St, I, A, B>(&mut self, end: PhaseEnd<'_>, pack: A, state: I, unpack: B)
@@ -1012,6 +1162,8 @@ impl Backend for ThreadedBackend {
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
         let mut matrix: Vec<Vec<Vec<T>>> = (0..nprocs)
             .map(|_| (0..nprocs).map(|_| Vec::new()).collect())
             .collect();
@@ -1024,14 +1176,18 @@ impl Backend for ThreadedBackend {
             plan.as_deref(),
             epoch,
             trace.as_deref(),
+            metrics.as_deref(),
+            kind,
             TraceEventKind::KernelEnter,
             rows,
             &|ctx: &mut RankCtx<'_>, row: &mut Vec<Vec<T>>| pack(ctx, &mut Outbox { row }),
         );
         let mut phase = PhaseCharge::new();
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         Self::replay(&mut self.machine, Some(&mut phase), &self.ledgers);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
         close_phase(&mut self.machine, end, phase);
         // Unpack in parallel: rank r reads column r.
         let states: Vec<St> = state.into_iter().collect();
@@ -1043,15 +1199,19 @@ impl Backend for ThreadedBackend {
             plan.as_deref(),
             epoch,
             trace.as_deref(),
+            metrics.as_deref(),
+            kind,
             TraceEventKind::KernelEnter,
             states.into_iter().enumerate().collect(),
             &|ctx: &mut RankCtx<'_>, (rank, st): (usize, St)| {
                 unpack(ctx, st, &Inbox { matrix, me: rank })
             },
         );
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
     }
 
     fn run_sweep<Sc, Px, C, A, P, S>(
@@ -1088,6 +1248,8 @@ impl Backend for ThreadedBackend {
         assert_eq!(posted.len(), nprocs, "one posted area per rank");
         let plan = self.machine.fault_plan().cloned();
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
         // Compute: one thread per rank, the sweep's only fault-injection
         // point. A rank panic re-raises from fan_out before any replay, so
         // the machine keeps only the epoch advance from the failed sweep.
@@ -1099,13 +1261,17 @@ impl Backend for ThreadedBackend {
             plan.as_deref(),
             epoch,
             trace.as_deref(),
+            metrics.as_deref(),
+            kind,
             TraceEventKind::KernelEnter,
             states,
             &|ctx: &mut RankCtx<'_>, (sc, px): (&mut Sc, &mut Px)| compute(ctx, sc, px),
         );
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         Self::replay(&mut self.machine, None, &self.ledgers);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
                 continue;
@@ -1140,13 +1306,17 @@ impl Backend for ThreadedBackend {
                 None,
                 epoch,
                 trace.as_deref(),
+                metrics.as_deref(),
+                kind,
                 TraceEventKind::CombineEnter,
                 states,
                 &|ctx: &mut RankCtx<'_>, sc: &mut Sc| combine(ctx, j, sc, posted_ref),
             );
+            let mt0 = metrics_span_begin(&metrics);
             trace_replay_begin(&trace);
             Self::replay(&mut self.machine, None, &self.ledgers);
             trace_replay_end(&trace, &self.machine);
+            metrics_replay_end(&metrics, EngineKind::Threaded, kind, mt0);
         }
     }
 

@@ -214,27 +214,34 @@ impl FaultPlan {
 }
 
 /// Fire the plan (if any) for `(epoch, rank)` — the helper every engine
-/// calls at kernel entry — with a trace hook: when a fault is about to fire at
-/// `(epoch, rank)` and a sink is installed, record a
-/// [`FaultFired`](crate::trace::TraceEventKind::FaultFired) event first —
-/// on `lane`'s ring, or the driver's when `lane` is `None` — so the flight
-/// recorder sees the injection even when the fault unwinds the kernel.
+/// calls at kernel entry — with observer hooks: when a fault is about to
+/// fire at `(epoch, rank)`, record a
+/// [`FaultFired`](crate::trace::TraceEventKind::FaultFired) event on the
+/// installed sink (on `lane`'s ring, or the driver's when `lane` is `None`)
+/// and bump the metrics registry's
+/// [`FaultsFired`](crate::metrics::Counter::FaultsFired) counter on the
+/// same lane — both *before* `fire`, so the observers see the injection
+/// even when the fault unwinds the kernel.
 #[inline]
 pub(crate) fn fire_traced(
     plan: Option<&FaultPlan>,
     epoch: u64,
     rank: usize,
     trace: Option<&crate::trace::TraceSink>,
+    metrics: Option<&crate::metrics::MetricsRegistry>,
     lane: Option<usize>,
 ) {
     if let Some(plan) = plan {
-        if let Some(t) = trace {
-            if plan.scheduled(epoch, rank) {
+        if (trace.is_some() || metrics.is_some()) && plan.scheduled(epoch, rank) {
+            if let Some(t) = trace {
                 let kind = crate::trace::TraceEventKind::FaultFired;
                 match lane {
                     Some(l) => t.record(l, kind, rank as u32),
                     None => t.record_driver(kind, rank as u32),
                 }
+            }
+            if let Some(m) = metrics {
+                m.incr(lane, crate::metrics::Counter::FaultsFired, 1);
             }
         }
         plan.fire(epoch, rank);

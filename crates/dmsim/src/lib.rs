@@ -53,6 +53,7 @@ pub mod config;
 pub mod exchange;
 pub mod fault;
 pub mod machine;
+pub mod metrics;
 pub mod pool;
 pub mod stats;
 pub mod time;
@@ -72,6 +73,10 @@ pub use fault::{
     Fault, FaultKind, FaultPlan, InjectedFault, PhaseCause, PhaseError, RankFailure, RecoveryPolicy,
 };
 pub use machine::{Machine, MachineSnapshot, PhaseCharge, ProcId};
+pub use metrics::{
+    AuditReport, AuditRow, Counter, EngineKind, Histogram, MetricsRegistry, MetricsSnapshot,
+    SpanCell, SpanKind,
+};
 pub use pool::PooledBackend;
 pub use stats::{CommStats, PhaseKind, PhaseRecord, StatsRegistry, StatsSnapshot};
 pub use time::{ElapsedReport, ProcClock, SimTime};

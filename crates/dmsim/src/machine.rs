@@ -4,6 +4,7 @@
 use crate::config::{MachineConfig, SyncModel};
 use crate::exchange::{Delivered, ExchangePlan};
 use crate::fault::FaultPlan;
+use crate::metrics::{Counter, MetricsRegistry};
 use crate::stats::{copy_btree_values, CommStats, PhaseKind, StatsRegistry, StatsSnapshot};
 use crate::time::{ElapsedReport, ProcClock};
 use crate::topology::hops;
@@ -72,6 +73,11 @@ pub struct Machine {
     /// pointer test, no allocation, no clock effect. Shared across machine
     /// clones like the fault plan.
     trace: Option<Arc<TraceSink>>,
+    /// The installed metrics registry, fed from the same hook points as the
+    /// trace sink. `None` (the default) keeps every hook on the disabled
+    /// fast path: one pointer test, no allocation, no clock effect. Shared
+    /// across machine clones like the fault plan and the trace sink.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// A reusable snapshot of a [`Machine`]'s mutable state (clocks, statistics,
@@ -125,6 +131,7 @@ impl Machine {
             epoch: 0,
             faults: None,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -143,6 +150,9 @@ impl Machine {
         self.epoch += 1;
         if self.trace.is_some() {
             self.trace_epoch_boundary();
+        }
+        if let Some(m) = &self.metrics {
+            m.incr(None, Counter::Epochs, 1);
         }
         self.epoch
     }
@@ -200,6 +210,21 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Install (or clear) the metrics registry every engine feeds. Like the
+    /// trace sink, the registry is shared rather than cloned, so machine
+    /// clones and snapshot restores keep accumulating into the same shards.
+    /// Installing a registry never changes modeled clocks, values or
+    /// statistics — metrics only observe them (see
+    /// [`crate::metrics`]).
+    pub fn install_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        self.metrics = registry;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
     /// Write this machine's mutable state into `snap`, reusing its buffers
     /// (allocation-free in steady state — see [`MachineSnapshot`]).
     pub fn snapshot_into(&self, snap: &mut MachineSnapshot) {
@@ -245,6 +270,16 @@ impl Machine {
         let outgoing = self.stats.current_kind();
         if let Some(k) = outgoing {
             *self.phase_elapsed.entry(k).or_insert(0.0) += now - self.last_phase_sample;
+        }
+        if let Some(m) = &self.metrics {
+            // The cost-model auditor rides the same sampling point: the
+            // modeled delta credited above, paired with the wall time the
+            // driver actually spent since the previous sample. Intervals
+            // with no active kind are attributed to `Other`.
+            m.audit_sample(
+                outgoing.unwrap_or(PhaseKind::Other),
+                now - self.last_phase_sample,
+            );
         }
         self.last_phase_sample = now;
         self.stats.set_current_kind(kind)
@@ -382,6 +417,9 @@ impl Machine {
             stats.comm_seconds += 2.0 * (transfer + pack);
         }
 
+        if let Some(m) = &self.metrics {
+            m.note_phase_volume(&stats);
+        }
         self.stats.record(label, stats);
         if self.cfg.sync == SyncModel::BarrierPerPhase {
             self.synchronize_clocks();
@@ -422,6 +460,9 @@ impl Machine {
     /// Finish a hand-charged message phase, recording it under `label` and
     /// applying the per-phase barrier if the sync model asks for one.
     pub fn end_phase(&mut self, label: &str, phase: PhaseCharge) {
+        if let Some(m) = &self.metrics {
+            m.note_phase_volume(&phase.stats);
+        }
         self.stats.record(label, phase.stats);
         if self.cfg.sync == SyncModel::BarrierPerPhase {
             self.synchronize_clocks();
@@ -434,6 +475,9 @@ impl Machine {
     /// performs no heap allocation in steady state, which the executor's
     /// per-iteration gather/scatter relies on.
     pub fn end_phase_quiet(&mut self, phase: PhaseCharge) {
+        if let Some(m) = &self.metrics {
+            m.note_phase_volume(&phase.stats);
+        }
         self.stats.record_quiet(phase.stats);
         if self.cfg.sync == SyncModel::BarrierPerPhase {
             self.synchronize_clocks();
@@ -447,6 +491,9 @@ impl Machine {
     /// and grand totals evolve exactly as [`Machine::end_phase_quiet`];
     /// allocation-free in steady state once the label's bucket exists.
     pub fn end_phase_quiet_labelled(&mut self, label: &'static str, phase: PhaseCharge) {
+        if let Some(m) = &self.metrics {
+            m.note_phase_volume(&phase.stats);
+        }
         self.stats.record_quiet_labelled(label, phase.stats);
         if self.cfg.sync == SyncModel::BarrierPerPhase {
             self.synchronize_clocks();
@@ -463,15 +510,16 @@ impl Machine {
             for c in &mut self.clocks {
                 c.charge_comm(t);
             }
-            self.stats.record(
-                label,
-                CommStats {
-                    messages: 2 * (p - 1),
-                    bytes: 0,
-                    phases: 1,
-                    comm_seconds: t * p as f64,
-                },
-            );
+            let stats = CommStats {
+                messages: 2 * (p - 1),
+                bytes: 0,
+                phases: 1,
+                comm_seconds: t * p as f64,
+            };
+            if let Some(m) = &self.metrics {
+                m.note_phase_volume(&stats);
+            }
+            self.stats.record(label, stats);
         }
         self.synchronize_clocks();
     }

@@ -43,12 +43,14 @@
 //! count, on any core count.
 
 use crate::backend::{
-    close_phase, replay_events, trace_replay_begin, trace_replay_end, Backend, ChargeEvent, Inbox,
-    Outbox, PhaseEnd, RankCtx, FUSED_SWEEP_LABEL,
+    close_phase, metrics_phase_kind, metrics_replay_end, metrics_span_begin, replay_events,
+    trace_replay_begin, trace_replay_end, Backend, ChargeEvent, Inbox, Outbox, PhaseEnd, RankCtx,
+    FUSED_SWEEP_LABEL,
 };
 use crate::config::MachineConfig;
 use crate::fault::{self, CaughtPanic, PanicBundle, PhaseError};
 use crate::machine::{Machine, PhaseCharge};
+use crate::metrics::{Counter, EngineKind, SpanKind};
 use crate::trace::TraceEventKind;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -595,6 +597,9 @@ impl PooledBackend {
         let plan = plan.as_deref();
         let trace = self.machine.tracer().cloned();
         let trace = trace.as_deref();
+        let metrics = self.machine.metrics().cloned();
+        let metrics = metrics.as_deref();
+        let kind = metrics_phase_kind(&self.machine);
         let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
         let progress = &self.pool.shared.progress;
         let arenas = RawCells::new(&mut self.arenas);
@@ -603,10 +608,18 @@ impl PooledBackend {
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::WorkerRelease, parked as u32);
                 }
+                if let Some(m) = metrics {
+                    m.incr(Some(lane), Counter::WorkerReleases, 1);
+                    if parked {
+                        m.incr(Some(lane), Counter::WorkerParks, 1);
+                    }
+                }
                 // Safety: lane indices are distinct across the pool's lanes.
                 let arena = unsafe { arenas.get_mut(lane) };
                 arena.events.clear();
                 arena.starts.clear();
+                let kt0 = metrics.map(|_| Instant::now());
+                let mut ran = 0u64;
                 let mut rank = lane;
                 while rank < nprocs {
                     arena.starts.push(arena.events.len() as u32);
@@ -614,7 +627,7 @@ impl PooledBackend {
                         t.record(lane, TraceEventKind::KernelEnter, rank as u32);
                     }
                     let result = catch_unwind(AssertUnwindSafe(|| {
-                        fault::fire_traced(plan, epoch, rank, trace, Some(lane));
+                        fault::fire_traced(plan, epoch, rank, trace, metrics, Some(lane));
                         let mut ctx = RankCtx::recording(rank, nprocs, &mut arena.events, in_phase);
                         run_rank(&mut ctx, rank);
                     }));
@@ -630,11 +643,25 @@ impl PooledBackend {
                         });
                     }
                     progress[lane].fetch_add(1, Ordering::Release);
+                    ran += 1;
                     rank += lanes;
                 }
                 arena.starts.push(arena.events.len() as u32);
+                if let (Some(m), Some(t0)) = (metrics, kt0) {
+                    m.incr(Some(lane), Counter::KernelRuns, ran);
+                    m.record_span(
+                        Some(lane),
+                        EngineKind::Pooled,
+                        SpanKind::Kernel,
+                        kind,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::BarrierArrive, lane as u32);
+                }
+                if let Some(m) = metrics {
+                    m.incr(Some(lane), Counter::BarrierWaits, 1);
                 }
             },
             self.deadline,
@@ -734,9 +761,13 @@ impl PooledBackend {
             });
         }
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         self.replay(None);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Pooled, kind, mt0);
     }
 }
 
@@ -779,9 +810,17 @@ impl Backend for PooledBackend {
         let nprocs = self.machine.nprocs();
         let plan = self.machine.fault_plan().cloned();
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
         let mut phase = PhaseCharge::new();
         for rank in 0..nprocs {
-            fault::fire_traced(plan.as_deref(), epoch, rank, trace.as_deref(), None);
+            fault::fire_traced(
+                plan.as_deref(),
+                epoch,
+                rank,
+                trace.as_deref(),
+                metrics.as_deref(),
+                None,
+            );
             let mut ctx = RankCtx::direct(rank, nprocs, &mut self.machine, Some(&mut phase));
             pack(&mut ctx);
         }
@@ -816,10 +855,14 @@ impl Backend for PooledBackend {
             });
         }
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let kind = metrics_phase_kind(&self.machine);
         let mut phase = PhaseCharge::new();
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         self.replay(Some(&mut phase));
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Pooled, kind, mt0);
         close_phase(&mut self.machine, end, phase);
         // Unpack: rank r reads column r of the (now frozen) matrix.
         let mut states = self.collect_states(state);
@@ -832,9 +875,11 @@ impl Backend for PooledBackend {
                 unpack(ctx, st, &Inbox::new(matrix, rank));
             });
         }
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         self.replay(None);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Pooled, kind, mt0);
     }
 
     fn run_sweep<Sc, Px, C, A, P, S>(
@@ -874,6 +919,9 @@ impl Backend for PooledBackend {
         let plan = plan.as_deref();
         let trace = self.machine.tracer().cloned();
         let trace = trace.as_deref();
+        let metrics = self.machine.metrics().cloned();
+        let metrics = metrics.as_deref();
+        let kind = metrics_phase_kind(&self.machine);
         let caught: Mutex<Vec<CaughtPanic>> = Mutex::new(Vec::new());
         let panicked = AtomicBool::new(false);
         let barrier = StageBarrier::new(lanes);
@@ -889,12 +937,20 @@ impl Backend for PooledBackend {
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::WorkerRelease, parked as u32);
                 }
+                if let Some(m) = metrics {
+                    m.incr(Some(lane), Counter::WorkerReleases, 1);
+                    if parked {
+                        m.incr(Some(lane), Counter::WorkerParks, 1);
+                    }
+                }
                 // Safety: lane indices are distinct across the pool's lanes.
                 let arena = unsafe { arenas.get_mut(lane) };
                 arena.events.clear();
                 arena.starts.clear();
                 // Compute stage: per-rank caught, the sweep's only
                 // fault-injection points.
+                let kt0 = metrics.map(|_| Instant::now());
+                let mut ran = 0u64;
                 let pre = catch_unwind(AssertUnwindSafe(|| {
                     let mut rank = lane;
                     while rank < nprocs {
@@ -903,7 +959,7 @@ impl Backend for PooledBackend {
                             t.record(lane, TraceEventKind::KernelEnter, rank as u32);
                         }
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            fault::fire_traced(plan, epoch, rank, trace, Some(lane));
+                            fault::fire_traced(plan, epoch, rank, trace, metrics, Some(lane));
                             let mut ctx =
                                 RankCtx::recording(rank, nprocs, &mut arena.events, false);
                             // Safety: rank → lane striping is a partition.
@@ -924,11 +980,22 @@ impl Backend for PooledBackend {
                             });
                         }
                         progress[lane].fetch_add(1, Ordering::Release);
+                        ran += 1;
                         rank += lanes;
                     }
                 }));
                 if pre.is_err() {
                     panicked.store(true, Ordering::Release);
+                }
+                if let (Some(m), Some(t0)) = (metrics, kt0) {
+                    m.incr(Some(lane), Counter::KernelRuns, ran);
+                    m.record_span(
+                        Some(lane),
+                        EngineKind::Pooled,
+                        SpanKind::Kernel,
+                        kind,
+                        t0.elapsed().as_nanos() as u64,
+                    );
                 }
                 // Every lane must arrive — re-raising before the barrier
                 // would deadlock the peers — so a pre-barrier escape is
@@ -937,9 +1004,20 @@ impl Backend for PooledBackend {
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::StageWaitBegin, 0);
                 }
+                let bt0 = metrics.map(|_| Instant::now());
                 barrier.wait();
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::StageWaitEnd, 0);
+                }
+                if let (Some(m), Some(t0)) = (metrics, bt0) {
+                    m.incr(Some(lane), Counter::BarrierWaits, 1);
+                    m.record_span(
+                        Some(lane),
+                        EngineKind::Pooled,
+                        SpanKind::BarrierWait,
+                        kind,
+                        t0.elapsed().as_nanos() as u64,
+                    );
                 }
                 if let Err(payload) = pre {
                     resume_unwind(payload);
@@ -962,6 +1040,12 @@ impl Backend for PooledBackend {
                             t.record(lane, TraceEventKind::CombineEnter, j as u32);
                         }
                     }
+                    let ct0 = if active {
+                        metrics.map(|_| Instant::now())
+                    } else {
+                        None
+                    };
+                    let mut ran = 0u64;
                     let mut rank = lane;
                     while rank < nprocs {
                         arena.starts.push(arena.events.len() as u32);
@@ -971,6 +1055,7 @@ impl Backend for PooledBackend {
                             // Safety: striping partitions scratch too.
                             let sc = unsafe { scratch_cells.get_mut(rank) };
                             combine(&mut ctx, j, sc, posted_view);
+                            ran += 1;
                         }
                         progress[lane].fetch_add(1, Ordering::Release);
                         rank += lanes;
@@ -979,11 +1064,24 @@ impl Backend for PooledBackend {
                         if let Some(t) = trace {
                             t.record(lane, TraceEventKind::CombineExit, j as u32);
                         }
+                        if let (Some(m), Some(t0)) = (metrics, ct0) {
+                            m.incr(Some(lane), Counter::CombineRuns, ran);
+                            m.record_span(
+                                Some(lane),
+                                EngineKind::Pooled,
+                                SpanKind::Combine,
+                                kind,
+                                t0.elapsed().as_nanos() as u64,
+                            );
+                        }
                     }
                 }
                 arena.starts.push(arena.events.len() as u32);
                 if let Some(t) = trace {
                     t.record(lane, TraceEventKind::BarrierArrive, lane as u32);
+                }
+                if let Some(m) = metrics {
+                    m.incr(Some(lane), Counter::BarrierWaits, 1);
                 }
             },
             self.deadline,
@@ -1013,9 +1111,12 @@ impl Backend for PooledBackend {
         // the buffer's combine spans — ascending rank order throughout, the
         // exact sequence the sequential engine produces.
         let trace = self.machine.tracer().cloned();
+        let metrics = self.machine.metrics().cloned();
+        let mt0 = metrics_span_begin(&metrics);
         trace_replay_begin(&trace);
         self.replay_stage(0, None);
         trace_replay_end(&trace, &self.machine);
+        metrics_replay_end(&metrics, EngineKind::Pooled, kind, mt0);
         for j in 0..nscatter {
             if !scatter_active(posted, j) {
                 continue;
@@ -1030,9 +1131,11 @@ impl Backend for PooledBackend {
                 PhaseEnd::QuietLabelled(FUSED_SWEEP_LABEL),
                 phase,
             );
+            let mt0 = metrics_span_begin(&metrics);
             trace_replay_begin(&trace);
             self.replay_stage(1 + j, None);
             trace_replay_end(&trace, &self.machine);
+            metrics_replay_end(&metrics, EngineKind::Pooled, kind, mt0);
         }
     }
 

@@ -29,6 +29,35 @@ pub enum PhaseKind {
 }
 
 impl PhaseKind {
+    /// Number of kinds (the size of dense per-kind tables).
+    pub const COUNT: usize = 7;
+
+    /// Every kind in declaration order — the dense-index space used by the
+    /// metrics registry's fixed-size per-kind tables.
+    pub const ALL: [PhaseKind; PhaseKind::COUNT] = [
+        PhaseKind::GraphGeneration,
+        PhaseKind::Partitioner,
+        PhaseKind::Inspector,
+        PhaseKind::Remap,
+        PhaseKind::Executor,
+        PhaseKind::Checkpoint,
+        PhaseKind::Other,
+    ];
+
+    /// Dense index of this kind within [`PhaseKind::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PhaseKind::GraphGeneration => 0,
+            PhaseKind::Partitioner => 1,
+            PhaseKind::Inspector => 2,
+            PhaseKind::Remap => 3,
+            PhaseKind::Executor => 4,
+            PhaseKind::Checkpoint => 5,
+            PhaseKind::Other => 6,
+        }
+    }
+
     /// Human-readable label used in printed tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -361,6 +390,14 @@ mod tests {
         reg.clear();
         assert!(reg.is_empty());
         assert_eq!(reg.grand_totals().messages, 0);
+    }
+
+    #[test]
+    fn dense_index_round_trips_through_all() {
+        assert_eq!(PhaseKind::ALL.len(), PhaseKind::COUNT);
+        for (i, kind) in PhaseKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
     }
 
     #[test]

@@ -353,14 +353,26 @@ impl TraceSink {
         self.epoch.store(epoch, Ordering::Relaxed);
     }
 
-    /// Total events lost to ring wrap-around or out-of-range lanes.
+    /// Total events lost to ring wrap-around or out-of-range lanes — the
+    /// sum of [`TraceSink::dropped_wrapped`] and [`TraceSink::dropped_lost`].
     pub fn dropped(&self) -> u64 {
-        let wrapped: u64 = self
-            .rings
+        self.dropped_wrapped() + self.dropped_lost()
+    }
+
+    /// Events overwritten by ring wrap-around: the flight-recorder bound
+    /// doing its job (old events age out of a full ring).
+    pub fn dropped_wrapped(&self) -> u64 {
+        self.rings
             .iter()
             .map(|r| unsafe { (*r.get()).dropped() })
-            .sum();
-        wrapped + self.lost.load(Ordering::Relaxed)
+            .sum()
+    }
+
+    /// Events addressed to a lane the sink has no ring for: unlike
+    /// wrap-around this indicates a sink sized smaller than the engine's
+    /// lane count.
+    pub fn dropped_lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
     }
 
     /// One lane's retained events, oldest first. Driver-side read: call
@@ -472,6 +484,8 @@ impl TraceSink {
             "displayTimeUnit": "ms",
             "otherData": json!({
                 "dropped": self.dropped(),
+                "dropped_wrapped": self.dropped_wrapped(),
+                "dropped_lost": self.dropped_lost(),
                 "lanes": self.rings.len(),
             }),
         })
@@ -626,6 +640,8 @@ impl TraceSink {
             epochs,
             skews_ns,
             dropped: self.dropped(),
+            dropped_wrapped: self.dropped_wrapped(),
+            dropped_lost: self.dropped_lost(),
             modeled_s: self.published_modeled(),
         }
     }
@@ -672,8 +688,13 @@ pub struct TraceSummary {
     /// Per-epoch completion-barrier skew (last arrival − first arrival),
     /// one entry per epoch with ≥ 2 arrivals.
     pub skews_ns: Vec<u64>,
-    /// Events lost to wrap-around or out-of-range lanes.
+    /// Events lost to wrap-around or out-of-range lanes (the sum of the
+    /// two split fields below).
     pub dropped: u64,
+    /// Events overwritten by ring wrap-around (the recorder bound).
+    pub dropped_wrapped: u64,
+    /// Events addressed to out-of-range lanes (an undersized sink).
+    pub dropped_lost: u64,
     /// The final published modeled clock, in seconds.
     pub modeled_s: f64,
 }
@@ -711,6 +732,8 @@ impl TraceSummary {
             "max_skew_ns": self.max_skew_ns(),
             "mean_skew_ns": self.mean_skew_ns(),
             "dropped": self.dropped,
+            "dropped_wrapped": self.dropped_wrapped,
+            "dropped_lost": self.dropped_lost,
             "modeled_s": self.modeled_s,
             "lanes": self
                 .lanes
@@ -735,12 +758,15 @@ impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "trace summary: {} epochs over {:.3} ms wall ({:.0} epochs/s), modeled {:.6} s, {} dropped",
+            "trace summary: {} epochs over {:.3} ms wall ({:.0} epochs/s), modeled {:.6} s, \
+             {} dropped ({} wrapped, {} lost)",
             self.epochs,
             self.span_ns as f64 / 1e6,
             self.epochs_per_sec(),
             self.modeled_s,
             self.dropped,
+            self.dropped_wrapped,
+            self.dropped_lost,
         )?;
         writeln!(
             f,
@@ -800,6 +826,32 @@ mod tests {
         sink.record(99, TraceEventKind::KernelEnter, 0);
         assert_eq!(sink.dropped(), 1);
         assert!(sink.events(99).is_empty());
+    }
+
+    #[test]
+    fn dropped_splits_wrap_from_lost_by_cause() {
+        let sink = TraceSink::with_capacity(1, 4);
+        for i in 0..7 {
+            sink.record(0, TraceEventKind::BarrierArrive, i); // 3 wrap away
+        }
+        sink.record(42, TraceEventKind::KernelEnter, 0); // 2 lost to a
+        sink.record(42, TraceEventKind::KernelExit, 0); // missing lane
+        assert_eq!(sink.dropped_wrapped(), 3);
+        assert_eq!(sink.dropped_lost(), 2);
+        assert_eq!(sink.dropped(), 5, "total stays the sum of both causes");
+        let summary = sink.summary();
+        assert_eq!(summary.dropped_wrapped, 3);
+        assert_eq!(summary.dropped_lost, 2);
+        assert_eq!(summary.dropped, 5);
+        assert!(summary
+            .to_string()
+            .contains("5 dropped (3 wrapped, 2 lost)"));
+        let json = serde_json::to_string(&summary.to_json()).unwrap_or_default();
+        assert!(json.contains("\"dropped_wrapped\":3"));
+        assert!(json.contains("\"dropped_lost\":2"));
+        let chrome = serde_json::to_string(&sink.chrome_trace()).unwrap_or_default();
+        assert!(chrome.contains("\"dropped_wrapped\":3"));
+        assert!(chrome.contains("\"dropped_lost\":2"));
     }
 
     #[test]

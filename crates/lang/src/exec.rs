@@ -29,8 +29,8 @@ use crate::kernel::{
 };
 use crate::lower::{CompiledProgram, LoopPlan, RefSlot};
 use chaos_dmsim::{
-    Backend, FaultPlan, Machine, MachineConfig, PhaseError, PhaseKind, PooledBackend,
-    RecoveryPolicy, ThreadedBackend, TraceEventKind, TraceSink,
+    Backend, Counter, FaultPlan, Machine, MachineConfig, MetricsRegistry, PhaseError, PhaseKind,
+    PooledBackend, RecoveryPolicy, ThreadedBackend, TraceEventKind, TraceSink,
 };
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
@@ -354,6 +354,21 @@ impl<B: Backend> Executor<B> {
     /// [`TraceSink::chrome_trace_json`] and [`TraceSink::summary`].
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.backend.machine_mut().install_trace(Some(sink));
+        self
+    }
+
+    /// Install a [`MetricsRegistry`] on the machine: every engine feeds it
+    /// from the same hook points the flight recorder uses — epoch counts,
+    /// per-lane kernel/combine/replay span histograms, barrier waits, pack
+    /// volume, checkpoint refreshes, fault firings and recovery attempts —
+    /// and the machine's phase-kind transitions feed the cost-model auditor
+    /// (modeled-vs-wall drift per [`PhaseKind`]). Metering never changes
+    /// modeled clocks, values or statistics; with no registry installed the
+    /// hooks are a single branch. Share the `Arc` and call
+    /// [`MetricsRegistry::snapshot`] / [`MetricsRegistry::audit_report`]
+    /// once the pool is quiescent.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.backend.machine_mut().install_metrics(Some(registry));
         self
     }
 
@@ -765,6 +780,9 @@ impl<B: Backend> Executor<B> {
         if let Some(t) = self.backend.machine().tracer() {
             t.record_driver(TraceEventKind::CheckpointRefresh, full as u32);
         }
+        if let Some(m) = self.backend.machine().metrics() {
+            m.incr(None, Counter::CheckpointRefreshes, 1);
+        }
 
         match self.checkpoint.as_deref_mut() {
             Some(ckpt) if !full => {
@@ -830,6 +848,9 @@ impl<B: Backend> Executor<B> {
         if let Some(t) = self.backend.machine().tracer() {
             t.record_driver(TraceEventKind::ErrorDiagnosed, err.epoch() as u32);
             t.capture_error_tail();
+        }
+        if let Some(m) = self.backend.machine().metrics() {
+            m.incr(None, Counter::ErrorsDiagnosed, 1);
         }
     }
 
@@ -969,6 +990,9 @@ impl<B: Backend> Executor<B> {
                             if let Some(t) = self.backend.machine().tracer() {
                                 t.record_driver(TraceEventKind::RetryAttempt, attempts);
                             }
+                            if let Some(m) = self.backend.machine().metrics() {
+                                m.incr(None, Counter::RetryAttempts, 1);
+                            }
                             self.restore_snapshot(presweep.as_ref().expect("taken above"));
                             restore_marks(self);
                         }
@@ -978,6 +1002,9 @@ impl<B: Backend> Executor<B> {
                             };
                             if let Some(t) = self.backend.machine().tracer() {
                                 t.record_driver(TraceEventKind::Rollback, attempts);
+                            }
+                            if let Some(m) = self.backend.machine().metrics() {
+                                m.incr(None, Counter::Rollbacks, 1);
                             }
                             self.restore_snapshot(&ckpt);
                             self.checkpoint = Some(ckpt);
@@ -1008,6 +1035,9 @@ impl<B: Backend> Executor<B> {
                         RecoveryPolicy::DegradeToMachine => {
                             if let Some(t) = self.backend.machine().tracer() {
                                 t.record_driver(TraceEventKind::Degrade, attempts);
+                            }
+                            if let Some(m) = self.backend.machine().metrics() {
+                                m.incr(None, Counter::Degrades, 1);
                             }
                             self.backend.degrade();
                             self.restore_snapshot(presweep.as_ref().expect("taken above"));

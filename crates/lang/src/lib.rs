@@ -53,7 +53,8 @@ pub mod parser;
 pub use analyze::analyze_program;
 pub use ast::{Program, Stmt};
 pub use chaos_dmsim::{
-    Fault, FaultKind, FaultPlan, PhaseError, RecoveryPolicy, TraceEvent, TraceEventKind, TraceSink,
+    AuditReport, Counter, EngineKind, Fault, FaultKind, FaultPlan, MetricsRegistry,
+    MetricsSnapshot, PhaseError, RecoveryPolicy, SpanKind, TraceEvent, TraceEventKind, TraceSink,
     TraceSummary,
 };
 pub use error::LangError;

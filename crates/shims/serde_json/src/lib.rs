@@ -142,6 +142,11 @@ fn escape_into(out: &mut String, s: &str) {
 }
 
 fn fmt_number(out: &mut String, n: f64) {
+    // JSON has no Infinity/NaN literals; serde_json serializes them as null.
+    if !n.is_finite() {
+        out.push_str("null");
+        return;
+    }
     if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
         let _ = write!(out, "{}", n as i64);
     } else {

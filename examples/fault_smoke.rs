@@ -13,7 +13,8 @@
 //! Run with `cargo run --example fault_smoke --release`.
 
 use chaos_lang::{
-    lower_program, parse_program, Executor, FaultKind, FaultPlan, ProgramInputs, RecoveryPolicy,
+    lower_program, parse_program, Counter, Executor, FaultKind, FaultPlan, MetricsRegistry,
+    ProgramInputs, RecoveryPolicy,
 };
 use chaos_repro::dmsim::{serde_json::Value, TraceSink};
 use chaos_repro::prelude::*;
@@ -56,6 +57,7 @@ fn run_case(
     inputs: &ProgramInputs,
     faults: Option<(Arc<FaultPlan>, RecoveryPolicy)>,
     trace: Option<Arc<TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 ) -> CaseResult {
     let cp = lower_program(parse_program(EDGE_TEMPLATE).expect("parse")).expect("lower");
     let mut exec =
@@ -67,6 +69,9 @@ fn run_case(
     }
     if let Some(sink) = trace {
         exec = exec.with_trace(sink);
+    }
+    if let Some(registry) = metrics {
+        exec = exec.with_metrics(registry);
     }
     exec.run(&cp).expect("program runs");
     for _ in 0..SWEEPS {
@@ -232,26 +237,29 @@ fn main() {
     // Case 1: unstructured-mesh edge sweep, RetryPhase recovery.
     let mesh = mesh_inputs();
     let (e0, e1) = sweep_epochs(&mesh);
-    let clean = run_case(&mesh, None, None);
+    let clean = run_case(&mesh, None, None, None);
     let plan = smoke_plan(e0, e1);
     let retry = || RecoveryPolicy::RetryPhase {
         max_attempts: 3,
         backoff: Duration::ZERO,
     };
-    let recovered = run_case(&mesh, Some((Arc::clone(&plan), retry())), None);
+    let recovered = run_case(&mesh, Some((Arc::clone(&plan), retry())), None, None);
     assert!(plan.exhausted(), "mesh: every scheduled fault fired");
     assert_bit_identical("mesh/retry-phase", &clean, &recovered);
 
-    // Case 1b: the same recovered run with the flight recorder enabled.
-    // Tracing is an observer — the traced run must be bit-identical to the
-    // untraced one — and the recorded timeline must export as well-formed
-    // Chrome-trace JSON with monotone span nesting on every lane.
+    // Case 1b: the same recovered run with the flight recorder and metrics
+    // registry enabled. Both are observers — the instrumented run must be
+    // bit-identical to the bare one — and the recorded timeline must export
+    // as well-formed Chrome-trace JSON with monotone span nesting on every
+    // lane. The metrics snapshot shows what recovery actually cost.
     let sink = Arc::new(TraceSink::new(WORKERS));
+    let registry = Arc::new(MetricsRegistry::new(WORKERS));
     let plan = smoke_plan(e0, e1);
     let traced = run_case(
         &mesh,
         Some((Arc::clone(&plan), retry())),
         Some(Arc::clone(&sink)),
+        Some(Arc::clone(&registry)),
     );
     assert!(plan.exhausted(), "mesh/traced: every scheduled fault fired");
     assert_bit_identical("mesh/traced-vs-untraced", &recovered, &traced);
@@ -259,14 +267,28 @@ fn main() {
     sink.check_span_nesting().expect("span nesting");
     validate_chrome_trace(&sink);
 
+    // The recovery story in counters: every injected fault was seen, every
+    // retry and checkpoint refresh was tallied, and the auditor has at
+    // least one phase kind worth of modeled-vs-wall samples.
+    registry.observe_trace(&sink);
+    let snap = registry.snapshot();
+    assert!(snap.counter(Counter::FaultsFired) >= 3, "faults metered");
+    assert!(snap.counter(Counter::RetryAttempts) >= 1, "retries metered");
+    assert!(
+        snap.counter(Counter::CheckpointRefreshes) >= 1,
+        "checkpoint refreshes metered"
+    );
+    println!("\nmetrics after recovery:\n{snap}");
+
     // Case 2: MD non-bonded pair sweep, RollbackToCheckpoint recovery.
     let md = md_inputs();
     let (e0, e1) = sweep_epochs(&md);
-    let clean = run_case(&md, None, None);
+    let clean = run_case(&md, None, None, None);
     let plan = smoke_plan(e0, e1);
     let recovered = run_case(
         &md,
         Some((Arc::clone(&plan), RecoveryPolicy::RollbackToCheckpoint)),
+        None,
         None,
     );
     assert!(plan.exhausted(), "md: every scheduled fault fired");

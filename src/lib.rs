@@ -31,7 +31,7 @@ pub use chaos_workloads as workloads;
 
 /// A prelude pulling in the types most programs need.
 pub mod prelude {
-    pub use chaos_dmsim::{Machine, MachineConfig, PhaseKind};
+    pub use chaos_dmsim::{Machine, MachineConfig, MetricsRegistry, PhaseKind};
     pub use chaos_geocol::{
         GeoColBuilder, PartitionQuality, Partitioner, RcbPartitioner, RsbPartitioner,
     };

@@ -374,6 +374,135 @@ fn steady_state_sweep_is_allocation_free_with_tracing_disabled_and_enabled() {
     );
 }
 
+/// Metering must be zero-cost in the heap sense on both sides of the
+/// switch, exactly like tracing: with no `MetricsRegistry` installed the
+/// steady-state sweep's only metering cost is one `Option` check per hook
+/// (zero allocations), and with a registry *installed* the preallocated
+/// per-lane counter/histogram shards absorb every increment and span
+/// sample, so steady-state metering is allocation-free too (fixed-bucket
+/// histograms never grow).
+#[test]
+fn steady_state_sweep_is_allocation_free_with_metrics_disabled_and_enabled() {
+    use chaos_repro::dmsim::{Counter, MetricsRegistry};
+    use chaos_repro::runtime::{gather_inline, scatter_combine_rows, scatter_pack_kernel};
+    use std::sync::Arc;
+
+    struct RankArea {
+        ghosts: Vec<f64>,
+        contrib: Vec<f64>,
+    }
+
+    let nprocs = 8;
+    let n = 4096usize;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 3 + i / 17) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 2.0 + (i % 61) as f64).collect();
+    let x = DistArray::from_global("x", dist.clone(), &data);
+
+    let mut pattern = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for k in 0..512 {
+            pattern.refs[p].push(((p * 127 + k * 19) % n) as u32);
+        }
+    }
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let inspect = Inspector.localize(&mut machine, "L", &dist, &pattern);
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+
+    let mut y: Vec<Vec<f64>> = (0..nprocs).map(|p| vec![0.0; x.local(p).len()]).collect();
+    let mut areas: Vec<RankArea> = (0..nprocs)
+        .map(|p| RankArea {
+            ghosts: vec![0.0; inspect.ghost_counts[p]],
+            contrib: vec![0.0; inspect.ghost_counts[p]],
+        })
+        .collect();
+
+    let sweep = |machine: &mut Machine, y: &mut Vec<Vec<f64>>, areas: &mut Vec<RankArea>| {
+        gather_inline(
+            machine,
+            &inspect.schedule,
+            &x,
+            areas.iter_mut().map(|a| &mut a.ghosts),
+        );
+        machine.run_sweep(
+            &mut y[..],
+            &mut areas[..],
+            |ctx, y_local, area| {
+                let rank = ctx.rank();
+                area.contrib.fill(0.0);
+                let x_local = x.local(rank);
+                let mut owned = 0u32;
+                for r in &inspect.localized[rank] {
+                    match *r {
+                        LocalRef::Owned(off) => {
+                            y_local[off as usize] += 2.0 * x_local[off as usize];
+                            owned += 1;
+                        }
+                        LocalRef::Ghost(slot) => {
+                            area.contrib[slot as usize] += 2.0 * area.ghosts[slot as usize];
+                        }
+                    }
+                }
+                ctx.charge_compute(rank, owned as f64);
+            },
+            1,
+            |_areas, _j| true,
+            |ctx, _j| scatter_pack_kernel(ctx, &inspect.schedule),
+            |ctx, _j, y_local, areas| {
+                scatter_combine_rows(
+                    ctx,
+                    &inspect.schedule,
+                    |p| areas[p].contrib.as_slice(),
+                    &mut y_local[..],
+                    &|a, b| *a += b,
+                );
+            },
+        );
+    };
+
+    // Disabled metrics: a registry was installed once and then removed, so
+    // the `None` branch of every hook is the one actually running.
+    let registry = Arc::new(MetricsRegistry::new(0));
+    machine.install_metrics(Some(Arc::clone(&registry)));
+    machine.install_metrics(None);
+    for _ in 0..3 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let disabled_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        disabled_allocs, 0,
+        "disabled-metrics steady-state sweeps allocated {disabled_allocs} times"
+    );
+
+    // Enabled metrics: the shards were preallocated at construction, so
+    // counting and span recording every sweep still allocates nothing.
+    machine.install_metrics(Some(Arc::clone(&registry)));
+    for _ in 0..3 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let epochs_before = registry.snapshot().counter(Counter::Epochs);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10 {
+        sweep(&mut machine, &mut y, &mut areas);
+    }
+    let enabled_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        enabled_allocs, 0,
+        "enabled-metrics steady-state sweeps allocated {enabled_allocs} times"
+    );
+    // The metered sweeps really recorded: ten more epochs and fresh spans.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter(Counter::Epochs), epochs_before + 10);
+    assert!(snap.counter(Counter::KernelRuns) > 0);
+    assert!(snap.counter(Counter::PackMessages) > 0);
+    assert!(!snap.spans.is_empty(), "no span histograms recorded");
+}
+
 /// Checkpoint / rollback of a steady epoch must also be allocation-free:
 /// `Machine::snapshot_into` / `restore_from` reuse the snapshot's buffers,
 /// and `DistArray::copy_values_from` overwrites shard values in place. This
