@@ -113,9 +113,23 @@
 //! auditor's verdict: one modeled-vs-wall drift row per sampled phase
 //! kind (drift ratio, through-origin slope, residual RMS).
 //!
-//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json] [out2.json] [out3.json] [out4.json] [out5.json] [out6.json] [out7.json] [out8.json] [out9.json]`
+//! A tenth artifact, `BENCH_10.json`, records the **incremental
+//! cross-loop schedule** win: the two-loop 40k-node mesh program (edge
+//! loop then face loop, both reading `x`) run with incremental schedules
+//! on vs off (the `with_incremental_schedules(false)` escape hatch), after
+//! asserting the two modes' array values are bit-identical. The gates are
+//! hardware-independent — modeled message count and volume, not wall
+//! clock: the incremental run must send strictly fewer messages and fewer
+//! bytes, and the executor's saved ledger must account for the entire gap
+//! exactly. Wall-clock medians for a steady-state sweep batch are recorded
+//! ungated alongside.
+//!
+//! Usage: `cargo run --release -p chaos-bench --bin perf_check [out.json] [out2.json] [out3.json] [out4.json] [out5.json] [out6.json] [out7.json] [out8.json] [out9.json] [out10.json]`
 
-use chaos_bench::kernel_bench::{edge_executor, edge_executor_pooled, edge_program_inputs};
+use chaos_bench::kernel_bench::{
+    edge_executor, edge_executor_pooled, edge_program_inputs, multi_loop_executor,
+    multi_loop_inputs,
+};
 use chaos_bench::spmd_bench::{executor_iteration, executor_workload, phase_overhead_workload};
 use chaos_bench::workload::{mesh_workload, partitioner_scan_geocol, partitioner_scan_rsb};
 use chaos_dmsim::{
@@ -368,6 +382,9 @@ fn main() {
     let out9_path = std::env::args()
         .nth(9)
         .unwrap_or_else(|| "BENCH_9.json".to_string());
+    let out10_path = std::env::args()
+        .nth(10)
+        .unwrap_or_else(|| "BENCH_10.json".to_string());
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut rows: Vec<Row> = Vec::new();
 
@@ -1372,6 +1389,128 @@ fn main() {
     std::fs::write(&out9_path, serde_json::to_string_pretty(&doc9).unwrap())
         .unwrap_or_else(|e| panic!("failed to write {out9_path}: {e}"));
     println!("wrote {out9_path}");
+
+    // --- BENCH_10: incremental cross-loop schedules, fetch only the new ghosts ---
+    let mut records10: Vec<serde_json::Value> = Vec::new();
+    {
+        use chaos_lang::{SAVED_GATHER_LABEL, SAVED_SCHEDULE_LABEL};
+        let (nprocs, nnode, nedge, nface) = (8usize, 40_000usize, 120_000usize, 90_000usize);
+        let inputs = multi_loop_inputs(nnode, nedge, nface);
+        let (mut incr, cp) = multi_loop_executor(true, nprocs, &inputs);
+        let (mut full, _) = multi_loop_executor(false, nprocs, &inputs);
+
+        // Steady state: re-sweep both loops; the face loop's gathers read
+        // the shared ghost region and fetch only its private difference.
+        let sweeps = 8usize;
+        for _ in 0..sweeps {
+            for label in ["L1", "L2"] {
+                incr.execute_loop(&cp, label).expect("sweep");
+                full.execute_loop(&cp, label).expect("sweep");
+            }
+        }
+
+        // Bit-identity before anything else: incremental schedules are a
+        // communication optimization, not a numerical one.
+        for a in ["x", "y", "z"] {
+            let vi = incr.real_global(a).expect("array");
+            let vf = full.real_global(a).expect("array");
+            for (i, (u, v)) in vi.iter().zip(&vf).enumerate() {
+                assert_eq!(
+                    u.to_bits(),
+                    v.to_bits(),
+                    "{a}[{i}] perturbed by incremental schedules"
+                );
+            }
+        }
+        assert!(incr.report().incremental_bindings > 0, "nothing re-bound");
+
+        // Hardware-independent gates on the modeled communication: strictly
+        // fewer messages and bytes, with the saved ledger accounting for the
+        // entire gap exactly (single-group loops charge-fold losslessly).
+        let it = incr.machine().stats().grand_totals();
+        let ft = full.machine().stats().grand_totals();
+        let sched = incr.machine().stats().saved_labelled(SAVED_SCHEDULE_LABEL);
+        let gath = incr.machine().stats().saved_labelled(SAVED_GATHER_LABEL);
+        let fewer = it.messages < ft.messages && it.bytes < ft.bytes;
+        let exact = ft.messages - it.messages == sched.messages + gath.messages
+            && ft.bytes - it.bytes == sched.bytes + gath.bytes;
+        let pass = fewer && exact;
+        let msg_ratio = it.messages as f64 / ft.messages as f64;
+        let byte_ratio = it.bytes as f64 / ft.bytes as f64;
+
+        // Wall clock recorded for context, ungated (the win is modeled
+        // traffic; wall time mostly reflects the simulator's own work).
+        let batch = |exec: &mut Executor| {
+            let t = Instant::now();
+            for _ in 0..sweeps {
+                for label in ["L1", "L2"] {
+                    exec.execute_loop(&cp, label).expect("sweep");
+                }
+            }
+            t.elapsed().as_nanos()
+        };
+        let samples = 9;
+        let mut incr_times: Vec<u128> = Vec::with_capacity(samples);
+        let mut full_times: Vec<u128> = Vec::with_capacity(samples);
+        for i in 0..samples {
+            if i % 2 == 0 {
+                incr_times.push(batch(&mut incr));
+                full_times.push(batch(&mut full));
+            } else {
+                full_times.push(batch(&mut full));
+                incr_times.push(batch(&mut incr));
+            }
+        }
+        incr_times.sort_unstable();
+        full_times.sort_unstable();
+        println!(
+            "lang/incremental-schedules/messages  full {:>11}     incremental  {:>11}     \
+             ratio {msg_ratio:>5.2}  (gate: fewer, ledger-exact)",
+            ft.messages, it.messages
+        );
+        println!(
+            "lang/incremental-schedules/bytes     full {:>11}     incremental  {:>11}     \
+             ratio {byte_ratio:>5.2}",
+            ft.bytes, it.bytes
+        );
+        records10.push(serde_json::json!({
+            "bench": "lang/incremental-schedules",
+            "group": "inspector",
+            "ranks": nprocs,
+            "nnode": nnode,
+            "nedge": nedge,
+            "nface": nface,
+            "sweeps": sweeps,
+            "full_messages": ft.messages,
+            "incremental_messages": it.messages,
+            "full_bytes": ft.bytes,
+            "incremental_bytes": it.bytes,
+            "message_ratio": msg_ratio,
+            "byte_ratio": byte_ratio,
+            "saved_schedule_messages": sched.messages,
+            "saved_schedule_bytes": sched.bytes,
+            "saved_gather_messages": gath.messages,
+            "saved_gather_bytes": gath.bytes,
+            "incremental_bindings": incr.report().incremental_bindings,
+            "incremental_median_ns": incr_times[samples / 2] as u64,
+            "full_median_ns": full_times[samples / 2] as u64,
+            "available_cores": cores,
+            "gate": "incremental < full on messages and bytes; gap == saved ledger exactly",
+            "gated": true,
+            "gate_arms_at_cores": 1,
+            "pass": pass,
+        }));
+        if !pass {
+            failed = true;
+        }
+    }
+    let doc10 = serde_json::json!({
+        "baseline": "two-loop mesh program (edge loop then face loop, both reading x) through the chaos-lang executor with incremental cross-loop schedules enabled vs the with_incremental_schedules(false) escape hatch, same process, same data; all array values asserted bit-identical across the two modes before anything is recorded. Gates are hardware-independent modeled-communication counts, not wall clock: the incremental run must send strictly fewer request-exchange/gather messages and bytes, and the difference must equal the executor's saved ledger (incremental:schedule-build + incremental:gather) exactly. Median wall times for an 8-sweep batch are recorded ungated for context.",
+        "records": records10,
+    });
+    std::fs::write(&out10_path, serde_json::to_string_pretty(&doc10).unwrap())
+        .unwrap_or_else(|e| panic!("failed to write {out10_path}: {e}"));
+    println!("wrote {out10_path}");
 
     if failed {
         eprintln!("perf gate FAILED: a benchmark group missed its gate (see rows above)");

@@ -117,6 +117,190 @@ fn gather_unpack_kernel<T: Clone>(
     }
 }
 
+/// Generalized form of [`gather_unpack_kernel`] that lands each ghost slot
+/// at `place(slot)` inside a larger buffer — the shared resident ghost
+/// region incremental schedules bind later loops into. Walks and charges
+/// the schedule exactly like `gather_unpack_kernel` (per contiguous owner
+/// run), so a mapped gather of a loop's own schedule costs the same as the
+/// plain gather bit-for-bit; only the landing slots differ.
+fn gather_unpack_kernel_indexed<T: Clone>(
+    ctx: &mut RankCtx<'_>,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    ghost: &mut [T],
+    place: impl Fn(usize) -> usize,
+) {
+    debug_assert_eq!(ctx.nprocs(), schedule.nprocs());
+    let me = ctx.rank();
+    let owners = schedule.ghost_owners(me);
+    let srcs = schedule.ghost_src_offsets(me);
+    let mut lo = 0;
+    while lo < owners.len() {
+        let owner = owners[lo];
+        let mut hi = lo + 1;
+        while hi < owners.len() && owners[hi] == owner {
+            hi += 1;
+        }
+        ctx.charge_memory(me, (hi - lo) as f64);
+        let local = array.local(owner as usize);
+        for slot in lo..hi {
+            ghost[place(slot)] = local[srcs[slot] as usize].clone();
+        }
+        lo = hi;
+    }
+}
+
+/// Entry check shared by the offset/mapped gather drivers: one region row
+/// per rank, each large enough to hold the slots the gather lands.
+fn check_region_rows<T>(
+    nprocs: usize,
+    schedule: &CommSchedule,
+    rank: usize,
+    row: &[T],
+    needed: usize,
+) {
+    debug_assert_eq!(schedule.nprocs(), nprocs);
+    assert!(
+        row.len() >= needed,
+        "processor {rank} region row too short for the gather ({} < {needed})",
+        row.len()
+    );
+}
+
+/// [`gather_rows`] landing each rank's ghost slots at a per-rank base
+/// offset inside a larger region row (`region[p][bases[p] + slot]`) instead
+/// of a slot-for-slot buffer. This is the incremental-schedule fetch: the
+/// schedule is the *difference* a later loop still needs, and the bases
+/// point at its chunk of the shared resident ghost region. Charges are
+/// those of gathering the difference schedule alone.
+pub fn gather_rows_offset<'g, B, T, I>(
+    backend: &mut B,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    bases: &[u32],
+    ghosts: I,
+) where
+    B: Backend,
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    let nprocs = backend.nprocs();
+    check_schedule(nprocs, schedule);
+    assert_eq!(bases.len(), nprocs, "bases must match machine size");
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            let p = ctx.rank();
+            let base = bases[p] as usize;
+            check_region_rows(nprocs, schedule, p, ghost, base + schedule.ghost_count(p));
+            gather_unpack_kernel_indexed(ctx, schedule, array, ghost, |slot| base + slot);
+        },
+    );
+}
+
+/// [`gather_rows_offset`] folded into an enclosing backend region via
+/// [`run_phase_inline`](chaos_dmsim::run_phase_inline) — same charges, no
+/// epoch advanced (the fused-sweep form).
+pub fn gather_inline_offset<'g, T, I>(
+    machine: &mut Machine,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    bases: &[u32],
+    ghosts: I,
+) where
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    let nprocs = machine.nprocs();
+    check_schedule(nprocs, schedule);
+    assert_eq!(bases.len(), nprocs, "bases must match machine size");
+    chaos_dmsim::run_phase_inline(
+        machine,
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            let p = ctx.rank();
+            let base = bases[p] as usize;
+            check_region_rows(nprocs, schedule, p, ghost, base + schedule.ghost_count(p));
+            gather_unpack_kernel_indexed(ctx, schedule, array, ghost, |slot| base + slot);
+        },
+    );
+}
+
+/// [`gather_rows`] landing rank `p`'s ghost slot `i` at `maps[p][i]` inside
+/// a larger region row — the full re-binding fetch incremental schedules
+/// fall back to when the resident region's chunks are stale. The schedule
+/// here is the loop's *own* schedule and the map is its binding into the
+/// region, so charges are bit-identical to a plain [`gather_rows`] of that
+/// schedule; only the landing slots differ.
+pub fn gather_rows_mapped<'g, B, T, I>(
+    backend: &mut B,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    maps: &[Vec<u32>],
+    ghosts: I,
+) where
+    B: Backend,
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    let nprocs = backend.nprocs();
+    check_schedule(nprocs, schedule);
+    assert_eq!(maps.len(), nprocs, "slot maps must match machine size");
+    backend.run_phase(
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            let p = ctx.rank();
+            let map = maps[p].as_slice();
+            assert_eq!(
+                map.len(),
+                schedule.ghost_count(p),
+                "processor {p} slot map length mismatch"
+            );
+            gather_unpack_kernel_indexed(ctx, schedule, array, ghost, |slot| map[slot] as usize);
+        },
+    );
+}
+
+/// [`gather_rows_mapped`] folded into an enclosing backend region via
+/// [`run_phase_inline`](chaos_dmsim::run_phase_inline) — same charges, no
+/// epoch advanced (the fused-sweep form).
+pub fn gather_inline_mapped<'g, T, I>(
+    machine: &mut Machine,
+    schedule: &CommSchedule,
+    array: &DistArray<T>,
+    maps: &[Vec<u32>],
+    ghosts: I,
+) where
+    T: Clone + Send + Sync + 'g,
+    I: IntoIterator<Item = &'g mut Vec<T>>,
+{
+    let nprocs = machine.nprocs();
+    check_schedule(nprocs, schedule);
+    assert_eq!(maps.len(), nprocs, "slot maps must match machine size");
+    chaos_dmsim::run_phase_inline(
+        machine,
+        PhaseEnd::Quiet,
+        |ctx| gather_pack_kernel(ctx, schedule),
+        ghosts,
+        |ctx, ghost: &mut Vec<T>| {
+            let p = ctx.rank();
+            let map = maps[p].as_slice();
+            assert_eq!(
+                map.len(),
+                schedule.ghost_count(p),
+                "processor {p} slot map length mismatch"
+            );
+            gather_unpack_kernel_indexed(ctx, schedule, array, ghost, |slot| map[slot] as usize);
+        },
+    );
+}
+
 /// Rank-local pack kernel of [`scatter_op`]: the executing rank, as an
 /// *owner*, charges each requester's packing and the reverse transfer of
 /// its ghost contributions. Public so a fused-sweep driver can charge the
@@ -628,6 +812,105 @@ mod tests {
         let (_, x, r) = setup();
         let mut wrong = Machine::new(MachineConfig::unit(4));
         let _ = gather(&mut wrong, "L", &r.schedule, &x);
+    }
+
+    #[test]
+    fn mapped_gather_of_own_schedule_charges_like_plain_gather() {
+        let (_, x, r) = setup();
+        let mut a = Machine::new(MachineConfig::unit(2));
+        let mut b = Machine::new(MachineConfig::unit(2));
+        let mut plain: Vec<Vec<f64>> = (0..2)
+            .map(|p| vec![0.0; r.schedule.ghost_count(p)])
+            .collect();
+        // Region rows are larger than the schedule; a reversing map lands
+        // slot i at row position ghost_count - 1 - i.
+        let mut rows: Vec<Vec<f64>> = (0..2)
+            .map(|p| vec![-1.0; r.schedule.ghost_count(p) + 2])
+            .collect();
+        let maps: Vec<Vec<u32>> = (0..2)
+            .map(|p| {
+                let n = r.schedule.ghost_count(p) as u32;
+                (0..n).map(|i| n - 1 - i).collect()
+            })
+            .collect();
+        gather_rows(&mut a, &r.schedule, &x, plain.iter_mut());
+        gather_rows_mapped(&mut b, &r.schedule, &x, &maps, rows.iter_mut());
+        for p in 0..2 {
+            for (slot, &v) in plain[p].iter().enumerate() {
+                assert_eq!(rows[p][maps[p][slot] as usize], v);
+            }
+            assert_eq!(*rows[p].last().unwrap(), -1.0, "untouched tail kept");
+        }
+        // The mapped gather walks and charges the same schedule: modeled
+        // clocks and stats are bit-identical to the plain gather.
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.stats().grand_totals(), b.stats().grand_totals());
+    }
+
+    #[test]
+    fn offset_gather_fetches_the_difference_into_the_region_chunk() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let dist = Distribution::block(8, 2);
+        let x = DistArray::from_global(
+            "x",
+            dist.clone(),
+            &(0..8).map(|i| (i * 10) as f64).collect::<Vec<_>>(),
+        );
+        // Loop A referenced globals [4, 5] on proc 0; loop B references
+        // [5, 6] — only global 6 still needs fetching.
+        let a = Inspector.localize(
+            &mut m,
+            "A",
+            &dist,
+            &AccessPattern {
+                refs: vec![vec![4, 5], vec![0]],
+            },
+        );
+        let b = Inspector.localize(
+            &mut m,
+            "B",
+            &dist,
+            &AccessPattern {
+                refs: vec![vec![5, 6], vec![0]],
+            },
+        );
+        let diff = b.schedule.difference(&a.schedule);
+        assert_eq!(diff.total_ghosts(), 1);
+        let (merged, map) = a.schedule.merge_incremental(&b.schedule);
+        let bases: Vec<u32> = (0..2).map(|p| a.schedule.ghost_count(p) as u32).collect();
+        let mut rows: Vec<Vec<f64>> = (0..2).map(|p| vec![0.0; merged.ghost_count(p)]).collect();
+        let msgs_before = m.stats().grand_totals().messages;
+        gather_rows_offset(&mut m, &a.schedule, &x, &[0, 0], rows.iter_mut());
+        gather_rows_offset(&mut m, &diff, &x, &bases, rows.iter_mut());
+        // The incremental fetch moved one message (proc 1 → proc 0) instead
+        // of loop B's own two.
+        assert_eq!(m.stats().grand_totals().messages - msgs_before, 3);
+        assert_eq!(b.schedule.message_count(), 2);
+        // Loop B reads its values through the re-binding map.
+        for p in 0..2 {
+            for (slot, (o, s)) in b.schedule.ghost_sources(p).enumerate() {
+                let expected = x.local(o as usize)[s as usize];
+                assert_eq!(rows[p][map[p][slot] as usize], expected);
+            }
+        }
+        // Inline variants charge identically to the run_phase forms.
+        let mut m2 = Machine::new(MachineConfig::unit(2));
+        let mut rows2: Vec<Vec<f64>> = (0..2).map(|p| vec![0.0; merged.ghost_count(p)]).collect();
+        gather_rows_offset(&mut m2, &a.schedule, &x, &[0, 0], rows2.iter_mut());
+        gather_inline_offset(&mut m2, &diff, &x, &bases, rows2.iter_mut());
+        assert_eq!(rows, rows2);
+        let mut rows3 = rows2.clone();
+        let mut m3 = Machine::new(MachineConfig::unit(2));
+        gather_inline_mapped(&mut m3, &b.schedule, &x, &map, rows3.iter_mut());
+        assert_eq!(rows, rows3);
+    }
+
+    #[test]
+    #[should_panic(expected = "region row too short")]
+    fn offset_gather_rejects_short_region_rows() {
+        let (mut m, x, r) = setup();
+        let mut rows = [vec![0.0; 1], vec![0.0; 1]];
+        gather_rows_offset(&mut m, &r.schedule, &x, &[1, 1], rows.iter_mut());
     }
 
     #[test]

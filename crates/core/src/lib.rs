@@ -84,15 +84,16 @@ pub use dad::{Dad, DadSignature};
 pub use darray::DistArray;
 pub use dist::Distribution;
 pub use executor::{
-    charge_local_compute, gather, gather_inline, gather_into, gather_rows, scatter_add,
+    charge_local_compute, gather, gather_inline, gather_inline_mapped, gather_inline_offset,
+    gather_into, gather_rows, gather_rows_mapped, gather_rows_offset, scatter_add,
     scatter_combine_rows, scatter_op, scatter_pack_kernel, scatter_reduce, scatter_reduce_rows,
     ScatterKind,
 };
 pub use inspector::{AccessPattern, Inspector, InspectorResult, LocalRef, LocalizeScratch};
 pub use iterpart::{IterPartitionPolicy, IterationPartition};
 pub use remap::remap;
-pub use reuse::{LoopId, LoopRecord, ReuseDecision, ReuseRegistry};
-pub use schedule::{CommSchedule, SendRef};
+pub use reuse::{GhostRegion, LoopId, LoopRecord, RegionBinding, ReuseDecision, ReuseRegistry};
+pub use schedule::{charge_merged_request_exchange, CommSchedule, SendRef};
 pub use ttable::{TTablePolicy, TranslationTable};
 
 /// Convenient prelude for downstream crates and examples.

@@ -21,6 +21,7 @@
 //! triggers a fresh inspector.
 
 use crate::dad::{Dad, DadSignature};
+use crate::schedule::CommSchedule;
 use chaos_dmsim::{collectives, Machine, ReduceOp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -138,6 +139,91 @@ impl ReuseDecision {
     }
 }
 
+/// The union of ghost elements every loop over one distribution signature
+/// has bound so far — the shared resident ghost region incremental
+/// schedules fetch into.
+///
+/// The region is **append-only**: each [`ReuseRegistry::region_bind`] adds
+/// one *chunk* (possibly empty) of newly requested sources per processor,
+/// and existing slot numbers never move — so the re-binding maps earlier
+/// loops received stay valid forever. A chunk whose loop re-binds (its
+/// inspector re-ran) is marked dead; dead chunks keep their slots (offset
+/// stability) but no loop's binding points at them anymore, and value
+/// freshness is tracked per chunk by the consumer.
+#[derive(Debug, Clone)]
+pub struct GhostRegion {
+    /// Union schedule over all chunks, per-processor in chunk order (NOT
+    /// globally canonical — each chunk is internally `(owner, offset)`
+    /// sorted).
+    resident: CommSchedule,
+    /// Per processor, the chunk boundaries: chunk `c`'s slots on processor
+    /// `p` are `chunk_off[p][c] .. chunk_off[p][c+1]`. Length `nchunks + 1`.
+    chunk_off: Vec<Vec<u32>>,
+    /// The loop key each chunk was bound for.
+    chunk_loop: Vec<u32>,
+    /// False once the chunk's loop has re-bound (stale binding).
+    chunk_live: Vec<bool>,
+}
+
+impl GhostRegion {
+    fn empty(nprocs: usize) -> Self {
+        GhostRegion {
+            resident: CommSchedule::from_csr_parts_local(
+                nprocs,
+                vec![0; nprocs + 1],
+                Vec::new(),
+                Vec::new(),
+            ),
+            chunk_off: vec![vec![0]; nprocs],
+            chunk_loop: Vec::new(),
+            chunk_live: Vec::new(),
+        }
+    }
+
+    /// The resident union schedule (all chunks).
+    pub fn resident(&self) -> &CommSchedule {
+        &self.resident
+    }
+
+    /// Number of chunks bound so far (live or dead).
+    pub fn nchunks(&self) -> usize {
+        self.chunk_loop.len()
+    }
+
+    /// Region row length (total resident ghost slots) for processor `p`.
+    pub fn size(&self, p: usize) -> usize {
+        self.resident.ghost_count(p)
+    }
+
+    /// Whether chunk `c`'s owning loop still points at it.
+    pub fn chunk_is_live(&self, c: usize) -> bool {
+        self.chunk_live[c]
+    }
+}
+
+/// A loop's binding into a [`GhostRegion`]: which chunk it appended, which
+/// earlier chunks its re-used slots live in, and how its own schedule's
+/// ghost slots map into the region rows.
+#[derive(Debug, Clone)]
+pub struct RegionBinding {
+    /// The distribution signature whose region this binds into.
+    pub sig: DadSignature,
+    /// The chunk this bind appended (may be empty on every processor).
+    pub chunk: u32,
+    /// Earlier chunks (sorted, deduplicated) holding slots this loop reads —
+    /// the chunks that must be value-fresh for the incremental fetch to be
+    /// sufficient. Never includes [`RegionBinding::chunk`] itself.
+    pub deps: Vec<u32>,
+    /// Per processor, the region slot of each of the loop's own ghost slots.
+    pub slot_map: Vec<Vec<u32>>,
+    /// The sources this loop needed that no earlier chunk held — the
+    /// incremental fetch schedule.
+    pub diff: CommSchedule,
+    /// Per processor, the region offset this bind's chunk starts at (the
+    /// base the [`crate::executor::gather_rows_offset`] fetch lands at).
+    pub base: Vec<u32>,
+}
+
 /// The global runtime record (`nmod`, `last_mod`, per-loop records).
 #[derive(Debug, Clone, Default)]
 pub struct ReuseRegistry {
@@ -149,6 +235,15 @@ pub struct ReuseRegistry {
     /// Counters for reporting: how many checks reused vs re-ran.
     reuse_hits: u64,
     reuse_misses: u64,
+    /// Shared resident ghost regions, one per distribution signature.
+    regions: HashMap<DadSignature, GhostRegion>,
+    /// Global counter behind the per-array write stamps.
+    array_clock: u64,
+    /// Per *array* (by name) write stamps. DAD-keyed `last_mod` deliberately
+    /// over-approximates (two arrays on the same distribution share a
+    /// stamp); region value freshness must not, or one array's resident
+    /// ghosts would be served for another's.
+    array_stamps: HashMap<String, u64>,
 }
 
 impl ReuseRegistry {
@@ -292,6 +387,97 @@ impl ReuseRegistry {
     /// `(hits, misses)` counters for reporting.
     pub fn hit_miss(&self) -> (u64, u64) {
         (self.reuse_hits, self.reuse_misses)
+    }
+
+    /// Bind loop `loop_key`'s schedule into the shared resident ghost region
+    /// of distribution signature `sig`, creating the region on first use.
+    ///
+    /// Any chunks the loop bound before are retired (its inspector re-ran,
+    /// so the old binding is stale — the REDISTRIBUTE / indirection-write
+    /// invalidation path), then the loop's still-missing sources are
+    /// appended as a new chunk. The returned binding carries the difference
+    /// schedule to fetch, the per-processor chunk bases, the slot map into
+    /// the region, and the earlier chunks whose values the loop piggybacks
+    /// on. Purely local bookkeeping — no communication is charged here; the
+    /// caller owns the (folded) request exchange for `diff`.
+    pub fn region_bind(
+        &mut self,
+        sig: DadSignature,
+        loop_key: u32,
+        schedule: &CommSchedule,
+    ) -> RegionBinding {
+        let nprocs = schedule.nprocs();
+        let region = self
+            .regions
+            .entry(sig)
+            .or_insert_with(|| GhostRegion::empty(nprocs));
+        assert_eq!(
+            region.resident.nprocs(),
+            nprocs,
+            "region/schedule machine size mismatch"
+        );
+        for (c, &l) in region.chunk_loop.iter().enumerate() {
+            if l == loop_key {
+                region.chunk_live[c] = false;
+            }
+        }
+        let diff = schedule.difference(&region.resident);
+        let (merged, slot_map) = region.resident.merge_incremental(schedule);
+        let base: Vec<u32> = (0..nprocs)
+            .map(|p| region.resident.ghost_count(p) as u32)
+            .collect();
+        let mut deps: Vec<u32> = Vec::new();
+        for p in 0..nprocs {
+            let offs = &region.chunk_off[p];
+            for &slot in &slot_map[p] {
+                if slot < base[p] {
+                    deps.push((offs.partition_point(|&o| o <= slot) - 1) as u32);
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        let chunk = region.chunk_loop.len() as u32;
+        region.chunk_loop.push(loop_key);
+        region.chunk_live.push(true);
+        for p in 0..nprocs {
+            region.chunk_off[p].push(merged.ghost_count(p) as u32);
+        }
+        region.resident = merged;
+        RegionBinding {
+            sig,
+            chunk,
+            deps,
+            slot_map,
+            diff,
+            base,
+        }
+    }
+
+    /// The resident ghost region for a distribution signature, if any loop
+    /// has bound into it.
+    pub fn region(&self, sig: DadSignature) -> Option<&GhostRegion> {
+        self.regions.get(&sig)
+    }
+
+    /// Record that the named array's values may have changed. Unlike
+    /// [`ReuseRegistry::record_write_block`] this is keyed by array *name*,
+    /// not DAD — it answers "are the resident ghost values of this array
+    /// still current?", which must not be shared between arrays that merely
+    /// have the same distribution. Allocation-free once the array has been
+    /// stamped once.
+    pub fn note_array_write(&mut self, name: &str) {
+        self.array_clock += 1;
+        if let Some(stamp) = self.array_stamps.get_mut(name) {
+            *stamp = self.array_clock;
+        } else {
+            self.array_stamps.insert(name.to_string(), self.array_clock);
+        }
+    }
+
+    /// The named array's current write stamp (0 when never written).
+    pub fn array_stamp(&self, name: &str) -> u64 {
+        self.array_stamps.get(name).copied().unwrap_or(0)
     }
 }
 
@@ -450,6 +636,97 @@ mod tests {
         reg.record_write(&a);
         assert_eq!(reg.nmod(), 2);
         assert_eq!(reg.last_mod(&b), 1);
+    }
+
+    /// A 2-proc schedule from proc 0's and proc 1's ghost source lists,
+    /// built without charging (region tests care about bookkeeping only).
+    fn sched2(p0: Vec<(u32, u32)>, p1: Vec<(u32, u32)>) -> CommSchedule {
+        let rows = [p0, p1];
+        let mut off = vec![0u32];
+        let mut owner = Vec::new();
+        let mut src = Vec::new();
+        for row in &rows {
+            for &(o, s) in row {
+                owner.push(o);
+                src.push(s);
+            }
+            off.push(owner.len() as u32);
+        }
+        CommSchedule::from_csr_parts_local(2, off, owner, src)
+    }
+
+    #[test]
+    fn region_bind_appends_chunks_and_diffs_against_residents() {
+        let mut reg = ReuseRegistry::new();
+        let sig = block_dad(64).signature();
+        let a = sched2(vec![(1, 3), (1, 5)], vec![(0, 0)]);
+        let b = sched2(vec![(1, 5), (1, 7)], vec![(0, 0), (0, 2)]);
+        // First bind: everything is missing; identity binding at base 0.
+        let ra = reg.region_bind(sig, 0, &a);
+        assert_eq!(ra.chunk, 0);
+        assert!(ra.deps.is_empty());
+        assert_eq!(ra.base, vec![0, 0]);
+        assert_eq!(ra.diff, a);
+        assert_eq!(ra.slot_map, vec![vec![0, 1], vec![0]]);
+        // Second bind: only (1,7) on proc 0 and (0,2) on proc 1 are new;
+        // the shared slots come from chunk 0.
+        let rb = reg.region_bind(sig, 1, &b);
+        assert_eq!(rb.chunk, 1);
+        assert_eq!(rb.deps, vec![0]);
+        assert_eq!(rb.base, vec![2, 1]);
+        assert_eq!(rb.diff.total_ghosts(), 2);
+        assert_eq!(rb.diff.ghost_sources(0).collect::<Vec<_>>(), vec![(1, 7)]);
+        assert_eq!(rb.diff.ghost_sources(1).collect::<Vec<_>>(), vec![(0, 2)]);
+        // b's slot (1,5) resolves to chunk 0's slot 1; (1,7) to the appended
+        // slot 2.
+        assert_eq!(rb.slot_map[0], vec![1, 2]);
+        assert_eq!(rb.slot_map[1], vec![0, 1]);
+        let region = reg.region(sig).unwrap();
+        assert_eq!(region.nchunks(), 2);
+        assert_eq!(region.size(0), 3);
+        assert_eq!(region.size(1), 2);
+        assert!(region.chunk_is_live(0) && region.chunk_is_live(1));
+        // A fully covered third loop appends an empty chunk and fetches
+        // nothing.
+        let rc = reg.region_bind(sig, 2, &sched2(vec![(1, 3)], vec![]));
+        assert_eq!(rc.diff.total_ghosts(), 0);
+        assert_eq!(rc.deps, vec![0]);
+        assert_eq!(reg.region(sig).unwrap().size(0), 3, "nothing appended");
+    }
+
+    #[test]
+    fn region_rebind_retires_the_loops_previous_chunk() {
+        // An inspector re-run (indirection write, REDISTRIBUTE of the
+        // pattern, ...) re-binds the loop: the old chunk must be retired so
+        // no binding points at it, while its slots stay put — earlier
+        // offsets into the region remain valid.
+        let mut reg = ReuseRegistry::new();
+        let sig = block_dad(64).signature();
+        let _ = reg.region_bind(sig, 7, &sched2(vec![(1, 3)], vec![]));
+        let r2 = reg.region_bind(sig, 7, &sched2(vec![(1, 4)], vec![]));
+        let region = reg.region(sig).unwrap();
+        assert!(!region.chunk_is_live(0), "re-bound loop retires its chunk");
+        assert!(region.chunk_is_live(1));
+        assert_eq!(r2.chunk, 1);
+        assert_eq!(r2.base, vec![1, 0], "dead chunk keeps its slots");
+        assert_eq!(region.size(0), 2);
+        // A different signature gets an independent region.
+        let other = block_dad(128).signature();
+        assert!(reg.region(other).is_none());
+    }
+
+    #[test]
+    fn array_stamps_are_per_name_not_per_dad() {
+        let mut reg = ReuseRegistry::new();
+        assert_eq!(reg.array_stamp("x"), 0);
+        reg.note_array_write("x");
+        let x1 = reg.array_stamp("x");
+        assert!(x1 > 0);
+        assert_eq!(reg.array_stamp("y"), 0, "y's ghosts stay fresh");
+        reg.note_array_write("y");
+        reg.note_array_write("x");
+        assert!(reg.array_stamp("x") > reg.array_stamp("y"));
+        assert!(reg.array_stamp("x") > x1);
     }
 
     #[test]

@@ -331,6 +331,108 @@ impl CommSchedule {
         Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src)
     }
 
+    /// The part of this schedule not already covered by `resident`: a
+    /// schedule containing exactly the `(owner, offset)` sources of `self`
+    /// that `resident` does not hold, in `self`'s slot order.
+    ///
+    /// This is the incremental-schedule primitive: when a later loop's
+    /// ghost set overlaps what earlier loops already fetched into a shared
+    /// resident region, only the difference needs a request exchange and a
+    /// per-sweep gather. Purely local — no communication is charged.
+    pub fn difference(&self, resident: &CommSchedule) -> CommSchedule {
+        assert_eq!(
+            self.nprocs, resident.nprocs,
+            "cannot difference schedules built for different machine sizes"
+        );
+        let nprocs = self.nprocs;
+        let key = |o: u32, s: u32| ((o as u64) << 32) | s as u64;
+        let mut ghost_off = Vec::with_capacity(nprocs + 1);
+        let mut ghost_owner = Vec::new();
+        let mut ghost_src = Vec::new();
+        ghost_off.push(0u32);
+        for p in 0..nprocs {
+            // The resident side makes no ordering promise (a region is a
+            // concatenation of per-bind chunks), so canonicalize it first.
+            let mut held: Vec<u64> = resident.ghost_sources(p).map(|(o, s)| key(o, s)).collect();
+            held.sort_unstable();
+            for (o, s) in self.ghost_sources(p) {
+                if held.binary_search(&key(o, s)).is_err() {
+                    ghost_owner.push(o);
+                    ghost_src.push(s);
+                }
+            }
+            ghost_off.push(ghost_owner.len() as u32);
+        }
+        Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src)
+    }
+
+    /// Grow this schedule (a resident union whose slot numbering must stay
+    /// stable — earlier loops' bindings point into it) by the sources of
+    /// `newer`: existing slots keep their numbers, and `newer`'s sources not
+    /// yet present are appended per processor in canonical `(owner, offset)`
+    /// order.
+    ///
+    /// Returns the grown union plus, per processor, the mapping from
+    /// `newer`'s ghost-slot numbers to slots in the union — the re-binding
+    /// table that lets the later loop's kernels read the shared resident
+    /// ghost region. Purely local; no communication is charged.
+    pub fn merge_incremental(&self, newer: &CommSchedule) -> (CommSchedule, Vec<Vec<u32>>) {
+        assert_eq!(
+            self.nprocs, newer.nprocs,
+            "cannot merge schedules built for different machine sizes"
+        );
+        let nprocs = self.nprocs;
+        let key = |o: u32, s: u32| ((o as u64) << 32) | s as u64;
+        let mut ghost_off = Vec::with_capacity(nprocs + 1);
+        let mut ghost_owner = Vec::new();
+        let mut ghost_src = Vec::new();
+        let mut map: Vec<Vec<u32>> = Vec::with_capacity(nprocs);
+        ghost_off.push(0u32);
+        for p in 0..nprocs {
+            let base = self.ghost_count(p) as u32;
+            // Sorted (key, resident slot) index over the resident side, which
+            // itself stays in its original (append-only) order.
+            let mut held: Vec<(u64, u32)> = self
+                .ghost_sources(p)
+                .enumerate()
+                .map(|(slot, (o, s))| (key(o, s), slot as u32))
+                .collect();
+            held.sort_unstable();
+            // The appended tail: newer's sources absent from the resident
+            // side, in canonical order.
+            let mut fresh: Vec<u64> = newer
+                .ghost_sources(p)
+                .map(|(o, s)| key(o, s))
+                .filter(|k| held.binary_search_by_key(k, |&(k, _)| k).is_err())
+                .collect();
+            fresh.sort_unstable();
+            fresh.dedup();
+            map.push(
+                newer
+                    .ghost_sources(p)
+                    .map(|(o, s)| {
+                        let k = key(o, s);
+                        match held.binary_search_by_key(&k, |&(k, _)| k) {
+                            Ok(i) => held[i].1,
+                            Err(_) => base + fresh.binary_search(&k).expect("appended") as u32,
+                        }
+                    })
+                    .collect(),
+            );
+            for (o, s) in self.ghost_sources(p) {
+                ghost_owner.push(o);
+                ghost_src.push(s);
+            }
+            for &k in &fresh {
+                ghost_owner.push((k >> 32) as u32);
+                ghost_src.push(k as u32);
+            }
+            ghost_off.push(ghost_owner.len() as u32);
+        }
+        let merged = Self::from_ghost_arrays(nprocs, ghost_off, ghost_owner, ghost_src);
+        (merged, map)
+    }
+
     /// Construct the full CSR schedule from validated ghost-side arrays
     /// without charging any machine (used by [`CommSchedule::merge`]).
     fn from_ghost_arrays(
@@ -392,6 +494,60 @@ impl CommSchedule {
             pack_slot,
         }
     }
+}
+
+/// Perform one folded request exchange covering several schedules at once —
+/// the cross-distribution variant of schedule merging. Every `(owner,
+/// requester)` pair that any of `parts` communicates over carries a single
+/// message whose payload concatenates the per-part offset segments; when a
+/// pair carries segments from two or more parts, each segment is prefixed
+/// with one length-tag word so the owner can split the union back into
+/// per-schedule send lists. With a single part the exchange is bit-identical
+/// to [`CommSchedule::charge_build_exchange`].
+///
+/// Returns the `(messages, words)` actually charged, so callers can record
+/// the saving against the per-part exchanges they replaced.
+pub fn charge_merged_request_exchange(
+    machine: &mut Machine,
+    label: &str,
+    parts: &[&CommSchedule],
+) -> (usize, usize) {
+    let nprocs = machine.nprocs();
+    for part in parts {
+        assert_eq!(part.nprocs, nprocs, "schedule/machine mismatch");
+    }
+    let mut plan: ExchangePlan<u32> = ExchangePlan::new(nprocs);
+    let mut messages = 0usize;
+    let mut words = 0usize;
+    for owner in 0..nprocs {
+        for requester in 0..nprocs {
+            let mut segs: Vec<&[u32]> = Vec::new();
+            for part in parts {
+                for send in part.sends(owner) {
+                    if send.to as usize == requester {
+                        segs.push(send.offsets);
+                    }
+                }
+            }
+            if segs.is_empty() {
+                continue;
+            }
+            let tagged = segs.len() >= 2;
+            let mut payload: Vec<u32> =
+                Vec::with_capacity(segs.iter().map(|s| s.len() + tagged as usize).sum());
+            for seg in &segs {
+                if tagged {
+                    payload.push(seg.len() as u32);
+                }
+                payload.extend_from_slice(seg);
+            }
+            messages += 1;
+            words += payload.len();
+            plan.push(requester, owner, payload);
+        }
+    }
+    machine.exchange(&format!("{label}:schedule-build"), plan);
+    (messages, words)
 }
 
 #[cfg(test)]
@@ -586,5 +742,116 @@ mod tests {
             m1.stats().grand_totals().messages,
             m2.stats().grand_totals().messages
         );
+    }
+
+    #[test]
+    fn difference_keeps_only_uncovered_sources() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let resident = CommSchedule::build(&mut m, "a", vec![vec![(1, 3), (1, 5)], vec![(0, 0)]]);
+        let later = CommSchedule::build(
+            &mut m,
+            "b",
+            vec![vec![(1, 5), (1, 7)], vec![(0, 0), (0, 2)]],
+        );
+        let messages_before = m.stats().grand_totals().messages;
+        let diff = later.difference(&resident);
+        // Differencing is local: no new messages were charged.
+        assert_eq!(m.stats().grand_totals().messages, messages_before);
+        assert_eq!(diff.ghost_sources(0).collect::<Vec<_>>(), vec![(1, 7)]);
+        assert_eq!(diff.ghost_sources(1).collect::<Vec<_>>(), vec![(0, 2)]);
+        // The send side is rebuilt consistently for the kept subset.
+        assert_eq!(diff.message_count(), 2);
+        assert_eq!(diff.total_ghosts(), 2);
+        // Nothing new → empty difference, zero messages.
+        let nothing = resident.difference(&resident);
+        assert_eq!(nothing.total_ghosts(), 0);
+        assert_eq!(nothing.message_count(), 0);
+        // Empty resident → the difference is the schedule itself.
+        let empty = CommSchedule::build(&mut m, "e", vec![Vec::new(); 2]);
+        assert_eq!(later.difference(&empty), later);
+    }
+
+    #[test]
+    fn merge_incremental_preserves_resident_slots_and_appends() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let resident = CommSchedule::build(&mut m, "a", vec![vec![(1, 5), (1, 3)], vec![]]);
+        let newer = CommSchedule::build(
+            &mut m,
+            "b",
+            vec![vec![(1, 3), (1, 7), (1, 0)], vec![(0, 2)]],
+        );
+        let (merged, map) = resident.merge_incremental(&newer);
+        // Resident slots keep their numbers (original, even unsorted, order);
+        // newer-only sources are appended in canonical order.
+        assert_eq!(
+            merged.ghost_sources(0).collect::<Vec<_>>(),
+            vec![(1, 5), (1, 3), (1, 0), (1, 7)]
+        );
+        assert_eq!(merged.ghost_sources(1).collect::<Vec<_>>(), vec![(0, 2)]);
+        // The map sends each of newer's slots to the union slot holding the
+        // same source.
+        let merged0: Vec<_> = merged.ghost_sources(0).collect();
+        for (slot, (o, s)) in newer.ghost_sources(0).enumerate() {
+            assert_eq!(merged0[map[0][slot] as usize], (o, s));
+        }
+        assert_eq!(map[0], vec![1, 3, 2]);
+        assert_eq!(map[1], vec![0]);
+        // Re-merging the same schedule appends nothing and maps into the
+        // existing slots.
+        let (again, map2) = merged.merge_incremental(&newer);
+        assert_eq!(again, merged);
+        assert_eq!(map2, map);
+    }
+
+    #[test]
+    fn merged_exchange_with_one_part_matches_charge_build_exchange() {
+        let sources = vec![
+            vec![(1u32, 3u32), (1, 5), (2, 0)],
+            vec![(0, 0)],
+            vec![(1, 1)],
+        ];
+        let mut m1 = Machine::new(MachineConfig::unit(3));
+        let s1 = CommSchedule::build(&mut m1, "L", sources.clone());
+        let mut m2 = Machine::new(MachineConfig::unit(3));
+        let s2 = CommSchedule::from_csr_parts_local(
+            3,
+            {
+                let mut off = vec![0u32];
+                let mut n = 0;
+                for row in &sources {
+                    n += row.len() as u32;
+                    off.push(n);
+                }
+                off
+            },
+            sources.iter().flatten().map(|&(o, _)| o).collect(),
+            sources.iter().flatten().map(|&(_, s)| s).collect(),
+        );
+        let (messages, words) = charge_merged_request_exchange(&mut m2, "L", &[&s2]);
+        assert_eq!(s1, s2);
+        assert_eq!(messages, s1.message_count());
+        assert_eq!(words, s1.total_ghosts());
+        // Identical label, identical message order, identical payloads — the
+        // solo fold is bit-for-bit the plain build exchange.
+        assert_eq!(m1.stats().grand_totals(), m2.stats().grand_totals());
+        assert_eq!(
+            m1.elapsed().max_seconds().to_bits(),
+            m2.elapsed().max_seconds().to_bits()
+        );
+    }
+
+    #[test]
+    fn merged_exchange_folds_pairs_and_tags_shared_ones() {
+        let mut m = Machine::new(MachineConfig::unit(2));
+        let a = CommSchedule::from_csr_parts_local(2, vec![0, 2, 2], vec![1, 1], vec![3, 5]);
+        let b = CommSchedule::from_csr_parts_local(2, vec![0, 1, 2], vec![1, 0], vec![7, 0]);
+        let (messages, words) = charge_merged_request_exchange(&mut m, "F", &[&a, &b]);
+        // Pair (owner 1 → requester 0) is shared by both parts: one message,
+        // tagged segments (1 length word each). Pair (0 → 1) only appears in
+        // b: untagged. Separate exchanges would have cost 3 messages.
+        assert_eq!(messages, 2);
+        assert_eq!(words, (1 + 2) + (1 + 1) + 1);
+        assert_eq!(m.stats().grand_totals().messages, 2);
+        assert!(messages < a.message_count() + b.message_count());
     }
 }

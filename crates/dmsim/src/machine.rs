@@ -323,6 +323,17 @@ impl Machine {
         &mut self.stats
     }
 
+    /// Note communication an optimization avoided — `messages` messages and
+    /// `words` payload words (converted to bytes with the machine's word
+    /// size) that would have been charged without it. Bookkeeping only:
+    /// forwarded to the stats registry's saved bucket, never to the clocks
+    /// or real totals, so enabling an optimization that records savings
+    /// cannot perturb bit-identity of the modeled run.
+    pub fn note_schedule_savings(&mut self, label: &'static str, messages: usize, words: usize) {
+        self.stats
+            .note_saved(label, messages, words * self.cfg.word_bytes);
+    }
+
     /// Snapshot of the per-processor clocks as an [`ElapsedReport`].
     pub fn elapsed(&self) -> ElapsedReport {
         ElapsedReport {

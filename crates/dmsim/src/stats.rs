@@ -115,6 +115,11 @@ pub struct StatsRegistry {
     /// sweep's `executor:fused-sweep`) — a sub-attribution of `by_kind`,
     /// never added on top of it.
     by_label: BTreeMap<&'static str, CommStats>,
+    /// Communication that did NOT happen, by label — e.g. the messages an
+    /// incremental schedule avoided fetching because earlier loops' ghosts
+    /// were already resident. Purely observational bookkeeping: never part
+    /// of [`StatsRegistry::grand_totals`] or any per-kind total.
+    saved: BTreeMap<&'static str, CommStats>,
     current_kind: Option<PhaseKind>,
 }
 
@@ -199,6 +204,31 @@ impl StatsRegistry {
         self.records_labelled(label).map(|r| r.stats.messages).sum()
     }
 
+    /// Note communication that was *avoided* under `label` — `messages`
+    /// point-to-point messages and `bytes` of payload that would have been
+    /// charged without some optimization (schedule merging, incremental
+    /// schedules). One call counts one avoided-or-shrunk phase. The saved
+    /// bucket is bookkeeping only: clocks and real totals are untouched.
+    /// After the first note with a given label this allocates nothing.
+    pub fn note_saved(&mut self, label: &'static str, messages: usize, bytes: usize) {
+        self.saved.entry(label).or_default().merge(&CommStats {
+            messages,
+            bytes,
+            phases: 1,
+            comm_seconds: 0.0,
+        });
+    }
+
+    /// Aggregate savings noted under `label` via [`StatsRegistry::note_saved`].
+    pub fn saved_labelled(&self, label: &str) -> CommStats {
+        self.saved.get(label).copied().unwrap_or_default()
+    }
+
+    /// The per-label savings totals, in label order.
+    pub fn saved_totals(&self) -> impl Iterator<Item = (&'static str, CommStats)> + '_ {
+        self.saved.iter().map(|(l, s)| (*l, *s))
+    }
+
     /// Aggregate statistics for a phase kind.
     pub fn totals_for(&self, kind: PhaseKind) -> CommStats {
         self.by_kind.get(&kind).copied().unwrap_or_default()
@@ -228,6 +258,7 @@ impl StatsRegistry {
         self.records.clear();
         self.by_kind.clear();
         self.by_label.clear();
+        self.saved.clear();
     }
 
     /// Write this registry's state into `snap`, reusing its buffers.
@@ -240,6 +271,7 @@ impl StatsRegistry {
         snap.records_len = self.records.len();
         copy_btree_values(&self.by_kind, &mut snap.by_kind);
         copy_btree_values(&self.by_label, &mut snap.by_label);
+        copy_btree_values(&self.saved, &mut snap.saved);
         snap.current_kind = self.current_kind;
     }
 
@@ -254,6 +286,7 @@ impl StatsRegistry {
         self.records.truncate(snap.records_len);
         copy_btree_values(&snap.by_kind, &mut self.by_kind);
         copy_btree_values(&snap.by_label, &mut self.by_label);
+        copy_btree_values(&snap.saved, &mut self.saved);
         self.current_kind = snap.current_kind;
     }
 }
@@ -265,6 +298,7 @@ pub struct StatsSnapshot {
     records_len: usize,
     by_kind: BTreeMap<PhaseKind, CommStats>,
     by_label: BTreeMap<&'static str, CommStats>,
+    saved: BTreeMap<&'static str, CommStats>,
     current_kind: Option<PhaseKind>,
 }
 
@@ -305,6 +339,16 @@ impl serde_json::ToValue for StatsRegistry {
                 .collect::<Vec<_>>(),
             "by_label": self
                 .by_label
+                .iter()
+                .map(|(l, s)| {
+                    serde_json::json!({
+                        "label": *l,
+                        "stats": serde_json::ToValue::to_value(s),
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "saved": self
+                .saved
                 .iter()
                 .map(|(l, s)| {
                     serde_json::json!({
@@ -440,14 +484,53 @@ mod tests {
     }
 
     #[test]
+    fn saved_bucket_never_touches_real_totals() {
+        let mut reg = StatsRegistry::new();
+        reg.set_current_kind(Some(PhaseKind::Inspector));
+        reg.record("build", stats(3, 24));
+        reg.note_saved("L2:schedule-build", 2, 16);
+        reg.note_saved("L2:schedule-build", 1, 8);
+        reg.note_saved("executor:gather", 4, 32);
+        assert_eq!(reg.saved_labelled("L2:schedule-build").messages, 3);
+        assert_eq!(reg.saved_labelled("L2:schedule-build").bytes, 24);
+        assert_eq!(reg.saved_labelled("L2:schedule-build").phases, 2);
+        assert_eq!(reg.saved_labelled("unknown").messages, 0);
+        assert_eq!(
+            reg.saved_totals().map(|(l, _)| l).collect::<Vec<_>>(),
+            vec!["L2:schedule-build", "executor:gather"]
+        );
+        // Real totals see only the real phase.
+        assert_eq!(reg.grand_totals().messages, 3);
+        assert_eq!(reg.totals_for(PhaseKind::Inspector).messages, 3);
+        reg.clear();
+        assert_eq!(reg.saved_labelled("L2:schedule-build").messages, 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_the_saved_bucket() {
+        let mut reg = StatsRegistry::new();
+        reg.note_saved("a", 1, 8);
+        let mut snap = StatsSnapshot::default();
+        reg.snapshot_into(&mut snap);
+        reg.note_saved("a", 2, 16);
+        reg.note_saved("b", 5, 40);
+        reg.restore_from(&snap);
+        assert_eq!(reg.saved_labelled("a").messages, 1);
+        assert_eq!(reg.saved_labelled("b").messages, 0);
+    }
+
+    #[test]
     fn registry_renders_to_json() {
         let mut reg = StatsRegistry::new();
         reg.set_current_kind(Some(PhaseKind::Inspector));
         reg.record("build", stats(3, 24));
         reg.record_quiet_labelled("executor:fused-sweep", stats(1, 8));
+        reg.note_saved("L2:schedule-build", 2, 16);
         let json = serde_json::to_string(&serde_json::ToValue::to_value(&reg)).unwrap();
         assert!(json.contains("\"build\""));
         assert!(json.contains("executor:fused-sweep"));
         assert!(json.contains("\"comm_seconds\""));
+        assert!(json.contains("\"saved\""));
+        assert!(json.contains("L2:schedule-build"));
     }
 }

@@ -34,7 +34,8 @@ use chaos_dmsim::{
 };
 use chaos_geocol::partitioner_by_name;
 use chaos_runtime::{
-    charge_checkpoint, gather_inline, gather_rows, scatter_combine_rows, scatter_pack_kernel,
+    charge_checkpoint, gather_inline, gather_inline_mapped, gather_inline_offset, gather_rows,
+    gather_rows_mapped, gather_rows_offset, scatter_combine_rows, scatter_pack_kernel,
     scatter_reduce_rows, AccessPattern, DistArray, Distribution, GeoColSpec, Inspector,
     InspectorResult, IterPartitionPolicy, IterationPartition, LocalizeScratch, LoopId,
     MapperCoupler, ReuseRegistry,
@@ -51,6 +52,18 @@ const OVERALL_ATTEMPT_CAP: u32 = 32;
 /// Checkpoint cadence used when [`RecoveryPolicy::RollbackToCheckpoint`] is
 /// selected without an explicit `with_checkpoint_every`.
 const DEFAULT_CHECKPOINT_EVERY: u64 = 8;
+
+/// Statistics label under which the inspector books request-exchange
+/// traffic *avoided* by incremental schedules (ghosts already requested by
+/// earlier loops). Read back through
+/// [`chaos_dmsim::StatsRegistry::saved_labelled`]; never part of the real
+/// totals.
+pub const SAVED_SCHEDULE_LABEL: &str = "incremental:schedule-build";
+
+/// Statistics label under which executor sweeps book gather traffic
+/// *avoided* because the resident ghost region already held fresh values
+/// fetched by earlier loops.
+pub const SAVED_GATHER_LABEL: &str = "incremental:gather";
 
 /// Values bound to the program's symbolic sizes and `READ_DATA` arrays.
 #[derive(Debug, Clone, Default)]
@@ -108,8 +121,14 @@ pub struct ExecReport {
     pub kernel_reuse_hits: usize,
     /// Number of schedule merges performed by the inspector (each merge
     /// folds one additional same-distribution group's schedule into the
-    /// union whose request exchange is charged once for the cluster).
+    /// union whose request exchange is charged once for the cluster; only
+    /// counted on the non-incremental path, which builds explicit unions).
     pub schedule_merges: usize,
+    /// Number of incremental region bindings whose request exchange was
+    /// smaller than the loop's full schedule — i.e. cross-loop bindings
+    /// where ghosts already resident from earlier loops were not
+    /// re-requested.
+    pub incremental_bindings: usize,
 }
 
 /// How FORALL bodies execute during the sweep's compute phase.
@@ -125,13 +144,27 @@ pub enum KernelMode {
     Interpreted,
 }
 
+/// One decomposition group's cached inspector state.
+#[derive(Debug, Clone)]
+struct CachedGroup {
+    /// The loop-plan slot ids belonging to this group.
+    slot_ids: Vec<usize>,
+    /// The group's inspector result (schedule, localized rows, ghost
+    /// counts) — always the loop's *own* full schedule.
+    result: InspectorResult,
+    /// The group's binding into the shared resident ghost region of its
+    /// distribution, when incremental schedules are enabled (`None` when
+    /// they are off; the sweep then gathers the own schedule directly).
+    region: Option<chaos_runtime::RegionBinding>,
+}
+
 /// Cached inspector state for one loop.
 #[derive(Debug, Clone)]
 struct CachedLoop {
     iter_part: IterationPartition,
-    /// One inspector result per decomposition group, keyed by decomposition
-    /// name, together with the slots (loop-plan slot ids) in that group.
-    groups: BTreeMap<String, (Vec<usize>, InspectorResult)>,
+    /// One cached group per decomposition group, keyed by decomposition
+    /// name.
+    groups: BTreeMap<String, CachedGroup>,
 }
 
 /// A restorable copy of everything a FORALL sweep can touch: the machine
@@ -177,6 +210,12 @@ pub struct Executor<B: Backend = Machine> {
     kernels: KernelCache,
     kernel_mode: KernelMode,
     merge_schedules: bool,
+    /// Build cross-loop incremental schedules (default): each group's
+    /// schedule is bound into its distribution's shared resident ghost
+    /// region and only the ghosts earlier loops didn't fetch are requested;
+    /// sweeps then gather only the difference when the resident chunks are
+    /// still fresh. Disabling restores per-loop self-contained schedules.
+    incremental_schedules: bool,
     /// Run each sweep as one fused `Backend::run_sweep` region (default) —
     /// gathers folded in driver-side, one epoch, one engine release — or,
     /// when disabled, as the historical per-phase sequence (the escape
@@ -270,6 +309,7 @@ impl<B: Backend> Executor<B> {
             kernels: KernelCache::new(),
             kernel_mode: KernelMode::default(),
             merge_schedules: true,
+            incremental_schedules: true,
             phase_fusion: true,
             inputs,
             reuse_enabled: true,
@@ -332,6 +372,23 @@ impl<B: Backend> Executor<B> {
     /// exchange instead of one per schedule.
     pub fn with_schedule_merging(mut self, enabled: bool) -> Self {
         self.merge_schedules = enabled;
+        self
+    }
+
+    /// Enable or disable cross-loop incremental schedules (default:
+    /// enabled). Incremental, each FORALL's schedule is bound into the
+    /// shared resident ghost region of its distribution: the inspector
+    /// requests only the ghosts earlier loops didn't already fetch (one
+    /// tagged-offset exchange folds groups over *different* distributions
+    /// when schedule merging is also on), and steady-state sweeps gather
+    /// only that difference whenever the resident chunks are still fresh
+    /// for the read array. Values, virtual clocks and communication
+    /// statistics stay byte-identical to the non-incremental build for
+    /// single-group loops; disabling is the escape hatch that restores
+    /// per-loop self-contained schedules (and the explicit union-merging
+    /// counted by `schedule_merges`).
+    pub fn with_incremental_schedules(mut self, enabled: bool) -> Self {
+        self.incremental_schedules = enabled;
         self
     }
 
@@ -565,6 +622,7 @@ impl<B: Backend> Executor<B> {
                         .insert(name.clone(), DistArray::new(name, dist.clone()));
                 }
             }
+            self.registry.note_array_write(name);
         }
         Ok(())
     }
@@ -586,6 +644,7 @@ impl<B: Backend> Executor<B> {
                     "READ_DATA of array '{name}' before it was ALIGNed"
                 )));
             }
+            self.registry.note_array_write(name);
         }
         Ok(())
     }
@@ -698,6 +757,10 @@ impl<B: Backend> Executor<B> {
                 MapperCoupler.redistribute(&mut self.backend, &mut self.registry, arr, &new_dist);
                 self.report.arrays_redistributed += 1;
             }
+            // The shards moved: any resident ghost-region values for the
+            // array are stale regardless of which distribution they were
+            // gathered under.
+            self.registry.note_array_write(&name);
         }
         self.decomp_dist.insert(decomp.to_string(), new_dist);
         Ok(())
@@ -1122,6 +1185,9 @@ impl<B: Backend> Executor<B> {
             .collect::<Result<Vec<_>, _>>()?;
         let refs: Vec<&chaos_runtime::Dad> = written_dads.iter().collect();
         self.registry.record_write_block(&refs);
+        for a in &plan.written_arrays {
+            self.registry.note_array_write(a);
+        }
 
         self.report.loop_sweeps += 1;
         Ok(())
@@ -1273,47 +1339,21 @@ impl<B: Backend> Executor<B> {
             });
         }
 
-        // Cluster groups whose decompositions share one distribution: their
-        // schedules are merged (PARTI schedule merging) and the request
-        // exchange is issued once for the union instead of once per
-        // schedule. Groups over distinct distributions run the classic
-        // one-inspector-per-group path unchanged.
-        let mut clusters: Vec<Vec<usize>> = Vec::new();
-        for i in 0..pending.len() {
-            let slot = if self.merge_schedules {
-                clusters
-                    .iter_mut()
-                    .find(|c| pending[c[0]].dist.same_as(&pending[i].dist))
-            } else {
-                None
-            };
-            match slot {
-                Some(c) => c.push(i),
-                None => clusters.push(vec![i]),
-            }
-        }
-
         let mut results: Vec<Option<InspectorResult>> = (0..pending.len()).map(|_| None).collect();
-        for cluster in &clusters {
-            if cluster.len() == 1 {
-                let g = &pending[cluster[0]];
-                let r = Inspector.localize(&mut self.backend, &plan.label, &g.dist, &g.pattern);
-                results[cluster[0]] = Some(r);
-                continue;
-            }
-            // Localize every member with its request exchange deferred,
-            // then fold the members' schedules into one union schedule
-            // (`CommSchedule::merge_union` — the maps-free form of PARTI's
-            // schedule merge) and charge a *single* request
-            // exchange for it: one combined message per (owner, requester)
-            // pair carries every member's offset lists, with shared
-            // (owner, offset) entries deduplicated. Executor phases keep
-            // the per-group schedules — gathers/scatters are per
-            // (group, array), and moving the union ghost set on every
-            // steady-state sweep would trade a one-time build saving for
-            // recurring executor traffic.
+        let mut regions: Vec<Option<chaos_runtime::RegionBinding>> =
+            (0..pending.len()).map(|_| None).collect();
+        if self.incremental_schedules {
+            // Incremental cross-loop path: localize every group with its
+            // request exchange deferred, bind each schedule into its
+            // distribution's shared resident ghost region (computing the
+            // difference against the union of ghosts already requested by
+            // earlier loops), and exchange only the missing ghosts. With
+            // schedule merging on, one tagged-offset exchange folds every
+            // group's difference — including groups over *different*
+            // distributions — into a single message per processor pair.
+            let loop_key = LoopId::new(&plan.label).index() as u32;
             let mut scratch = LocalizeScratch::default();
-            for &i in cluster {
+            for i in 0..pending.len() {
                 let g = &pending[i];
                 let r = Inspector.localize_deferred_exchange(
                     &mut self.backend,
@@ -1324,19 +1364,120 @@ impl<B: Backend> Executor<B> {
                 );
                 results[i] = Some(r);
             }
-            let schedule_of = |i: usize| &results[i].as_ref().expect("localized").schedule;
-            let mut merged = schedule_of(cluster[0]).clone();
-            for &i in &cluster[1..] {
-                merged = merged.merge_union(schedule_of(i));
-                self.report.schedule_merges += 1;
+            let mut full_msgs = 0usize;
+            let mut full_words = 0usize;
+            for i in 0..pending.len() {
+                let g = &pending[i];
+                let r = results[i].as_ref().expect("localized");
+                let sig = chaos_runtime::Dad::of(&g.dist).signature();
+                let rb = self.registry.region_bind(sig, loop_key, &r.schedule);
+                if rb.diff.total_ghosts() < r.schedule.total_ghosts() {
+                    self.report.incremental_bindings += 1;
+                }
+                full_msgs += r.schedule.message_count();
+                full_words += r.schedule.total_ghosts();
+                regions[i] = Some(rb);
             }
-            merged.charge_build_exchange(self.backend.machine_mut(), &plan.label);
+            let (msgs, words) = if self.merge_schedules {
+                let parts: Vec<&chaos_runtime::CommSchedule> = regions
+                    .iter()
+                    .map(|rb| &rb.as_ref().expect("bound").diff)
+                    .collect();
+                chaos_runtime::charge_merged_request_exchange(
+                    self.backend.machine_mut(),
+                    &plan.label,
+                    &parts,
+                )
+            } else {
+                let mut msgs = 0usize;
+                let mut words = 0usize;
+                for rb in regions.iter().flatten() {
+                    rb.diff
+                        .charge_build_exchange(self.backend.machine_mut(), &plan.label);
+                    msgs += rb.diff.message_count();
+                    words += rb.diff.total_ghosts();
+                }
+                (msgs, words)
+            };
+            if full_msgs > msgs || full_words > words {
+                self.backend.machine_mut().note_schedule_savings(
+                    SAVED_SCHEDULE_LABEL,
+                    full_msgs.saturating_sub(msgs),
+                    full_words.saturating_sub(words),
+                );
+            }
+        } else {
+            // Cluster groups whose decompositions share one distribution:
+            // their schedules are merged (PARTI schedule merging) and the
+            // request exchange is issued once for the union instead of once
+            // per schedule. Groups over distinct distributions run the
+            // classic one-inspector-per-group path unchanged.
+            let mut clusters: Vec<Vec<usize>> = Vec::new();
+            for i in 0..pending.len() {
+                let slot = if self.merge_schedules {
+                    clusters
+                        .iter_mut()
+                        .find(|c| pending[c[0]].dist.same_as(&pending[i].dist))
+                } else {
+                    None
+                };
+                match slot {
+                    Some(c) => c.push(i),
+                    None => clusters.push(vec![i]),
+                }
+            }
+
+            for cluster in &clusters {
+                if cluster.len() == 1 {
+                    let g = &pending[cluster[0]];
+                    let r = Inspector.localize(&mut self.backend, &plan.label, &g.dist, &g.pattern);
+                    results[cluster[0]] = Some(r);
+                    continue;
+                }
+                // Localize every member with its request exchange deferred,
+                // then fold the members' schedules into one union schedule
+                // (`CommSchedule::merge_union` — the maps-free form of PARTI's
+                // schedule merge) and charge a *single* request
+                // exchange for it: one combined message per (owner, requester)
+                // pair carries every member's offset lists, with shared
+                // (owner, offset) entries deduplicated. Executor phases keep
+                // the per-group schedules — gathers/scatters are per
+                // (group, array), and moving the union ghost set on every
+                // steady-state sweep would trade a one-time build saving for
+                // recurring executor traffic.
+                let mut scratch = LocalizeScratch::default();
+                for &i in cluster {
+                    let g = &pending[i];
+                    let r = Inspector.localize_deferred_exchange(
+                        &mut self.backend,
+                        &plan.label,
+                        &g.dist,
+                        &g.pattern,
+                        &mut scratch,
+                    );
+                    results[i] = Some(r);
+                }
+                let schedule_of = |i: usize| &results[i].as_ref().expect("localized").schedule;
+                let mut merged = schedule_of(cluster[0]).clone();
+                for &i in &cluster[1..] {
+                    merged = merged.merge_union(schedule_of(i));
+                    self.report.schedule_merges += 1;
+                }
+                merged.charge_build_exchange(self.backend.machine_mut(), &plan.label);
+            }
         }
 
-        let mut cached_groups: BTreeMap<String, (Vec<usize>, InspectorResult)> = BTreeMap::new();
-        for (g, r) in pending.into_iter().zip(results) {
+        let mut cached_groups: BTreeMap<String, CachedGroup> = BTreeMap::new();
+        for ((g, r), region) in pending.into_iter().zip(results).zip(regions) {
             let result = r.expect("every group localized");
-            cached_groups.insert(g.decomp, (g.slot_ids, result));
+            cached_groups.insert(
+                g.decomp,
+                CachedGroup {
+                    slot_ids: g.slot_ids,
+                    result,
+                    region,
+                },
+            );
         }
         self.backend.machine_mut().set_phase_kind(prev_kind);
 
@@ -1391,7 +1532,7 @@ impl<B: Backend> Executor<B> {
                         let ghost_counts: Vec<Vec<usize>> = cached
                             .groups
                             .values()
-                            .map(|(_, r)| r.ghost_counts.clone())
+                            .map(|g| g.result.ghost_counts.clone())
                             .collect();
                         let buffers = SweepBuffers::for_bindings(&kernel.bindings, &ghost_counts);
                         self.report.kernels_compiled += 1;
@@ -1418,7 +1559,7 @@ impl<B: Backend> Executor<B> {
                 let ghost_counts: Vec<Vec<usize>> = cached
                     .groups
                     .values()
-                    .map(|(_, r)| r.ghost_counts.clone())
+                    .map(|g| g.result.ghost_counts.clone())
                     .collect();
                 let mut buffers = SweepBuffers::for_bindings(&bindings, &ghost_counts);
                 self.run_sweep(plan, cached, &bindings, &mut buffers, |st, area| {
@@ -1433,9 +1574,9 @@ impl<B: Backend> Executor<B> {
         cached
             .groups
             .iter()
-            .map(|(decomp, (slot_ids, _))| GroupSpec {
+            .map(|(decomp, g)| GroupSpec {
                 decomp: decomp.clone(),
-                slot_ids: slot_ids.clone(),
+                slot_ids: g.slot_ids.clone(),
             })
             .collect()
     }
@@ -1463,7 +1604,7 @@ impl<B: Backend> Executor<B> {
         K: Fn(&mut RankState<'_>, &mut RankSweepArea) + Sync,
     {
         let nprocs = self.backend.nprocs();
-        let group_results: Vec<&InspectorResult> = cached.groups.values().map(|(_, r)| r).collect();
+        let groups: Vec<&CachedGroup> = cached.groups.values().collect();
 
         // Every bound array must be materialized before any state is moved.
         for name in bindings.written.iter().chain(&bindings.read_only) {
@@ -1474,18 +1615,99 @@ impl<B: Backend> Executor<B> {
             }
         }
 
-        // Gather phase: one gather per bound ghost buffer, into the cached
-        // steady-state rows. Fused, the gathers run driver-side inside the
-        // sweep's single epoch; unfused, each is its own backend region.
+        // Gather phase: one gather per bound ghost buffer. Fused, the
+        // gathers run driver-side inside the sweep's single epoch; unfused,
+        // each is its own backend region.
+        //
+        // A region-bound buffer (incremental schedules) first swaps the
+        // `(distribution, array)` resident region rows in place of its
+        // loop-local rows — they are swapped back at the end of the sweep,
+        // so resident values persist across loops and sweeps. If every
+        // chunk this binding depends on still holds fresh values for the
+        // array, only the binding's own difference is gathered (into its
+        // chunk); otherwise the loop's full schedule is gathered through
+        // the slot re-binding map, refreshing the binding's chunk.
         for (gid, gb) in bindings.ghosts.iter().enumerate() {
-            let result = group_results[gb.group as usize];
+            let group = groups[gb.group as usize];
+            let result = &group.result;
             let arr = self.real.get(&gb.array).expect("checked above");
-            let rows = bufs.areas.iter_mut().map(|a| &mut a.ghosts[gid]);
-            if self.phase_fusion {
-                gather_inline(self.backend.machine_mut(), &result.schedule, arr, rows);
-            } else {
-                gather_rows(&mut self.backend, &result.schedule, arr, rows);
+            let Some(rb) = &group.region else {
+                let rows = bufs.areas.iter_mut().map(|a| &mut a.ghosts[gid]);
+                if self.phase_fusion {
+                    gather_inline(self.backend.machine_mut(), &result.schedule, arr, rows);
+                } else {
+                    gather_rows(&mut self.backend, &result.schedule, arr, rows);
+                }
+                continue;
+            };
+            let region = self
+                .registry
+                .region(rb.sig)
+                .expect("region bound by the inspector");
+            let stamp = self.registry.array_stamp(&gb.array);
+            let rv = self.kernels.region_values_mut(rb.sig, &gb.array);
+            if rv.era != stamp {
+                // The array was written since the region rows were last
+                // gathered: every chunk's values are stale for it.
+                rv.era = stamp;
+                rv.fresh.iter_mut().for_each(|f| *f = false);
             }
+            if rv.fresh.len() < region.nchunks() {
+                rv.fresh.resize(region.nchunks(), false);
+            }
+            if rv.rows.len() < nprocs {
+                rv.rows.resize_with(nprocs, Vec::new);
+            }
+            for (p, row) in rv.rows.iter_mut().enumerate() {
+                if row.len() < region.size(p) {
+                    row.resize(region.size(p), 0.0);
+                }
+            }
+            for (p, area) in bufs.areas.iter_mut().enumerate() {
+                std::mem::swap(&mut area.ghosts[gid], &mut rv.rows[p]);
+            }
+            let deps_fresh = rb.deps.iter().all(|&c| rv.fresh[c as usize]);
+            if deps_fresh {
+                // Everything outside this binding's own chunk is resident
+                // and fresh: fetch only the ghosts earlier loops didn't.
+                let rows = bufs.areas.iter_mut().map(|a| &mut a.ghosts[gid]);
+                if self.phase_fusion {
+                    gather_inline_offset(self.backend.machine_mut(), &rb.diff, arr, &rb.base, rows);
+                } else {
+                    gather_rows_offset(&mut self.backend, &rb.diff, arr, &rb.base, rows);
+                }
+                let msgs = result.schedule.message_count() - rb.diff.message_count();
+                let words = result.schedule.total_ghosts() - rb.diff.total_ghosts();
+                if msgs > 0 || words > 0 {
+                    self.backend.machine_mut().note_schedule_savings(
+                        SAVED_GATHER_LABEL,
+                        msgs,
+                        words,
+                    );
+                }
+            } else {
+                // A dependency chunk is stale: gather the loop's own full
+                // schedule, scattered through the slot re-binding map.
+                let rows = bufs.areas.iter_mut().map(|a| &mut a.ghosts[gid]);
+                if self.phase_fusion {
+                    gather_inline_mapped(
+                        self.backend.machine_mut(),
+                        &result.schedule,
+                        arr,
+                        &rb.slot_map,
+                        rows,
+                    );
+                } else {
+                    gather_rows_mapped(
+                        &mut self.backend,
+                        &result.schedule,
+                        arr,
+                        &rb.slot_map,
+                        rows,
+                    );
+                }
+            }
+            rv.fresh[rb.chunk as usize] = true;
         }
 
         // Move the written arrays out of the environment so their shards
@@ -1522,9 +1744,19 @@ impl<B: Backend> Executor<B> {
                     iters: cached.iter_part.iters(p),
                     shards: Vec::with_capacity(written.len()),
                     read_shards: read_arrays.iter().map(|a| a.local(p)).collect(),
-                    localized: group_results
+                    localized: groups
                         .iter()
-                        .map(|r| r.localized[p].as_slice())
+                        .map(|g| g.result.localized[p].as_slice())
+                        .collect(),
+                    ghost_maps: bindings
+                        .ghosts
+                        .iter()
+                        .map(|gb| {
+                            groups[gb.group as usize]
+                                .region
+                                .as_ref()
+                                .map(|rb| rb.slot_map[p].as_slice())
+                        })
                         .collect(),
                 })
                 .collect();
@@ -1550,14 +1782,14 @@ impl<B: Backend> Executor<B> {
                     |areas: &[RankSweepArea], j| areas.iter().any(|a| a.touched[j]),
                     |ctx, j| {
                         let binding = &bindings.write_bufs[j];
-                        scatter_pack_kernel(ctx, &group_results[binding.group as usize].schedule);
+                        scatter_pack_kernel(ctx, &groups[binding.group as usize].result.schedule);
                     },
                     |ctx, j, st: &mut RankState<'_>, areas: &[RankSweepArea]| {
                         let binding = &bindings.write_bufs[j];
                         let kind = binding.kind;
                         scatter_combine_rows(
                             ctx,
-                            &group_results[binding.group as usize].schedule,
+                            &groups[binding.group as usize].result.schedule,
                             |p| areas[p].contrib[j].as_slice(),
                             &mut st.shards[wb_shard[j]][..],
                             &|a, b| kind.apply(a, b),
@@ -1583,31 +1815,43 @@ impl<B: Backend> Executor<B> {
         for (name, arr) in bindings.written.iter().zip(written) {
             self.real.insert(name.clone(), arr);
         }
-        if self.phase_fusion {
-            // The scatters already ran inside the fused region.
-            return Ok(());
+
+        // Scatter phase (unfused only — fused sweeps ran the scatters
+        // inside the single region): touched write buffers only (untouched
+        // buffers carry nothing but identities — the lazily-created buffers
+        // of the original driver loop never existed), in binding order.
+        if !self.phase_fusion {
+            for (wb, binding) in bindings.write_bufs.iter().enumerate() {
+                if !bufs.areas.iter().any(|a| a.touched[wb]) {
+                    continue;
+                }
+                let result = &groups[binding.group as usize].result;
+                let arr = self
+                    .real
+                    .get_mut(&binding.array)
+                    .expect("written array restored above");
+                let areas = &bufs.areas;
+                scatter_reduce_rows(
+                    &mut self.backend,
+                    &result.schedule,
+                    arr,
+                    |p| areas[p].contrib[wb].as_slice(),
+                    binding.kind,
+                );
+            }
         }
 
-        // Scatter phase: touched write buffers only (untouched buffers
-        // carry nothing but identities — the lazily-created buffers of the
-        // original driver loop never existed), in binding order.
-        for (wb, binding) in bindings.write_bufs.iter().enumerate() {
-            if !bufs.areas.iter().any(|a| a.touched[wb]) {
+        // Park the resident region rows back in the kernel cache (the
+        // reverse of the gather-phase swap) so their values persist for the
+        // next loop over the same distribution.
+        for (gid, gb) in bindings.ghosts.iter().enumerate() {
+            let Some(rb) = &groups[gb.group as usize].region else {
                 continue;
+            };
+            let rv = self.kernels.region_values_mut(rb.sig, &gb.array);
+            for (p, area) in bufs.areas.iter_mut().enumerate() {
+                std::mem::swap(&mut area.ghosts[gid], &mut rv.rows[p]);
             }
-            let result = group_results[binding.group as usize];
-            let arr = self
-                .real
-                .get_mut(&binding.array)
-                .expect("written array restored above");
-            let areas = &bufs.areas;
-            scatter_reduce_rows(
-                &mut self.backend,
-                &result.schedule,
-                arr,
-                |p| areas[p].contrib[wb].as_slice(),
-                binding.kind,
-            );
         }
 
         Ok(())
@@ -1875,10 +2119,16 @@ mod tests {
 
     #[test]
     fn reuse_makes_sweeps_cheaper() {
+        // Pin incremental schedules off: this test measures the classic
+        // reuse mechanism, and incremental re-binding would otherwise slash
+        // the no-reuse arm's re-inspection cost (empty difference
+        // exchanges, fully-resident gathers) — a genuine saving, but not
+        // the one under test.
         let inputs = random_inputs(400, 1600);
         let cp = compiled();
 
-        let mut with = Executor::new(MachineConfig::ipsc860(4), inputs.clone());
+        let mut with = Executor::new(MachineConfig::ipsc860(4), inputs.clone())
+            .with_incremental_schedules(false);
         with.run(&cp).unwrap();
         let start = with.machine().elapsed();
         for _ in 0..10 {
@@ -1886,7 +2136,9 @@ mod tests {
         }
         let with_time = with.machine().elapsed().since(&start).max_seconds();
 
-        let mut without = Executor::new(MachineConfig::ipsc860(4), inputs).with_reuse(false);
+        let mut without = Executor::new(MachineConfig::ipsc860(4), inputs)
+            .with_reuse(false)
+            .with_incremental_schedules(false);
         without.run(&cp).unwrap();
         let start = without.machine().elapsed();
         for _ in 0..10 {

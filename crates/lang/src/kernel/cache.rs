@@ -17,7 +17,8 @@
 
 use super::compile::CompiledKernel;
 use super::vm::RankSweepArea;
-use chaos_runtime::LoopId;
+use chaos_runtime::{DadSignature, LoopId};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Reusable per-loop sweep storage: one owned [`RankSweepArea`] per rank,
@@ -55,6 +56,23 @@ impl SweepBuffers {
     }
 }
 
+/// The resident value rows of one `(distribution, array)` ghost region:
+/// what the shared region currently holds for that array, carried across
+/// loops and sweeps so later loops can fetch only the ghosts earlier loops
+/// didn't. Freshness is tracked per region chunk against the array's write
+/// stamp (`era`): when the stamp moves, every chunk's values are stale and
+/// the next reader of each chunk falls back to a full gather.
+#[derive(Debug, Clone, Default)]
+pub struct RegionValues {
+    /// Per-rank resident value rows, sized to the region (grown lazily).
+    pub rows: Vec<Vec<f64>>,
+    /// The array write stamp the freshness flags are valid for.
+    pub era: u64,
+    /// `fresh[c]` — region chunk `c`'s slots hold the array's current
+    /// values (gathered this era, not overwritten since).
+    pub fresh: Vec<bool>,
+}
+
 /// One cached loop: the compiled kernel (shared, immutable) plus its
 /// mutable sweep buffers.
 #[derive(Debug, Clone)]
@@ -72,6 +90,10 @@ pub struct KernelEntry {
 #[derive(Debug, Clone, Default)]
 pub struct KernelCache {
     entries: Vec<Option<KernelEntry>>,
+    /// Resident ghost-region value rows, keyed by distribution signature
+    /// then array name. Lives here (not in the reuse registry) because the
+    /// rows are value state, snapshotted and restored with the kernels.
+    region_values: HashMap<DadSignature, HashMap<String, RegionValues>>,
 }
 
 impl KernelCache {
@@ -102,6 +124,23 @@ impl KernelCache {
         if let Some(slot) = self.entries.get_mut(id.index()) {
             *slot = None;
         }
+    }
+
+    /// The resident value rows of the `(sig, array)` ghost region, created
+    /// empty on first use. Steady-state lookups allocate nothing: the name
+    /// is only cloned into the key on the first miss.
+    pub fn region_values_mut(&mut self, sig: DadSignature, array: &str) -> &mut RegionValues {
+        let inner = self.region_values.entry(sig).or_default();
+        if !inner.contains_key(array) {
+            inner.insert(array.to_string(), RegionValues::default());
+        }
+        inner.get_mut(array).expect("just inserted")
+    }
+
+    /// Drop every resident region-value row (used when regions themselves
+    /// are rebuilt from scratch, e.g. on machine-size changes in tests).
+    pub fn clear_region_values(&mut self) {
+        self.region_values.clear();
     }
 }
 

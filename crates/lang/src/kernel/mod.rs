@@ -35,7 +35,7 @@ pub mod cache;
 pub mod compile;
 pub mod vm;
 
-pub use cache::{KernelCache, KernelEntry, SweepBuffers};
+pub use cache::{KernelCache, KernelEntry, RegionValues, SweepBuffers};
 pub use compile::{
     compile_kernel, ArrLoc, CompiledKernel, GhostBinding, GroupSpec, KernelBindings, Op,
     SlotBinding, WriteBinding, NO_GHOST,

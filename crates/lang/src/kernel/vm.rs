@@ -75,6 +75,11 @@ pub struct RankState<'a> {
     /// The rank's localized reference row per decomposition group, indexed
     /// like [`KernelBindings::groups`].
     pub localized: Vec<&'a [LocalRef]>,
+    /// Per ghost buffer (indexed like [`KernelBindings::ghosts`]): `Some`
+    /// holds the rank's slot re-binding map into a shared resident ghost
+    /// region — ghost slot `g` is stored at row position `map[g]` — while
+    /// `None` means the buffer is rank-local and slots index it directly.
+    pub ghost_maps: Vec<Option<&'a [u32]>>,
 }
 
 /// The rank's *owned* sweep-scoped storage, split from [`RankState`] so the
@@ -138,7 +143,11 @@ impl RankState<'_> {
             },
             LocalRef::Ghost(g) => {
                 debug_assert_ne!(sb.ghost, super::compile::NO_GHOST, "write-only slot read");
-                ghosts[sb.ghost as usize][g as usize]
+                let at = match self.ghost_maps[sb.ghost as usize] {
+                    Some(map) => map[g as usize] as usize,
+                    None => g as usize,
+                };
+                ghosts[sb.ghost as usize][at]
             }
         }
     }
@@ -362,7 +371,14 @@ impl OracleEnv {
                 ArrLoc::Written(w) => st.shards[w as usize][off as usize],
                 ArrLoc::ReadOnly(r) => st.read_shards[r as usize][off as usize],
             },
-            LocalRef::Ghost(g) => ghosts[self.slot_ghost[sid]][g as usize],
+            LocalRef::Ghost(g) => {
+                let gid = self.slot_ghost[sid];
+                let at = match st.ghost_maps[gid] {
+                    Some(map) => map[g as usize] as usize,
+                    None => g as usize,
+                };
+                ghosts[gid][at]
+            }
         }
     }
 }
@@ -516,6 +532,7 @@ mod tests {
                     shards: vec![&mut y],
                     read_shards: vec![&x],
                     localized: vec![&localized],
+                    ghost_maps: vec![None; kernel.bindings.ghosts.len()],
                 };
                 if use_vm {
                     run_rank(&kernel, &mut st, &mut area);

@@ -58,7 +58,9 @@ pub use chaos_dmsim::{
     TraceSummary,
 };
 pub use error::LangError;
-pub use exec::{ExecReport, Executor, KernelMode, ProgramInputs};
+pub use exec::{
+    ExecReport, Executor, KernelMode, ProgramInputs, SAVED_GATHER_LABEL, SAVED_SCHEDULE_LABEL,
+};
 pub use kernel::{compile_kernel, CompiledKernel, KernelCache};
 pub use lower::{lower_program, CompiledProgram, LoopPlan};
 pub use parser::parse_program;

@@ -260,10 +260,15 @@ fn same_distribution_groups_merge_into_one_schedule_exchange() {
         .int("ib", ib.clone());
     let program = lower_program(parse_program(src).unwrap()).unwrap();
 
-    let mut merged = Executor::new(MachineConfig::ipsc860(2), inputs.clone());
+    // Incremental schedules are pinned off: this test exercises the classic
+    // union-merging path (`schedule_merges` only counts there; the
+    // incremental path folds request exchanges without building unions).
+    let mut merged =
+        Executor::new(MachineConfig::ipsc860(2), inputs.clone()).with_incremental_schedules(false);
     merged.run(&program).unwrap();
-    let mut unmerged =
-        Executor::new(MachineConfig::ipsc860(2), inputs.clone()).with_schedule_merging(false);
+    let mut unmerged = Executor::new(MachineConfig::ipsc860(2), inputs.clone())
+        .with_schedule_merging(false)
+        .with_incremental_schedules(false);
     unmerged.run(&program).unwrap();
 
     // One merged build exchange vs one per decomposition group.
@@ -315,4 +320,122 @@ fn same_distribution_groups_merge_into_one_schedule_exchange() {
     }
     merged.execute_loop(&program, "L1").unwrap();
     assert_eq!(merged.report().reuse_hits, 1);
+}
+
+/// Two FORALLs read `x` over the same node distribution with overlapping
+/// ghost sets (a chain-edge loop, then a wider face loop). With incremental
+/// schedules (the default), the second loop's inspector requests only the
+/// ghosts the first loop didn't, and its steady-state sweeps gather only
+/// that difference — every avoided message and byte is booked in the
+/// machine's `saved` ledger, which must account *exactly* for the gap to
+/// the escape-hatch run.
+#[test]
+fn incremental_schedules_fetch_only_the_ghosts_earlier_loops_didnt() {
+    let src = r#"
+        REAL*8 x(nnode), y(nnode), z(nnode)
+        INTEGER e1(nedge), e2(nedge), f1(nface), f2(nface)
+        DECOMPOSITION regn(nnode), rege(nedge), regf(nface)
+        DISTRIBUTE regn(BLOCK)
+        DISTRIBUTE rege(BLOCK)
+        DISTRIBUTE regf(BLOCK)
+        ALIGN x, y, z WITH regn
+        ALIGN e1, e2 WITH rege
+        ALIGN f1, f2 WITH regf
+        CALL READ_DATA(x, y, z, e1, e2, f1, f2)
+        FORALL i = 1, nedge
+          REDUCE(ADD, y(e1(i)), x(e1(i)) * x(e2(i)))
+        END FORALL
+        FORALL j = 1, nface
+          REDUCE(ADD, z(f1(j)), x(f1(j)) + x(f2(j)))
+        END FORALL
+    "#;
+    let nnode = 32usize;
+    let nedge = nnode - 1; // chain: (i, i+1)
+    let nface = nnode - 2;
+    let e1: Vec<u32> = (1..nnode as u32).collect();
+    let e2: Vec<u32> = (2..=nnode as u32).collect();
+    // Lower-half faces repeat the chain pairs exactly (their ghosts are
+    // fully resident after L1 — whole request messages disappear); the
+    // upper half uses the wider (i, i+2) stencil (partially resident —
+    // only the new ghosts are fetched).
+    let f1: Vec<u32> = (1..(nnode - 1) as u32).collect();
+    let f2: Vec<u32> = (0..nface as u32)
+        .map(|k| if k < nface as u32 / 2 { k + 2 } else { k + 3 })
+        .collect();
+    let x: Vec<f64> = (0..nnode).map(|i| (i as f64 * 0.41).sin() + 2.0).collect();
+    let inputs = ProgramInputs::new()
+        .scalar("nnode", nnode)
+        .scalar("nedge", nedge)
+        .scalar("nface", nface)
+        .real("x", x)
+        .real("y", vec![0.0; nnode])
+        .real("z", vec![0.0; nnode])
+        .int("e1", e1)
+        .int("e2", e2)
+        .int("f1", f1)
+        .int("f2", f2);
+    let program = lower_program(parse_program(src).expect("parse")).expect("lower");
+    let sweeps = 5;
+
+    let drive = |incremental: bool| -> Executor {
+        let mut exec = Executor::new(MachineConfig::ipsc860(4), inputs.clone())
+            .with_incremental_schedules(incremental);
+        exec.run(&program).expect("run");
+        for _ in 0..sweeps {
+            exec.execute_loop(&program, "L1").expect("sweep L1");
+            exec.execute_loop(&program, "L2").expect("sweep L2");
+        }
+        exec
+    };
+    let incr = drive(true);
+    let full = drive(false);
+
+    // The second loop's binding found resident ghosts; the escape hatch
+    // never binds.
+    assert!(
+        incr.report().incremental_bindings >= 1,
+        "L2 must bind incrementally over L1's residents"
+    );
+    assert_eq!(full.report().incremental_bindings, 0);
+
+    // Savings are booked under both ledgers: the inspector's request
+    // exchange and every steady-state gather of the second loop.
+    let sched_saved = incr
+        .machine()
+        .stats()
+        .saved_labelled("incremental:schedule-build");
+    let gather_saved = incr.machine().stats().saved_labelled("incremental:gather");
+    assert!(sched_saved.messages > 0, "request-exchange messages saved");
+    assert!(gather_saved.messages > 0, "gather messages saved");
+    assert!(gather_saved.bytes > 0, "gather volume saved");
+    // One saving per steady-state L2 gather: the program's own sweep plus
+    // the extra ones.
+    assert_eq!(gather_saved.phases, sweeps + 1);
+
+    // Exact accounting: the saved ledger explains the *entire* message and
+    // byte gap to the escape-hatch run.
+    let it = incr.machine().stats().grand_totals();
+    let ft = full.machine().stats().grand_totals();
+    assert!(
+        it.messages < ft.messages,
+        "incremental sends fewer messages"
+    );
+    assert!(it.bytes < ft.bytes, "incremental moves fewer bytes");
+    let saved_msgs = sched_saved.messages + gather_saved.messages;
+    let saved_bytes = sched_saved.bytes + gather_saved.bytes;
+    assert_eq!(
+        ft.messages - it.messages,
+        saved_msgs,
+        "message ledger exact"
+    );
+    assert_eq!(ft.bytes - it.bytes, saved_bytes, "byte ledger exact");
+
+    // Incremental gathers must not change a single bit of any result.
+    for name in ["x", "y", "z"] {
+        let a = incr.real_global(name).unwrap();
+        let b = full.real_global(name).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.to_bits(), v.to_bits(), "{name} diverged");
+        }
+    }
 }

@@ -503,6 +503,103 @@ fn steady_state_sweep_is_allocation_free_with_metrics_disabled_and_enabled() {
     assert!(!snap.spans.is_empty(), "no span histograms recorded");
 }
 
+/// Incremental cross-loop re-binding must not perturb the steady-state heap
+/// profile either: once two loops over the same distribution have bound
+/// into the shared ghost region, a steady-state iteration is two
+/// offset-gathers (the second fetching only the ghosts the first didn't)
+/// plus slot-map reads out of the shared region rows — all into reused
+/// buffers, zero allocations.
+#[test]
+fn steady_state_incremental_region_gather_is_allocation_free() {
+    use chaos_repro::runtime::{gather_inline_offset, Dad, Inspector, ReuseRegistry};
+
+    let nprocs = 8;
+    let n = 4096usize;
+    let map: Vec<u32> = (0..n).map(|i| ((i * 7 + i / 13) % nprocs) as u32).collect();
+    let dist = Distribution::irregular_from_map(&map, nprocs);
+    let data: Vec<f64> = (0..n).map(|i| 1.0 + (i % 97) as f64).collect();
+    let x = DistArray::from_global("x", dist.clone(), &data);
+
+    // Two overlapping access patterns over the same distribution: the
+    // second repeats half the first loop's references and adds new ones.
+    let mut first = AccessPattern::new(nprocs);
+    let mut second = AccessPattern::new(nprocs);
+    for p in 0..nprocs {
+        for k in 0..512 {
+            let r = ((p * 131 + k * 17) % n) as u32;
+            first.refs[p].push(r);
+            second.refs[p].push(if k % 2 == 0 {
+                r
+            } else {
+                ((p * 173 + k * 29) % n) as u32
+            });
+        }
+    }
+
+    let mut machine = Machine::new(MachineConfig::ipsc860(nprocs));
+    let r1 = Inspector.localize(&mut machine, "L1", &dist, &first);
+    let r2 = Inspector.localize(&mut machine, "L2", &dist, &second);
+
+    // Bind both loops into the shared ghost region (inspector-time work,
+    // done once). The second bind's difference must be a strict subset.
+    let mut registry = ReuseRegistry::new();
+    let sig = Dad::of(&dist).signature();
+    let rb1 = registry.region_bind(sig, 1, &r1.schedule);
+    let rb2 = registry.region_bind(sig, 2, &r2.schedule);
+    assert!(
+        rb2.diff.total_ghosts() < r2.schedule.total_ghosts(),
+        "second loop should re-bind resident ghosts instead of refetching"
+    );
+    let region = registry.region(sig).expect("region exists");
+    let mut rows: Vec<Vec<f64>> = (0..nprocs).map(|p| vec![0.0; region.size(p)]).collect();
+
+    machine.set_phase_kind(Some(PhaseKind::Executor));
+    let mut acc = vec![0.0f64; nprocs];
+    let sweep = |machine: &mut Machine, rows: &mut Vec<Vec<f64>>, acc: &mut Vec<f64>| {
+        gather_inline_offset(machine, &rb1.diff, &x, &rb1.base, rows.iter_mut());
+        gather_inline_offset(machine, &rb2.diff, &x, &rb2.base, rows.iter_mut());
+        // Read every ghost of both loops through its slot map — the region
+        // rows serve both loops' reads without a second fetch.
+        for p in 0..nprocs {
+            let mut sum = 0.0;
+            for g in 0..r1.schedule.ghost_count(p) {
+                sum += rows[p][rb1.slot_map[p][g] as usize];
+            }
+            for g in 0..r2.schedule.ghost_count(p) {
+                sum += rows[p][rb2.slot_map[p][g] as usize];
+            }
+            acc[p] += sum;
+            machine.charge_compute(
+                p,
+                (r1.schedule.ghost_count(p) + r2.schedule.ghost_count(p)) as f64,
+            );
+        }
+    };
+
+    for _ in 0..3 {
+        sweep(&mut machine, &mut rows, &mut acc);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let messages_before = machine.stats().grand_totals().messages;
+    for _ in 0..10 {
+        sweep(&mut machine, &mut rows, &mut acc);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state incremental region gathers allocated {} times",
+        after - before
+    );
+    // The sweeps really gathered (both loops' fetches charge messages) and
+    // the slot maps really addressed every resident ghost value.
+    assert!(machine.stats().grand_totals().messages > messages_before);
+    assert!(acc.iter().all(|v| *v > 0.0));
+    assert!(machine.elapsed().max_seconds() > 0.0);
+}
+
 /// Checkpoint / rollback of a steady epoch must also be allocation-free:
 /// `Machine::snapshot_into` / `restore_from` reuse the snapshot's buffers,
 /// and `DistArray::copy_values_from` overwrites shard values in place. This
